@@ -1,0 +1,83 @@
+// Shared configuration for the experiment harnesses so every binary
+// reproduces the paper's case study from the same deterministic inputs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.h"
+
+#include "mpeg/trace_gen.h"
+#include "trace/arrival_curve.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::bench {
+
+/// The paper's stream setup (720×576 @ 25 fps, 9.78 Mbit/s CBR, N=12/M=3)
+/// over 48 frames (4 GOPs) per clip — long enough for steady-state windows
+/// of 24 frames (38 880 macroblocks), short enough to run in seconds.
+inline mpeg::TraceConfig paper_config() {
+  mpeg::TraceConfig cfg;  // StreamParams defaults are the paper's
+  cfg.frames = 48;
+  cfg.pe1_frequency = 150e6;
+  return cfg;
+}
+
+/// Window-size grid used by every extraction: exact for k <= 512, then a
+/// tight 2% geometric ladder up to the 24-frame analysis window. The
+/// conservative between-grid steps inflate bounds by at most the growth
+/// factor, so the ladder is kept tight where eq. (9)'s critical window
+/// lives (thousands of macroblocks); see the grid ablation in
+/// tab_fmin_sizing for the cost of coarser ladders.
+inline std::vector<std::int64_t> paper_kgrid(std::int64_t max_k) {
+  return trace::make_kgrid({.max_k = max_k, .dense_limit = 512, .growth = 1.01});
+}
+
+/// Optional machine-readable export: when the harness is invoked with
+/// `--csv <dir>`, tables are also written as CSV files there (for external
+/// plotting); without the flag nothing is written.
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string_view(argv[i]) == "--csv") dir_ = argv[i + 1];
+  }
+  void write(const std::string& name, const common::Table& table) const {
+    if (dir_.empty()) return;
+    std::ofstream f(dir_ + "/" + name + ".csv");
+    table.print_csv(f);
+  }
+
+ private:
+  std::string dir_;
+};
+
+struct ClipAnalysis {
+  mpeg::ClipTrace trace;
+  workload::WorkloadCurve gamma_u;
+  workload::WorkloadCurve gamma_l;
+  trace::EmpiricalArrivalCurve arrivals;
+};
+
+/// Generates and analyzes one clip (PE2 stage: IDCT/MC). The grid ladder
+/// always extends to the full trace length: stopping it earlier would leave
+/// a single giant conservative step between the last grid point and the
+/// trace-length anchor, and eq. (9)'s supremum would land in that artifact.
+inline ClipAnalysis analyze_clip(const mpeg::TraceConfig& cfg, const mpeg::ClipProfile& profile,
+                                 std::int64_t window_events) {
+  mpeg::ClipTrace t = mpeg::generate_clip_trace(cfg, profile);
+  const auto ks =
+      paper_kgrid(std::max<std::int64_t>(window_events,
+                                         static_cast<std::int64_t>(t.pe2_input.size())));
+  auto gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+  auto gl = workload::extract_lower(trace::demands_of(t.pe2_input), ks);
+  auto arr = trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks);
+  return ClipAnalysis{std::move(t), std::move(gu), std::move(gl), std::move(arr)};
+}
+
+}  // namespace wlc::bench

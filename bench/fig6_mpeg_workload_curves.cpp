@@ -1,0 +1,65 @@
+// FIG6 — reproduces Figure 6 of the paper: upper/lower workload curves of
+// the MPEG-2 IDCT/MC subtask (PE2), extracted from the traces of 14 video
+// clips over a 24-frame analysis window and combined by pointwise max/min,
+// plotted against the WCET/BCET cones.
+#include <iostream>
+#include <optional>
+
+#include "bench/experiment_common.h"
+#include "common/table.h"
+#include "mpeg/clip.h"
+
+int main(int argc, char** argv) {
+  using namespace wlc;
+  const bench::CsvSink csv(argc, argv);
+  const mpeg::TraceConfig cfg = bench::paper_config();
+  const std::int64_t window = 24LL * cfg.stream.mb_per_frame();  // 38'880 MBs
+
+  std::cout << "=== FIG6: MPEG-2 workload curves (IDCT/MC stage, PE2) ===\n"
+            << "14 synthetic clips, " << cfg.frames << " frames each, window = 24 frames ("
+            << common::fmt_i(window) << " macroblocks)\n\n";
+
+  std::optional<workload::WorkloadCurve> gu;
+  std::optional<workload::WorkloadCurve> gl;
+  for (const auto& profile : mpeg::clip_library()) {
+    const bench::ClipAnalysis a = bench::analyze_clip(cfg, profile, window);
+    gu = gu ? workload::WorkloadCurve::combine(*gu, a.gamma_u) : a.gamma_u;
+    gl = gl ? workload::WorkloadCurve::combine(*gl, a.gamma_l) : a.gamma_l;
+    std::cout << "  analyzed clip " << profile.name << " (γᵘ(1) = " << a.gamma_u.wcet()
+              << " cycles)\n";
+  }
+
+  const Cycles wcet = gu->wcet();
+  const Cycles bcet = gl->bcet();
+  std::cout << "\ncombined over all clips: WCET w = γᵘ(1) = " << common::fmt_i(wcet)
+            << " cycles, BCET = γˡ(1) = " << common::fmt_i(bcet) << " cycles\n\n";
+
+  common::Table table({"k (events)", "WCET·k", "γᵘ(k)", "γˡ(k)", "BCET·k", "γᵘ/(WCET·k)"});
+  for (std::int64_t k :
+       {1LL, 16LL, 64LL, 256LL, 810LL, 1620LL, 4860LL, 9720LL, 19440LL, 38880LL}) {
+    table.add_row({common::fmt_i(k), common::fmt_i(wcet * k), common::fmt_i(gu->value(k)),
+                   common::fmt_i(gl->value(k)), common::fmt_i(bcet * k),
+                   common::fmt_pct(static_cast<double>(gu->value(k)) /
+                                   static_cast<double>(wcet * k))});
+  }
+  table.print(std::cout);
+  csv.write("fig6_workload_curves", table);
+
+  std::cout << "\nexecution requirement vs # of events (ascii rendering of Fig. 6)\n";
+  const double scale = static_cast<double>(wcet) * 38880.0;
+  for (std::int64_t k = 3888; k <= 38880; k += 3888) {
+    std::cout << "k=" << common::fmt_i(k) << "\tWCET " << '\t'
+              << common::ascii_bar(static_cast<double>(wcet * k), scale, 44) << "\n";
+    std::cout << "\tγᵘ   \t" << common::ascii_bar(static_cast<double>(gu->value(k)), scale, 44)
+              << "\n";
+    std::cout << "\tγˡ   \t" << common::ascii_bar(static_cast<double>(gl->value(k)), scale, 44)
+              << "\n";
+    std::cout << "\tBCET \t" << common::ascii_bar(static_cast<double>(bcet * k), scale, 44)
+              << "\n";
+  }
+
+  std::cout << "\nReproduction check (paper Fig. 6 shape): the workload curves fall strictly\n"
+            << "inside the WCET/BCET cones and their long-window slope approaches the\n"
+            << "average demand — the gap to WCET·k is what eq. (9) converts into clock savings.\n\n";
+  return 0;
+}

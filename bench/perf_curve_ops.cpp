@@ -1,0 +1,88 @@
+// PERF — google-benchmark microbenchmarks of the curve-algebra substrate:
+// the O(n²) (min,+) operators, the convex fast path (DESIGN.md §5(3)), and
+// piecewise-linear evaluation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "curve/discrete_curve.h"
+#include "curve/pwl_curve.h"
+
+namespace {
+
+using namespace wlc;
+using curve::DiscreteCurve;
+using curve::PwlCurve;
+
+DiscreteCurve random_nondecreasing(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  for (std::size_t i = 1; i < n; ++i) v.push_back(v.back() + rng.uniform(0.0, 3.0));
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+DiscreteCurve random_convex(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  double slope = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    slope += rng.uniform(0.0, 0.5);
+    v.push_back(v.back() + slope);
+  }
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+void BM_MinPlusConv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_nondecreasing(n, 1);
+  const DiscreteCurve g = random_nondecreasing(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinPlusConv)->Range(64, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_MinPlusConvConvexFastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_convex(n, 3);
+  const DiscreteCurve g = random_convex(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv_convex(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinPlusConvConvexFastPath)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_MinPlusDeconv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_nondecreasing(n, 5);
+  const DiscreteCurve g = random_nondecreasing(n, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_deconv(f, g));
+}
+BENCHMARK(BM_MinPlusDeconv)->Range(64, 2048);
+
+void BM_SupDiffBacklog(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_nondecreasing(n, 7);
+  const DiscreteCurve g = random_nondecreasing(n, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::sup_diff(f, g));
+}
+BENCHMARK(BM_SupDiffBacklog)->Range(1024, 65536);
+
+void BM_PwlEvalPeriodic(benchmark::State& state) {
+  const PwlCurve stairs = PwlCurve::staircase(1.0, 2.0, 3.0, 3.0);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stairs.eval(x));
+    x += 17.3;
+    if (x > 1e9) x = 0.0;
+  }
+}
+BENCHMARK(BM_PwlEvalPeriodic);
+
+void BM_PwlMinWithCrossings(benchmark::State& state) {
+  const PwlCurve a = PwlCurve::staircase(1.0, 1.0, 2.0, 2.0);
+  const PwlCurve b = PwlCurve::token_bucket(4.0, 0.4);
+  for (auto _ : state) benchmark::DoNotOptimize(PwlCurve::min(a, b, 500.0));
+}
+BENCHMARK(BM_PwlMinWithCrossings);
+
+}  // namespace
+
+BENCHMARK_MAIN();

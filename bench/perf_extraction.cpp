@@ -1,0 +1,76 @@
+// PERF — google-benchmark microbenchmarks of trace analysis: workload-curve
+// and arrival-curve extraction, dense versus compacted k-grids (the cost
+// side of the DESIGN.md §5(1) ablation; the tightness side is printed by
+// tab_fmin_sizing).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace {
+
+using namespace wlc;
+
+trace::DemandTrace demand_trace(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  trace::DemandTrace d;
+  d.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d.push_back(rng.bernoulli(0.1) ? rng.uniform_int(3000, 5000) : rng.uniform_int(200, 900));
+  return d;
+}
+
+trace::TimestampTrace timestamp_trace(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  trace::TimestampTrace ts{0.0};
+  for (std::size_t i = 1; i < n; ++i)
+    ts.push_back(ts.back() +
+                 (rng.bernoulli(0.3) ? rng.uniform(1e-5, 1e-4) : rng.uniform(1e-4, 1e-3)));
+  return ts;
+}
+
+void BM_ExtractUpperGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const trace::DemandTrace d = demand_trace(n, 11);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  for (auto _ : state) benchmark::DoNotOptimize(workload::extract_upper(d, ks));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExtractUpperGrid)->Range(4096, 65536)->Complexity();
+
+void BM_ExtractUpperDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const trace::DemandTrace d = demand_trace(n, 12);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workload::extract_upper_dense(d, static_cast<EventCount>(n)));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExtractUpperDense)->Range(512, 8192)->Complexity(benchmark::oNSquared);
+
+void BM_ArrivalExtractGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const trace::TimestampTrace ts = timestamp_trace(n, 13);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  for (auto _ : state) benchmark::DoNotOptimize(trace::extract_upper_arrival(ts, ks));
+}
+BENCHMARK(BM_ArrivalExtractGrid)->Range(4096, 65536);
+
+void BM_WorkloadCurveEval(benchmark::State& state) {
+  const trace::DemandTrace d = demand_trace(8192, 14);
+  const auto ks = trace::make_kgrid({.max_k = 8192, .dense_limit = 256, .growth = 1.2});
+  const workload::WorkloadCurve g = workload::extract_upper(d, ks);
+  EventCount k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.value(k));
+    k = (k + 37) % 20000;
+  }
+}
+BENCHMARK(BM_WorkloadCurveEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// TAB-FMIN — reproduces the paper's §3.2 in-text result: the minimum PE2
+// clock frequency that keeps the 1620-macroblock FIFO from overflowing,
+// computed with workload curves (eq. (9), F^γ_min ≈ 340 MHz in the paper)
+// versus the WCET-only characterization (eq. (10), F^w_min ≈ 710 MHz) —
+// "over 50 % of savings".
+//
+// Also prints two ablations called out in DESIGN.md §5: the k-grid
+// compaction's effect on the bound, and the buffer/frequency trade-off.
+#include <iostream>
+#include <optional>
+
+#include "bench/experiment_common.h"
+#include "common/table.h"
+#include "mpeg/clip.h"
+#include "rtc/sizing.h"
+
+int main(int argc, char** argv) {
+  using namespace wlc;
+  const bench::CsvSink csv(argc, argv);
+  const mpeg::TraceConfig cfg = bench::paper_config();
+  const std::int64_t window = 24LL * cfg.stream.mb_per_frame();
+  const EventCount buffer = cfg.stream.mb_per_frame();  // b = 1620 MBs (1 frame)
+
+  std::cout << "=== TAB-FMIN: minimum PE2 clock under FIFO constraint (b = "
+            << common::fmt_i(buffer) << " macroblocks) ===\n\n";
+
+  std::optional<workload::WorkloadCurve> gu;
+  std::optional<trace::EmpiricalArrivalCurve> arr;
+  common::Table per_clip({"clip", "F^γ_min [MHz]", "F^w_min [MHz]", "savings"});
+  for (const auto& profile : mpeg::clip_library()) {
+    const bench::ClipAnalysis a = bench::analyze_clip(cfg, profile, window);
+    const Hertz fg = rtc::min_frequency_workload(a.arrivals, a.gamma_u, buffer);
+    const Hertz fw = rtc::min_frequency_wcet(a.arrivals, a.gamma_u.wcet(), buffer);
+    per_clip.add_row({profile.name, common::fmt_f(fg / 1e6, 1), common::fmt_f(fw / 1e6, 1),
+                      common::fmt_pct(1.0 - fg / fw)});
+    gu = gu ? workload::WorkloadCurve::combine(*gu, a.gamma_u) : a.gamma_u;
+    arr = arr ? trace::EmpiricalArrivalCurve::combine(*arr, a.arrivals) : a.arrivals;
+  }
+  per_clip.print(std::cout);
+  csv.write("tab_fmin_per_clip", per_clip);
+
+  const Hertz f_gamma = rtc::min_frequency_workload(*arr, *gu, buffer);
+  const Hertz f_wcet = rtc::min_frequency_wcet(*arr, gu->wcet(), buffer);
+  std::cout << "\ncombined over all 14 clips (the paper's procedure):\n"
+            << "  F^γ_min = " << common::fmt_f(f_gamma / 1e6, 1) << " MHz   (paper: ≈ 340 MHz)\n"
+            << "  F^w_min = " << common::fmt_f(f_wcet / 1e6, 1) << " MHz   (paper: ≈ 710 MHz)\n"
+            << "  savings = " << common::fmt_pct(1.0 - f_gamma / f_wcet)
+            << "            (paper: over 50%)\n\n";
+
+  // Ablation 1 (DESIGN.md §5(1)): coarser k-grids stay sound but cost MHz.
+  std::cout << "ablation: extraction-grid density vs computed F^γ_min\n";
+  common::Table grid_tab({"dense_limit", "growth", "F^γ_min [MHz]", "overhead vs finest"});
+  const mpeg::ClipTrace probe = mpeg::generate_clip_trace(cfg, mpeg::clip_library()[5]);
+  std::optional<Hertz> finest;
+  for (const auto& [dense, growth] : std::vector<std::pair<std::int64_t, double>>{
+           {2048, 1.05}, {1024, 1.15}, {256, 1.3}, {64, 1.6}, {16, 2.0}}) {
+    const auto ks = trace::make_kgrid({.max_k = window, .dense_limit = dense, .growth = growth});
+    const auto g = workload::extract_upper(trace::demands_of(probe.pe2_input), ks);
+    const auto a = trace::extract_upper_arrival(trace::timestamps_of(probe.pe2_input), ks);
+    const Hertz f = rtc::min_frequency_workload(a, g, buffer);
+    if (!finest) finest = f;
+    grid_tab.add_row({std::to_string(dense), common::fmt_f(growth, 2),
+                      common::fmt_f(f / 1e6, 1), common::fmt_pct(f / *finest - 1.0)});
+  }
+  grid_tab.print(std::cout);
+
+  // Ablation 2 (DESIGN.md §5(4)): eq. (9) swept over buffer sizes.
+  std::cout << "\nablation: buffer size vs minimum clock (eq. (9) sweep, combined curves)\n";
+  common::Table sweep_tab({"buffer [MB]", "buffer [frames]", "F^γ_min [MHz]"});
+  for (double frames : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto b = static_cast<EventCount>(frames * cfg.stream.mb_per_frame());
+    const Hertz f = rtc::min_frequency_workload(*arr, *gu, b);
+    sweep_tab.add_row({common::fmt_i(b), common::fmt_f(frames, 2), common::fmt_f(f / 1e6, 1)});
+  }
+  sweep_tab.print(std::cout);
+  csv.write("tab_fmin_buffer_sweep", sweep_tab);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Rate-monotonic schedulability of a media task set (the paper's §3.1
+// application): exact Lehoczky test and response-time analysis, each in the
+// classical WCET form and the workload-curve form, cross-checked against the
+// fixed-priority scheduling simulator.
+//
+// The video task decodes a GOP whose per-frame demand varies 6:1 — exactly
+// the "rare worst case" pattern where WCET-only analysis wastes capacity.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "sched/generators.h"
+#include "sched/response_time.h"
+#include "sched/rms.h"
+#include "sched/simulator.h"
+
+int main() {
+  using namespace wlc;
+
+  // Per-frame decode demands over one GOP (kilocycles): I P B B P B B P B B B B.
+  const std::vector<Cycles> gop{5400, 2300, 900, 900, 2300, 900,
+                                900,  2300, 900, 900, 900, 900};
+  const sched::CyclicDemand video_gen(gop);
+
+  sched::TaskSet tasks;
+  tasks.push_back({"video_40ms", 0.040, 0.040, video_gen.upper_curve(512).wcet(),
+                   video_gen.upper_curve(512)});
+  tasks.push_back({"audio_10ms", 0.010, 0.010, 260, std::nullopt});
+  tasks.push_back({"osd_100ms", 0.100, 0.100, 2600, std::nullopt});
+
+  const Hertz f = 165e3;  // kilocycle units -> kHz clock
+  std::cout << "clock " << common::fmt_f(f / 1e3, 0) << " kHz, WCET utilization "
+            << common::fmt_pct(sched::utilization_wcet(tasks, f)) << ", long-run utilization "
+            << common::fmt_pct(sched::utilization_longrun(tasks, f)) << "\n\n";
+
+  const auto classic = sched::lehoczky_test(tasks, f, sched::DemandModel::WcetOnly);
+  const auto curves = sched::lehoczky_test(tasks, f, sched::DemandModel::WorkloadCurve);
+  common::Table loads({"task", "L_i (eq.3)", "L'_i (eq.4)"});
+  const sched::TaskSet ordered = sched::rate_monotonic_order(tasks);
+  for (std::size_t i = 0; i < ordered.size(); ++i)
+    loads.add_row({ordered[i].name, common::fmt_f(classic.per_task[i], 3),
+                   common::fmt_f(curves.per_task[i], 3)});
+  loads.print(std::cout);
+  std::cout << "eq.(3) verdict: " << (classic.schedulable ? "schedulable" : "NOT schedulable")
+            << "   eq.(4) verdict: " << (curves.schedulable ? "schedulable" : "NOT schedulable")
+            << "\n\n";
+
+  // Response times under both models.
+  const auto rt_classic = sched::response_times_wcet(tasks, f);
+  const auto rt_curves = sched::response_times_curve(tasks, f);
+  if (rt_curves) {
+    common::Table rt({"task", "R (WCET) [ms]", "R (curves) [ms]", "deadline [ms]"});
+    for (std::size_t i = 0; i < ordered.size(); ++i)
+      rt.add_row({ordered[i].name,
+                  rt_classic ? common::fmt_f(rt_classic->per_task[i] * 1e3, 2) : "diverged",
+                  common::fmt_f(rt_curves->per_task[i] * 1e3, 2),
+                  common::fmt_f(ordered[i].deadline * 1e3, 1)});
+    rt.print(std::cout);
+  }
+
+  // Simulate the schedule with the real GOP demands at every phase.
+  std::int64_t misses = 0;
+  double worst_response = 0.0;
+  for (std::size_t phase = 0; phase < gop.size(); ++phase) {
+    const std::vector<sched::SimTask> sim{
+        {"video_40ms", 0.040, 0.040, std::make_shared<sched::CyclicDemand>(gop, phase)},
+        {"audio_10ms", 0.010, 0.010, std::make_shared<sched::FixedDemand>(260)},
+        {"osd_100ms", 0.100, 0.100, std::make_shared<sched::FixedDemand>(2600)},
+    };
+    const auto r = sched::simulate_fixed_priority(sim, f, 60.0);
+    misses += r.total_misses();
+    for (const auto& t : r.tasks) worst_response = std::max(worst_response, t.response_time.max());
+  }
+  std::cout << "\nsimulation across all " << gop.size() << " GOP phases (60 s each): " << misses
+            << " deadline misses, worst observed response "
+            << common::fmt_f(worst_response * 1e3, 2) << " ms\n";
+  std::cout << "-> the workload-curve test certifies a clock the WCET test rejects, and the\n"
+            << "   simulator confirms no deadline is ever missed there.\n";
+  return misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Whole-system modular performance analysis with the declarative
+// SystemModel front-end: a set-top-box SoC decoding a transport stream.
+//
+//   demux ──> [ts_parse @ CPU] ──> [video_dec @ DSP] ──> display
+//                    └────────────> [audio_dec @ CPU (lower priority)]
+//
+// The CPU is shared (fixed priority: parser above audio); the DSP only owns
+// a TDMA share of a bus-attached accelerator. Workload curves turn packet /
+// frame counts into cycles everywhere.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "curve/pwl_curve.h"
+#include "rtc/mpa.h"
+#include "workload/workload_curve.h"
+
+int main() {
+  using namespace wlc;
+  using curve::PwlCurve;
+  using workload::Bound;
+  using workload::WorkloadCurve;
+
+  rtc::SystemModel soc;
+
+  // Resources: a 200 MHz CPU, and 40% of a 300 MHz accelerator via TDMA.
+  soc.add_resource("cpu", 200e6);
+  soc.add_resource("dsp", rtc::TdmaSlot{.slot = 4e-3, .cycle = 10e-3, .bandwidth = 300e6});
+
+  // Input stream: transport packets, nominally every 50 µs with up to 1 ms
+  // of multiplexer jitter, never closer than 10 µs.
+  soc.add_stream("ts_packets", PwlCurve::pjd_upper(50e-6, 1e-3, 10e-6, 1.0),
+                 PwlCurve::periodic_lower(50e-6, 1e-3));
+
+  // Parser on the CPU: 900 cycles per packet, but at most every 8th packet
+  // starts a new PES header (3600 cycles) — a two-mode workload curve.
+  std::vector<WorkloadCurve::Point> pu{{0, 0}};
+  std::vector<WorkloadCurve::Point> pl{{0, 0}};
+  for (EventCount k = 1; k <= 64; ++k) {
+    const EventCount headers = (k + 7) / 8;
+    pu.emplace_back(k, 900 * (k - headers) + 3600 * headers);
+    pl.emplace_back(k, 900 * k);
+  }
+  soc.add_task("ts_parse", "ts_packets", "cpu", WorkloadCurve(Bound::Upper, pu),
+               WorkloadCurve(Bound::Lower, pl));
+
+  // Video decode on the DSP consumes the parsed stream; audio decode shares
+  // the CPU below the parser.
+  soc.add_task("video_dec", "ts_parse", "dsp",
+               WorkloadCurve::from_constant_demand(Bound::Upper, 5200),
+               WorkloadCurve::from_constant_demand(Bound::Lower, 1800));
+  soc.add_task("audio_dec", "ts_parse", "cpu",
+               WorkloadCurve::from_constant_demand(Bound::Upper, 700),
+               WorkloadCurve::from_constant_demand(Bound::Lower, 250));
+
+  const auto report = soc.analyze(/*dt=*/0.25e-3, /*horizon=*/0.6);
+
+  common::Table table({"task", "backlog [events]", "backlog [kcycles]", "delay [ms]",
+                       "utilization"});
+  for (const auto& t : report.tasks)
+    table.add_row({t.name, common::fmt_i(t.backlog_events),
+                   common::fmt_f(t.backlog_cycles / 1e3, 1), common::fmt_f(t.delay * 1e3, 3),
+                   common::fmt_pct(t.utilization)});
+  table.print(std::cout);
+
+  std::cout << "\nend-to-end delay bounds:\n"
+            << "  packets -> decoded video: "
+            << common::fmt_f(report.chain_delay("video_dec") * 1e3, 3) << " ms\n"
+            << "  packets -> decoded audio: "
+            << common::fmt_f(report.chain_delay("audio_dec") * 1e3, 3) << " ms\n";
+  std::cout << "\n(The parser's two-mode workload curve is what keeps the CPU budget\n"
+            << " feasible: a WCET-only parser model would need 3600 cycles for every\n"
+            << " packet — 72% of the CPU on its own at peak rate.)\n";
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "cli/cli.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+#include "rtc/sizing.h"
+#include "sim/components.h"
+#include "trace/arrival_extract.h"
+#include "trace/io.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::cli {
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string trace_path;
+  std::map<std::string, std::string> flags;
+
+  std::optional<double> number(const std::string& key) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return std::nullopt;
+    return std::stod(it->second);
+  }
+  std::string text(const std::string& key, std::string fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? std::move(fallback) : it->second;
+  }
+};
+
+std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream& err) {
+  if (argv.size() < 2) {
+    err << usage();
+    return std::nullopt;
+  }
+  Options o;
+  o.command = argv[0];
+  o.trace_path = argv[1];
+  for (std::size_t i = 2; i < argv.size(); i += 2) {
+    if (argv[i].rfind("--", 0) != 0 || i + 1 >= argv.size()) {
+      err << "malformed flag: " << argv[i] << "\n" << usage();
+      return std::nullopt;
+    }
+    o.flags[argv[i].substr(2)] = argv[i + 1];
+  }
+  return o;
+}
+
+struct LoadedTrace {
+  trace::EventTrace events;
+  workload::WorkloadCurve gamma_u;
+  workload::WorkloadCurve gamma_l;
+  trace::EmpiricalArrivalCurve arr_u;
+  trace::EmpiricalArrivalCurve arr_l;
+};
+
+std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
+  std::ifstream file(o.trace_path);
+  if (!file) {
+    err << "cannot open trace file: " << o.trace_path << "\n";
+    return std::nullopt;
+  }
+  trace::EventTrace events;
+  try {
+    events = trace::read_event_trace_csv(file);
+  } catch (const std::exception& e) {
+    err << "bad trace file: " << e.what() << "\n";
+    return std::nullopt;
+  }
+  if (events.empty() || !trace::is_time_ordered(events)) {
+    err << "trace must be non-empty and time-ordered\n";
+    return std::nullopt;
+  }
+  const auto n = static_cast<std::int64_t>(events.size());
+  const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
+  const double growth = o.number("growth").value_or(1.02);
+  const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
+  return LoadedTrace{events, workload::extract_upper(trace::demands_of(events), ks),
+                     workload::extract_lower(trace::demands_of(events), ks),
+                     trace::extract_upper_arrival(trace::timestamps_of(events), ks),
+                     trace::extract_lower_arrival(trace::timestamps_of(events), ks)};
+}
+
+void write_curves(const LoadedTrace& t, const std::string& prefix, std::ostream& out) {
+  {
+    std::ofstream f(prefix + ".gamma.csv");
+    f << "k,gamma_l,gamma_u\n";
+    for (const auto& [k, v] : t.gamma_u.points())
+      f << k << ',' << t.gamma_l.value(k) << ',' << v << '\n';
+  }
+  {
+    std::ofstream f(prefix + ".arrival.csv");
+    trace::write_arrival_curve_csv(f, t.arr_u);
+  }
+  out << "wrote " << prefix << ".gamma.csv and " << prefix << ".arrival.csv\n";
+}
+
+int cmd_curves(const Options& o, const LoadedTrace& t, std::ostream& out) {
+  common::Table table({"quantity", "value"});
+  table.add_row({"events", common::fmt_i(static_cast<long long>(t.events.size()))});
+  table.add_row({"duration [s]", common::fmt_f(t.events.back().time, 6)});
+  table.add_row({"WCET = γᵘ(1) [cycles]", common::fmt_i(t.gamma_u.wcet())});
+  table.add_row({"BCET = γˡ(1) [cycles]", common::fmt_i(t.gamma_l.bcet())});
+  table.add_row({"long-run demand [cycles/event]", common::fmt_f(t.gamma_u.long_run_demand(), 1)});
+  table.add_row({"peak arrival rate [events/s]",
+                 common::fmt_f(static_cast<double>(t.arr_u.eval(1e-3)) / 1e-3, 1)});
+  table.add_row({"long-run rate [events/s]", common::fmt_f(t.arr_u.long_run_rate(), 1)});
+  table.print(out);
+  if (o.flags.count("out")) write_curves(t, o.text("out", "trace"), out);
+  return 0;
+}
+
+int cmd_size_buffer(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
+  const auto b = o.number("buffer");
+  if (!b || *b < 0) {
+    err << "size-buffer needs --buffer <events>\n";
+    return 2;
+  }
+  const Hertz fg =
+      rtc::min_frequency_workload(t.arr_u, t.gamma_u, static_cast<EventCount>(*b));
+  const Hertz fw = rtc::min_frequency_wcet(t.arr_u, t.gamma_u.wcet(), static_cast<EventCount>(*b));
+  common::Table table({"model", "minimum clock [MHz]"});
+  table.add_row({"workload curves (eq. 9)", common::fmt_f(fg / 1e6, 2)});
+  table.add_row({"WCET only (eq. 10)", common::fmt_f(fw / 1e6, 2)});
+  table.print(out);
+  out << "savings: " << common::fmt_pct(1.0 - fg / fw) << "\n";
+  return 0;
+}
+
+int cmd_size_delay(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
+  const auto ms = o.number("deadline-ms");
+  if (!ms || *ms <= 0) {
+    err << "size-delay needs --deadline-ms <milliseconds>\n";
+    return 2;
+  }
+  const Hertz f = rtc::min_frequency_for_delay(t.arr_u, t.gamma_u, *ms * 1e-3);
+  out << "minimum clock for a " << common::fmt_f(*ms, 3) << " ms per-event deadline: "
+      << common::fmt_f(f / 1e6, 2) << " MHz\n";
+  return 0;
+}
+
+int cmd_simulate(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
+  const auto mhz = o.number("mhz");
+  if (!mhz || *mhz <= 0) {
+    err << "simulate needs --mhz <clock>\n";
+    return 2;
+  }
+  const auto capacity = static_cast<std::int64_t>(o.number("capacity").value_or(0.0));
+  const sim::PipelineStats s = sim::run_fifo_pipeline(t.events, *mhz * 1e6, capacity);
+  common::Table table({"metric", "value"});
+  table.add_row({"completed", common::fmt_i(s.completed)});
+  table.add_row({"max backlog [events]", common::fmt_i(s.max_backlog)});
+  table.add_row({"overflows", common::fmt_i(s.overflows)});
+  table.add_row({"worst latency [ms]", common::fmt_f(s.max_latency * 1e3, 3)});
+  table.add_row({"utilization", common::fmt_pct(s.utilization)});
+  table.print(out);
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: wlc_analyze <command> <trace.csv> [flags]\n"
+         "  curves       <trace.csv> [--dense N] [--growth G] [--out prefix]\n"
+         "               extract workload + arrival curves, print a summary\n"
+         "  size-buffer  <trace.csv> --buffer <events>\n"
+         "               minimum clock so a FIFO of that size never overflows (eq. 9/10)\n"
+         "  size-delay   <trace.csv> --deadline-ms <ms>\n"
+         "               minimum clock meeting a per-event deadline\n"
+         "  simulate     <trace.csv> --mhz <clock> [--capacity <events>]\n"
+         "               replay the trace through the FIFO + PE pipeline\n"
+         "trace format: CSV with header 'time,type,demand'\n";
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  const auto opts = parse(argv, err);
+  if (!opts) return 2;
+  try {
+    const auto loaded = load(*opts, err);
+    if (!loaded) return 2;
+    if (opts->command == "curves") return cmd_curves(*opts, *loaded, out);
+    if (opts->command == "size-buffer") return cmd_size_buffer(*opts, *loaded, out, err);
+    if (opts->command == "size-delay") return cmd_size_delay(*opts, *loaded, out, err);
+    if (opts->command == "simulate") return cmd_simulate(*opts, *loaded, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  err << "unknown command: " << opts->command << "\n" << usage();
+  return 2;
+}
+
+}  // namespace wlc::cli

@@ -1,0 +1,29 @@
+// Command-line front-end logic for the `wlc_analyze` tool.
+//
+// The tool drives the most common library workflow from the shell: read an
+// event trace (time,type,demand CSV), extract curves, size a processor or a
+// buffer, or replay the trace through the pipeline simulator. All logic
+// lives here (stream-in/stream-out, no exit() calls) so the test suite can
+// exercise every command without spawning processes; tools/wlc_analyze.cpp
+// is a thin main().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wlc::cli {
+
+/// Runs one command. argv excludes the program name, e.g.
+///   {"curves",      "trace.csv", "--dense", "256", "--out", "prefix"}
+///   {"size-buffer", "trace.csv", "--buffer", "1620"}
+///   {"size-delay",  "trace.csv", "--deadline-ms", "5"}
+///   {"simulate",    "trace.csv", "--mhz", "350", "--capacity", "1620"}
+/// Writes human-readable results to `out`, diagnostics to `err`.
+/// Returns a process exit code (0 = success, 2 = usage error).
+int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+/// The usage text printed on bad invocations.
+std::string usage();
+
+}  // namespace wlc::cli

@@ -1,0 +1,39 @@
+// Contract-checking macros used throughout the library.
+//
+// WLC_REQUIRE  — precondition on public API arguments; always enabled and
+//                throws std::invalid_argument so misuse is recoverable/testable.
+// WLC_ASSERT   — internal invariant; always enabled (the library is analysis
+//                tooling, not an inner loop of a shipping product) and throws
+//                std::logic_error.
+//
+// Both macros stringify the condition and attach file:line so a failure in a
+// long experiment run is immediately locatable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wlc::detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file, int line) {
+  throw std::logic_error(std::string("invariant violated: ") + cond + " at " + file + ":" +
+                         std::to_string(line));
+}
+
+}  // namespace wlc::detail
+
+#define WLC_REQUIRE(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) ::wlc::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define WLC_ASSERT(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) ::wlc::detail::assert_failed(#cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wlc::common {
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  WLC_REQUIRE(!weights.empty(), "discrete() needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    WLC_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  WLC_REQUIRE(total > 0.0, "weights must not all be zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical tail: attribute to the last bucket
+}
+
+double Rng::bounded_noise(double mean, double stddev, double lo, double hi) {
+  WLC_REQUIRE(lo <= hi, "empty range");
+  // Sum of three uniforms on [-1,1] has stddev 1, light tails in [-3,3].
+  const double shaped = (uniform(-1.0, 1.0) + uniform(-1.0, 1.0) + uniform(-1.0, 1.0));
+  return std::clamp(mean + stddev * shaped, lo, hi);
+}
+
+}  // namespace wlc::common

@@ -1,0 +1,106 @@
+// Deterministic random number generation.
+//
+// The standard-library engines are portable but the standard *distributions*
+// are implementation-defined, which would make experiment outputs differ
+// between standard libraries. Every stochastic element of this repository
+// (synthetic MPEG-2 clips, task-demand generators, property-test inputs)
+// therefore flows through this self-contained generator: xoshiro256**
+// seeded via SplitMix64, plus hand-written distributions with fully
+// specified semantics. Given the same seed, every experiment in the repo is
+// bit-reproducible on any platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::common {
+
+/// SplitMix64 — used to expand a single 64-bit seed into a full xoshiro state.
+/// Also a fine stateless hash for decorrelating per-entity seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), the library-wide PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    WLC_REQUIRE(lo <= hi, "empty range");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi], bias-free (rejection).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    WLC_REQUIRE(lo <= hi, "empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Samples an index according to non-negative `weights` (need not sum to 1).
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Truncated-normal-ish sample: mean + stddev * sum-of-3-uniforms shaping,
+  /// clamped to [lo, hi]. Cheap, deterministic, and bounded — ideal for cycle
+  /// costs that must stay inside a [BCET, WCET] interval.
+  double bounded_noise(double mean, double stddev, double lo, double hi);
+
+  /// Derives an independent child generator (for per-clip / per-task streams)
+  /// so that adding an entity never perturbs the draws of another.
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t sm = state_[0] ^ (0x632be59bd9b4e019ULL * (stream_id + 1));
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wlc::common

@@ -1,0 +1,55 @@
+// Streaming descriptive statistics and fixed-bin histograms, used by the
+// simulators (backlog/response-time tracking) and by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wlc::common {
+
+/// Welford-style single-pass accumulator for count/mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+/// boundary bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::int64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  std::int64_t total() const { return total_; }
+  /// Smallest x such that at least `q` fraction of samples are <= x
+  /// (resolved to bin granularity).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace wlc::common

@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace wlc::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  WLC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  WLC_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << std::string(width[c] - row[c].size(), ' ') << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c == 0 ? "" : ",") << row[c];
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_i(long long v) {
+  const bool neg = v < 0;
+  unsigned long long magnitude =
+      neg ? -static_cast<unsigned long long>(v) : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back('\'');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_pct(double fraction) { return fmt_f(fraction * 100.0, 1) + "%"; }
+
+std::string ascii_bar(double value, double scale, int width) {
+  WLC_REQUIRE(scale > 0.0 && width > 0, "bar needs positive scale and width");
+  const int cells = static_cast<int>(std::lround(std::clamp(value / scale, 0.0, 1.0) *
+                                                 static_cast<double>(width)));
+  std::string bar(static_cast<std::size_t>(cells), '#');
+  bar.append(static_cast<std::size_t>(width - cells), '.');
+  return bar;
+}
+
+}  // namespace wlc::common

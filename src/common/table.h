@@ -1,0 +1,41 @@
+// Console table / CSV emission used by the experiment harnesses so that every
+// reproduced figure and table prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wlc::common {
+
+/// A small right-aligned text table. Cells are strings; numeric formatting is
+/// the caller's responsibility (helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a rule under the header, columns padded to content width.
+  void print(std::ostream& os) const;
+  /// Comma-separated form (no padding) for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting ("12.35" for fmt_f(12.345, 2)).
+std::string fmt_f(double v, int precision);
+/// Integer with thousands separators ("38'880").
+std::string fmt_i(long long v);
+/// Percentage with one decimal ("52.1%").
+std::string fmt_pct(double fraction);
+
+/// Renders a horizontal ASCII bar of `width` cells filled proportionally to
+/// value/scale — used for the bar-chart style figures (e.g. paper Fig. 7).
+std::string ascii_bar(double value, double scale, int width);
+
+}  // namespace wlc::common

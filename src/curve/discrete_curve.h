@@ -1,0 +1,124 @@
+// Uniform-grid sampled curves and exact (min,+)/(max,+) algebra on them.
+//
+// A DiscreteCurve holds samples v[i] = f(i·dt) for i = 0..n-1 on a uniform
+// grid. All operations are *exact with respect to the sampled points*: a
+// convolution result at grid point i is the true inf/sup over grid-aligned
+// split points. When the operand curves are themselves exact on the grid
+// (staircase event curves with dt dividing the step, trace-derived curves
+// sampled at their own breakpoints, affine curves), the results are exact;
+// otherwise grid granularity bounds the error and the caller chooses dt.
+//
+// Horizon discipline: a curve only speaks for [0, (n-1)·dt]. Deconvolutions
+// quantify over shifts that leave the horizon; those terms are dropped and
+// the result's horizon shrinks accordingly (see each operation's comment).
+// This mirrors what one can soundly conclude from finite traces, which is
+// exactly the regime of the paper's case study.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::curve {
+
+class PwlCurve;
+
+class DiscreteCurve {
+ public:
+  /// Takes ownership of samples; dt > 0, at least one sample.
+  DiscreteCurve(std::vector<double> values, double dt);
+
+  /// Samples a closed-form curve at 0, dt, ..., (n-1)·dt.
+  static DiscreteCurve sample(const PwlCurve& c, double dt, std::size_t n);
+  /// n zero samples.
+  static DiscreteCurve zeros(std::size_t n, double dt);
+
+  std::size_t size() const { return v_.size(); }
+  double dt() const { return dt_; }
+  double horizon() const { return dt_ * static_cast<double>(v_.size() - 1); }
+  double operator[](std::size_t i) const { return v_[i]; }
+  const std::vector<double>& values() const { return v_; }
+
+  /// Step evaluation: f(x) = v[floor(x/dt)] for x in [0, horizon+dt).
+  double eval_floor(double x) const;
+  /// Linear interpolation between samples.
+  double eval_linear(double x) const;
+
+  // ---- pointwise ops (operands must share dt; result is truncated to the
+  //      shorter operand) ----------------------------------------------------
+  friend DiscreteCurve operator+(const DiscreteCurve& a, const DiscreteCurve& b);
+  friend DiscreteCurve operator-(const DiscreteCurve& a, const DiscreteCurve& b);
+  friend DiscreteCurve operator*(double s, const DiscreteCurve& a);
+  static DiscreteCurve pointwise_min(const DiscreteCurve& a, const DiscreteCurve& b);
+  static DiscreteCurve pointwise_max(const DiscreteCurve& a, const DiscreteCurve& b);
+
+  /// Clamp below at `floor_value` (default 0).
+  DiscreteCurve clamp_floor(double floor_value = 0.0) const;
+  /// Running maximum — the smallest non-decreasing curve above f.
+  DiscreteCurve non_decreasing_closure() const;
+  /// f(x) := f(x) + y0 only at x = 0 (useful for closed-window corrections).
+  DiscreteCurve with_origin(double y0) const;
+
+  // ---- (min,+) / (max,+) algebra -------------------------------------------
+
+  /// (f ⊗ g)(i) = min_{0<=k<=i} f(i-k) + g(k).  O(n²). Result size =
+  /// min(f.size, g.size) — beyond that the inf could pick split points
+  /// outside either horizon.
+  static DiscreteCurve min_plus_conv(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// (f ⊘ g)(i) = max_{k>=0, i+k<f.size} f(i+k) - g(k).
+  /// Horizon caveat: true deconvolution takes sup over all k; restricting to
+  /// the observed horizon yields a *lower* bound on the true sup at each i,
+  /// which is the best statement a finite trace supports.
+  static DiscreteCurve min_plus_deconv(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// (f ⊗̄ g)(i) = max_{0<=k<=i} f(i-k) + g(k).
+  static DiscreteCurve max_plus_conv(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// (f ⊘̄ g)(i) = min_{k>=0, i+k<f.size} f(i+k) - g(k)  (infimum analogue;
+  /// same horizon caveat, yielding an *upper* bound on the true inf).
+  static DiscreteCurve max_plus_deconv(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// Fast (min,+) convolution for CONVEX f, g with f(0)=g(0)=0: the result's
+  /// increment sequence is the ascending merge of the operands' increment
+  /// sequences (classical inf-convolution slope merge). O(n). Cross-checked
+  /// against the O(n²) form in tests.
+  static DiscreteCurve min_plus_conv_convex(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// Fast (min,+) convolution for CONCAVE f, g with f(0)=g(0)=0:
+  /// f ⊗ g = min(f, g) pointwise (the split objective is concave in the
+  /// split point, so the optimum sits at an endpoint). O(n).
+  static DiscreteCurve min_plus_conv_concave(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// Sub-additive closure f* — the largest sub-additive curve below f with
+  /// f*(0) = 0: the tightest upper arrival/workload bound derivable from f
+  /// by self-composition (f*(a+b) <= f*(a) + f*(b)). Computed by repeated
+  /// squaring, g <- min(g, g ⊗ g), O(n² log n). Requires f non-negative.
+  DiscreteCurve sub_additive_closure() const;
+
+  /// sup_i { f(i) - g(i) } — the vertical deviation; eq. (6)'s backlog bound
+  /// when f is a (cycle-based) arrival curve and g a service curve.
+  static double sup_diff(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  /// Horizontal deviation sup_i inf{ d : g(i+d) >= f(i) } in seconds — the
+  /// delay bound of Network Calculus. Returns +inf if g never catches up
+  /// within the horizon.
+  static double horizontal_deviation(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  // ---- shape tests -----------------------------------------------------------
+  bool is_concave(double tol = 1e-9) const;
+  bool is_convex(double tol = 1e-9) const;
+  bool is_non_decreasing(double tol = 0.0) const;
+
+  // ---- pseudo-inverses (monotone curves) -------------------------------------
+  /// min{ x on grid : f(x) >= y }; +inf if unreached within horizon.
+  double inverse_lower(double y) const;
+  /// max{ x on grid : f(x) <= y }; -1 if even f(0) > y, horizon if never exceeded.
+  double inverse_upper(double y) const;
+
+ private:
+  std::vector<double> v_;
+  double dt_;
+};
+
+}  // namespace wlc::curve

@@ -1,0 +1,369 @@
+#include "curve/pwl_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wlc::curve {
+
+namespace {
+constexpr double kInfSearchCap = 1e18;  // doubling cap for pseudo-inverse search
+}
+
+PwlCurve::PwlCurve(std::vector<Segment> segments) : segs_(std::move(segments)) { validate(); }
+
+PwlCurve::PwlCurve(std::vector<Segment> segments, double pstart, double period, double height)
+    : segs_(std::move(segments)), periodic_(true), pstart_(pstart), period_(period),
+      height_(height) {
+  validate();
+}
+
+void PwlCurve::validate() const {
+  WLC_REQUIRE(!segs_.empty(), "curve needs at least one segment");
+  WLC_REQUIRE(segs_.front().x == 0.0, "first segment must start at x = 0");
+  for (std::size_t i = 1; i < segs_.size(); ++i)
+    WLC_REQUIRE(segs_[i - 1].x < segs_[i].x, "segment x positions must strictly increase");
+  if (periodic_) {
+    WLC_REQUIRE(period_ > 0.0, "period must be positive");
+    WLC_REQUIRE(pstart_ >= period_, "periodic base region must lie in [0, inf)");
+    WLC_REQUIRE(segs_.back().x < pstart_, "segments beyond the periodic start are unreachable");
+  }
+}
+
+std::size_t PwlCurve::find_segment(double x) const {
+  // Last segment with seg.x <= x — where a query within drift tolerance
+  // below a breakpoint counts as sitting on it (queries routinely come from
+  // periodic breakpoint arithmetic with ~1 ulp-per-period drift, and the
+  // mathematically intended point is the jump itself).
+  const double eps = 1e-9 * std::max(1.0, std::fabs(x));
+  auto it = std::upper_bound(segs_.begin(), segs_.end(), x + eps,
+                             [](double v, const Segment& s) { return v < s.x; });
+  WLC_ASSERT(it != segs_.begin());
+  return static_cast<std::size_t>(std::distance(segs_.begin(), it)) - 1;
+}
+
+double PwlCurve::unwrap(double x, double& offset) const {
+  if (!periodic_ || x < pstart_) return x;
+  const double eps = 1e-9 * std::max(1.0, std::fabs(x));
+  const double base_start = pstart_ - period_;
+  double n = std::floor((x - base_start) / period_);
+  double xr = x - n * period_;
+  // Guard floating-point drift: keep xr inside [base_start, pstart), and
+  // snap a drifted landing just below the seam back onto it (the query is a
+  // jump point of a periodic copy).
+  if (xr >= pstart_) {
+    n += 1.0;
+    xr -= period_;
+  }
+  if (xr < base_start) {
+    if (base_start - xr <= eps) {
+      xr = base_start;
+    } else {
+      n -= 1.0;
+      xr += period_;
+    }
+  }
+  // Symmetrically, a landing just below the next seam is that seam.
+  if (pstart_ - xr <= eps) {
+    n += 1.0;
+    xr = base_start;
+  }
+  offset += n * height_;
+  return xr;
+}
+
+double PwlCurve::eval(double x) const {
+  WLC_REQUIRE(x >= 0.0, "curves are defined on [0, inf)");
+  double offset = 0.0;
+  const double xr = unwrap(x, offset);
+  const Segment& s = segs_[find_segment(xr)];
+  return s.y + s.slope * (xr - s.x) + offset;
+}
+
+double PwlCurve::eval_left(double x) const {
+  WLC_REQUIRE(x >= 0.0, "curves are defined on [0, inf)");
+  if (x == 0.0) return eval(0.0);
+  // Queries frequently come from breakpoint lists whose periodic copies
+  // carry ~1 ulp-per-period drift; snap within this tolerance so a drifted
+  // breakpoint still resolves to the limit from the correct side.
+  const double eps = 1e-9 * std::max(1.0, std::fabs(x));
+  double offset = 0.0;
+  double xr = x;
+  if (periodic_ && x >= pstart_) {
+    const double base_start = pstart_ - period_;
+    double n = std::floor((x - base_start) / period_);
+    xr = x - n * period_;
+    if (xr >= pstart_) {
+      n += 1.0;
+      xr -= period_;
+    }
+    if (xr < base_start) {
+      n -= 1.0;
+      xr += period_;
+    }
+    // The left neighbourhood of a point sitting (up to drift) on the
+    // base-region start belongs to the *previous* period.
+    if (xr <= base_start + eps) {
+      xr += period_;
+      n -= 1.0;
+    }
+    offset = n * height_;
+  }
+  // Last segment strictly below xr (a segment starting within eps of xr
+  // counts as starting at xr), extended to xr.
+  auto it = std::lower_bound(segs_.begin(), segs_.end(), xr - eps,
+                             [](const Segment& s, double v) { return s.x < v; });
+  WLC_ASSERT(it != segs_.begin());
+  const Segment& s = *std::prev(it);
+  return s.y + s.slope * (xr - s.x) + offset;
+}
+
+bool PwlCurve::non_decreasing() const {
+  for (std::size_t i = 0; i < segs_.size(); ++i) {
+    if (segs_[i].slope < 0.0) return false;
+    if (i + 1 < segs_.size()) {
+      const double end = segs_[i].y + segs_[i].slope * (segs_[i + 1].x - segs_[i].x);
+      if (segs_[i + 1].y < end - 1e-12 * std::max(1.0, std::fabs(end))) return false;
+    }
+  }
+  if (periodic_) {
+    if (height_ < 0.0) return false;
+    // Wrap-around: value entering the next period must not drop.
+    const double end_of_base = eval_left(pstart_) - 0.0;
+    const double start_of_next = eval(pstart_);
+    if (start_of_next < end_of_base - 1e-12 * std::max(1.0, std::fabs(end_of_base))) return false;
+  }
+  return true;
+}
+
+std::optional<double> PwlCurve::inverse_lower(double y) const {
+  WLC_REQUIRE(non_decreasing(), "pseudo-inverse requires a non-decreasing curve");
+  if (eval(0.0) >= y) return 0.0;
+  // Exponential search for an upper bracket, then bisection. The set
+  // {x : f(x) >= y} is right-closed for a right-continuous non-decreasing f,
+  // so bisection converges to its infimum (up to double precision).
+  double hi = 1.0;
+  while (eval(hi) < y) {
+    hi *= 2.0;
+    if (hi > kInfSearchCap) return std::nullopt;
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * std::max(1.0, hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (eval(mid) >= y ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+std::optional<double> PwlCurve::inverse_upper(double y) const {
+  WLC_REQUIRE(non_decreasing(), "pseudo-inverse requires a non-decreasing curve");
+  if (eval(0.0) > y) return std::nullopt;  // sup of the empty set
+  double hi = 1.0;
+  while (eval(hi) <= y) {
+    hi *= 2.0;
+    if (hi > kInfSearchCap) return std::nullopt;  // f never exceeds y
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * std::max(1.0, hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (eval(mid) <= y ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+std::vector<double> PwlCurve::breakpoints(double horizon) const {
+  WLC_REQUIRE(horizon >= 0.0, "horizon must be non-negative");
+  std::vector<double> out;
+  for (const auto& s : segs_) {
+    if (s.x > horizon) break;
+    out.push_back(s.x);
+  }
+  if (periodic_) {
+    const double base_start = pstart_ - period_;
+    std::vector<double> base;
+    base.push_back(base_start);
+    for (const auto& s : segs_)
+      if (s.x > base_start && s.x < pstart_) base.push_back(s.x);
+    for (int n = 1;; ++n) {
+      const double shift = static_cast<double>(n) * period_;
+      if (base_start + shift > horizon) break;
+      for (double b : base) {
+        const double candidate = b + shift;
+        if (candidate <= horizon) out.push_back(candidate);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// Merged, deduplicated breakpoints of two curves on [0, horizon], with the
+/// horizon appended as the terminal sentinel.
+std::vector<double> merged_breakpoints(const PwlCurve& a, const PwlCurve& b, double horizon) {
+  std::vector<double> xs = a.breakpoints(horizon);
+  const std::vector<double> bx = b.breakpoints(horizon);
+  xs.insert(xs.end(), bx.begin(), bx.end());
+  xs.push_back(horizon);
+  std::sort(xs.begin(), xs.end());
+  // Dedupe with drift tolerance: the same mathematical breakpoint generated
+  // by two periodic tails differs by a few ulps, and keeping both would
+  // produce degenerate intervals.
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double u, double v) {
+                         return std::fabs(v - u) <= 1e-9 * std::max(1.0, std::fabs(u));
+                       }),
+           xs.end());
+  return xs;
+}
+
+void append_segment(std::vector<Segment>& segs, double x, double y, double slope) {
+  if (!segs.empty()) {
+    const Segment& last = segs.back();
+    const double reach = last.y + last.slope * (x - last.x);
+    // Coalesce collinear continuation.
+    if (last.slope == slope && std::fabs(reach - y) <= 1e-12 * std::max(1.0, std::fabs(y))) return;
+  }
+  segs.push_back({x, y, slope});
+}
+
+/// Slope of `c` immediately to the right of u, given the interval [u, v)
+/// contains no breakpoint of c.
+double interval_slope(const PwlCurve& c, double u, double v) {
+  if (v <= u) return 0.0;
+  return (c.eval_left(v) - c.eval(u)) / (v - u);
+}
+
+PwlCurve combine(const PwlCurve& a, const PwlCurve& b, double horizon, bool want_min,
+                 bool want_add) {
+  WLC_REQUIRE(horizon > 0.0, "horizon must be positive");
+  const std::vector<double> xs = merged_breakpoints(a, b, horizon);
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double u = xs[i];
+    const double v = (i + 1 < xs.size()) ? xs[i + 1] : horizon;
+    const double ya = a.eval(u);
+    const double yb = b.eval(u);
+    const double sa = interval_slope(a, u, std::max(v, u + 1e-9));
+    const double sb = interval_slope(b, u, std::max(v, u + 1e-9));
+    if (want_add) {
+      append_segment(segs, u, ya + yb, sa + sb);
+      continue;
+    }
+    // min / max of two lines on [u, v): at most one crossing.
+    const double d0 = ya - yb;
+    const double w = v - u;
+    const double d1 = d0 + (sa - sb) * w;  // difference at the left limit of v
+    const bool a_first = want_min ? (d0 < 0.0 || (d0 == 0.0 && sa <= sb))
+                                  : (d0 > 0.0 || (d0 == 0.0 && sa >= sb));
+    const double y0 = a_first ? ya : yb;
+    const double s0 = a_first ? sa : sb;
+    append_segment(segs, u, y0, s0);
+    // Strict sign change inside the open interval => insert the crossing and
+    // switch to the other curve's slope from there on.
+    if (w > 0.0 && ((d0 < 0.0 && d1 > 0.0) || (d0 > 0.0 && d1 < 0.0))) {
+      const double t = u + d0 / (sb - sa);
+      if (t > u && t < v) {
+        const double yc = ya + sa * (t - u);
+        append_segment(segs, t, yc, a_first ? sb : sa);
+      }
+    }
+  }
+  if (segs.empty() || segs.front().x != 0.0)
+    segs.insert(segs.begin(),
+                {0.0, want_add ? a.eval(0.0) + b.eval(0.0)
+                               : (want_min ? std::min(a.eval(0.0), b.eval(0.0))
+                                           : std::max(a.eval(0.0), b.eval(0.0))),
+                 0.0});
+  return PwlCurve(std::move(segs));
+}
+
+}  // namespace
+
+PwlCurve PwlCurve::min(const PwlCurve& a, const PwlCurve& b, double horizon) {
+  return combine(a, b, horizon, /*want_min=*/true, /*want_add=*/false);
+}
+
+PwlCurve PwlCurve::max(const PwlCurve& a, const PwlCurve& b, double horizon) {
+  return combine(a, b, horizon, /*want_min=*/false, /*want_add=*/false);
+}
+
+PwlCurve PwlCurve::add(const PwlCurve& a, const PwlCurve& b, double horizon) {
+  return combine(a, b, horizon, /*want_min=*/false, /*want_add=*/true);
+}
+
+PwlCurve PwlCurve::scale_y(double s) const {
+  WLC_REQUIRE(s >= 0.0, "vertical scale must be non-negative");
+  PwlCurve out = *this;
+  for (auto& seg : out.segs_) {
+    seg.y *= s;
+    seg.slope *= s;
+  }
+  out.height_ *= s;
+  return out;
+}
+
+PwlCurve PwlCurve::shift_y(double dy) const {
+  PwlCurve out = *this;
+  for (auto& seg : out.segs_) seg.y += dy;
+  return out;
+}
+
+PwlCurve PwlCurve::zero() { return constant(0.0); }
+
+PwlCurve PwlCurve::constant(double c) { return PwlCurve({{0.0, c, 0.0}}); }
+
+PwlCurve PwlCurve::affine(double y0, double slope) { return PwlCurve({{0.0, y0, slope}}); }
+
+PwlCurve PwlCurve::rate_latency(double rate, double latency) {
+  WLC_REQUIRE(rate >= 0.0 && latency >= 0.0, "rate-latency parameters must be non-negative");
+  if (latency == 0.0) return PwlCurve({{0.0, 0.0, rate}});
+  return PwlCurve({{0.0, 0.0, 0.0}, {latency, 0.0, rate}});
+}
+
+PwlCurve PwlCurve::token_bucket(double burst, double rate) {
+  WLC_REQUIRE(burst >= 0.0 && rate >= 0.0, "token-bucket parameters must be non-negative");
+  return PwlCurve({{0.0, burst, rate}});
+}
+
+PwlCurve PwlCurve::staircase(double init, double step, double period, double first_jump) {
+  WLC_REQUIRE(period > 0.0, "staircase period must be positive");
+  WLC_REQUIRE(first_jump > 0.0, "first jump must be after x = 0");
+  std::vector<Segment> segs{{0.0, init, 0.0}, {first_jump, init + step, 0.0}};
+  return PwlCurve(std::move(segs), first_jump + period, period, step);
+}
+
+PwlCurve PwlCurve::periodic_upper(double p, double j) {
+  WLC_REQUIRE(p > 0.0 && j >= 0.0, "need positive period and non-negative jitter");
+  const double whole = std::floor(j / p);
+  const double init = whole + 1.0;
+  double first_jump = p * (whole + 1.0) - j;
+  if (first_jump <= 0.0) first_jump = p;  // j is an exact multiple of p
+  return staircase(init, 1.0, p, first_jump);
+}
+
+PwlCurve PwlCurve::periodic_lower(double p, double j) {
+  WLC_REQUIRE(p > 0.0 && j >= 0.0, "need positive period and non-negative jitter");
+  return staircase(0.0, 1.0, p, j + p);
+}
+
+PwlCurve PwlCurve::pjd_upper(double p, double j, double d, double horizon) {
+  WLC_REQUIRE(d > 0.0, "minimum spacing must be positive");
+  const PwlCurve jitter_bound = periodic_upper(p, j);
+  const PwlCurve spacing_bound = staircase(1.0, 1.0, d, d);
+  return min(jitter_bound, spacing_bound, horizon);
+}
+
+std::string PwlCurve::to_string() const {
+  std::ostringstream os;
+  os << "PwlCurve{";
+  for (const auto& s : segs_) os << "(" << s.x << "," << s.y << "," << s.slope << ")";
+  if (periodic_)
+    os << " periodic(start=" << pstart_ << ",period=" << period_ << ",height=" << height_ << ")";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace wlc::curve

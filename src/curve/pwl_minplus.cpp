@@ -1,0 +1,204 @@
+#include "curve/pwl_minplus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::curve {
+
+namespace {
+
+/// One linear piece materialized on a closed interval [x1, x2]; the value at
+/// x2 is the left limit (jumps belong to the next piece's left endpoint).
+struct Piece {
+  double x1, x2;
+  double y1;     ///< value at x1
+  double slope;
+  double value_at(double x) const { return y1 + slope * (x - x1); }
+};
+
+/// Materializes a curve on [0, horizon] as closed pieces.
+std::vector<Piece> materialize(const PwlCurve& c, double horizon) {
+  std::vector<double> bps = c.breakpoints(horizon);
+  if (bps.empty() || bps.back() < horizon) bps.push_back(horizon);
+  std::vector<Piece> pieces;
+  pieces.reserve(bps.size());
+  for (std::size_t i = 0; i + 1 < bps.size(); ++i) {
+    const double u = bps[i];
+    const double v = bps[i + 1];
+    if (v <= u) continue;
+    const double yu = c.eval(u);
+    pieces.push_back(Piece{u, v, yu, (c.eval_left(v) - yu) / (v - u)});
+  }
+  if (pieces.empty()) pieces.push_back(Piece{0.0, horizon, c.eval(0.0), 0.0});
+  return pieces;
+}
+
+/// Candidate sub-segment of the convolution result.
+struct Candidate {
+  double x1, x2;
+  double y1;
+  double slope;
+};
+
+/// Walks pieces `a` then `b` starting at (x0, y0): contributes one candidate
+/// per non-empty piece, in the given order.
+void emit_path(std::vector<Candidate>& out, double x0, double y0, const Piece& first,
+               const Piece& second) {
+  const double len_f = first.x2 - first.x1;
+  const double len_s = second.x2 - second.x1;
+  double x = x0;
+  double y = y0;
+  if (len_f > 0.0) {
+    out.push_back(Candidate{x, x + len_f, y, first.slope});
+    x += len_f;
+    y += first.slope * len_f;
+  }
+  if (len_s > 0.0) out.push_back(Candidate{x, x + len_s, y, second.slope});
+}
+
+/// A line y = m·x + b.
+struct Line {
+  double m, b;
+};
+
+/// Lower (want_min) or upper envelope of `lines` on [u, v], appended to
+/// `segs` as PwlCurve segments. Classic convex-hull-trick: along a lower
+/// envelope slopes decrease left to right (the min of affine functions is
+/// concave); for the upper envelope they increase.
+void envelope_on_interval(std::vector<Line> lines, double u, double v, bool want_min,
+                          std::vector<Segment>& segs) {
+  WLC_ASSERT(!lines.empty() && v > u);
+  // Sort so that the first line is the leftmost winner: slope descending for
+  // the lower envelope, ascending for the upper; ties keep the better offset.
+  std::sort(lines.begin(), lines.end(), [&](const Line& a, const Line& b) {
+    if (a.m != b.m) return want_min ? a.m > b.m : a.m < b.m;
+    return want_min ? a.b < b.b : a.b > b.b;
+  });
+  // Drop dominated duplicates (same slope, worse offset).
+  std::vector<Line> hull;
+  for (const Line& l : lines) {
+    if (!hull.empty() && hull.back().m == l.m) continue;
+    // Pop while the previous hull line becomes useless before the new line's
+    // crossing with the one before it.
+    while (hull.size() >= 2) {
+      const Line& l1 = hull[hull.size() - 2];
+      const Line& l2 = hull.back();
+      // x where l meets l1 vs where l2 meets l1.
+      const double x_new = (l.b - l1.b) / (l1.m - l.m);
+      const double x_old = (l2.b - l1.b) / (l1.m - l2.m);
+      if (x_new <= x_old)
+        hull.pop_back();
+      else
+        break;
+    }
+    if (hull.size() == 1) {
+      // Keep hull[0] only if it wins somewhere left of its crossing with l.
+      const Line& l1 = hull[0];
+      const double cross = (l.b - l1.b) / (l1.m - l.m);
+      if (cross <= u) hull.pop_back();
+    }
+    hull.push_back(l);
+  }
+  // Emit hull pieces clipped to [u, v].
+  double x = u;
+  for (std::size_t i = 0; i < hull.size() && x < v; ++i) {
+    double until = v;
+    if (i + 1 < hull.size()) {
+      const double cross =
+          (hull[i + 1].b - hull[i].b) / (hull[i].m - hull[i + 1].m);
+      until = std::min(v, std::max(x, cross));
+    }
+    if (until > x) {
+      segs.push_back(Segment{x, hull[i].m * x + hull[i].b, hull[i].m});
+      x = until;
+    }
+  }
+}
+
+void append_coalesced(std::vector<Segment>& out, const Segment& s) {
+  if (!out.empty()) {
+    const Segment& last = out.back();
+    const double reach = last.y + last.slope * (s.x - last.x);
+    if (last.slope == s.slope && std::fabs(reach - s.y) <= 1e-9 * std::max(1.0, std::fabs(s.y)))
+      return;
+    if (s.x <= last.x) return;  // numerical duplicate breakpoint
+  }
+  out.push_back(s);
+}
+
+PwlCurve convolve(const PwlCurve& f, const PwlCurve& g, double horizon, bool want_min) {
+  WLC_REQUIRE(horizon > 0.0, "horizon must be positive");
+  WLC_REQUIRE(f.non_decreasing() && g.non_decreasing(),
+              "pw-linear convolution expects non-decreasing curves");
+  const std::vector<Piece> fp = materialize(f, horizon);
+  const std::vector<Piece> gp = materialize(g, horizon);
+  WLC_REQUIRE(fp.size() * gp.size() <= 20000,
+              "too many segment pairs; use DiscreteCurve for trace-scale curves");
+
+  // Candidate paths: for every piece pair start at the summed left endpoints
+  // and walk the better slope first (smaller for inf, larger for sup).
+  std::vector<Candidate> cands;
+  cands.reserve(fp.size() * gp.size() * 2);
+  for (const Piece& a : fp) {
+    for (const Piece& b : gp) {
+      const double x0 = a.x1 + b.x1;
+      if (x0 > horizon) continue;
+      const double y0 = a.y1 + b.y1;
+      const bool a_first = want_min ? (a.slope <= b.slope) : (a.slope >= b.slope);
+      if (a_first)
+        emit_path(cands, x0, y0, a, b);
+      else
+        emit_path(cands, x0, y0, b, a);
+    }
+  }
+  WLC_ASSERT(!cands.empty());
+
+  // Clip candidates to [0, horizon] and gather the interval grid.
+  std::vector<double> xs{0.0, horizon};
+  for (auto& c : cands) {
+    c.x2 = std::min(c.x2, horizon);
+    if (c.x1 <= horizon) {
+      xs.push_back(c.x1);
+      xs.push_back(c.x2);
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::fabs(a - b) < 1e-12; }),
+           xs.end());
+
+  // Per interval: envelope of the active candidates (each a line there).
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double u = xs[i];
+    const double v = xs[i + 1];
+    if (v - u < 1e-12) continue;
+    std::vector<Line> lines;
+    for (const auto& c : cands)
+      if (c.x1 <= u + 1e-12 && c.x2 >= v - 1e-12)
+        lines.push_back(Line{c.slope, c.y1 - c.slope * c.x1});
+    if (lines.empty()) continue;  // cannot happen for t in [0,H], defensive
+    std::vector<Segment> interval_segs;
+    envelope_on_interval(std::move(lines), u, v, want_min, interval_segs);
+    for (const auto& s : interval_segs) append_coalesced(segs, s);
+  }
+  WLC_ASSERT(!segs.empty());
+  if (segs.front().x != 0.0)
+    segs.insert(segs.begin(), Segment{0.0, f.eval(0.0) + g.eval(0.0), 0.0});
+  return PwlCurve(std::move(segs));
+}
+
+}  // namespace
+
+PwlCurve pwl_min_plus_conv(const PwlCurve& f, const PwlCurve& g, double horizon) {
+  return convolve(f, g, horizon, /*want_min=*/true);
+}
+
+PwlCurve pwl_max_plus_conv(const PwlCurve& f, const PwlCurve& g, double horizon) {
+  return convolve(f, g, horizon, /*want_min=*/false);
+}
+
+}  // namespace wlc::curve

@@ -1,0 +1,38 @@
+// Exact (min,+) algebra on piecewise-linear curves over a finite horizon.
+//
+// For piecewise-linear f and g, the convolution
+//
+//   (f ⊗ g)(t) = inf_{0<=s<=t} f(t-s) + g(s)
+//
+// is again piecewise-linear: every pair of linear segments (one from f, one
+// from g) contributes a candidate path — starting from the sum of the
+// segments' left endpoints, walk the smaller slope first, then the larger
+// (the classical two-segment convolution) — and f ⊗ g is the lower envelope
+// of all candidate paths. This module materializes both curves on
+// [0, horizon], enumerates the O(n·m) candidates, and computes the exact
+// envelope interval by interval (between consecutive candidate breakpoints
+// every candidate is a straight line, so the envelope there is the lower
+// hull of at most O(n·m) lines).
+//
+// The result is exact on [0, horizon] — cross-validated in the test suite
+// against the O(N²) sampled reference of DiscreteCurve. The max-plus
+// convolution (sup of sums, larger slope first) is provided symmetrically.
+//
+// Complexity: O((n·m)² log(n·m)) worst case — intended for the closed-form
+// curves of specifications (tens of segments), not for trace-derived curves
+// with thousands of breakpoints (use DiscreteCurve for those).
+#pragma once
+
+#include "curve/pwl_curve.h"
+
+namespace wlc::curve {
+
+/// Exact (f ⊗ g) on [0, horizon]. Requires non-decreasing operands (the
+/// curve class of Network Calculus); the result is aperiodic and valid on
+/// [0, horizon].
+PwlCurve pwl_min_plus_conv(const PwlCurve& f, const PwlCurve& g, double horizon);
+
+/// Exact max-plus convolution (f ⊗̄ g)(t) = sup_{0<=s<=t} f(t-s) + g(s).
+PwlCurve pwl_max_plus_conv(const PwlCurve& f, const PwlCurve& g, double horizon);
+
+}  // namespace wlc::curve

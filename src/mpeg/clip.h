@@ -1,0 +1,31 @@
+// Clip content profiles — the knobs that differentiate the 14 synthetic
+// video clips standing in for the paper's real MPEG-2 streams.
+//
+// Each profile shapes the statistics the decoder workload depends on:
+// how much motion (MC mode mix, half-pel use), how much texture (coded
+// blocks, residual bits), how often scenes cut (bursts of intra macroblocks
+// outside I frames — the worst-case-demand events), and how spatially
+// coherent the content is (run lengths of similar macroblocks, which create
+// the short-window demand bursts the workload curves must capture).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlc::mpeg {
+
+struct ClipProfile {
+  std::string name;
+  std::uint64_t seed = 0;
+  double motion = 0.5;            ///< 0 static … 1 frantic
+  double texture = 0.5;           ///< 0 flat … 1 detailed
+  double scene_change_rate = 0.02;///< per-frame probability of a cut
+  double coherence = 0.7;         ///< 0 iid macroblocks … 1 long same-class runs
+};
+
+/// The 14-clip library used by the case-study experiments (deterministic
+/// seeds; spans talking heads to sports to noisy action footage).
+const std::vector<ClipProfile>& clip_library();
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,30 @@
+#include "mpeg/clip.h"
+
+namespace wlc::mpeg {
+
+// Fourteen content profiles spanning the spread a real evaluation pulls from
+// a clip archive: static dialogue, documentary pans, sports, music video
+// cutting, animation, handheld noise. Seeds are arbitrary but fixed — every
+// experiment is bit-reproducible.
+const std::vector<ClipProfile>& clip_library() {
+  static const std::vector<ClipProfile> clips = {
+      //  name                 seed                motion texture cuts    coherence
+      {"news_anchor",          0x6d70656701ULL,    0.08,  0.35,   0.004,  0.85},
+      {"interview_studio",     0x6d70656702ULL,    0.12,  0.40,   0.010,  0.80},
+      {"documentary_pan",      0x6d70656703ULL,    0.30,  0.60,   0.008,  0.80},
+      {"nature_wide",          0x6d70656704ULL,    0.25,  0.75,   0.006,  0.75},
+      {"city_traffic",         0x6d70656705ULL,    0.45,  0.65,   0.012,  0.70},
+      {"soccer_broadcast",     0x6d70656706ULL,    0.70,  0.55,   0.020,  0.65},
+      {"basketball_indoor",    0x6d70656707ULL,    0.75,  0.50,   0.025,  0.65},
+      {"music_video",          0x6d70656708ULL,    0.65,  0.60,   0.300,  0.55},
+      {"action_movie",         0x6d70656709ULL,    0.80,  0.55,   0.200,  0.60},
+      {"cartoon_flat",         0x6d7065670aULL,    0.40,  0.20,   0.040,  0.85},
+      {"talk_show_multicam",   0x6d7065670bULL,    0.18,  0.45,   0.050,  0.75},
+      {"handheld_street",      0x6d7065670cULL,    0.85,  0.70,   0.090,  0.50},
+      {"surveillance_static",  0x6d7065670dULL,    0.05,  0.30,   0.001,  0.90},
+      {"concert_strobe",       0x6d7065670eULL,    0.90,  0.35,   0.280,  0.45},
+  };
+  return clips;
+}
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,86 @@
+#include "mpeg/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wlc::mpeg {
+
+Cycles CostModel::idct_mc_cycles(const Macroblock& mb) const {
+  Cycles c = pe2_mb_overhead + mb.coded_blocks * pe2_idct_per_block;
+  const Cycles interp =
+      (mb.half_pel_x ? pe2_mc_half_pel_axis : 0) + (mb.half_pel_y ? pe2_mc_half_pel_axis : 0);
+  switch (mb.cls) {
+    case MbClass::Skip:
+      c += pe2_skip_copy;
+      break;
+    case MbClass::Intra:
+      c += pe2_intra_setup;
+      break;
+    case MbClass::FwdMc:
+    case MbClass::BwdMc:
+      c += pe2_mc_one_ref + interp;
+      break;
+    case MbClass::BiMc:
+      c += 2 * (pe2_mc_one_ref + interp);
+      break;
+  }
+  return c;
+}
+
+Cycles CostModel::vld_iq_cycles(const Macroblock& mb) const {
+  return pe1_mb_overhead +
+         static_cast<Cycles>(std::llround(pe1_vld_per_bit * static_cast<double>(mb.bits))) +
+         mb.coded_blocks * pe1_iq_per_block;
+}
+
+Cycles CostModel::pe2_wcet(MbClass cls) const {
+  Macroblock mb;
+  mb.cls = cls;
+  mb.coded_blocks = cls == MbClass::Skip ? 0 : 6;
+  mb.half_pel_x = true;
+  mb.half_pel_y = true;
+  return idct_mc_cycles(mb);
+}
+
+Cycles CostModel::pe2_bcet(MbClass cls) const {
+  Macroblock mb;
+  mb.cls = cls;
+  mb.coded_blocks = 0;
+  mb.half_pel_x = false;
+  mb.half_pel_y = false;
+  return idct_mc_cycles(mb);
+}
+
+Cycles CostModel::pe2_wcet() const {
+  Cycles w = 0;
+  for (MbClass cls : {MbClass::Intra, MbClass::Skip, MbClass::FwdMc, MbClass::BwdMc,
+                      MbClass::BiMc})
+    w = std::max(w, pe2_wcet(cls));
+  return w;
+}
+
+Cycles CostModel::pe2_bcet() const {
+  Cycles w = pe2_bcet(MbClass::Intra);
+  for (MbClass cls : {MbClass::Skip, MbClass::FwdMc, MbClass::BwdMc, MbClass::BiMc})
+    w = std::min(w, pe2_bcet(cls));
+  return w;
+}
+
+workload::EventTypeTable CostModel::pe2_event_types() const {
+  workload::EventTypeTable table;
+  const int intra = table.add("intra", pe2_bcet(MbClass::Intra), pe2_wcet(MbClass::Intra));
+  const int skip = table.add("skip", pe2_bcet(MbClass::Skip), pe2_wcet(MbClass::Skip));
+  const int fwd = table.add("fwd_mc", pe2_bcet(MbClass::FwdMc), pe2_wcet(MbClass::FwdMc));
+  const int bwd = table.add("bwd_mc", pe2_bcet(MbClass::BwdMc), pe2_wcet(MbClass::BwdMc));
+  const int bi = table.add("bi_mc", pe2_bcet(MbClass::BiMc), pe2_wcet(MbClass::BiMc));
+  WLC_ASSERT(intra == static_cast<int>(MbClass::Intra));
+  WLC_ASSERT(skip == static_cast<int>(MbClass::Skip));
+  WLC_ASSERT(fwd == static_cast<int>(MbClass::FwdMc));
+  WLC_ASSERT(bwd == static_cast<int>(MbClass::BwdMc));
+  WLC_ASSERT(bi == static_cast<int>(MbClass::BiMc));
+  return table;
+}
+
+}  // namespace wlc::mpeg

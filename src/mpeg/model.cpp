@@ -1,0 +1,216 @@
+#include "mpeg/model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wlc::mpeg {
+
+std::vector<FrameType> gop_coded_order(const StreamParams& p) {
+  p.validate();
+  // Display order: position 0 is I, every gop_m-th position an anchor (P).
+  std::vector<FrameType> display(static_cast<std::size_t>(p.gop_n), FrameType::B);
+  for (int k = 0; k < p.gop_n; k += p.gop_m)
+    display[static_cast<std::size_t>(k)] = (k == 0) ? FrameType::I : FrameType::P;
+  // Coded order: each anchor is transmitted before the B frames displayed
+  // between the previous anchor and it; trailing Bs follow the last anchor.
+  std::vector<FrameType> coded;
+  coded.reserve(display.size());
+  std::vector<FrameType> pending_b;
+  for (FrameType t : display) {
+    if (t == FrameType::B) {
+      pending_b.push_back(t);
+    } else {
+      coded.push_back(t);
+      coded.insert(coded.end(), pending_b.begin(), pending_b.end());
+      pending_b.clear();
+    }
+  }
+  coded.insert(coded.end(), pending_b.begin(), pending_b.end());
+  return coded;
+}
+
+StreamModel::StreamModel(StreamParams params, ClipProfile profile)
+    : params_(params), profile_(std::move(profile)) {
+  params_.validate();
+  WLC_REQUIRE(profile_.motion >= 0.0 && profile_.motion <= 1.0, "motion in [0,1]");
+  WLC_REQUIRE(profile_.texture >= 0.0 && profile_.texture <= 1.0, "texture in [0,1]");
+  WLC_REQUIRE(profile_.coherence >= 0.0 && profile_.coherence <= 1.0, "coherence in [0,1]");
+  WLC_REQUIRE(profile_.scene_change_rate >= 0.0 && profile_.scene_change_rate <= 1.0,
+              "scene_change_rate in [0,1]");
+}
+
+namespace {
+
+/// Per-frame-type share of the GOP bit budget (classic 6:3:1 allocation).
+double type_weight(FrameType t) {
+  switch (t) {
+    case FrameType::I: return 6.0;
+    case FrameType::P: return 3.0;
+    case FrameType::B: return 1.0;
+  }
+  return 1.0;
+}
+
+MbClass draw_class(FrameType frame, bool scene_cut, double motion, common::Rng& rng) {
+  if (frame == FrameType::I) return MbClass::Intra;
+  if (frame == FrameType::P) {
+    const double intra = scene_cut ? 0.70 : 0.02 + 0.06 * motion;
+    const double skip = (scene_cut ? 0.02 : 0.50) * (1.0 - motion) + 0.05;
+    const std::array<double, 3> w{skip, 1.0 - skip - intra, intra};  // Skip, Fwd, Intra
+    switch (rng.discrete(w)) {
+      case 0: return MbClass::Skip;
+      case 1: return MbClass::FwdMc;
+      default: return MbClass::Intra;
+    }
+  }
+  // B frame.
+  const double intra = scene_cut ? 0.30 : 0.01;
+  const double skip = (scene_cut ? 0.05 : 0.40) * (1.0 - motion) + 0.08;
+  const double bi = 0.10 + 0.30 * motion;
+  const double rest = std::max(0.0, 1.0 - skip - bi - intra);
+  const std::array<double, 5> w{skip, 0.5 * rest, 0.5 * rest, bi, intra};
+  switch (rng.discrete(w)) {
+    case 0: return MbClass::Skip;
+    case 1: return MbClass::FwdMc;
+    case 2: return MbClass::BwdMc;
+    case 3: return MbClass::BiMc;
+    default: return MbClass::Intra;
+  }
+}
+
+int draw_coded_blocks(MbClass cls, FrameType frame, double texture, double motion,
+                      common::Rng& rng) {
+  if (cls == MbClass::Skip) return 0;
+  if (cls == MbClass::Intra) {
+    // Intra blocks nearly always carry all 6 blocks; flat content drops a
+    // chroma block occasionally.
+    int blocks = 6;
+    if (rng.bernoulli(0.5 * (1.0 - texture))) --blocks;
+    if (rng.bernoulli(0.3 * (1.0 - texture))) --blocks;
+    return blocks;
+  }
+  // Residual density grows with texture and motion; B-frame residuals are
+  // smaller (bi-prediction averages noise away).
+  double mean = 1.0 + 3.5 * texture * (0.35 + 0.65 * motion);
+  if (frame == FrameType::B) mean *= 0.6;
+  int blocks = 0;
+  for (int b = 0; b < 6; ++b)
+    if (rng.bernoulli(std::clamp(mean / 6.0, 0.0, 1.0))) ++blocks;
+  return blocks;
+}
+
+int draw_bits(const Macroblock& mb, double texture, common::Rng& rng) {
+  const double jitter = rng.uniform(0.7, 1.3);
+  double bits = 0.0;
+  switch (mb.cls) {
+    case MbClass::Skip:
+      bits = 2.0;
+      break;
+    case MbClass::Intra:
+      bits = 400.0 + mb.coded_blocks * (150.0 + 420.0 * texture) * jitter;
+      break;
+    case MbClass::FwdMc:
+    case MbClass::BwdMc:
+      bits = 45.0 + mb.coded_blocks * (70.0 + 260.0 * texture) * jitter;
+      break;
+    case MbClass::BiMc:
+      bits = 70.0 + mb.coded_blocks * (70.0 + 260.0 * texture) * jitter;
+      break;
+  }
+  return std::max(1, static_cast<int>(std::lround(bits)));
+}
+
+}  // namespace
+
+StreamModel::Scene StreamModel::draw_scene(common::Rng& rng) const {
+  // Intensity boost of this scene; texture thins as intensity grows so the
+  // intense scenes are simultaneously bursty (few bits) and MC-heavy.
+  const double boost = rng.uniform(0.45, 1.8);
+  Scene s;
+  s.motion = std::clamp(profile_.motion * boost, 0.0, 1.0);
+  s.texture = std::clamp(profile_.texture * rng.uniform(0.6, 1.3) / std::sqrt(boost), 0.0, 1.0);
+  return s;
+}
+
+Macroblock StreamModel::make_mb(FrameType type, bool scene_cut, const Scene& scene,
+                                MbClass prev_cls, common::Rng& rng) const {
+  Macroblock mb;
+  mb.frame = type;
+  // Spatial coherence: with probability `coherence` repeat the neighbouring
+  // macroblock's class (I frames are uniform anyway).
+  if (type != FrameType::I && rng.bernoulli(profile_.coherence))
+    mb.cls = prev_cls;
+  else
+    mb.cls = draw_class(type, scene_cut, scene.motion, rng);
+  mb.coded_blocks = draw_coded_blocks(mb.cls, type, scene.texture, scene.motion, rng);
+  if (mb.cls == MbClass::FwdMc || mb.cls == MbClass::BwdMc || mb.cls == MbClass::BiMc) {
+    const double half_pel_p = 0.25 + 0.6 * scene.motion;
+    mb.half_pel_x = rng.bernoulli(half_pel_p);
+    mb.half_pel_y = rng.bernoulli(half_pel_p);
+  }
+  mb.bits = draw_bits(mb, scene.texture, rng);
+  return mb;
+}
+
+void StreamModel::normalize_bits(Frame& frame, double target_bits) const {
+  double total = 0.0;
+  for (const auto& mb : frame.mbs) total += mb.bits;
+  if (total <= 0.0) return;
+  const double scale = target_bits / total;
+  for (auto& mb : frame.mbs) mb.bits = std::max(1, static_cast<int>(std::lround(mb.bits * scale)));
+}
+
+Frame StreamModel::make_frame(FrameType type, bool scene_cut, const Scene& scene,
+                              common::Rng& rng) const {
+  Frame frame;
+  frame.type = type;
+  frame.scene_cut = scene_cut;
+  frame.mbs.reserve(static_cast<std::size_t>(params_.mb_per_frame()));
+  MbClass prev = MbClass::Skip;
+  for (int i = 0; i < params_.mb_per_frame(); ++i) {
+    // Reset the coherence chain at row starts (left neighbour wraps around).
+    if (i % params_.mb_width() == 0) prev = MbClass::Skip;
+    Macroblock mb = make_mb(type, scene_cut, scene, prev, rng);
+    prev = mb.cls;
+    frame.mbs.push_back(mb);
+  }
+  return frame;
+}
+
+std::vector<Frame> StreamModel::generate(int n) {
+  WLC_REQUIRE(n >= 1, "need at least one frame");
+  common::Rng rng(profile_.seed);
+  const std::vector<FrameType> gop = gop_coded_order(params_);
+
+  // GOP bit budget split by frame-type weight.
+  double weight_sum = 0.0;
+  for (FrameType t : gop) weight_sum += type_weight(t);
+  const double gop_bits = params_.bits_per_frame() * static_cast<double>(params_.gop_n);
+
+  std::vector<Frame> out;
+  out.reserve(static_cast<std::size_t>(n));
+  bool cut_pending = false;
+  Scene scene = draw_scene(rng);
+  for (int f = 0; f < n; ++f) {
+    const FrameType type = gop[static_cast<std::size_t>(f) % gop.size()];
+    // A cut makes the next predicted frame intra-heavy (an I frame absorbs
+    // the cut for free) and opens a new scene with fresh content parameters.
+    if (rng.bernoulli(profile_.scene_change_rate)) {
+      cut_pending = true;
+      scene = draw_scene(rng);
+    }
+    if (type == FrameType::I) cut_pending = false;
+    const bool scene_cut = cut_pending && type != FrameType::I;
+    if (scene_cut) cut_pending = false;
+
+    Frame frame = make_frame(type, scene_cut, scene, rng);
+    normalize_bits(frame, gop_bits * type_weight(type) / weight_sum);
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,67 @@
+// Synthetic MPEG-2 stream generator: produces, frame by frame in coded
+// order, the per-macroblock structure (prediction class, coded blocks,
+// half-pel flags, compressed bits) from which the cycle-cost model
+// (cost.h) derives decoder execution demands.
+//
+// Fidelity targets (what the paper's analysis actually depends on):
+//   * I frames are all-intra and bit-heavy; P/B frames mix skip/MC/intra
+//     with probabilities driven by motion and texture;
+//   * scene cuts inject intra bursts into P/B frames — the rare worst-case
+//     macroblocks that make WCET-only analysis so pessimistic;
+//   * macroblock classes are spatially coherent (Markov runs), producing
+//     realistic short-window demand bursts;
+//   * per-frame bits are normalized to the CBR budget with the usual
+//     I:P:B allocation, so PE1's bitstream-paced timing is faithful.
+// Everything is seeded and bit-reproducible.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mpeg/clip.h"
+#include "mpeg/params.h"
+
+namespace wlc::mpeg {
+
+/// One generated frame: its type and macroblocks in scan order.
+struct Frame {
+  FrameType type = FrameType::I;
+  bool scene_cut = false;  ///< this frame follows a cut (intra-heavy)
+  std::vector<Macroblock> mbs;
+};
+
+class StreamModel {
+ public:
+  StreamModel(StreamParams params, ClipProfile profile);
+
+  /// Generates `n` frames in coded order, restarting from the profile seed.
+  std::vector<Frame> generate(int n);
+
+  const StreamParams& params() const { return params_; }
+  const ClipProfile& profile() const { return profile_; }
+
+ private:
+  /// Momentary content parameters. Real clips are non-stationary: a cut can
+  /// open an intense scene (fast motion, flat texture — think a strobe-lit
+  /// concert or a sports close-up) where macroblocks are simultaneously
+  /// cheap to parse (few residual bits, so PE1 bursts them out) and dear to
+  /// reconstruct (bi-directional half-pel MC). This co-occurrence is what
+  /// pushes the realized FIFO backlog towards the analytic bound (paper
+  /// Fig. 7's bars near the maximum).
+  struct Scene {
+    double motion = 0.5;
+    double texture = 0.5;
+  };
+
+  Scene draw_scene(common::Rng& rng) const;
+  Frame make_frame(FrameType type, bool scene_cut, const Scene& scene, common::Rng& rng) const;
+  Macroblock make_mb(FrameType type, bool scene_cut, const Scene& scene, MbClass prev_cls,
+                     common::Rng& rng) const;
+  /// Scales macroblock bits so the frame hits its CBR share.
+  void normalize_bits(Frame& frame, double target_bits) const;
+
+  StreamParams params_;
+  ClipProfile profile_;
+};
+
+}  // namespace wlc::mpeg

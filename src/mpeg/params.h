@@ -1,0 +1,66 @@
+// MPEG-2 stream parameters and structural types for the synthetic decoder
+// workload model.
+//
+// The paper's clips: constant bit rate 9.78 Mbit/s, main profile @ main
+// level, 25 fps, 720×576 — i.e. 45×36 = 1620 macroblocks per frame, the
+// FIFO size used in the case study (one frame). GOP structure is the common
+// N = 12, M = 3 (display order IBBPBBPBBPBB); macroblocks are generated in
+// coded (transmission) order, which is what the decoder pipeline sees.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::mpeg {
+
+struct StreamParams {
+  int width = 720;
+  int height = 576;
+  double fps = 25.0;
+  double bitrate = 9.78e6;  ///< bits per second (CBR)
+  double vbv_bits = 1.835e6;///< decoder bit-buffer (MPEG-2 main-level VBV):
+                            ///< the demultiplexer prefetches up to this many
+                            ///< bits, so cheap frames burst out compute-bound
+  int gop_n = 12;           ///< frames per GOP
+  int gop_m = 3;            ///< prediction distance (I/P spacing)
+
+  int mb_width() const { return width / 16; }
+  int mb_height() const { return height / 16; }
+  int mb_per_frame() const { return mb_width() * mb_height(); }
+  double bits_per_frame() const { return bitrate / fps; }
+
+  void validate() const {
+    WLC_REQUIRE(width % 16 == 0 && height % 16 == 0, "dimensions must be macroblock-aligned");
+    WLC_REQUIRE(fps > 0.0 && bitrate > 0.0, "rate parameters must be positive");
+    WLC_REQUIRE(vbv_bits >= 0.0, "VBV buffer must be non-negative");
+    WLC_REQUIRE(gop_n >= 1 && gop_m >= 1 && gop_m <= gop_n, "invalid GOP structure");
+  }
+};
+
+enum class FrameType { I, P, B };
+
+/// Prediction class of a macroblock — the event-type dimension that drives
+/// the IDCT/MC execution-demand variability.
+enum class MbClass {
+  Intra,   ///< fully coded, no motion compensation
+  Skip,    ///< copied from reference, nothing decoded
+  FwdMc,   ///< one forward reference
+  BwdMc,   ///< one backward reference (B frames)
+  BiMc,    ///< two references averaged — the expensive case
+};
+
+struct Macroblock {
+  FrameType frame = FrameType::I;
+  MbClass cls = MbClass::Intra;
+  int coded_blocks = 0;  ///< 0..6 blocks with residual data (4:2:0)
+  bool half_pel_x = false;
+  bool half_pel_y = false;
+  int bits = 0;  ///< compressed size of this macroblock
+};
+
+/// Coded-order frame types of one GOP for (N, M) = (gop_n, gop_m):
+/// I first, each anchor before the B frames that reference it.
+std::vector<FrameType> gop_coded_order(const StreamParams& p);
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,60 @@
+#include "mpeg/trace_gen.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::mpeg {
+
+double ClipTrace::duration() const {
+  return pe2_input.empty() ? 0.0 : pe2_input.back().time;
+}
+
+ClipTrace generate_clip_trace(const TraceConfig& config, const ClipProfile& profile) {
+  WLC_REQUIRE(config.pe1_frequency > 0.0, "PE1 frequency must be positive");
+  WLC_REQUIRE(config.frames >= 1, "need at least one frame");
+
+  StreamModel model(config.stream, profile);
+  const std::vector<Frame> frames = model.generate(config.frames);
+
+  ClipTrace out;
+  out.name = profile.name;
+  out.frames = config.frames;
+  out.pe2_input.reserve(static_cast<std::size_t>(config.frames) *
+                        static_cast<std::size_t>(config.stream.mb_per_frame()));
+  out.pe1_demands.reserve(out.pe2_input.capacity());
+
+  double cum_bits = 0.0;
+  TimeSec emit = 0.0;
+  for (const Frame& frame : frames) {
+    // VBV semantics: the demultiplexer hands PE1 whole coded pictures; a
+    // picture is decodable once CBR delivery has covered its last bit beyond
+    // the vbv_bits of pre-buffered stream. Bit-heavy I pictures therefore
+    // trickle in while cheap B pictures are ready back-to-back and burst out
+    // at PE1's compute speed.
+    for (const Macroblock& mb : frame.mbs) cum_bits += static_cast<double>(mb.bits);
+    if (!config.preloaded_bitstream) {
+      const TimeSec picture_ready =
+          std::max(0.0, cum_bits - config.stream.vbv_bits) / config.stream.bitrate;
+      emit = std::max(picture_ready, emit);
+    }
+    for (const Macroblock& mb : frame.mbs) {
+      const Cycles d1 = config.cost.vld_iq_cycles(mb);
+      const Cycles d2 = config.cost.idct_mc_cycles(mb);
+      emit += static_cast<double>(d1) / config.pe1_frequency;
+      out.pe2_input.push_back(trace::EventRecord{emit, static_cast<int>(mb.cls), d2});
+      out.pe1_demands.push_back(d1);
+    }
+  }
+  return out;
+}
+
+std::vector<ClipTrace> generate_clip_traces(const TraceConfig& config) {
+  std::vector<ClipTrace> out;
+  out.reserve(clip_library().size());
+  for (const ClipProfile& profile : clip_library())
+    out.push_back(generate_clip_trace(config, profile));
+  return out;
+}
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,55 @@
+// End-to-end decoder trace generation: synthetic stream → per-stage demands
+// → PE1 emission timing → the macroblock trace arriving at the FIFO in
+// front of PE2 (the paper's measurement point for ᾱ, γᵘ and Fig. 7).
+//
+// PE1 timing model: the compressed bitstream arrives CBR; macroblock i's
+// bits are complete at cum_bits(i)/bitrate, and PE1 (clock f1) emits it at
+//
+//   emit_i = max(bits_ready_i, emit_{i-1}) + d1_i / f1 .
+//
+// Bit-starved I frames therefore trickle out while bit-cheap, compute-cheap
+// B frames burst — the bursty arrival pattern that makes buffer sizing
+// non-trivial in the paper's case study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mpeg/clip.h"
+#include "mpeg/cost.h"
+#include "mpeg/model.h"
+#include "trace/traces.h"
+
+namespace wlc::mpeg {
+
+struct ClipTrace {
+  std::string name;
+  /// Arrival trace at PE2's FIFO: time = PE1 emission instant, demand =
+  /// IDCT/MC cycles, type = static_cast<int>(MbClass).
+  trace::EventTrace pe2_input;
+  /// Per-macroblock VLD/IQ demands (PE1), same order.
+  trace::DemandTrace pe1_demands;
+  int frames = 0;
+  double duration() const;  ///< last emission time
+};
+
+struct TraceConfig {
+  StreamParams stream;
+  CostModel cost = CostModel::reference();
+  Hertz pe1_frequency = 150e6;
+  int frames = 96;  ///< 8 GOPs at N = 12
+  /// true (default): the whole bitstream sits in memory before decoding —
+  /// the usual simulation-testbench setup, PE1 is purely compute-paced.
+  /// false: coded pictures become available per CBR delivery with vbv_bits
+  /// of prefetch (transport-accurate pacing; bit-heavy I pictures trickle).
+  bool preloaded_bitstream = true;
+};
+
+/// Generates the full decode trace of one clip.
+ClipTrace generate_clip_trace(const TraceConfig& config, const ClipProfile& profile);
+
+/// All 14 library clips under one configuration.
+std::vector<ClipTrace> generate_clip_traces(const TraceConfig& config);
+
+}  // namespace wlc::mpeg

@@ -1,0 +1,80 @@
+#include "rtc/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace wlc::rtc {
+
+ServiceFn constant_rate_service(Hertz frequency) {
+  WLC_REQUIRE(frequency >= 0.0, "frequency must be non-negative");
+  return [frequency](TimeSec d) { return frequency * d; };
+}
+
+ServiceFn rate_latency_service(Hertz rate, TimeSec latency) {
+  WLC_REQUIRE(rate >= 0.0 && latency >= 0.0, "rate-latency parameters must be non-negative");
+  return [rate, latency](TimeSec d) { return std::max(0.0, rate * (d - latency)); };
+}
+
+double backlog_cycles(const curve::DiscreteCurve& alpha, const curve::DiscreteCurve& beta) {
+  return curve::DiscreteCurve::sup_diff(alpha, beta);
+}
+
+namespace {
+
+EventCount events_completable(const workload::WorkloadCurve& gamma_u, double cycles) {
+  return gamma_u.inverse(static_cast<Cycles>(std::floor(std::max(0.0, cycles))));
+}
+
+}  // namespace
+
+EventCount backlog_events(const trace::EmpiricalArrivalCurve& arrivals,
+                          const workload::WorkloadCurve& gamma_u, const ServiceFn& beta) {
+  WLC_REQUIRE(arrivals.bound() == trace::EmpiricalArrivalCurve::Bound::Upper,
+              "backlog bound needs an upper arrival curve");
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "backlog bound needs γᵘ");
+  // ᾱ is a right-continuous step function, so ᾱ(Δ) − γᵘ⁻¹(β(Δ)) attains its
+  // supremum at an arrival breakpoint: ᾱ only rises there while γᵘ⁻¹(β) is
+  // non-decreasing everywhere.
+  EventCount worst = 0;
+  for (const auto& [delta, events] : arrivals.points())
+    worst = std::max(worst, events - events_completable(gamma_u, beta(delta)));
+  return worst;
+}
+
+EventCount backlog_events_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
+                               const ServiceFn& beta) {
+  WLC_REQUIRE(wcet > 0, "WCET must be positive");
+  EventCount worst = 0;
+  for (const auto& [delta, events] : arrivals.points()) {
+    const auto done = static_cast<EventCount>(
+        std::floor(std::max(0.0, beta(delta)) / static_cast<double>(wcet)));
+    worst = std::max(worst, events - done);
+  }
+  return worst;
+}
+
+TimeSec delay_bound(const trace::EmpiricalArrivalCurve& arrivals,
+                    const workload::WorkloadCurve& gamma_u, const ServiceFn& beta,
+                    TimeSec horizon) {
+  WLC_REQUIRE(horizon > 0.0, "need a positive search horizon");
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "delay bound needs γᵘ");
+  TimeSec worst = 0.0;
+  for (const auto& [delta, events] : arrivals.points()) {
+    const auto demand = static_cast<double>(gamma_u.value(events));
+    if (beta(delta + horizon) < demand) return std::numeric_limits<TimeSec>::infinity();
+    // Smallest catch-up d with β(Δ+d) >= demand (β non-decreasing).
+    TimeSec lo = 0.0;
+    TimeSec hi = horizon;
+    for (int iter = 0; iter < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++iter) {
+      const TimeSec mid = 0.5 * (lo + hi);
+      (beta(delta + mid) >= demand ? hi : lo) = mid;
+    }
+    worst = std::max(worst, hi);
+  }
+  return worst;
+}
+
+}  // namespace wlc::rtc

@@ -1,0 +1,50 @@
+// Backlog and delay bounds for a stream processed by one node — eq. (6) of
+// the paper (classical Network Calculus) and its workload-curve refinement
+// eq. (7).
+//
+//   cycles:  B  <= sup_{Δ>=0} { α(Δ) − β(Δ) }                        (6)
+//   events:  B̄ <= sup_{Δ>=0} { ᾱ(Δ) − γᵘ⁻¹(β(Δ)) }                 (7)
+//
+// with α a cycle-based arrival curve, β the cycle-based service curve, ᾱ the
+// event-based arrival curve and γᵘ the workload curve of the processing task.
+#pragma once
+
+#include <functional>
+
+#include "curve/discrete_curve.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::rtc {
+
+/// A cycle-based service curve as a callable β(Δ); the common full-processor
+/// case β(Δ) = F·Δ is `constant_rate_service(F)`.
+using ServiceFn = std::function<double(TimeSec)>;
+
+/// β(Δ) = frequency·Δ — a PE fully dedicated to the task.
+ServiceFn constant_rate_service(Hertz frequency);
+/// β(Δ) = max(0, rate·(Δ − latency)).
+ServiceFn rate_latency_service(Hertz rate, TimeSec latency);
+
+/// eq. (6) on sampled curves: sup(α − β).
+double backlog_cycles(const curve::DiscreteCurve& alpha, const curve::DiscreteCurve& beta);
+
+/// eq. (7): maximum backlog in *events* in front of the node. Exact for step
+/// arrival curves: the supremum is evaluated at every arrival-curve
+/// breakpoint (between breakpoints ᾱ is constant while service grows, so the
+/// expression only falls).
+EventCount backlog_events(const trace::EmpiricalArrivalCurve& arrivals,
+                          const workload::WorkloadCurve& gamma_u, const ServiceFn& beta);
+
+/// WCET-only variant of eq. (7) (γᵘ(k) = w·k) for comparison studies.
+EventCount backlog_events_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
+                               const ServiceFn& beta);
+
+/// Delay bound: the horizontal deviation between the cycle-based arrival
+/// curve γᵘ(ᾱ(Δ)) and β, searched on the arrival curve's breakpoints;
+/// returns +inf if the service never catches up within `horizon`.
+TimeSec delay_bound(const trace::EmpiricalArrivalCurve& arrivals,
+                    const workload::WorkloadCurve& gamma_u, const ServiceFn& beta,
+                    TimeSec horizon);
+
+}  // namespace wlc::rtc

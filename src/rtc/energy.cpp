@@ -1,0 +1,26 @@
+#include "rtc/energy.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wlc::rtc {
+
+double EnergyModel::power(Hertz f) const {
+  WLC_REQUIRE(f >= 0.0, "frequency must be non-negative");
+  WLC_REQUIRE(exponent >= 1, "power law exponent must be >= 1");
+  return kappa * std::pow(f, exponent);
+}
+
+double EnergyModel::energy(double cycles, Hertz f) const {
+  WLC_REQUIRE(cycles >= 0.0, "cycle count must be non-negative");
+  if (f <= 0.0) return 0.0;
+  return cycles / f * power(f);
+}
+
+double EnergyModel::ratio(Hertz f_a, Hertz f_b) const {
+  WLC_REQUIRE(f_a > 0.0 && f_b > 0.0, "frequencies must be positive");
+  return std::pow(f_a / f_b, exponent - 1);
+}
+
+}  // namespace wlc::rtc

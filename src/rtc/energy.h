@@ -1,0 +1,24 @@
+// Energy model for frequency sizing — the cost side of the paper's
+// motivation ("minimization of cost and power consumption"). A lower
+// admissible clock buys super-linear energy savings because supply voltage
+// scales with frequency: dynamic power ≈ κ·f^e (e ≈ 3 with ideal voltage
+// scaling), so the energy *per cycle* is κ·f^(e-1).
+#pragma once
+
+#include "common/types.h"
+
+namespace wlc::rtc {
+
+struct EnergyModel {
+  double kappa = 1.0;  ///< technology constant (cancels in ratios)
+  int exponent = 3;    ///< power ∝ f^exponent (3 = ideal voltage scaling)
+
+  /// Power drawn while executing at clock f.
+  double power(Hertz f) const;
+  /// Energy to retire `cycles` at clock f: cycles/f · power(f).
+  double energy(double cycles, Hertz f) const;
+  /// Energy ratio of running the same work at f_a vs f_b: (f_a/f_b)^(e-1).
+  double ratio(Hertz f_a, Hertz f_b) const;
+};
+
+}  // namespace wlc::rtc

@@ -1,0 +1,60 @@
+// Greedy Processing Component (GPC) — the abstract processing-node model of
+// the Chakraborty/Künzli/Thiele framework the paper plugs its workload
+// curves into ([4] in the paper; equations as consolidated in later RTC
+// literature).
+//
+// A GPC greedily serves an input stream bounded by arrival curves (αᵘ, αˡ)
+// with a resource bounded by service curves (βᵘ, βˡ), all in common units
+// (use workload/convert.h to move between events and cycles). Outputs:
+//
+//   αᵘ' = min{ (αᵘ ⊗ βᵘ) ⊘ βˡ , βᵘ }         outgoing stream, upper
+//   αˡ' = min{ (αˡ ⊘ βᵘ) ⊗ βˡ , βˡ }         outgoing stream, lower
+//   βˡ'(Δ) = sup_{0<=λ<=Δ} (βˡ − αᵘ)(λ)⁺      remaining resource, lower
+//   βᵘ'(Δ) = inf_{μ>=Δ} (βᵘ − αˡ)(μ)⁺         remaining resource, upper
+//
+// plus the node-local backlog (eq. (6)) and delay bounds. Chaining GPCs
+// models a pipeline of PEs (the paper's Fig. 5 architecture) or, by feeding
+// the remaining service to the next task, fixed-priority scheduling on a
+// shared PE.
+//
+// All curves are finite-horizon DiscreteCurves; deconvolution-based outputs
+// inherit the horizon caveats documented in discrete_curve.h.
+#pragma once
+
+#include <vector>
+
+#include "curve/discrete_curve.h"
+
+namespace wlc::rtc {
+
+struct StreamBounds {
+  curve::DiscreteCurve upper;
+  curve::DiscreteCurve lower;
+};
+
+struct ResourceBounds {
+  curve::DiscreteCurve upper;
+  curve::DiscreteCurve lower;
+};
+
+struct GpcResult {
+  StreamBounds output;      ///< arrival curves of the processed stream
+  ResourceBounds remaining; ///< service left for lower-priority consumers
+  double backlog;           ///< eq. (6): sup(αᵘ − βˡ), in the common unit
+  double delay;             ///< horizontal deviation of αᵘ under βˡ (seconds)
+};
+
+/// Analyzes one greedy processing component.
+GpcResult analyze_gpc(const StreamBounds& input, const ResourceBounds& resource);
+
+/// Chains `n` components: stage i consumes the output stream of stage i-1
+/// with its own resource. Returns per-stage results.
+std::vector<GpcResult> analyze_chain(const StreamBounds& input,
+                                     const std::vector<ResourceBounds>& resources);
+
+/// Fixed-priority sharing: tasks in priority order consume one resource;
+/// task i gets the remaining service of task i-1. Returns per-task results.
+std::vector<GpcResult> analyze_fixed_priority(const std::vector<StreamBounds>& inputs,
+                                              const ResourceBounds& resource);
+
+}  // namespace wlc::rtc

@@ -1,0 +1,203 @@
+#include "rtc/mpa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "rtc/gpc.h"
+
+namespace wlc::rtc {
+
+void SystemModel::add_resource(const std::string& name, Hertz frequency) {
+  WLC_REQUIRE(frequency > 0.0, "resource frequency must be positive");
+  WLC_REQUIRE(!resources_.count(name), "duplicate resource name");
+  resources_[name] = ResourceDecl{frequency, std::nullopt};
+}
+
+void SystemModel::add_resource(const std::string& name, const TdmaSlot& slot) {
+  WLC_REQUIRE(!resources_.count(name), "duplicate resource name");
+  tdma_service_lower(slot);  // validates the slot parameters
+  resources_[name] = ResourceDecl{std::nullopt, slot};
+}
+
+void SystemModel::add_stream(const std::string& name, const curve::PwlCurve& alpha_upper,
+                             const curve::PwlCurve& alpha_lower) {
+  WLC_REQUIRE(!streams_.count(name), "duplicate stream name");
+  StreamDecl s;
+  s.upper_pwl = alpha_upper;
+  s.lower_pwl = alpha_lower;
+  streams_[name] = std::move(s);
+}
+
+void SystemModel::add_stream(const std::string& name, const trace::EmpiricalArrivalCurve& upper,
+                             const trace::EmpiricalArrivalCurve& lower) {
+  WLC_REQUIRE(!streams_.count(name), "duplicate stream name");
+  WLC_REQUIRE(upper.bound() == trace::EmpiricalArrivalCurve::Bound::Upper &&
+                  lower.bound() == trace::EmpiricalArrivalCurve::Bound::Lower,
+              "stream needs an (upper, lower) curve pair");
+  StreamDecl s;
+  s.upper_emp = upper;
+  s.lower_emp = lower;
+  streams_[name] = std::move(s);
+}
+
+void SystemModel::add_task(const std::string& name, const std::string& input,
+                           const std::string& resource, const workload::WorkloadCurve& gamma_u,
+                           const workload::WorkloadCurve& gamma_l) {
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "γᵘ must be an Upper curve");
+  WLC_REQUIRE(gamma_l.bound() == workload::Bound::Lower, "γˡ must be a Lower curve");
+  WLC_REQUIRE(resources_.count(resource), "unknown resource");
+  WLC_REQUIRE(!streams_.count(name), "task name collides with a stream");
+  for (const auto& t : tasks_) WLC_REQUIRE(t.name != name, "duplicate task name");
+  const bool from_stream = streams_.count(input) > 0;
+  const bool from_task =
+      std::any_of(tasks_.begin(), tasks_.end(), [&](const TaskDecl& t) { return t.name == input; });
+  WLC_REQUIRE(from_stream || from_task,
+              "task input must be a stream or an already-declared task");
+  tasks_.push_back(TaskDecl{name, input, resource, gamma_u, gamma_l});
+}
+
+namespace {
+
+/// Shift a sampled upper event curve left in Δ by `d` seconds: α'(Δ) =
+/// α(Δ+d), clamping at the horizon (flat extension — the usual finite-
+/// horizon caveat).
+curve::DiscreteCurve shift_upper(const curve::DiscreteCurve& a, TimeSec d) {
+  const auto steps = static_cast<std::size_t>(std::ceil(d / a.dt() - 1e-12));
+  std::vector<double> v(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[std::min(a.size() - 1, i + steps)];
+  return curve::DiscreteCurve(std::move(v), a.dt());
+}
+
+/// α'(Δ) = α(max(0, Δ-d)) for the lower curve.
+curve::DiscreteCurve shift_lower(const curve::DiscreteCurve& a, TimeSec d) {
+  const auto steps = static_cast<std::size_t>(std::ceil(d / a.dt() - 1e-12));
+  std::vector<double> v(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i >= steps ? i - steps : 0];
+  return curve::DiscreteCurve(std::move(v), a.dt());
+}
+
+}  // namespace
+
+const SystemModel::TaskReport& SystemModel::Report::task(const std::string& name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return t;
+  throw std::invalid_argument("unknown task: " + name);
+}
+
+SystemModel::Report SystemModel::analyze(double dt, TimeSec horizon) const {
+  WLC_REQUIRE(dt > 0.0 && horizon > dt, "need a valid sampling grid");
+  const auto n = static_cast<std::size_t>(std::floor(horizon / dt)) + 1;
+
+  // Live resource service bounds (consumed top-down in priority order).
+  std::map<std::string, ResourceBounds> service;
+  for (const auto& [name, decl] : resources_) {
+    if (decl.frequency) {
+      const auto beta =
+          curve::DiscreteCurve::sample(curve::PwlCurve::affine(0.0, *decl.frequency), dt, n);
+      service.emplace(name, ResourceBounds{beta, beta});
+    } else {
+      service.emplace(name,
+                      ResourceBounds{curve::DiscreteCurve::sample(tdma_service_upper(*decl.tdma),
+                                                                  dt, n),
+                                     curve::DiscreteCurve::sample(tdma_service_lower(*decl.tdma),
+                                                                  dt, n)});
+    }
+  }
+
+  // Event-domain curves of every stream / processed stream, keyed by name.
+  std::map<std::string, StreamBounds> events;
+  for (const auto& [name, decl] : streams_) {
+    std::vector<double> up(n);
+    std::vector<double> lo(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimeSec x = dt * static_cast<double>(i);
+      up[i] = decl.upper_pwl ? decl.upper_pwl->eval(x)
+                             : static_cast<double>(decl.upper_emp->eval(x));
+      lo[i] = decl.lower_pwl ? decl.lower_pwl->eval(x)
+                             : static_cast<double>(decl.lower_emp->eval(x));
+    }
+    events.emplace(name, StreamBounds{curve::DiscreteCurve(std::move(up), dt),
+                                      curve::DiscreteCurve(std::move(lo), dt)});
+  }
+
+  Report report;
+  std::map<std::string, std::string> parent;
+  std::map<std::string, TimeSec> task_delay;
+  for (const auto& task : tasks_) {
+    const auto in = events.find(task.input);
+    WLC_ASSERT(in != events.end());
+    if (parent.count(task.input))  // consuming an upstream task's output
+      WLC_REQUIRE(std::isfinite(task_delay.at(task.input)),
+                  "upstream task has an unbounded delay; downstream analysis is meaningless");
+
+    // Event → cycle conversion (Fig. 4) on the grid.
+    const StreamBounds& ev = in->second;
+    std::vector<double> up_c(n);
+    std::vector<double> lo_c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      up_c[i] = static_cast<double>(
+          task.gamma_u.value(static_cast<EventCount>(std::ceil(ev.upper[i] - 1e-9))));
+      lo_c[i] = static_cast<double>(
+          task.gamma_l.value(static_cast<EventCount>(std::floor(ev.lower[i] + 1e-9))));
+    }
+    const StreamBounds cycles{curve::DiscreteCurve(std::move(up_c), dt),
+                              curve::DiscreteCurve(std::move(lo_c), dt)};
+
+    auto res = service.find(task.resource);
+    WLC_ASSERT(res != service.end());
+    const GpcResult gpc = analyze_gpc(cycles, res->second);
+
+    // Event-domain backlog, eq. (7).
+    EventCount backlog_events = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto served = task.gamma_u.inverse(
+          static_cast<Cycles>(std::floor(std::max(0.0, res->second.lower[i]))));
+      backlog_events = std::max(
+          backlog_events, static_cast<EventCount>(std::ceil(ev.upper[i] - 1e-9)) - served);
+    }
+
+    TaskReport tr;
+    tr.name = task.name;
+    tr.backlog_cycles = std::max(0.0, gpc.backlog);
+    tr.backlog_events = std::max<EventCount>(0, backlog_events);
+    tr.delay = gpc.delay;
+    const double demand_rate = cycles.upper[n - 1] / horizon;
+    const double service_rate = res->second.lower[n - 1] / horizon;
+    tr.utilization = service_rate > 0.0 ? demand_rate / service_rate
+                                        : std::numeric_limits<double>::infinity();
+    report.tasks.push_back(tr);
+
+    // Jitter propagation to the processed stream; resource keeps what's left.
+    const TimeSec d = std::isfinite(gpc.delay) ? gpc.delay : horizon;
+    events.emplace(task.name, StreamBounds{shift_upper(ev.upper, d), shift_lower(ev.lower, d)});
+    res->second = gpc.remaining;
+    parent[task.name] = task.input;
+    task_delay[task.name] = gpc.delay;
+  }
+
+  // chain_delay support: stash the parent chain inside the report closure.
+  report.parents_ = std::move(parent);
+  report.delays_ = std::move(task_delay);
+  return report;
+}
+
+TimeSec SystemModel::Report::chain_delay(const std::string& task) const {
+  TimeSec total = 0.0;
+  std::string cur = task;
+  while (true) {
+    const auto d = delays_.find(cur);
+    if (d == delays_.end()) {
+      WLC_REQUIRE(cur != task, "unknown task");
+      break;
+    }
+    total += d->second;
+    const auto p = parents_.find(cur);
+    if (p == parents_.end()) break;
+    cur = p->second;
+  }
+  return total;
+}
+
+}  // namespace wlc::rtc

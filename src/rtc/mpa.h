@@ -1,0 +1,102 @@
+// Modular performance analysis of multi-PE streaming systems — the
+// "platform-based design" front-end the paper's §3.2 framework (its
+// reference [4]) is built for, with workload curves doing every
+// event↔cycle conversion.
+//
+// Users declare
+//   * resources    — processing elements: dedicated clock or a TDMA share,
+//   * streams      — external event sources bounded by arrival curves,
+//   * tasks        — (stream or upstream task) × resource × workload curves,
+// and analyze() propagates bounds through the system:
+//
+//   per task:   cycle demand α = γᵘ(ᾱᵘ) / γˡ(ᾱˡ); a greedy-processing-
+//               component step against the resource's remaining service
+//               yields the task's backlog (cycles & events, eq. (6)/(7)),
+//               its delay bound, and the resource service left for
+//               lower-priority tasks (declaration order = fixed priority);
+//   downstream: the processed stream leaves with its jitter widened by the
+//               delay bound d: ᾱᵘ'(Δ) = ᾱᵘ(Δ+d), ᾱˡ'(Δ) = ᾱˡ(max(0, Δ−d))
+//               — the standard, sound event-domain propagation.
+//
+// Everything is finite-horizon: analyze(dt, horizon) fixes the sampling
+// grid, and the usual trace/horizon caveats of discrete_curve.h apply.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "curve/discrete_curve.h"
+#include "curve/pwl_curve.h"
+#include "rtc/tdma.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::rtc {
+
+class SystemModel {
+ public:
+  /// A PE fully dedicated to this system at `frequency`.
+  void add_resource(const std::string& name, Hertz frequency);
+  /// A TDMA share of a PE (slot/cycle at `slot.bandwidth` cycles/s).
+  void add_resource(const std::string& name, const TdmaSlot& slot);
+
+  /// External stream bounded by closed-form event curves.
+  void add_stream(const std::string& name, const curve::PwlCurve& alpha_upper,
+                  const curve::PwlCurve& alpha_lower);
+  /// External stream bounded by trace-derived curves.
+  void add_stream(const std::string& name, const trace::EmpiricalArrivalCurve& upper,
+                  const trace::EmpiricalArrivalCurve& lower);
+
+  /// Task consuming `input` (a stream name or an upstream task name) on
+  /// `resource`. Tasks bound to the same resource are served in fixed
+  /// priority order of declaration. The workload curves convert between the
+  /// task's events and its cycle demand.
+  void add_task(const std::string& name, const std::string& input, const std::string& resource,
+                const workload::WorkloadCurve& gamma_u, const workload::WorkloadCurve& gamma_l);
+
+  struct TaskReport {
+    std::string name;
+    double backlog_cycles = 0.0;   ///< eq. (6)
+    EventCount backlog_events = 0; ///< eq. (7)
+    TimeSec delay = 0.0;           ///< horizontal deviation (+inf if unserved)
+    double utilization = 0.0;      ///< long-run demand / long-run service
+  };
+
+  struct Report {
+    std::vector<TaskReport> tasks;  ///< in declaration order
+    /// End-to-end delay along the chain ending at `task` (sums the chain).
+    TimeSec chain_delay(const std::string& task) const;
+    const TaskReport& task(const std::string& name) const;
+
+   private:
+    friend class SystemModel;
+    std::map<std::string, std::string> parents_;  ///< task -> its input
+    std::map<std::string, TimeSec> delays_;       ///< task -> delay bound
+  };
+
+  /// Propagates bounds through every task. Tasks must form a forest (each
+  /// input is an external stream or an already-declared task).
+  Report analyze(double dt, TimeSec horizon) const;
+
+ private:
+  struct ResourceDecl {
+    std::optional<Hertz> frequency;  ///< dedicated
+    std::optional<TdmaSlot> tdma;    ///< or a TDMA share
+  };
+  struct StreamDecl {
+    std::optional<curve::PwlCurve> upper_pwl, lower_pwl;
+    std::optional<trace::EmpiricalArrivalCurve> upper_emp, lower_emp;
+  };
+  struct TaskDecl {
+    std::string name, input, resource;
+    workload::WorkloadCurve gamma_u, gamma_l;
+  };
+
+  std::map<std::string, ResourceDecl> resources_;
+  std::map<std::string, StreamDecl> streams_;
+  std::vector<TaskDecl> tasks_;
+};
+
+}  // namespace wlc::rtc

@@ -1,0 +1,33 @@
+#include "rtc/shaper.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::rtc {
+
+ShaperResult analyze_shaper(const curve::DiscreteCurve& alpha_u,
+                            const curve::DiscreteCurve& sigma) {
+  WLC_REQUIRE(sigma.is_non_decreasing(), "shaping curves must be non-decreasing");
+  // The classical α' = α ⊗ σ holds in the zero-origin convention
+  // (f(0) = 0); our closed-window curves carry their burst at Δ = 0, so zero
+  // the origins before convolving — the k = 0 / k = Δ split points then give
+  // α' <= min(α, σ) as expected.
+  const curve::DiscreteCurve za = alpha_u.with_origin(-alpha_u[0]);
+  const curve::DiscreteCurve zs = sigma.with_origin(-sigma[0]);
+  curve::DiscreteCurve out = curve::DiscreteCurve::min_plus_conv(za, zs);
+  // Restore the closed-window origin: an instantaneous output burst is
+  // bounded by the shaping curve (backlogged events may be released
+  // together, so the input burst is no bound), and trivially by any
+  // larger-window value.
+  std::vector<double> v = out.values();
+  v[0] = v.size() > 1 ? std::min(sigma[0], v[1]) : sigma[0];
+  out = curve::DiscreteCurve(std::move(v), out.dt());
+
+  ShaperResult r{std::move(out), curve::DiscreteCurve::sup_diff(alpha_u, sigma),
+                 curve::DiscreteCurve::horizontal_deviation(alpha_u, sigma)};
+  if (r.backlog < 0.0) r.backlog = 0.0;
+  return r;
+}
+
+}  // namespace wlc::rtc

@@ -1,0 +1,32 @@
+// Greedy traffic shapers (Network Calculus; the companion line of work to
+// the paper applies them between processing elements to reduce downstream
+// buffer requirements).
+//
+// A greedy shaper with shaping curve σ delays events of a stream just enough
+// that its output is σ-bounded. Classical results implemented here, all on
+// finite-horizon DiscreteCurves:
+//
+//   output arrival:  αᵘ_out = αᵘ ⊗ σ         (σ-bounded, tighter than αᵘ)
+//   shaper backlog:  B ≤ sup(αᵘ − σ)
+//   shaper delay:    D ≤ h(αᵘ, σ)             (horizontal deviation)
+//   "shaping is free": a σ-shaper in front of a node with service β adds no
+//   end-to-end delay beyond h(αᵘ, σ ⊗ β) — tested, not just asserted.
+#pragma once
+
+#include "curve/discrete_curve.h"
+
+namespace wlc::rtc {
+
+struct ShaperResult {
+  curve::DiscreteCurve output;  ///< arrival curve of the shaped stream
+  double backlog = 0.0;         ///< worst buffering inside the shaper
+  double delay = 0.0;           ///< worst delay added by the shaper
+};
+
+/// Analyzes a greedy shaper with shaping curve σ applied to a stream bounded
+/// by αᵘ. σ must be non-decreasing; for a meaningful shaper σ(0+) bounds the
+/// admissible burst.
+ShaperResult analyze_shaper(const curve::DiscreteCurve& alpha_u,
+                            const curve::DiscreteCurve& sigma);
+
+}  // namespace wlc::rtc

@@ -1,0 +1,123 @@
+#include "rtc/sizing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace wlc::rtc {
+
+namespace {
+
+constexpr Hertz kInf = std::numeric_limits<Hertz>::infinity();
+
+/// Shared core of eqs. (9)/(10): max over breakpoints of demand(Δ)/Δ, where
+/// demand(Δ) = γ(max(0, ᾱ(Δ) − b)). ᾱ is a right-continuous step function
+/// and γ is non-decreasing, so between breakpoints the numerator is constant
+/// while Δ grows — the supremum sits exactly on the breakpoints.
+template <typename DemandFn>
+Hertz min_frequency(const trace::EmpiricalArrivalCurve& arrivals, EventCount buffer_events,
+                    DemandFn&& demand_of_excess) {
+  WLC_REQUIRE(arrivals.bound() == trace::EmpiricalArrivalCurve::Bound::Upper,
+              "sizing needs an upper arrival curve");
+  WLC_REQUIRE(buffer_events >= 0, "buffer size must be non-negative");
+  Hertz best = 0.0;
+  for (const auto& [delta, events] : arrivals.points()) {
+    const EventCount excess = std::max<EventCount>(0, events - buffer_events);
+    const double demand = demand_of_excess(excess);
+    if (delta <= 0.0) {
+      // An instantaneous burst beyond the buffer is un-servable at any clock.
+      if (demand > 0.0) return kInf;
+      continue;
+    }
+    best = std::max(best, demand / delta);
+  }
+  return best;
+}
+
+}  // namespace
+
+Hertz min_frequency_workload(const trace::EmpiricalArrivalCurve& arrivals,
+                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events) {
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "sizing needs γᵘ");
+  return min_frequency(arrivals, buffer_events, [&](EventCount k) {
+    return static_cast<double>(gamma_u.value(k));
+  });
+}
+
+Hertz min_frequency_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
+                         EventCount buffer_events) {
+  WLC_REQUIRE(wcet >= 0, "WCET must be non-negative");
+  return min_frequency(arrivals, buffer_events, [&](EventCount k) {
+    return static_cast<double>(wcet) * static_cast<double>(k);
+  });
+}
+
+curve::DiscreteCurve required_service_floor(const trace::EmpiricalArrivalCurve& arrivals,
+                                            const workload::WorkloadCurve& gamma_u,
+                                            EventCount buffer_events, double dt, std::size_t n) {
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "eq. (8) needs γᵘ");
+  WLC_REQUIRE(dt > 0.0 && n > 0, "need a non-empty grid");
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EventCount excess =
+        std::max<EventCount>(0, arrivals.eval(dt * static_cast<double>(i)) - buffer_events);
+    v[i] = static_cast<double>(gamma_u.value(excess));
+  }
+  return curve::DiscreteCurve(std::move(v), dt);
+}
+
+bool service_satisfies_buffer(const curve::DiscreteCurve& beta,
+                              const trace::EmpiricalArrivalCurve& arrivals,
+                              const workload::WorkloadCurve& gamma_u, EventCount buffer_events) {
+  const curve::DiscreteCurve floor_curve =
+      required_service_floor(arrivals, gamma_u, buffer_events, beta.dt(), beta.size());
+  for (std::size_t i = 0; i < beta.size(); ++i)
+    if (beta[i] < floor_curve[i]) return false;
+  return true;
+}
+
+Hertz min_frequency_for_delay(const trace::EmpiricalArrivalCurve& arrivals,
+                              const workload::WorkloadCurve& gamma_u, TimeSec max_delay) {
+  WLC_REQUIRE(arrivals.bound() == trace::EmpiricalArrivalCurve::Bound::Upper,
+              "sizing needs an upper arrival curve");
+  WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "sizing needs γᵘ");
+  WLC_REQUIRE(max_delay > 0.0, "need a positive deadline");
+  Hertz best = 0.0;
+  // γᵘ(ᾱ(Δ)) only rises at breakpoints while Δ + D grows in between, so the
+  // supremum sits on the breakpoints.
+  for (const auto& [delta, events] : arrivals.points())
+    best = std::max(best, static_cast<double>(gamma_u.value(events)) / (delta + max_delay));
+  return best;
+}
+
+TimeSec min_playout_delay(const trace::EmpiricalArrivalCurve& lower_arrivals, double rate) {
+  WLC_REQUIRE(lower_arrivals.bound() == trace::EmpiricalArrivalCurve::Bound::Lower,
+              "playout analysis needs a lower arrival curve");
+  WLC_REQUIRE(rate > 0.0, "consumption rate must be positive");
+  const auto& pts = lower_arrivals.points();
+  const TimeSec horizon = lower_arrivals.last_breakpoint();
+  if (static_cast<double>(lower_arrivals.max_events()) < rate * horizon)
+    return std::numeric_limits<TimeSec>::infinity();  // unsustainable drain rate
+  // Δ − ᾱˡ(Δ)/rate grows while ᾱˡ is flat, so the supremum sits just before
+  // each jump: evaluate at every breakpoint with the *previous* step value.
+  TimeSec worst = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const TimeSec candidate = pts[i].first - static_cast<double>(pts[i - 1].second) / rate;
+    worst = std::max(worst, candidate);
+  }
+  return worst;
+}
+
+std::vector<std::pair<EventCount, Hertz>> buffer_frequency_tradeoff(
+    const trace::EmpiricalArrivalCurve& arrivals, const workload::WorkloadCurve& gamma_u,
+    const std::vector<EventCount>& buffer_sizes) {
+  std::vector<std::pair<EventCount, Hertz>> out;
+  out.reserve(buffer_sizes.size());
+  for (EventCount b : buffer_sizes)
+    out.emplace_back(b, min_frequency_workload(arrivals, gamma_u, b));
+  return out;
+}
+
+}  // namespace wlc::rtc

@@ -1,0 +1,74 @@
+// Resource sizing under a buffer constraint — eqs. (8)–(10) of the paper.
+//
+// Given the macroblock (event) arrival curve ᾱ at the input of a PE, a FIFO
+// of b events, and the PE task's upper workload curve γᵘ, the FIFO never
+// overflows iff the PE's cycle service curve dominates the buffer-relaxed
+// demand:
+//
+//   β(Δ) >= γᵘ(ᾱ(Δ) − b)  for all Δ >= 0.                      (8)
+//
+// For a dedicated PE (β(Δ) = F·Δ) the minimum admissible clock follows:
+//
+//   F^γ_min = max_{Δ>0} γᵘ(ᾱ(Δ) − b)/Δ                          (9)
+//   F^w_min = max_{Δ>0} w·(ᾱ(Δ) − b)/Δ    (WCET-only baseline)  (10)
+//
+// The case study's headline result is the gap between (9) and (10):
+// ≈ 340 MHz vs ≈ 710 MHz for the MPEG-2 IDCT/MC stage — over 50 % savings.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "curve/discrete_curve.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::rtc {
+
+/// eq. (9). Returns +inf if the instantaneous burst ᾱ(0) already exceeds the
+/// buffer (no finite clock can help). Exact for step arrival curves: the
+/// ratio is maximized at arrival-curve breakpoints.
+Hertz min_frequency_workload(const trace::EmpiricalArrivalCurve& arrivals,
+                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events);
+
+/// eq. (10): the WCET-only baseline with w = γᵘ(1).
+Hertz min_frequency_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
+                         EventCount buffer_events);
+
+/// eq. (8): the required cycle-service floor γᵘ(max(0, ᾱ(Δ) − b)) sampled on
+/// n points of spacing dt — useful for plotting/feasibility checks against an
+/// arbitrary (non-dedicated) service curve.
+curve::DiscreteCurve required_service_floor(const trace::EmpiricalArrivalCurve& arrivals,
+                                            const workload::WorkloadCurve& gamma_u,
+                                            EventCount buffer_events, double dt, std::size_t n);
+
+/// True iff `beta` dominates the eq. (8) floor at every sampled point.
+bool service_satisfies_buffer(const curve::DiscreteCurve& beta,
+                              const trace::EmpiricalArrivalCurve& arrivals,
+                              const workload::WorkloadCurve& gamma_u, EventCount buffer_events);
+
+/// Frequency/buffer trade-off: eq. (9) swept over buffer sizes (ablation of
+/// DESIGN.md §5(4)). Returns (b, F^γ_min(b)) pairs.
+std::vector<std::pair<EventCount, Hertz>> buffer_frequency_tradeoff(
+    const trace::EmpiricalArrivalCurve& arrivals, const workload::WorkloadCurve& gamma_u,
+    const std::vector<EventCount>& buffer_sizes);
+
+/// Deadline-driven sizing (the delay analogue of eq. (9)): the smallest
+/// dedicated clock such that every event finishes within `max_delay` of its
+/// arrival:  F = max_Δ γᵘ(ᾱ(Δ)) / (Δ + D). Exact for step arrival curves.
+Hertz min_frequency_for_delay(const trace::EmpiricalArrivalCurve& arrivals,
+                              const workload::WorkloadCurve& gamma_u, TimeSec max_delay);
+
+/// Consumer-side (playout) analysis: a sink drains the processed stream at
+/// a constant `rate` (events/second) starting `delay` seconds after the
+/// first production. The stream never underflows the sink iff
+/// ᾱˡ(Δ) >= rate·(Δ − delay) for all Δ, so the minimum safe playout delay is
+///
+///   d_min = sup_Δ ( Δ − ᾱˡ(Δ)/rate ).
+///
+/// Evaluated over the characterized horizon of the (trace-derived) lower
+/// curve; requires the long-run production rate to sustain `rate` over that
+/// horizon, otherwise no finite delay helps and +inf is returned.
+TimeSec min_playout_delay(const trace::EmpiricalArrivalCurve& lower_arrivals, double rate);
+
+}  // namespace wlc::rtc

@@ -1,0 +1,34 @@
+#include "rtc/tdma.h"
+
+#include "common/assert.h"
+
+namespace wlc::rtc {
+
+namespace {
+void validate(const TdmaSlot& t) {
+  WLC_REQUIRE(t.cycle > 0.0, "TDMA cycle must be positive");
+  WLC_REQUIRE(t.slot > 0.0 && t.slot <= t.cycle, "need 0 < slot <= cycle");
+  WLC_REQUIRE(t.bandwidth > 0.0, "bandwidth must be positive");
+}
+}  // namespace
+
+curve::PwlCurve tdma_service_lower(const TdmaSlot& t) {
+  validate(t);
+  if (t.slot == t.cycle) return curve::PwlCurve::affine(0.0, t.bandwidth);
+  // Worst alignment: wait out the foreign part of the cycle, then serve.
+  std::vector<curve::Segment> segs{{0.0, 0.0, 0.0}, {t.cycle - t.slot, 0.0, t.bandwidth}};
+  return curve::PwlCurve(std::move(segs), /*pstart=*/t.cycle, /*period=*/t.cycle,
+                         /*height=*/t.bandwidth * t.slot);
+}
+
+curve::PwlCurve tdma_service_upper(const TdmaSlot& t) {
+  validate(t);
+  if (t.slot == t.cycle) return curve::PwlCurve::affine(0.0, t.bandwidth);
+  // Best alignment: the window opens exactly when the slot does.
+  std::vector<curve::Segment> segs{{0.0, 0.0, t.bandwidth},
+                                   {t.slot, t.bandwidth * t.slot, 0.0}};
+  return curve::PwlCurve(std::move(segs), /*pstart=*/t.cycle, /*period=*/t.cycle,
+                         /*height=*/t.bandwidth * t.slot);
+}
+
+}  // namespace wlc::rtc

@@ -1,0 +1,37 @@
+// TDMA resource models — the standard way a shared bus or a time-sliced
+// processor shows up as a service curve in modular performance analysis
+// (the framework the paper plugs workload curves into).
+//
+// A component owning one slot of length `slot` in every TDMA cycle of length
+// `cycle` on a resource of bandwidth B (cycles/second) is guaranteed, in any
+// window Δ, at least
+//
+//   βˡ(Δ) = B · ( ⌊Δ/c⌋·s + max(0, Δ mod c − (c − s)) )
+//
+// (worst alignment: the window opens right after the slot closes) and at most
+//
+//   βᵘ(Δ) = B · ( ⌊Δ/c⌋·s + min(Δ mod c, s) )
+//
+// (best alignment: the window opens with the slot). Both are exact, expressed
+// as piecewise-linear curves with a periodic tail — evaluation is O(1) at any
+// horizon.
+#pragma once
+
+#include "curve/pwl_curve.h"
+#include "common/types.h"
+
+namespace wlc::rtc {
+
+struct TdmaSlot {
+  TimeSec slot = 0.0;   ///< owned slot length per cycle (0 < slot <= cycle)
+  TimeSec cycle = 0.0;  ///< TDMA cycle length
+  Hertz bandwidth = 0.0;///< resource capacity while the slot is active
+};
+
+/// Guaranteed (lower) TDMA service curve βˡ.
+curve::PwlCurve tdma_service_lower(const TdmaSlot& t);
+
+/// Best-case (upper) TDMA service curve βᵘ.
+curve::PwlCurve tdma_service_upper(const TdmaSlot& t);
+
+}  // namespace wlc::rtc

@@ -1,0 +1,113 @@
+#include "sched/edf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::sched {
+
+namespace {
+
+/// Long-run cycles per job under the chosen model.
+double job_slope(const PeriodicTask& t, DemandModel model) {
+  if (model == DemandModel::WorkloadCurve && t.gamma_u) return t.gamma_u->long_run_demand();
+  return static_cast<double>(t.wcet);
+}
+
+/// Smallest C0 with demand(m) <= slope·m + C0 for every m >= 0.
+double affine_offset(const PeriodicTask& t, DemandModel model, double slope) {
+  if (!(model == DemandModel::WorkloadCurve && t.gamma_u)) return 0.0;  // m·C is exact
+  const auto& pts = t.gamma_u->points();
+  double worst = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    // Upper-curve semantics: value(k) = c_i on (k_{i-1}, k_i]; the deviation
+    // peaks at the left edge of each step.
+    const auto k_left = static_cast<double>(pts[i - 1].first + 1);
+    worst = std::max(worst, static_cast<double>(pts[i].second) - slope * k_left);
+  }
+  return worst;
+}
+
+}  // namespace
+
+Cycles demand_bound(const PeriodicTask& task, TimeSec t, DemandModel model) {
+  WLC_REQUIRE(task.period > 0.0 && task.deadline > 0.0, "task timing must be positive");
+  WLC_REQUIRE(task.deadline <= task.period + 1e-12,
+              "the demand-bound test here assumes constrained deadlines");
+  if (t < task.deadline) return 0;
+  const auto m =
+      static_cast<EventCount>(std::floor((t - task.deadline) / task.period + 1e-12)) + 1;
+  if (model == DemandModel::WorkloadCurve) return task.demand(m);
+  return m * task.wcet;
+}
+
+EdfResult edf_test(const TaskSet& tasks, Hertz f, DemandModel model) {
+  WLC_REQUIRE(!tasks.empty(), "need at least one task");
+  WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
+
+  EdfResult out;
+  // Long-run saturation check and the affine test-point horizon.
+  double rate = 0.0;    // cycles per second demanded asymptotically
+  double offset = 0.0;  // Σ (C0_i + s_i)
+  for (const auto& t : tasks) {
+    const double s = job_slope(t, model);
+    rate += s / t.period;
+    offset += affine_offset(t, model, s) + s;
+  }
+  if (rate >= f) {
+    out.schedulable = false;
+    out.max_load = rate / f;
+    return out;
+  }
+  const TimeSec t_max = offset / (f - rate);
+  out.horizon = t_max;
+
+  // Every absolute deadline up to t_max is a test point.
+  std::vector<TimeSec> points;
+  double estimated = 0.0;
+  for (const auto& t : tasks) estimated += std::max(0.0, t_max / t.period) + 1.0;
+  WLC_REQUIRE(estimated < 2e6,
+              "demand-bound horizon too long (clock too close to saturation)");
+  for (const auto& t : tasks)
+    for (TimeSec d = t.deadline; d <= t_max; d += t.period) points.push_back(d);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  out.schedulable = true;
+  for (TimeSec t : points) {
+    double demand = 0.0;
+    for (const auto& task : tasks) demand += static_cast<double>(demand_bound(task, t, model));
+    const double load = demand / (f * t);
+    if (load > out.max_load) {
+      out.max_load = load;
+      out.critical_t = t;
+    }
+    if (load > 1.0) out.schedulable = false;
+  }
+  return out;
+}
+
+Hertz min_edf_frequency(const TaskSet& tasks, DemandModel model, Hertz f_lo, Hertz f_hi) {
+  WLC_REQUIRE(0.0 < f_lo && f_lo < f_hi, "need a valid frequency bracket");
+  WLC_REQUIRE(edf_test(tasks, f_hi, model).schedulable,
+              "task set unschedulable even at the upper frequency bracket");
+  auto passes = [&](Hertz f) {
+    try {
+      return edf_test(tasks, f, model).schedulable;
+    } catch (const std::invalid_argument&) {
+      return false;  // horizon blew up: f is too close to saturation
+    }
+  };
+  Hertz lo = f_lo;
+  Hertz hi = f_hi;
+  if (passes(lo)) return lo;
+  for (int i = 0; i < 100 && hi - lo > 1e-6 * hi; ++i) {
+    const Hertz mid = 0.5 * (lo + hi);
+    (passes(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace wlc::sched

@@ -1,0 +1,49 @@
+// Earliest-deadline-first schedulability via the processor-demand criterion,
+// with demand-bound functions in the classical WCET form and the
+// workload-curve form.
+//
+// Baruah's demand-bound function (the paper's related work [2]) counts the
+// cycles of all jobs that both arrive and have their deadline inside a
+// window of length t:
+//
+//   dbf_i(t) = (⌊(t − D_i)/T_i⌋ + 1) · C_i          for t >= D_i   (classic)
+//   dbf'_i(t) = γᵘ_i( ⌊(t − D_i)/T_i⌋ + 1 )                        (curves)
+//
+// EDF schedules the set on a clock f iff Σ_i dbf_i(t) <= f·t for all t > 0;
+// it suffices to check t at absolute deadlines up to a bounded horizon: past
+//
+//   t_max = Σ_i (C0_i + s_i) / (f − Σ_i s_i/T_i)
+//
+// the affine over-approximation dbf_i(t) <= s_i·(t/T_i) + (C0_i + s_i)
+// (s_i the curve's long-run demand per job, C0_i its maximal deviation
+// above that slope) stays below the supply line, so no further test points
+// are needed. dbf' <= dbf pointwise (γᵘ(m) <= m·C), hence the curve test
+// admits every set the classical test admits — eq. (5)'s analogue for EDF.
+#pragma once
+
+#include "sched/rms.h"
+#include "sched/task.h"
+
+namespace wlc::sched {
+
+/// Demand-bound function of one task at window length t (cycles).
+Cycles demand_bound(const PeriodicTask& task, TimeSec t, DemandModel model);
+
+struct EdfResult {
+  bool schedulable = false;
+  double max_load = 0.0;      ///< max_t Σ dbf(t) / (f·t) over tested points
+  TimeSec critical_t = 0.0;   ///< the t attaining max_load
+  TimeSec horizon = 0.0;      ///< largest t that had to be tested
+};
+
+/// Processor-demand test at clock f. Tasks may have deadline <= period
+/// (constrained deadlines). Returns schedulable == false with max_load > 1
+/// when a violated test point exists, and also when long-run demand alone
+/// saturates the clock.
+EdfResult edf_test(const TaskSet& tasks, Hertz f, DemandModel model);
+
+/// Smallest clock passing the test (bisection; the test is monotone in f).
+Hertz min_edf_frequency(const TaskSet& tasks, DemandModel model, Hertz f_lo = 1.0,
+                        Hertz f_hi = 1e12);
+
+}  // namespace wlc::sched

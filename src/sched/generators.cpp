@@ -1,0 +1,54 @@
+#include "sched/generators.h"
+
+#include "common/assert.h"
+#include "workload/extract.h"
+
+namespace wlc::sched {
+
+FixedDemand::FixedDemand(Cycles c) : c_(c) { WLC_REQUIRE(c >= 0, "demand must be non-negative"); }
+
+CyclicDemand::CyclicDemand(std::vector<Cycles> pattern, std::size_t phase)
+    : pattern_(std::move(pattern)), phase_(phase % std::max<std::size_t>(pattern_.size(), 1)),
+      pos_(phase_) {
+  WLC_REQUIRE(!pattern_.empty(), "pattern must be non-empty");
+  for (Cycles c : pattern_) WLC_REQUIRE(c >= 0, "demands must be non-negative");
+}
+
+Cycles CyclicDemand::next() {
+  const Cycles c = pattern_[pos_];
+  pos_ = (pos_ + 1) % pattern_.size();
+  return c;
+}
+
+namespace {
+/// Windows of the infinite repetition of `p` up to length k_max are covered
+/// by windows of p repeated enough times: unroll to length k_max + |p|.
+std::vector<Cycles> unroll(const std::vector<Cycles>& p, EventCount k_max) {
+  std::vector<Cycles> out;
+  const auto len = static_cast<EventCount>(p.size());
+  const EventCount total = k_max + len;
+  out.reserve(static_cast<std::size_t>(total));
+  for (EventCount i = 0; i < total; ++i)
+    out.push_back(p[static_cast<std::size_t>(i % len)]);
+  return out;
+}
+}  // namespace
+
+workload::WorkloadCurve CyclicDemand::upper_curve(EventCount k_max) const {
+  return workload::extract_upper_dense(unroll(pattern_, k_max), k_max);
+}
+
+workload::WorkloadCurve CyclicDemand::lower_curve(EventCount k_max) const {
+  return workload::extract_lower_dense(unroll(pattern_, k_max), k_max);
+}
+
+UniformRandomDemand::UniformRandomDemand(Cycles lo, Cycles hi, std::uint64_t seed)
+    : lo_(lo), hi_(hi), seed_(seed), rng_(seed) {
+  WLC_REQUIRE(0 <= lo && lo <= hi, "need 0 <= lo <= hi");
+}
+
+Cycles UniformRandomDemand::next() { return rng_.uniform_int(lo_, hi_); }
+
+void UniformRandomDemand::reset() { rng_ = common::Rng(seed_); }
+
+}  // namespace wlc::sched

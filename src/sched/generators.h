@@ -1,0 +1,76 @@
+// Per-job execution-demand generators for the scheduling simulator, each
+// paired with the exact workload curve of the sequences it emits — so
+// analysis (eq. (4)) and simulation can be cross-validated: a set the
+// curve-based test accepts must never miss a deadline in simulation when
+// demands come from these generators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::sched {
+
+/// Produces the demand of successive jobs of one task.
+class DemandGenerator {
+ public:
+  virtual ~DemandGenerator() = default;
+  virtual Cycles next() = 0;
+  /// Restart from the first job.
+  virtual void reset() = 0;
+};
+
+/// Every job costs the same.
+class FixedDemand final : public DemandGenerator {
+ public:
+  explicit FixedDemand(Cycles c);
+  Cycles next() override { return c_; }
+  void reset() override {}
+
+ private:
+  Cycles c_;
+};
+
+/// Jobs cycle deterministically through a pattern (e.g. the per-frame-type
+/// demands of an MPEG GOP: I, B, B, P, …). Its exact workload curves are the
+/// sliding-window extrema over the infinite repetition.
+class CyclicDemand final : public DemandGenerator {
+ public:
+  /// `phase` rotates the starting position (still covered by the curves,
+  /// which bound every window of the infinite repetition).
+  explicit CyclicDemand(std::vector<Cycles> pattern, std::size_t phase = 0);
+
+  Cycles next() override;
+  void reset() override { pos_ = phase_; }
+
+  /// Exact γᵘ/γˡ of the infinite repetition, for k = 0..k_max.
+  workload::WorkloadCurve upper_curve(EventCount k_max) const;
+  workload::WorkloadCurve lower_curve(EventCount k_max) const;
+
+  const std::vector<Cycles>& pattern() const { return pattern_; }
+
+ private:
+  std::vector<Cycles> pattern_;
+  std::size_t phase_;
+  std::size_t pos_;
+};
+
+/// Independent uniform demands in [lo, hi] (seeded, reproducible). Its only
+/// guaranteed workload curves are the WCET/BCET cones.
+class UniformRandomDemand final : public DemandGenerator {
+ public:
+  UniformRandomDemand(Cycles lo, Cycles hi, std::uint64_t seed);
+  Cycles next() override;
+  void reset() override;
+
+ private:
+  Cycles lo_;
+  Cycles hi_;
+  std::uint64_t seed_;
+  common::Rng rng_;
+};
+
+}  // namespace wlc::sched

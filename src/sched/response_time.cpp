@@ -1,0 +1,73 @@
+#include "sched/response_time.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wlc::sched {
+
+namespace {
+
+/// Demand (cycles) of m jobs of task j under the chosen model.
+Cycles jobs_demand(const PeriodicTask& t, EventCount m, bool use_curve) {
+  return use_curve ? t.demand(m) : m * t.wcet;
+}
+
+/// Smallest t >= lower with f·t >= own + Σ_{j<i} demand_j(⌈t/T_j⌉).
+/// Standard fixed-point iteration; nullopt if it exceeds `limit`.
+std::optional<TimeSec> fixed_point(const TaskSet& tasks, std::size_t i, Cycles own, Hertz f,
+                                   TimeSec lower, TimeSec limit, bool use_curve) {
+  TimeSec t = std::max(lower, static_cast<double>(own) / f);
+  for (int iter = 0; iter < 100000; ++iter) {
+    Cycles demand = own;
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto m = static_cast<EventCount>(std::ceil(t / tasks[j].period - 1e-12));
+      demand += jobs_demand(tasks[j], std::max<EventCount>(m, 1), use_curve);
+    }
+    const TimeSec next = static_cast<double>(demand) / f;
+    if (next > limit) return std::nullopt;
+    if (next <= t + 1e-15) return std::max(t, next);
+    t = next;
+  }
+  return std::nullopt;
+}
+
+std::optional<ResponseTimes> analyze(const TaskSet& input, Hertz f, int horizon_periods,
+                                     bool use_curve) {
+  WLC_REQUIRE(!input.empty(), "need at least one task");
+  WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
+  const TaskSet tasks = rate_monotonic_order(input);
+  ResponseTimes out;
+  out.per_task.reserve(tasks.size());
+  out.schedulable = true;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TimeSec limit = static_cast<double>(horizon_periods) * tasks[i].period;
+    TimeSec worst = 0.0;
+    // Walk the level-i busy period job by job.
+    for (EventCount q = 0;; ++q) {
+      const Cycles own = jobs_demand(tasks[i], q + 1, use_curve);
+      const TimeSec release = static_cast<double>(q) * tasks[i].period;
+      const auto finish = fixed_point(tasks, i, own, f, release, limit, use_curve);
+      if (!finish) return std::nullopt;  // saturated: busy period never closes
+      worst = std::max(worst, *finish - release);
+      if (*finish <= static_cast<double>(q + 1) * tasks[i].period + 1e-15) break;
+    }
+    out.per_task.push_back(worst);
+    if (worst > tasks[i].deadline + 1e-12) out.schedulable = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ResponseTimes> response_times_wcet(const TaskSet& tasks, Hertz f,
+                                                 int horizon_periods) {
+  return analyze(tasks, f, horizon_periods, /*use_curve=*/false);
+}
+
+std::optional<ResponseTimes> response_times_curve(const TaskSet& tasks, Hertz f,
+                                                  int horizon_periods) {
+  return analyze(tasks, f, horizon_periods, /*use_curve=*/true);
+}
+
+}  // namespace wlc::sched

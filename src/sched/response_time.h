@@ -1,0 +1,39 @@
+// Worst-case response-time analysis for fixed-priority preemptive
+// scheduling — classical iteration (Joseph & Pandya) and a workload-curve
+// refinement over the level-i busy period.
+//
+// Classical (every job at WCET):
+//   R_i = C_i + Σ_{j<i} ⌈R_i/T_j⌉ · C_j   (smallest fixed point), C = wcet/f.
+//
+// Workload-curve variant: within one level-i busy period the q-th job of
+// task i (q = 0, 1, …) finishes at the smallest t with
+//
+//   f·t = γᵘ_i(q+1) + Σ_{j<i} γᵘ_j(⌈t/T_j⌉),
+//
+// and R_i = max_q ( finish(q) − q·T_i ), the busy period ending at the first
+// q with finish(q) <= (q+1)·T_i. Demand correlation is kept both across the
+// interfering tasks' jobs and across task i's own successive jobs — the same
+// mechanism that tightens eq. (4) against eq. (3).
+#pragma once
+
+#include <optional>
+
+#include "sched/task.h"
+
+namespace wlc::sched {
+
+struct ResponseTimes {
+  std::vector<TimeSec> per_task;  ///< worst-case response time, priority order
+  bool schedulable = false;       ///< every response time <= its deadline
+};
+
+/// Classical RTA at clock f. Returns nullopt for task sets that saturate the
+/// processor (the iteration diverges past `horizon_periods`·T_i).
+std::optional<ResponseTimes> response_times_wcet(const TaskSet& tasks, Hertz f,
+                                                 int horizon_periods = 1000);
+
+/// Workload-curve RTA at clock f (falls back to WCET for curve-less tasks).
+std::optional<ResponseTimes> response_times_curve(const TaskSet& tasks, Hertz f,
+                                                  int horizon_periods = 1000);
+
+}  // namespace wlc::sched

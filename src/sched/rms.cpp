@@ -1,0 +1,76 @@
+#include "sched/rms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.h"
+
+namespace wlc::sched {
+
+namespace {
+
+/// Cumulative demand of tasks 0..i in [0, t] under the chosen model.
+double cumulative_demand(const TaskSet& tasks, std::size_t i, TimeSec t, DemandModel model) {
+  double w = 0.0;
+  for (std::size_t j = 0; j <= i; ++j) {
+    const auto arrivals = static_cast<EventCount>(std::ceil(t / tasks[j].period - 1e-12));
+    if (model == DemandModel::WorkloadCurve)
+      w += static_cast<double>(tasks[j].demand(arrivals));
+    else
+      w += static_cast<double>(arrivals * tasks[j].wcet);
+  }
+  return w;
+}
+
+}  // namespace
+
+RmsLoad lehoczky_test(const TaskSet& input, Hertz f, DemandModel model) {
+  WLC_REQUIRE(!input.empty(), "need at least one task");
+  WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
+  const TaskSet tasks = rate_monotonic_order(input);
+  for (const auto& t : tasks) {
+    WLC_REQUIRE(t.period > 0.0, "task periods must be positive");
+    WLC_REQUIRE(t.deadline == t.period, "the Lehoczky test assumes deadline == period");
+  }
+
+  RmsLoad out;
+  out.per_task.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // Scheduling points: multiples of the periods of tasks 0..i up to T_i.
+    std::set<TimeSec> points;
+    for (std::size_t j = 0; j <= i; ++j)
+      for (TimeSec t = tasks[j].period; t <= tasks[i].period * (1.0 + 1e-12);
+           t += tasks[j].period)
+        points.insert(std::min(t, tasks[i].period));
+    double li = std::numeric_limits<double>::infinity();
+    for (TimeSec t : points)
+      li = std::min(li, cumulative_demand(tasks, i, t, model) / (f * t));
+    out.per_task.push_back(li);
+    out.overall = std::max(out.overall, li);
+  }
+  out.schedulable = out.overall <= 1.0;
+  return out;
+}
+
+double liu_layland_bound(std::size_t n) {
+  WLC_REQUIRE(n >= 1, "need at least one task");
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+Hertz min_schedulable_frequency(const TaskSet& tasks, DemandModel model, Hertz f_lo, Hertz f_hi) {
+  WLC_REQUIRE(0.0 < f_lo && f_lo < f_hi, "need a valid frequency bracket");
+  WLC_REQUIRE(lehoczky_test(tasks, f_hi, model).schedulable,
+              "task set unschedulable even at the upper frequency bracket");
+  Hertz lo = f_lo;
+  Hertz hi = f_hi;
+  if (lehoczky_test(tasks, lo, model).schedulable) return lo;
+  for (int i = 0; i < 200 && hi - lo > 1e-9 * hi; ++i) {
+    const Hertz mid = 0.5 * (lo + hi);
+    (lehoczky_test(tasks, mid, model).schedulable ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace wlc::sched

@@ -1,0 +1,45 @@
+// Rate-monotonic schedulability — the classical exact test of Lehoczky, Sha
+// and Ding (paper eq. (3)) and the paper's workload-curve refinement
+// (eq. (4)).
+//
+//   W_i(t)  = Σ_{j<=i} C_j · ⌈t/T_j⌉            (3)  — every job at WCET
+//   W'_i(t) = Σ_{j<=i} γᵘ_j(⌈t/T_j⌉)            (4)  — demand correlation kept
+//
+//   L_i = min_{0<t<=T_i} W_i(t)/(f·t),  L = max_i L_i;  schedulable iff L <= 1.
+//
+// Because γᵘ_j(m) <= m·C_j by definition, W' <= W pointwise, so L' <= L
+// (paper eq. (5)): the refined test never rejects a set the classical test
+// accepts, and the benches show a band it alone accepts.
+//
+// The minimization over t is exact on the standard testing set
+// S_i = { k·T_j : j <= i, k = 1..⌊T_i/T_j⌋ } ∪ { T_i } (scheduling points).
+#pragma once
+
+#include "sched/task.h"
+
+namespace wlc::sched {
+
+struct RmsLoad {
+  std::vector<double> per_task;  ///< L_i, indexed like the priority-ordered set
+  double overall = 0.0;          ///< L = max_i L_i
+  bool schedulable = false;      ///< L <= 1
+};
+
+enum class DemandModel {
+  WcetOnly,       ///< eq. (3)
+  WorkloadCurve,  ///< eq. (4); falls back to WCET for tasks without a curve
+};
+
+/// Runs the exact test at clock `f`. Tasks are re-sorted rate-monotonically;
+/// requires deadline == period for every task.
+RmsLoad lehoczky_test(const TaskSet& tasks, Hertz f, DemandModel model);
+
+/// Liu & Layland sufficient utilization bound n(2^{1/n} − 1) for n tasks.
+double liu_layland_bound(std::size_t n);
+
+/// Smallest clock frequency at which the set passes the exact test (binary
+/// search over f; the test is monotone in f).
+Hertz min_schedulable_frequency(const TaskSet& tasks, DemandModel model, Hertz f_lo = 1.0,
+                                Hertz f_hi = 1e12);
+
+}  // namespace wlc::sched

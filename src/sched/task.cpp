@@ -1,0 +1,37 @@
+#include "sched/task.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::sched {
+
+TaskSet rate_monotonic_order(TaskSet tasks) {
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const PeriodicTask& a, const PeriodicTask& b) { return a.period < b.period; });
+  return tasks;
+}
+
+double utilization_wcet(const TaskSet& tasks, Hertz f) {
+  WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
+  double u = 0.0;
+  for (const auto& t : tasks) {
+    WLC_REQUIRE(t.period > 0.0, "task periods must be positive");
+    u += static_cast<double>(t.wcet) / (t.period * f);
+  }
+  return u;
+}
+
+double utilization_longrun(const TaskSet& tasks, Hertz f) {
+  WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
+  double u = 0.0;
+  for (const auto& t : tasks) {
+    WLC_REQUIRE(t.period > 0.0, "task periods must be positive");
+    const double per_job =
+        t.gamma_u ? t.gamma_u->long_run_demand() : static_cast<double>(t.wcet);
+    u += per_job / (t.period * f);
+  }
+  return u;
+}
+
+}  // namespace wlc::sched

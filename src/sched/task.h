@@ -1,0 +1,47 @@
+// Periodic task model for the fixed-priority analyses of the paper's §3.1.
+//
+// Demands are in processor cycles; the analyses take the processor clock
+// frequency separately so the same task set can be sized across clocks
+// (matching the paper's frequency-sizing theme). A task optionally carries
+// an upper workload curve γᵘ refining its per-job WCET; eq. (4) uses it,
+// eq. (3) ignores it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::sched {
+
+struct PeriodicTask {
+  std::string name;
+  TimeSec period = 0.0;
+  TimeSec deadline = 0.0;  ///< relative; the Lehoczky test assumes == period
+  Cycles wcet = 0;         ///< per-job worst case (γᵘ(1) if a curve is given)
+  std::optional<workload::WorkloadCurve> gamma_u;  ///< optional refinement
+
+  /// Worst-case cycles of any m consecutive jobs: γᵘ(m) when a curve is
+  /// attached, m·WCET otherwise.
+  Cycles demand(EventCount m) const {
+    if (gamma_u) return gamma_u->value(m);
+    return m * wcet;
+  }
+};
+
+using TaskSet = std::vector<PeriodicTask>;
+
+/// Rate-monotonic priority order: ascending period (stable). Index 0 ends up
+/// the highest-priority task, matching the paper's labelling T1 <= ... <= Tn.
+TaskSet rate_monotonic_order(TaskSet tasks);
+
+/// Σ wcet_i / (period_i · f) — classical utilization at clock f.
+double utilization_wcet(const TaskSet& tasks, Hertz f);
+
+/// Long-run utilization using each curve's demand growth over its exact
+/// range (equals utilization_wcet when no curves are attached).
+double utilization_longrun(const TaskSet& tasks, Hertz f);
+
+}  // namespace wlc::sched

@@ -1,0 +1,28 @@
+#include "sim/kernel.h"
+
+#include "common/assert.h"
+
+namespace wlc::sim {
+
+void Simulator::schedule(TimeSec t, Handler fn) {
+  WLC_REQUIRE(t >= now_, "cannot schedule into the past");
+  WLC_REQUIRE(fn != nullptr, "handler must be callable");
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+std::int64_t Simulator::run(TimeSec until) {
+  std::int64_t executed = 0;
+  while (!queue_.empty() && queue_.top().t <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the handler (cheap relative to simulated work).
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.t;
+    e.fn();
+    ++executed;
+  }
+  if (!queue_.empty() && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace wlc::sim

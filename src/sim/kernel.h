@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation kernel.
+//
+// A time-ordered event queue with deterministic tie-breaking (insertion
+// order at equal timestamps). Components (see components.h) schedule
+// closures against it — the transaction-level stand-in for the paper's
+// SystemC/SimpleScalar platform model, sufficient because the case study
+// only needs event ordering and cycle-accurate service times, not
+// microarchitecture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlc::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void schedule(TimeSec t, Handler fn);
+  /// Schedules `fn` `dt` seconds from now.
+  void schedule_in(TimeSec dt, Handler fn) { schedule(now_ + dt, std::move(fn)); }
+
+  /// Runs events in time order until the queue drains or the next event is
+  /// past `until`. Returns the number of events executed.
+  std::int64_t run(TimeSec until = 1e300);
+
+  TimeSec now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    TimeSec t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeSec now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace wlc::sim

@@ -1,0 +1,57 @@
+#include "trace/arrival_curve.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::trace {
+
+EmpiricalArrivalCurve::EmpiricalArrivalCurve(Bound bound,
+                                             std::vector<std::pair<TimeSec, EventCount>> points)
+    : bound_(bound), points_(std::move(points)) {
+  WLC_REQUIRE(!points_.empty(), "arrival curve needs at least one breakpoint");
+  WLC_REQUIRE(points_.front().first == 0.0, "first breakpoint must be at delta = 0");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    WLC_REQUIRE(points_[i - 1].first < points_[i].first, "breakpoints must strictly increase");
+    WLC_REQUIRE(points_[i - 1].second <= points_[i].second, "values must be non-decreasing");
+  }
+}
+
+EventCount EmpiricalArrivalCurve::eval(TimeSec delta) const {
+  WLC_REQUIRE(delta >= 0.0, "window length must be non-negative");
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), delta,
+      [](TimeSec v, const std::pair<TimeSec, EventCount>& p) { return v < p.first; });
+  WLC_ASSERT(it != points_.begin());
+  return std::prev(it)->second;
+}
+
+double EmpiricalArrivalCurve::long_run_rate() const {
+  if (points_.back().first <= 0.0) return 0.0;
+  return static_cast<double>(points_.back().second) / points_.back().first;
+}
+
+EmpiricalArrivalCurve EmpiricalArrivalCurve::combine(const EmpiricalArrivalCurve& a,
+                                                     const EmpiricalArrivalCurve& b) {
+  WLC_REQUIRE(a.bound() == b.bound(), "can only combine curves of the same bound kind");
+  std::vector<TimeSec> xs;
+  xs.reserve(a.points_.size() + b.points_.size());
+  for (const auto& p : a.points_) xs.push_back(p.first);
+  for (const auto& p : b.points_) xs.push_back(p.first);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  const bool upper = a.bound() == Bound::Upper;
+  std::vector<std::pair<TimeSec, EventCount>> pts;
+  pts.reserve(xs.size());
+  for (TimeSec x : xs) {
+    const EventCount va = a.eval(x);
+    const EventCount vb = b.eval(x);
+    const EventCount v = upper ? std::max(va, vb) : std::min(va, vb);
+    if (!pts.empty() && pts.back().second == v) continue;
+    pts.emplace_back(x, v);
+  }
+  return EmpiricalArrivalCurve(a.bound(), std::move(pts));
+}
+
+}  // namespace wlc::trace

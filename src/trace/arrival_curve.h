@@ -1,0 +1,53 @@
+// Empirical event-arrival curves ᾱ(Δ) extracted from timestamp traces.
+//
+// ᾱᵘ(Δ) bounds from above the number of events seen in any closed window
+// [t, t+Δ] of the observed trace; ᾱˡ(Δ) bounds it from below for windows
+// inside the observation interval. Values are exact integers; between the
+// extraction grid's breakpoints the curve steps conservatively (up for the
+// upper bound, down for the lower bound), so the object is sound for the
+// trace it was extracted from at every Δ — the paper's §2 caveat that
+// trace-derived curves certify that trace (or trace family) only, not the
+// open environment, applies unchanged.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlc::trace {
+
+class EmpiricalArrivalCurve {
+ public:
+  enum class Bound { Upper, Lower };
+
+  /// Breakpoints (Δᵢ, kᵢ): Δ strictly increasing starting at 0, k
+  /// non-decreasing. eval uses floor semantics: the value at the largest
+  /// breakpoint with Δᵢ <= Δ; beyond the last breakpoint the curve is flat
+  /// (sound for an observed trace: Upper saturates at the trace length,
+  /// Lower simply stops growing).
+  EmpiricalArrivalCurve(Bound bound, std::vector<std::pair<TimeSec, EventCount>> points);
+
+  EventCount eval(TimeSec delta) const;
+
+  Bound bound() const { return bound_; }
+  const std::vector<std::pair<TimeSec, EventCount>>& points() const { return points_; }
+  /// Largest breakpoint position (the curve is flat after it).
+  TimeSec last_breakpoint() const { return points_.back().first; }
+  /// Largest value (reached at/after the last breakpoint).
+  EventCount max_events() const { return points_.back().second; }
+  /// max_events / last_breakpoint — the observed long-run event rate.
+  double long_run_rate() const;
+
+  /// Pointwise max of two upper curves (resp. min of two lower curves) —
+  /// the cross-trace combination used by the paper's case study ("taking
+  /// maximum over all respective curves of individual video clips").
+  static EmpiricalArrivalCurve combine(const EmpiricalArrivalCurve& a,
+                                       const EmpiricalArrivalCurve& b);
+
+ private:
+  Bound bound_;
+  std::vector<std::pair<TimeSec, EventCount>> points_;
+};
+
+}  // namespace wlc::trace

@@ -1,0 +1,49 @@
+// Extraction of empirical arrival curves from timestamp traces via the
+// span-inversion method.
+//
+// Instead of sweeping windows of every length Δ (quadratic in time
+// resolution), we invert the problem: for each event count k compute
+//
+//   minspan(k) = min_i ( t[i+k-1] - t[i] )   — tightest k events ever get,
+//   maxspan(k) = max_i ( t[i+k-1] - t[i] )   — loosest k consecutive events,
+//
+// each O(n) per k. Then, for closed windows,
+//
+//   ᾱᵘ(Δ) = max{ k : minspan(k) <= Δ },
+//   ᾱˡ(Δ) = max{ k : maxspan(k+1) <= Δ }   (a window of length Δ always
+//            contains >= k events iff every k+1 consecutive events span <= Δ,
+//            windows restricted to the observation interval).
+//
+// Computed on a KGrid of k values; between grid points the resulting step
+// curves take the conservative side (see arrival_curve.h). For the upper
+// curve the full trace length is always appended to the grid so the top
+// step is sound.
+#pragma once
+
+#include <span>
+
+#include "trace/arrival_curve.h"
+#include "trace/traces.h"
+
+namespace wlc::trace {
+
+/// minspan(k) for each k in `ks` (each k must satisfy 1 <= k <= trace size).
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks);
+/// maxspan(k) for each k in `ks`.
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks);
+
+/// Upper arrival curve of the trace on the given k-grid (trace length is
+/// appended automatically). Requires a non-empty, time-ordered trace.
+EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks);
+
+/// Lower arrival curve of the trace on the given k-grid.
+EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks);
+
+/// Reference implementation — direct window sweep at one Δ; O(n). Used by
+/// tests to validate the span-inversion extractors.
+EventCount max_events_in_window(const TimestampTrace& ts, TimeSec delta);
+EventCount min_events_in_window(const TimestampTrace& ts, TimeSec delta);
+
+}  // namespace wlc::trace

@@ -1,0 +1,87 @@
+#include "trace/event_gen.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::trace {
+
+namespace {
+void validate_pjd(const PjdModel& m) {
+  WLC_REQUIRE(m.period > 0.0, "period must be positive");
+  WLC_REQUIRE(m.jitter >= 0.0, "jitter must be non-negative");
+  WLC_REQUIRE(m.min_spacing >= 0.0 && m.min_spacing <= m.period,
+              "need 0 <= min_spacing <= period");
+}
+}  // namespace
+
+curve::PwlCurve PjdModel::upper_curve(TimeSec horizon) const {
+  validate_pjd(*this);
+  if (min_spacing <= 0.0) return curve::PwlCurve::periodic_upper(period, jitter);
+  return curve::PwlCurve::pjd_upper(period, jitter, min_spacing, horizon);
+}
+
+curve::PwlCurve PjdModel::lower_curve() const {
+  validate_pjd(*this);
+  return curve::PwlCurve::periodic_lower(period, jitter);
+}
+
+TimestampTrace PjdModel::generate(EventCount n, common::Rng& rng) const {
+  validate_pjd(*this);
+  WLC_REQUIRE(n >= 1, "need at least one event");
+  TimestampTrace ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (EventCount i = 0; i < n; ++i) {
+    // Nominal release i·P displaced into [i·P, i·P + J]; the minimum spacing
+    // can only push events later, which (with d <= P) keeps t_i <= i·P + J.
+    double t = static_cast<double>(i) * period + rng.uniform(0.0, jitter);
+    if (!ts.empty()) t = std::max(t, ts.back() + min_spacing);
+    ts.push_back(t);
+  }
+  return ts;
+}
+
+TimestampTrace PjdModel::generate_adversarial(EventCount n) const {
+  validate_pjd(*this);
+  WLC_REQUIRE(n >= 1, "need at least one event");
+  // Maximal compression: the first half runs maximally late (+J), the second
+  // half on time — at the seam the stream realizes the upper curve's densest
+  // window (span (k-1)·P − J, clipped by the minimum spacing).
+  TimestampTrace ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (EventCount i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) * period + (i < n / 2 ? jitter : 0.0);
+    if (!ts.empty()) t = std::max(t, ts.back() + min_spacing);
+    ts.push_back(t);
+  }
+  return ts;
+}
+
+curve::PwlCurve SporadicModel::upper_curve() const {
+  WLC_REQUIRE(0.0 < t_min && t_min <= t_max, "need 0 < t_min <= t_max");
+  return curve::PwlCurve::staircase(1.0, 1.0, t_min, t_min);  // ⌊Δ/t_min⌋ + 1
+}
+
+curve::PwlCurve SporadicModel::lower_curve() const {
+  WLC_REQUIRE(0.0 < t_min && t_min <= t_max, "need 0 < t_min <= t_max");
+  return curve::PwlCurve::periodic_lower(t_max);  // ⌊Δ/t_max⌋
+}
+
+TimestampTrace SporadicModel::generate(EventCount n, common::Rng& rng) const {
+  WLC_REQUIRE(0.0 < t_min && t_min <= t_max, "need 0 < t_min <= t_max");
+  WLC_REQUIRE(n >= 1, "need at least one event");
+  TimestampTrace ts{0.0};
+  for (EventCount i = 1; i < n; ++i) ts.push_back(ts.back() + rng.uniform(t_min, t_max));
+  return ts;
+}
+
+TimestampTrace SporadicModel::generate_adversarial(EventCount n) const {
+  WLC_REQUIRE(0.0 < t_min && t_min <= t_max, "need 0 < t_min <= t_max");
+  WLC_REQUIRE(n >= 1, "need at least one event");
+  TimestampTrace ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (EventCount i = 0; i < n; ++i) ts.push_back(static_cast<double>(i) * t_min);
+  return ts;
+}
+
+}  // namespace wlc::trace

@@ -1,0 +1,50 @@
+// Conforming event-stream generators.
+//
+// The dual of extraction: given an *analytic* event model (the kind used for
+// hard real-time guarantees), generate concrete timestamp traces that
+// provably conform to its arrival curves — including adversarial ones that
+// push against the upper bound. Used to validate analyses end-to-end
+// (any analysis result derived from the model must hold on every generated
+// trace) and to drive the simulators with specification-level inputs.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "curve/pwl_curve.h"
+#include "trace/traces.h"
+
+namespace wlc::trace {
+
+/// Periodic stream with bounded jitter and a minimum spacing (the classical
+/// PJD event model): event i nominally at i·period, displaced by at most
+/// `jitter`, never closer than `min_spacing` to its predecessor.
+struct PjdModel {
+  TimeSec period = 1.0;
+  TimeSec jitter = 0.0;
+  TimeSec min_spacing = 0.0;  ///< 0: only the period constrains spacing
+
+  /// Upper/lower arrival curves of the model (closed-window convention).
+  curve::PwlCurve upper_curve(TimeSec horizon) const;
+  curve::PwlCurve lower_curve() const;
+
+  /// Random conforming trace of n events.
+  TimestampTrace generate(EventCount n, common::Rng& rng) const;
+  /// Adversarial conforming trace: maximal early/late displacement pattern
+  /// (front-loaded bursts) that stresses the upper curve.
+  TimestampTrace generate_adversarial(EventCount n) const;
+};
+
+/// Sporadic stream: inter-arrival times drawn from [t_min, t_max].
+struct SporadicModel {
+  TimeSec t_min = 1.0;
+  TimeSec t_max = 2.0;
+
+  curve::PwlCurve upper_curve() const;  ///< ⌊Δ/t_min⌋ + 1
+  curve::PwlCurve lower_curve() const;  ///< ⌊Δ/t_max⌋
+
+  TimestampTrace generate(EventCount n, common::Rng& rng) const;
+  /// Back-to-back at t_min — the exact worst case of the upper curve.
+  TimestampTrace generate_adversarial(EventCount n) const;
+};
+
+}  // namespace wlc::trace

@@ -1,0 +1,42 @@
+#include "trace/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wlc::trace {
+
+void write_event_trace_csv(std::ostream& os, const EventTrace& t) {
+  os << "time,type,demand\n";
+  os.precision(12);
+  for (const auto& e : t) os << e.time << ',' << e.type << ',' << e.demand << '\n';
+}
+
+EventTrace read_event_trace_csv(std::istream& is) {
+  EventTrace out;
+  std::string line;
+  if (!std::getline(is, line)) throw std::invalid_argument("empty trace file");
+  if (line != "time,type,demand")
+    throw std::invalid_argument("unexpected trace header: " + line);
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    EventRecord e;
+    char c1 = 0, c2 = 0;
+    if (!(row >> e.time >> c1 >> e.type >> c2 >> e.demand) || c1 != ',' || c2 != ',')
+      throw std::invalid_argument("malformed trace row at line " + std::to_string(lineno));
+    out.push_back(e);
+  }
+  return out;
+}
+
+void write_arrival_curve_csv(std::ostream& os, const EmpiricalArrivalCurve& c) {
+  os << "delta,events\n";
+  os.precision(12);
+  for (const auto& [x, y] : c.points()) os << x << ',' << y << '\n';
+}
+
+}  // namespace wlc::trace

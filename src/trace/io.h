@@ -1,0 +1,23 @@
+// CSV persistence for traces and curve breakpoints, so experiments can dump
+// their inputs/outputs for external plotting and so tests can use golden
+// files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/arrival_curve.h"
+#include "trace/traces.h"
+
+namespace wlc::trace {
+
+/// Writes "time,type,demand" rows (with header).
+void write_event_trace_csv(std::ostream& os, const EventTrace& t);
+/// Parses the format written by write_event_trace_csv. Throws
+/// std::invalid_argument on malformed input.
+EventTrace read_event_trace_csv(std::istream& is);
+
+/// Writes "delta,events" breakpoint rows (with header).
+void write_arrival_curve_csv(std::ostream& os, const EmpiricalArrivalCurve& c);
+
+}  // namespace wlc::trace

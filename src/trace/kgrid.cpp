@@ -1,0 +1,27 @@
+#include "trace/kgrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wlc::trace {
+
+std::vector<std::int64_t> make_kgrid(const KGridSpec& spec) {
+  WLC_REQUIRE(spec.max_k >= 1, "grid needs max_k >= 1");
+  WLC_REQUIRE(spec.growth > 1.0, "geometric growth factor must exceed 1");
+  const std::int64_t dense = std::min(std::max<std::int64_t>(spec.dense_limit, 1), spec.max_k);
+  std::vector<std::int64_t> ks;
+  for (std::int64_t k = 1; k <= dense; ++k) ks.push_back(k);
+  double next = static_cast<double>(dense) * spec.growth;
+  while (ks.back() < spec.max_k) {
+    auto k = static_cast<std::int64_t>(std::llround(next));
+    k = std::max(k, ks.back() + 1);
+    k = std::min(k, spec.max_k);
+    ks.push_back(k);
+    next = static_cast<double>(k) * spec.growth;
+  }
+  return ks;
+}
+
+}  // namespace wlc::trace

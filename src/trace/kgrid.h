@@ -1,0 +1,29 @@
+// Window-size grids for trace analysis.
+//
+// Computing a workload curve γ(k) or a min-span arrival curve exactly for
+// *every* k up to a 24-frame window (38 880 macroblocks in the paper's case
+// study) over long traces is Θ(n·k_max) — prohibitive. The standard remedy,
+// used here, is an exact computation on a *grid* of window sizes: every k up
+// to `dense_limit` (where curves bend the most and bounds are most
+// sensitive), then geometrically spaced sizes up to `max_k`. Between grid
+// points the curve objects interpolate conservatively (step up for upper
+// bounds, step down for lower bounds), so tightness degrades gracefully but
+// soundness never does. DESIGN.md §5(1) calls this choice out for ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wlc::trace {
+
+struct KGridSpec {
+  std::int64_t max_k = 0;        ///< largest window size to characterize
+  std::int64_t dense_limit = 0;  ///< every k in [1, dense_limit] exactly
+  double growth = 1.10;          ///< geometric factor beyond the dense region
+};
+
+/// Strictly increasing window sizes: 1..dense_limit, then geometric growth,
+/// always including max_k itself. dense_limit is clamped to max_k.
+std::vector<std::int64_t> make_kgrid(const KGridSpec& spec);
+
+}  // namespace wlc::trace

@@ -1,0 +1,26 @@
+#include "trace/traces.h"
+
+#include <algorithm>
+
+namespace wlc::trace {
+
+DemandTrace demands_of(const EventTrace& t) {
+  DemandTrace out;
+  out.reserve(t.size());
+  for (const auto& e : t) out.push_back(e.demand);
+  return out;
+}
+
+TimestampTrace timestamps_of(const EventTrace& t) {
+  TimestampTrace out;
+  out.reserve(t.size());
+  for (const auto& e : t) out.push_back(e.time);
+  return out;
+}
+
+bool is_time_ordered(const EventTrace& t) {
+  return std::is_sorted(t.begin(), t.end(),
+                        [](const EventRecord& a, const EventRecord& b) { return a.time < b.time; });
+}
+
+}  // namespace wlc::trace

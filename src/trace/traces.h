@@ -1,0 +1,37 @@
+// Trace containers shared by the extractors, the simulators and the MPEG-2
+// workload model.
+//
+// A trace records what the paper's SystemC/SimpleScalar simulator would have
+// produced: for each task activation (event) its arrival/emission time, an
+// event-type id and the execution demand it imposed on the processor.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlc::trace {
+
+/// One task activation.
+struct EventRecord {
+  TimeSec time = 0.0;  ///< arrival time at the observed component (seconds)
+  int type = 0;        ///< event-type id (meaning defined by the producer)
+  Cycles demand = 0;   ///< processor cycles this activation requires
+};
+
+using EventTrace = std::vector<EventRecord>;
+
+/// Per-activation execution demands, order preserved, timing dropped.
+using DemandTrace = std::vector<Cycles>;
+
+/// Arrival instants, non-decreasing.
+using TimestampTrace = std::vector<TimeSec>;
+
+/// Projections.
+DemandTrace demands_of(const EventTrace& t);
+TimestampTrace timestamps_of(const EventTrace& t);
+
+/// True if timestamps are non-decreasing.
+bool is_time_ordered(const EventTrace& t);
+
+}  // namespace wlc::trace

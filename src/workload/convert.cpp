@@ -1,0 +1,60 @@
+#include "workload/convert.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+curve::DiscreteCurve cycle_arrival_upper(const trace::EmpiricalArrivalCurve& events,
+                                         const WorkloadCurve& gamma_u, double dt, std::size_t n) {
+  WLC_REQUIRE(events.bound() == trace::EmpiricalArrivalCurve::Bound::Upper,
+              "composition needs an upper arrival curve");
+  WLC_REQUIRE(gamma_u.bound() == Bound::Upper, "composition needs γᵘ");
+  WLC_REQUIRE(n > 0 && dt > 0.0, "need a non-empty grid");
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<double>(gamma_u.value(events.eval(dt * static_cast<double>(i))));
+  return curve::DiscreteCurve(std::move(v), dt);
+}
+
+curve::DiscreteCurve cycle_arrival_lower(const trace::EmpiricalArrivalCurve& events,
+                                         const WorkloadCurve& gamma_l, double dt, std::size_t n) {
+  WLC_REQUIRE(events.bound() == trace::EmpiricalArrivalCurve::Bound::Lower,
+              "composition needs a lower arrival curve");
+  WLC_REQUIRE(gamma_l.bound() == Bound::Lower, "composition needs γˡ");
+  WLC_REQUIRE(n > 0 && dt > 0.0, "need a non-empty grid");
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<double>(gamma_l.value(events.eval(dt * static_cast<double>(i))));
+  return curve::DiscreteCurve(std::move(v), dt);
+}
+
+curve::DiscreteCurve event_service_lower(const curve::DiscreteCurve& beta_cycles,
+                                         const WorkloadCurve& gamma_u) {
+  WLC_REQUIRE(gamma_u.bound() == Bound::Upper, "cycle→event service conversion needs γᵘ");
+  std::vector<double> v(beta_cycles.size());
+  for (std::size_t i = 0; i < beta_cycles.size(); ++i) {
+    // Round the cycle budget down before inverting — fractional cycles can
+    // never complete an extra event.
+    const auto budget = static_cast<Cycles>(std::floor(std::max(0.0, beta_cycles[i])));
+    v[i] = static_cast<double>(gamma_u.inverse(budget));
+  }
+  return curve::DiscreteCurve(std::move(v), beta_cycles.dt());
+}
+
+curve::DiscreteCurve event_service_upper(const curve::DiscreteCurve& beta_upper_cycles,
+                                         const WorkloadCurve& gamma_l) {
+  WLC_REQUIRE(gamma_l.bound() == Bound::Lower, "upper cycle→event conversion needs γˡ");
+  std::vector<double> v(beta_upper_cycles.size());
+  for (std::size_t i = 0; i < beta_upper_cycles.size(); ++i) {
+    // max{k : γˡ(k) <= e} = min{k : γˡ(k) >= e+1} - 1 for integer demands:
+    // completing k events costs at least γˡ(k), so the supplied budget caps k.
+    const auto budget = static_cast<Cycles>(std::ceil(std::max(0.0, beta_upper_cycles[i])));
+    v[i] = static_cast<double>(gamma_l.inverse(budget + 1) - 1);
+  }
+  return curve::DiscreteCurve(std::move(v), beta_upper_cycles.dt());
+}
+
+}  // namespace wlc::workload

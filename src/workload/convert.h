@@ -1,0 +1,42 @@
+// Event-domain ↔ cycle-domain curve conversion (the paper's Fig. 4).
+//
+// A processing node's service curve β(Δ) lives in processor cycles while an
+// event stream's arrival curve ᾱ(Δ) counts events; eq. (6)'s subtraction
+// needs both in common units. The paper's contribution is to use workload
+// curves (instead of a constant WCET factor) for the conversion:
+//
+//   events → cycles:  α(Δ)  = γᵘ(ᾱᵘ(Δ))        (upper),  γˡ(ᾱˡ(Δ)) (lower)
+//   cycles → events:  β̄(Δ) = γᵘ⁻¹(β(Δ))        (lower service, conservative)
+//                      β̄ᵘ(Δ) = γˡ⁻¹ variant for upper service curves.
+//
+// Soundness: γᵘ and ᾱᵘ are non-decreasing upper bounds, so the composition
+// upper-bounds the cycles requested in any window; γᵘ⁻¹ rounds the events
+// completable within a cycle budget *down*, keeping guarantees one-sided.
+#pragma once
+
+#include "curve/discrete_curve.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+/// Upper cycle-based arrival curve α(Δ) = γᵘ(ᾱᵘ(Δ)) sampled on n points of
+/// spacing dt. Requires an Upper workload curve and an Upper arrival curve.
+curve::DiscreteCurve cycle_arrival_upper(const trace::EmpiricalArrivalCurve& events,
+                                         const WorkloadCurve& gamma_u, double dt, std::size_t n);
+
+/// Lower cycle-based arrival curve α(Δ) = γˡ(ᾱˡ(Δ)).
+curve::DiscreteCurve cycle_arrival_lower(const trace::EmpiricalArrivalCurve& events,
+                                         const WorkloadCurve& gamma_l, double dt, std::size_t n);
+
+/// Event-based lower service curve β̄(Δ) = γᵘ⁻¹(β(Δ)): with β(Δ) cycles
+/// guaranteed, at least that many whole events complete whatever their types.
+curve::DiscreteCurve event_service_lower(const curve::DiscreteCurve& beta_cycles,
+                                         const WorkloadCurve& gamma_u);
+
+/// Event-based upper service curve β̄ᵘ(Δ) = γˡ⁻¹(βᵘ(Δ)): with at most βᵘ(Δ)
+/// cycles supplied, no more events than this can complete.
+curve::DiscreteCurve event_service_upper(const curve::DiscreteCurve& beta_upper_cycles,
+                                         const WorkloadCurve& gamma_l);
+
+}  // namespace wlc::workload

@@ -1,0 +1,57 @@
+#include "workload/event_model.h"
+
+#include "common/assert.h"
+#include "workload/extract.h"
+
+namespace wlc::workload {
+
+int EventTypeTable::add(std::string name, Cycles bcet, Cycles wcet) {
+  WLC_REQUIRE(bcet >= 0 && bcet <= wcet, "need 0 <= bcet <= wcet");
+  types_.push_back(EventType{std::move(name), bcet, wcet});
+  return static_cast<int>(types_.size()) - 1;
+}
+
+const EventType& EventTypeTable::type(int id) const {
+  WLC_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < types_.size(), "unknown event type");
+  return types_[static_cast<std::size_t>(id)];
+}
+
+Cycles EventTypeTable::gamma_w(std::span<const int> seq, std::size_t j, std::size_t k) const {
+  WLC_REQUIRE(j >= 1 && (k == 0 || j + k - 1 <= seq.size()),
+              "window [j, j+k-1] must lie inside the sequence (1-based)");
+  Cycles sum = 0;
+  for (std::size_t i = j - 1; i < j - 1 + k; ++i) sum += type(seq[i]).wcet;
+  return sum;
+}
+
+Cycles EventTypeTable::gamma_b(std::span<const int> seq, std::size_t j, std::size_t k) const {
+  WLC_REQUIRE(j >= 1 && (k == 0 || j + k - 1 <= seq.size()),
+              "window [j, j+k-1] must lie inside the sequence (1-based)");
+  Cycles sum = 0;
+  for (std::size_t i = j - 1; i < j - 1 + k; ++i) sum += type(seq[i]).bcet;
+  return sum;
+}
+
+std::vector<Cycles> EventTypeTable::wcet_demands(std::span<const int> seq) const {
+  std::vector<Cycles> out;
+  out.reserve(seq.size());
+  for (int id : seq) out.push_back(type(id).wcet);
+  return out;
+}
+
+std::vector<Cycles> EventTypeTable::bcet_demands(std::span<const int> seq) const {
+  std::vector<Cycles> out;
+  out.reserve(seq.size());
+  for (int id : seq) out.push_back(type(id).bcet);
+  return out;
+}
+
+WorkloadCurve EventTypeTable::upper_curve(std::span<const int> seq, EventCount k_max) const {
+  return extract_upper_dense(wcet_demands(seq), k_max);
+}
+
+WorkloadCurve EventTypeTable::lower_curve(std::span<const int> seq, EventCount k_max) const {
+  return extract_lower_dense(bcet_demands(seq), k_max);
+}
+
+}  // namespace wlc::workload

@@ -1,0 +1,59 @@
+// The typed-event execution model of the paper's §2.1 (Fig. 1).
+//
+// A task τ is triggered by a sequence [E₁, E₂, …] of events; each event has a
+// type t from a finite set T, and each type carries an execution-requirement
+// interval [bcet(t), wcet(t)] (the SPI-style mode characterization the paper
+// builds on). γ_w(j,k) / γ_b(j,k) sum the per-type WCET/BCET over the k
+// events starting at position j; the workload curves of Definition 1 are the
+// extrema of these over all j.
+//
+// This module implements those definitions literally (for specification-level
+// sequences and tests) plus the exact workload-curve computation over a
+// concrete finite type sequence.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+/// Execution-requirement interval of one event type.
+struct EventType {
+  std::string name;
+  Cycles bcet = 0;
+  Cycles wcet = 0;
+};
+
+/// The finite type set T, indexed by small integers.
+class EventTypeTable {
+ public:
+  /// Adds a type; returns its id. Requires 0 <= bcet <= wcet.
+  int add(std::string name, Cycles bcet, Cycles wcet);
+
+  const EventType& type(int id) const;
+  std::size_t size() const { return types_.size(); }
+
+  /// γ_w(j, k): worst-case cycles of the k events of `seq` starting at
+  /// 1-based position j (paper notation). γ_w(j, 0) = 0.
+  Cycles gamma_w(std::span<const int> seq, std::size_t j, std::size_t k) const;
+  /// γ_b(j, k): best-case analogue.
+  Cycles gamma_b(std::span<const int> seq, std::size_t j, std::size_t k) const;
+
+  /// Exact workload curves of the concrete type sequence `seq` for all
+  /// k = 0..k_max (Definition 1 restricted to the positions of `seq`).
+  WorkloadCurve upper_curve(std::span<const int> seq, EventCount k_max) const;
+  WorkloadCurve lower_curve(std::span<const int> seq, EventCount k_max) const;
+
+  /// Per-activation WCET/BCET demand projections of a type sequence.
+  std::vector<Cycles> wcet_demands(std::span<const int> seq) const;
+  std::vector<Cycles> bcet_demands(std::span<const int> seq) const;
+
+ private:
+  std::vector<EventType> types_;
+};
+
+}  // namespace wlc::workload

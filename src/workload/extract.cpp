@@ -1,0 +1,81 @@
+#include "workload/extract.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+namespace {
+
+std::vector<Cycles> prefix_sums(const trace::DemandTrace& d) {
+  std::vector<Cycles> p(d.size() + 1, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    WLC_REQUIRE(d[i] >= 0, "execution demands must be non-negative");
+    p[i + 1] = p[i] + d[i];
+  }
+  return p;
+}
+
+std::vector<EventCount> normalized_grid(std::span<const std::int64_t> ks, EventCount n) {
+  std::vector<EventCount> grid;
+  grid.reserve(ks.size() + 1);
+  for (std::int64_t k : ks) {
+    WLC_REQUIRE(k >= 1, "window sizes must be >= 1");
+    grid.push_back(std::min<EventCount>(k, n));
+  }
+  grid.push_back(n);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                      Bound bound) {
+  WLC_REQUIRE(!demands.empty(), "demand trace must be non-empty");
+  const auto n = static_cast<EventCount>(demands.size());
+  const std::vector<Cycles> p = prefix_sums(demands);
+  std::vector<WorkloadCurve::Point> pts{{0, 0}};
+  for (EventCount k : normalized_grid(ks, n)) {
+    Cycles best = bound == Bound::Upper ? std::numeric_limits<Cycles>::min()
+                                        : std::numeric_limits<Cycles>::max();
+    for (EventCount j = 0; j + k <= n; ++j) {
+      const Cycles w = p[static_cast<std::size_t>(j + k)] - p[static_cast<std::size_t>(j)];
+      best = bound == Bound::Upper ? std::max(best, w) : std::min(best, w);
+    }
+    pts.emplace_back(k, best);
+  }
+  return WorkloadCurve(bound, std::move(pts));
+}
+
+}  // namespace
+
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks) {
+  return extract(demands, ks, Bound::Upper);
+}
+
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks) {
+  return extract(demands, ks, Bound::Lower);
+}
+
+namespace {
+std::vector<std::int64_t> every_k(EventCount k_max) {
+  std::vector<std::int64_t> ks(static_cast<std::size_t>(k_max));
+  std::iota(ks.begin(), ks.end(), 1);
+  return ks;
+}
+}  // namespace
+
+WorkloadCurve extract_upper_dense(const trace::DemandTrace& demands, EventCount k_max) {
+  WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
+  return extract_upper(demands, every_k(std::min<EventCount>(k_max, static_cast<EventCount>(demands.size()))));
+}
+
+WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount k_max) {
+  WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
+  return extract_lower(demands, every_k(std::min<EventCount>(k_max, static_cast<EventCount>(demands.size()))));
+}
+
+}  // namespace wlc::workload

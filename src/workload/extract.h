@@ -1,0 +1,37 @@
+// Workload-curve extraction from demand traces (the paper's §2, "another way
+// to construct the workload curves is by analysis of event traces").
+//
+// Given the per-activation demand sequence d[0..n-1] of a task, the exact
+// trace-restricted curves are sliding-window extrema of prefix sums:
+//
+//   γᵘ(k) = max_j Σ_{i=j}^{j+k-1} d_i ,   γˡ(k) = min_j Σ d_i .
+//
+// Both are computed exactly for every k on a KGrid (O(n) per grid entry via
+// prefix sums); the WorkloadCurve object interpolates conservatively between
+// grid entries, so the result is a guaranteed bound for the analyzed trace at
+// every k. As the paper notes, such curves certify the analyzed trace (class
+// of traces) only — for hard real-time guarantees construct curves
+// analytically (see polling.h, type_bounds.h).
+#pragma once
+
+#include <span>
+
+#include "trace/traces.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+/// Exact γᵘ restricted to windows of `demands`, on window sizes `ks`
+/// (each clamped to the trace length; the trace length is appended so the
+/// curve's exact range covers whole-trace windows).
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks);
+
+/// Exact γˡ analogue.
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks);
+
+/// Convenience: dense extraction of every k in [1, k_max] (k_max clamped to
+/// the trace length) — exact but Θ(n·k_max); fine for short traces and tests.
+WorkloadCurve extract_upper_dense(const trace::DemandTrace& demands, EventCount k_max);
+WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount k_max);
+
+}  // namespace wlc::workload

@@ -1,0 +1,66 @@
+#include "workload/online_extract.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+OnlineWorkloadExtractor::OnlineWorkloadExtractor(std::vector<EventCount> ks) : ks_(std::move(ks)) {
+  WLC_REQUIRE(!ks_.empty(), "need at least one window size");
+  for (EventCount k : ks_) WLC_REQUIRE(k >= 1, "window sizes must be >= 1");
+  ks_.push_back(1);  // k = 1 is always tracked (defines WCET/BCET)
+  std::sort(ks_.begin(), ks_.end());
+  ks_.erase(std::unique(ks_.begin(), ks_.end()), ks_.end());
+  window_sum_.assign(ks_.size(), 0);
+  max_sum_.assign(ks_.size(), std::numeric_limits<Cycles>::min());
+  min_sum_.assign(ks_.size(), std::numeric_limits<Cycles>::max());
+  ring_.assign(static_cast<std::size_t>(ks_.back()), 0);
+}
+
+void OnlineWorkloadExtractor::push(Cycles demand) {
+  WLC_REQUIRE(demand >= 0, "execution demands must be non-negative");
+  ++events_;
+  // The ring holds the last max(ks) demands. Save the slot being overwritten
+  // first — for k == ring size, that is exactly the element sliding out.
+  const Cycles overwritten = ring_[ring_pos_];
+  ring_[ring_pos_] = demand;
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    const auto k = static_cast<std::size_t>(ks_[i]);
+    window_sum_[i] += demand;
+    if (events_ > ks_[i]) {
+      const std::size_t out = (ring_pos_ + ring_.size() - k) % ring_.size();
+      window_sum_[i] -= (out == ring_pos_) ? overwritten : ring_[out];
+    }
+    if (events_ >= ks_[i]) {
+      max_sum_[i] = std::max(max_sum_[i], window_sum_[i]);
+      min_sum_[i] = std::min(min_sum_[i], window_sum_[i]);
+    }
+  }
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+}
+
+bool OnlineWorkloadExtractor::ready() const { return events_ >= ks_.front(); }
+
+WorkloadCurve OnlineWorkloadExtractor::upper() const {
+  WLC_REQUIRE(ready(), "no window has completed yet");
+  std::vector<WorkloadCurve::Point> pts{{0, 0}};
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (events_ < ks_[i]) break;
+    pts.emplace_back(ks_[i], max_sum_[i]);
+  }
+  return WorkloadCurve(Bound::Upper, std::move(pts));
+}
+
+WorkloadCurve OnlineWorkloadExtractor::lower() const {
+  WLC_REQUIRE(ready(), "no window has completed yet");
+  std::vector<WorkloadCurve::Point> pts{{0, 0}};
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (events_ < ks_[i]) break;
+    pts.emplace_back(ks_[i], min_sum_[i]);
+  }
+  return WorkloadCurve(Bound::Lower, std::move(pts));
+}
+
+}  // namespace wlc::workload

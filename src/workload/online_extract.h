@@ -1,0 +1,53 @@
+// Incremental workload-curve extraction for live systems.
+//
+// The batch extractor (extract.h) needs the whole demand trace; a deployed
+// monitor (or a long-running simulation) instead observes one activation at
+// a time and wants current γᵘ/γˡ estimates at any moment — e.g. to drive the
+// admission or DVS policies built on the curves. This extractor maintains,
+// for a fixed set of window sizes K, the exact sliding-window demand extrema
+// over everything observed so far, in O(|K|) time per event and
+// O(|K| + max K) memory, independent of the trace length.
+//
+// The curves it reports are exactly what the batch extractor would produce
+// on the same prefix restricted to the tracked window sizes (tested), and
+// they only ever grow tighter... wider: extrema are monotone in the prefix,
+// so a bound certified at time t remains a bound for every earlier prefix.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+class OnlineWorkloadExtractor {
+ public:
+  /// `ks`: window sizes to track (deduplicated, sorted internally; >= 1).
+  explicit OnlineWorkloadExtractor(std::vector<EventCount> ks);
+
+  /// Observe the demand of the next activation.
+  void push(Cycles demand);
+
+  EventCount events_seen() const { return events_; }
+
+  /// True once at least min(ks) activations were observed (the smallest
+  /// window closed), i.e. curves are available.
+  bool ready() const;
+
+  /// Current upper/lower curves over the tracked window sizes (plus the
+  /// implicit exact k=1 point). Throws if !ready().
+  WorkloadCurve upper() const;
+  WorkloadCurve lower() const;
+
+ private:
+  std::vector<EventCount> ks_;
+  std::vector<Cycles> window_sum_;  ///< running sum of the last ks_[i] demands
+  std::vector<Cycles> max_sum_;     ///< extrema over all complete windows
+  std::vector<Cycles> min_sum_;
+  std::vector<Cycles> ring_;        ///< last max(ks_) demands
+  std::size_t ring_pos_ = 0;
+  EventCount events_ = 0;
+};
+
+}  // namespace wlc::workload

@@ -1,0 +1,58 @@
+#include "workload/polling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+PollingTaskModel::PollingTaskModel(TimeSec poll_period, TimeSec theta_min, TimeSec theta_max,
+                                   Cycles e_p, Cycles e_c)
+    : poll_period_(poll_period), theta_min_(theta_min), theta_max_(theta_max), e_p_(e_p),
+      e_c_(e_c) {
+  WLC_REQUIRE(poll_period > 0.0, "poll period must be positive");
+  WLC_REQUIRE(poll_period <= theta_min, "the paper assumes T <= θ_min (fast polling)");
+  WLC_REQUIRE(theta_min <= theta_max, "need θ_min <= θ_max");
+  WLC_REQUIRE(e_c >= 0 && e_c <= e_p, "need 0 <= e_c <= e_p");
+}
+
+EventCount PollingTaskModel::n_max(EventCount k) const {
+  WLC_REQUIRE(k >= 0, "activation counts are non-negative");
+  if (k == 0) return 0;
+  const auto by_rate =
+      1 + static_cast<EventCount>(std::floor(static_cast<double>(k) * poll_period_ / theta_min_));
+  return std::min(k, by_rate);
+}
+
+EventCount PollingTaskModel::n_min(EventCount k) const {
+  WLC_REQUIRE(k >= 0, "activation counts are non-negative");
+  return static_cast<EventCount>(std::floor(static_cast<double>(k) * poll_period_ / theta_max_));
+}
+
+Cycles PollingTaskModel::gamma_u(EventCount k) const {
+  const EventCount n = n_max(k);
+  return n * e_p_ + (k - n) * e_c_;
+}
+
+Cycles PollingTaskModel::gamma_l(EventCount k) const {
+  const EventCount n = n_min(k);
+  return n * e_p_ + (k - n) * e_c_;
+}
+
+WorkloadCurve PollingTaskModel::upper_curve(EventCount k_max) const {
+  WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
+  std::vector<Cycles> values(static_cast<std::size_t>(k_max) + 1);
+  for (EventCount k = 0; k <= k_max; ++k) values[static_cast<std::size_t>(k)] = gamma_u(k);
+  return WorkloadCurve::from_dense(Bound::Upper, values);
+}
+
+WorkloadCurve PollingTaskModel::lower_curve(EventCount k_max) const {
+  WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
+  std::vector<Cycles> values(static_cast<std::size_t>(k_max) + 1);
+  for (EventCount k = 0; k <= k_max; ++k) values[static_cast<std::size_t>(k)] = gamma_l(k);
+  return WorkloadCurve::from_dense(Bound::Lower, values);
+}
+
+}  // namespace wlc::workload

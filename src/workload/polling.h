@@ -1,0 +1,57 @@
+// The analytic workload-curve construction of the paper's Example 1 (§2.2).
+//
+// A task polls for an event every T time units. If an event is pending the
+// activation costs e_p cycles, otherwise e_c (< e_p). The event stream has
+// inter-arrival times in [θ_min, θ_max] with T < θ_min, so at most one event
+// is pending per poll. Then, over any k consecutive activations,
+//
+//   n_max(k) = min(k, 1 + ⌊k·T/θ_min⌋)   events can be detected at most,
+//   n_min(k) = ⌊k·T/θ_max⌋               events are detected at least,
+//
+// and the workload curves follow in closed form:
+//
+//   γᵘ(k) = n_max(k)·e_p + (k − n_max(k))·e_c ,
+//   γˡ(k) = n_min(k)·e_p + (k − n_min(k))·e_c .
+//
+// This is the canonical example of curves obtained *analytically* from
+// environment constraints — valid for hard real-time analysis, unlike
+// trace-derived curves (paper Fig. 2 shows the gain over WCET/BCET cones).
+#pragma once
+
+#include "common/types.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+class PollingTaskModel {
+ public:
+  /// Requires 0 < T <= θ_min <= θ_max and 0 <= e_c <= e_p.
+  PollingTaskModel(TimeSec poll_period, TimeSec theta_min, TimeSec theta_max, Cycles e_p,
+                   Cycles e_c);
+
+  /// Maximum events detectable in k consecutive polls.
+  EventCount n_max(EventCount k) const;
+  /// Minimum events detectable in k consecutive polls.
+  EventCount n_min(EventCount k) const;
+
+  /// Closed-form curve values.
+  Cycles gamma_u(EventCount k) const;
+  Cycles gamma_l(EventCount k) const;
+
+  /// Materialized exact curves for k = 0..k_max.
+  WorkloadCurve upper_curve(EventCount k_max) const;
+  WorkloadCurve lower_curve(EventCount k_max) const;
+
+  TimeSec poll_period() const { return poll_period_; }
+  Cycles processing_cost() const { return e_p_; }
+  Cycles check_cost() const { return e_c_; }
+
+ private:
+  TimeSec poll_period_;
+  TimeSec theta_min_;
+  TimeSec theta_max_;
+  Cycles e_p_;
+  Cycles e_c_;
+};
+
+}  // namespace wlc::workload

@@ -1,0 +1,52 @@
+#include "workload/refine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+namespace {
+
+std::vector<Cycles> densify(const WorkloadCurve& g) {
+  WLC_REQUIRE(g.max_k() <= 8192, "closure is O(k² log k); refine curves before extending them");
+  std::vector<Cycles> v(static_cast<std::size_t>(g.max_k()) + 1);
+  for (EventCount k = 0; k <= g.max_k(); ++k) v[static_cast<std::size_t>(k)] = g.value(k);
+  return v;
+}
+
+/// One (min,+) / (max,+) self-convolution step on integer-domain values.
+std::vector<Cycles> self_combine(const std::vector<Cycles>& v, bool minimize) {
+  std::vector<Cycles> out(v);
+  for (std::size_t k = 0; k < v.size(); ++k)
+    for (std::size_t j = 1; j < k; ++j) {
+      const Cycles split = v[j] + v[k - j];
+      if (minimize ? split < out[k] : split > out[k]) out[k] = split;
+    }
+  return out;
+}
+
+WorkloadCurve closure(const WorkloadCurve& g, bool minimize) {
+  std::vector<Cycles> cur = densify(g);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<Cycles> next = self_combine(cur, minimize);
+    if (next == cur) break;
+    cur = std::move(next);
+  }
+  return WorkloadCurve::from_dense(g.bound(), cur);
+}
+
+}  // namespace
+
+WorkloadCurve tighten_upper(const WorkloadCurve& gamma_u) {
+  WLC_REQUIRE(gamma_u.bound() == Bound::Upper, "tighten_upper needs an Upper curve");
+  return closure(gamma_u, /*minimize=*/true);
+}
+
+WorkloadCurve tighten_lower(const WorkloadCurve& gamma_l) {
+  WLC_REQUIRE(gamma_l.bound() == Bound::Lower, "tighten_lower needs a Lower curve");
+  return closure(gamma_l, /*minimize=*/false);
+}
+
+}  // namespace wlc::workload

@@ -1,0 +1,26 @@
+// Curve tightening by closure.
+//
+// Any valid γᵘ can be sharpened for free: a window of a+b events splits into
+// adjacent windows of a and b, so min over all decompositions,
+//
+//   γᵘ*(k) = min( γᵘ(k), min_{0<j<k} γᵘ*(j) + γᵘ*(k-j) ),
+//
+// is still a guaranteed upper bound — the sub-additive closure. Dually the
+// super-additive closure sharpens γˡ upward. Trace-extracted curves are
+// already closed (tested); curves written down analytically or assembled
+// from per-type bounds often are not, and this is the standard post-pass.
+#pragma once
+
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+/// Sub-additive closure of an Upper curve, exact on [0, max_k]
+/// (breakpoints are densified first; max_k is capped at 8192 to keep the
+/// O(k² log k) closure affordable — refine before extending, not after).
+WorkloadCurve tighten_upper(const WorkloadCurve& gamma_u);
+
+/// Super-additive closure of a Lower curve.
+WorkloadCurve tighten_lower(const WorkloadCurve& gamma_l);
+
+}  // namespace wlc::workload

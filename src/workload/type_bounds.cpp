@@ -1,0 +1,117 @@
+#include "workload/type_bounds.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+namespace {
+
+struct Mix {
+  std::vector<EventCount> min_n;
+  std::vector<EventCount> max_n;
+};
+
+Mix evaluate_bounds(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                    EventCount k) {
+  WLC_REQUIRE(bounds.size() == types.size(), "one occurrence bound per event type");
+  Mix mix;
+  mix.min_n.reserve(bounds.size());
+  mix.max_n.reserve(bounds.size());
+  EventCount sum_min = 0;
+  EventCount sum_max = 0;
+  for (const auto& b : bounds) {
+    const EventCount lo = std::max<EventCount>(0, b.min_count(k));
+    const EventCount hi = std::min<EventCount>(k, b.max_count(k));
+    WLC_REQUIRE(lo <= hi, "type occurrence bounds are contradictory");
+    mix.min_n.push_back(lo);
+    mix.max_n.push_back(hi);
+    sum_min += lo;
+    sum_max += hi;
+  }
+  WLC_REQUIRE(sum_min <= k && k <= sum_max,
+              "no feasible type mix for this window size (check the bounds)");
+  return mix;
+}
+
+/// Greedy fill: mandatory minima, then the remaining events to types in the
+/// order given by `priority` (indices sorted by demand).
+Cycles greedy_mix(const EventTypeTable& types, const Mix& mix,
+                  const std::vector<std::size_t>& priority, EventCount k, bool maximize) {
+  EventCount rest = k - std::accumulate(mix.min_n.begin(), mix.min_n.end(), EventCount{0});
+  Cycles total = 0;
+  std::vector<EventCount> n = mix.min_n;
+  for (std::size_t idx : priority) {
+    const EventCount room = mix.max_n[idx] - n[idx];
+    const EventCount take = std::min(room, rest);
+    n[idx] += take;
+    rest -= take;
+  }
+  WLC_ASSERT(rest == 0);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const auto& t = types.type(static_cast<int>(i));
+    total += n[i] * (maximize ? t.wcet : t.bcet);
+  }
+  return total;
+}
+
+std::vector<std::size_t> priority_order(const EventTypeTable& types, bool maximize) {
+  std::vector<std::size_t> order(types.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Cycles da = maximize ? types.type(static_cast<int>(a)).wcet
+                               : types.type(static_cast<int>(a)).bcet;
+    const Cycles db = maximize ? types.type(static_cast<int>(b)).wcet
+                               : types.type(static_cast<int>(b)).bcet;
+    return maximize ? da > db : da < db;
+  });
+  return order;
+}
+
+}  // namespace
+
+Cycles max_demand_mix(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                      EventCount k) {
+  WLC_REQUIRE(k >= 0, "window size must be non-negative");
+  if (k == 0) return 0;
+  return greedy_mix(types, evaluate_bounds(types, bounds, k), priority_order(types, true), k,
+                    /*maximize=*/true);
+}
+
+Cycles min_demand_mix(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                      EventCount k) {
+  WLC_REQUIRE(k >= 0, "window size must be non-negative");
+  if (k == 0) return 0;
+  return greedy_mix(types, evaluate_bounds(types, bounds, k), priority_order(types, false), k,
+                    /*maximize=*/false);
+}
+
+namespace {
+WorkloadCurve materialize(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                          EventCount k_max, Bound bound) {
+  WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
+  std::vector<Cycles> values(static_cast<std::size_t>(k_max) + 1, 0);
+  for (EventCount k = 1; k <= k_max; ++k)
+    values[static_cast<std::size_t>(k)] = bound == Bound::Upper
+                                              ? max_demand_mix(types, bounds, k)
+                                              : min_demand_mix(types, bounds, k);
+  return WorkloadCurve::from_dense(bound, values);
+}
+}  // namespace
+
+WorkloadCurve upper_from_type_bounds(const EventTypeTable& types,
+                                     std::span<const TypeOccurrenceBounds> bounds,
+                                     EventCount k_max) {
+  return materialize(types, bounds, k_max, Bound::Upper);
+}
+
+WorkloadCurve lower_from_type_bounds(const EventTypeTable& types,
+                                     std::span<const TypeOccurrenceBounds> bounds,
+                                     EventCount k_max) {
+  return materialize(types, bounds, k_max, Bound::Lower);
+}
+
+}  // namespace wlc::workload

@@ -1,0 +1,48 @@
+// Analytic workload-curve construction from per-type occurrence bounds.
+//
+// When the environment constrains how often each event type can occur —
+// e.g. "at most n_max(k) of any k consecutive polls detect an event" — the
+// workload curves follow without any trace: among k consecutive events, pick
+// the type mix that maximizes (minimizes) total demand subject to the
+// occurrence bounds. With a linear objective and box constraints the optimum
+// is greedy: fill mandatory minima first, then spend the remaining k on
+// types in order of decreasing WCET (increasing BCET for γˡ).
+//
+// This generalizes the paper's polling example (two types) to arbitrary type
+// sets and is the bridge from SPI-style mode models to workload curves.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "workload/event_model.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+
+/// Occurrence bounds of one event type: among any k consecutive events of
+/// the stream, events of this type number at least min_count(k) and at most
+/// max_count(k). Both must be non-decreasing with max_count(k) <= k.
+struct TypeOccurrenceBounds {
+  std::function<EventCount(EventCount)> min_count;
+  std::function<EventCount(EventCount)> max_count;
+};
+
+/// γᵘ(k) for one k: the demand-maximizing feasible type mix.
+/// Requires Σ min <= k <= Σ max (otherwise no k-window exists — throws).
+Cycles max_demand_mix(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                      EventCount k);
+
+/// γˡ(k) analogue (demand-minimizing mix).
+Cycles min_demand_mix(const EventTypeTable& types, std::span<const TypeOccurrenceBounds> bounds,
+                      EventCount k);
+
+/// Materialized curves for k = 0..k_max. `bounds[i]` pairs with type id i.
+WorkloadCurve upper_from_type_bounds(const EventTypeTable& types,
+                                     std::span<const TypeOccurrenceBounds> bounds,
+                                     EventCount k_max);
+WorkloadCurve lower_from_type_bounds(const EventTypeTable& types,
+                                     std::span<const TypeOccurrenceBounds> bounds,
+                                     EventCount k_max);
+
+}  // namespace wlc::workload

@@ -1,0 +1,172 @@
+#include "workload/workload_curve.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wlc::workload {
+
+WorkloadCurve::WorkloadCurve(Bound bound, std::vector<Point> points)
+    : bound_(bound), points_(std::move(points)) {
+  WLC_REQUIRE(points_.size() >= 2, "need at least the origin and k = 1");
+  WLC_REQUIRE(points_.front() == Point(0, 0), "workload curves start at (0, 0)");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    WLC_REQUIRE(points_[i - 1].first < points_[i].first, "breakpoint ks must strictly increase");
+    WLC_REQUIRE(points_[i - 1].second <= points_[i].second, "cycle values must be non-decreasing");
+  }
+  WLC_REQUIRE(points_[1].first == 1, "k = 1 must be an exact breakpoint (defines WCET/BCET)");
+}
+
+WorkloadCurve WorkloadCurve::from_constant_demand(Bound bound, Cycles c) {
+  WLC_REQUIRE(c >= 0, "per-event demand must be non-negative");
+  // γ(k) = c·k: the block extension past max_k = 1 yields exactly q·c + 0,
+  // so two breakpoints represent the linear curve exactly at every k.
+  return WorkloadCurve(bound, {{0, 0}, {1, c}});
+}
+
+WorkloadCurve WorkloadCurve::from_dense(Bound bound, const std::vector<Cycles>& values) {
+  WLC_REQUIRE(values.size() >= 2, "need values for k = 0 and k = 1 at least");
+  WLC_REQUIRE(values.front() == 0, "γ(0) must be 0");
+  std::vector<Point> pts;
+  pts.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k)
+    pts.emplace_back(static_cast<EventCount>(k), values[k]);
+  return WorkloadCurve(bound, std::move(pts));
+}
+
+Cycles WorkloadCurve::value_in_range(EventCount k) const {
+  WLC_ASSERT(k >= 0 && k <= max_k());
+  if (bound_ == Bound::Upper) {
+    // Smallest breakpoint with k_i >= k (conservative step up).
+    auto it = std::lower_bound(points_.begin(), points_.end(), k,
+                               [](const Point& p, EventCount v) { return p.first < v; });
+    return it->second;
+  }
+  // Largest breakpoint with k_i <= k (conservative step down).
+  auto it = std::upper_bound(points_.begin(), points_.end(), k,
+                             [](EventCount v, const Point& p) { return v < p.first; });
+  return std::prev(it)->second;
+}
+
+Cycles WorkloadCurve::value(EventCount k) const {
+  WLC_REQUIRE(k >= 0, "activation counts are non-negative");
+  const EventCount kmax = max_k();
+  if (k <= kmax) return value_in_range(k);
+  const EventCount q = k / kmax;
+  const EventCount r = k % kmax;
+  return q * points_.back().second + value_in_range(r);
+}
+
+EventCount WorkloadCurve::inverse(Cycles e) const {
+  WLC_REQUIRE(e >= 0, "cycle budgets are non-negative");
+  const Cycles top = points_.back().second;
+  const EventCount kmax = max_k();
+
+  if (bound_ == Bound::Upper) {
+    // max{k : value(k) <= e}.
+    EventCount base_k = 0;
+    Cycles budget = e;
+    if (e >= top) {
+      WLC_REQUIRE(top > 0, "γᵘ is identically zero: every budget admits unboundedly many events");
+      const EventCount q = e / top;
+      base_k = q * kmax;
+      budget = e - q * top;
+    }
+    // Largest breakpoint value <= budget within the exact range.
+    auto it = std::upper_bound(points_.begin(), points_.end(), budget,
+                               [](Cycles v, const Point& p) { return v < p.second; });
+    WLC_ASSERT(it != points_.begin());
+    return base_k + std::prev(it)->first;
+  }
+
+  // Lower bound: min{k : value(k) >= e}.
+  if (e <= 0) return 0;
+  if (e > top) {
+    WLC_REQUIRE(top > 0, "γˡ is identically zero: the demand is never reached");
+    // Smallest q with a feasible remainder: value(qK + r) = q·top + value(r),
+    // and value(r) <= top, so q >= e/top - 1.
+    const EventCount q_min = std::max<EventCount>(0, (e + top - 1) / top - 1);
+    EventCount best = -1;
+    for (EventCount q = q_min; q <= q_min + 1; ++q) {
+      const Cycles rem = e - q * top;
+      EventCount k;
+      if (rem <= 0)
+        k = q * kmax;
+      else if (rem <= top)
+        k = q * kmax + inverse(rem);  // rem <= top keeps the recursion in range
+      else
+        continue;
+      if (best < 0 || k < best) best = k;
+    }
+    WLC_ASSERT(best >= 0);
+    return best;
+  }
+  // Smallest breakpoint with value >= e.
+  auto it = std::lower_bound(points_.begin(), points_.end(), e,
+                             [](const Point& p, Cycles v) { return p.second < v; });
+  WLC_ASSERT(it != points_.end());
+  return it->first;
+}
+
+Cycles WorkloadCurve::wcet() const {
+  WLC_REQUIRE(bound_ == Bound::Upper, "WCET is γᵘ(1)");
+  return value_in_range(1);
+}
+
+Cycles WorkloadCurve::bcet() const {
+  WLC_REQUIRE(bound_ == Bound::Lower, "BCET is γˡ(1)");
+  return value_in_range(1);
+}
+
+double WorkloadCurve::long_run_demand() const {
+  return static_cast<double>(points_.back().second) / static_cast<double>(max_k());
+}
+
+namespace {
+
+std::vector<EventCount> merged_ks(const WorkloadCurve& a, const WorkloadCurve& b,
+                                  EventCount limit) {
+  std::vector<EventCount> ks;
+  for (const auto& p : a.points())
+    if (p.first <= limit) ks.push_back(p.first);
+  for (const auto& p : b.points())
+    if (p.first <= limit) ks.push_back(p.first);
+  ks.push_back(limit);
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  return ks;
+}
+
+}  // namespace
+
+WorkloadCurve WorkloadCurve::add(const WorkloadCurve& a, const WorkloadCurve& b) {
+  WLC_REQUIRE(a.bound() == b.bound(), "can only add curves of the same bound kind");
+  const EventCount limit = std::min(a.max_k(), b.max_k());
+  std::vector<Point> pts;
+  for (EventCount k : merged_ks(a, b, limit)) pts.emplace_back(k, a.value(k) + b.value(k));
+  return WorkloadCurve(a.bound(), std::move(pts));
+}
+
+WorkloadCurve WorkloadCurve::combine(const WorkloadCurve& a, const WorkloadCurve& b) {
+  WLC_REQUIRE(a.bound() == b.bound(), "can only combine curves of the same bound kind");
+  const bool upper = a.bound() == Bound::Upper;
+  const EventCount limit = std::min(a.max_k(), b.max_k());
+  std::vector<Point> pts;
+  for (EventCount k : merged_ks(a, b, limit)) {
+    const Cycles va = a.value(k);
+    const Cycles vb = b.value(k);
+    pts.emplace_back(k, upper ? std::max(va, vb) : std::min(va, vb));
+  }
+  return WorkloadCurve(a.bound(), std::move(pts));
+}
+
+bool WorkloadCurve::consistent_with_definition() const {
+  const Cycles per_event = value_in_range(1);
+  for (const auto& [k, c] : points_) {
+    if (bound_ == Bound::Upper && c > k * per_event) return false;
+    if (bound_ == Bound::Lower && c < k * per_event) return false;
+  }
+  return true;
+}
+
+}  // namespace wlc::workload

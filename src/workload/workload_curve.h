@@ -1,0 +1,99 @@
+// Workload curves — the paper's central abstraction (Definition 1).
+//
+//   γᵘ(k) = max_j γ_w(j, k)  — most cycles any k consecutive activations of a
+//                              task can demand,
+//   γˡ(k) = min_j γ_b(j, k)  — fewest cycles k consecutive activations can
+//                              demand,
+//
+// with pseudo-inverses
+//
+//   γᵘ⁻¹(e) = max{ k : γᵘ(k) <= e }  — events guaranteed completable with e
+//                                      cycles,
+//   γˡ⁻¹(e) = min{ k : γˡ(k) >= e }.
+//
+// Representation. A WorkloadCurve is one bound (Upper or Lower) stored as
+// exact integer breakpoints (kᵢ, cᵢ): strictly increasing kᵢ starting at
+// (0, 0), non-decreasing cᵢ. Between breakpoints the curve takes the
+// conservative side of its bound: an Upper curve steps up to the *next*
+// breakpoint's value, a Lower curve holds the *previous* one. A curve whose
+// breakpoints enumerate every k in [0, K] is exact on that range.
+//
+// Beyond the last breakpoint K the curve extends block-wise using the
+// sub-additivity of γᵘ (γᵘ(a+b) <= γᵘ(a)+γᵘ(b), split any window in two) and
+// the super-additivity of γˡ:
+//
+//   γᵘ(qK + r) <= q·γᵘ(K) + γᵘ(r),      γˡ(qK + r) >= q·γˡ(K) + γˡ(r),
+//
+// so evaluation is total on ℤ≥0 and stays a guaranteed bound.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlc::workload {
+
+enum class Bound { Upper, Lower };
+
+class WorkloadCurve {
+ public:
+  using Point = std::pair<EventCount, Cycles>;
+
+  /// Breakpoints must start at (0,0), have strictly increasing k and
+  /// non-decreasing cycles, and contain at least k = 1 (so WCET/BCET exist).
+  WorkloadCurve(Bound bound, std::vector<Point> points);
+
+  /// The degenerate single-value model: γ(k) = c·k (what a WCET- or
+  /// BCET-only characterization can express). Exact for every k: with the
+  /// breakpoints {(0,0), (1,c)} the block-wise extension reproduces the
+  /// linear form verbatim.
+  static WorkloadCurve from_constant_demand(Bound bound, Cycles c);
+
+  /// Exact curve from a dense value vector v[0..K] with v[0] == 0.
+  static WorkloadCurve from_dense(Bound bound, const std::vector<Cycles>& values);
+
+  Bound bound() const { return bound_; }
+  const std::vector<Point>& points() const { return points_; }
+  /// Last exact breakpoint; beyond it evaluation uses block extension.
+  EventCount max_k() const { return points_.back().first; }
+
+  /// γ(k). Total on k >= 0 (block extension past max_k).
+  Cycles value(EventCount k) const;
+
+  /// Pseudo-inverse. Upper: γᵘ⁻¹(e) = max{k : value(k) <= e}; Lower:
+  /// γˡ⁻¹(e) = min{k : value(k) >= e}. Exact w.r.t. value(); e >= 0.
+  EventCount inverse(Cycles e) const;
+
+  /// γᵘ(1) for an Upper curve — the classical WCET of the task.
+  Cycles wcet() const;
+  /// γˡ(1) for a Lower curve — the classical BCET.
+  Cycles bcet() const;
+
+  /// Long-run cycles per event over the exact range: value(max_k)/max_k.
+  double long_run_demand() const;
+
+  /// Sum of curves of the same bound — the demand of a task whose every
+  /// activation runs both constituents (e.g. two pipeline stages fused onto
+  /// one PE).
+  static WorkloadCurve add(const WorkloadCurve& a, const WorkloadCurve& b);
+
+  /// Cross-trace combination: pointwise max of Upper curves (resp. min of
+  /// Lower curves), valid for the union of the underlying event sequences —
+  /// the paper's "maximum over all respective curves of individual clips".
+  static WorkloadCurve combine(const WorkloadCurve& a, const WorkloadCurve& b);
+
+  /// Structural sanity: monotone breakpoints, (0,0) origin, and — on the
+  /// exact range — no breakpoint exceeding k·value(1) for Upper curves
+  /// (γᵘ(k) <= k·WCET always holds by definition).
+  bool consistent_with_definition() const;
+
+ private:
+  Cycles value_in_range(EventCount k) const;  // k in [0, max_k]
+
+  Bound bound_;
+  std::vector<Point> points_;
+};
+
+}  // namespace wlc::workload

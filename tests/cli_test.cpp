@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "common/rng.h"
+#include "trace/io.h"
+
+namespace wlc::cli {
+namespace {
+
+/// Writes a bursty demo trace to a temp file; returns its path.
+std::string write_demo_trace() {
+  const std::string path = ::testing::TempDir() + "wlc_cli_trace.csv";
+  common::Rng rng(321);
+  trace::EventTrace events;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.bernoulli(0.3) ? rng.uniform(0.0002, 0.002) : rng.uniform(0.01, 0.05);
+    events.push_back({t, 0, rng.uniform_int(100, 900)});
+  }
+  std::ofstream f(path);
+  trace::write_event_trace_csv(f, events);
+  return path;
+}
+
+TEST(Cli, UsageOnBadInvocations) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({}, out, err), 2);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(run({"curves"}, out, err), 2);
+  err.str("");
+  EXPECT_EQ(run({"frobnicate", write_demo_trace()}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(run({"curves", "/nonexistent/file.csv"}, out, err), 2);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(run({"curves", write_demo_trace(), "--dense"}, out, err), 2);  // dangling flag
+}
+
+TEST(Cli, CurvesSummaryAndExport) {
+  const std::string path = write_demo_trace();
+  const std::string prefix = ::testing::TempDir() + "wlc_cli_out";
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"curves", path, "--out", prefix}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("WCET"), std::string::npos);
+  EXPECT_NE(out.str().find("long-run demand"), std::string::npos);
+  std::ifstream gamma(prefix + ".gamma.csv");
+  ASSERT_TRUE(gamma.good());
+  std::string header;
+  std::getline(gamma, header);
+  EXPECT_EQ(header, "k,gamma_l,gamma_u");
+  std::ifstream arrival(prefix + ".arrival.csv");
+  ASSERT_TRUE(arrival.good());
+  std::remove((prefix + ".gamma.csv").c_str());
+  std::remove((prefix + ".arrival.csv").c_str());
+}
+
+TEST(Cli, SizeBufferReportsBothModels) {
+  const std::string path = write_demo_trace();
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"size-buffer", path, "--buffer", "10"}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("workload curves"), std::string::npos);
+  EXPECT_NE(out.str().find("WCET only"), std::string::npos);
+  EXPECT_NE(out.str().find("savings"), std::string::npos);
+  // Missing flag is a usage error.
+  std::ostringstream err2;
+  EXPECT_EQ(run({"size-buffer", path}, out, err2), 2);
+}
+
+TEST(Cli, SizeDelayAndSimulate) {
+  const std::string path = write_demo_trace();
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"size-delay", path, "--deadline-ms", "5"}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("minimum clock"), std::string::npos);
+  std::ostringstream out2;
+  ASSERT_EQ(run({"simulate", path, "--mhz", "1", "--capacity", "50"}, out2, err), 0)
+      << err.str();
+  EXPECT_NE(out2.str().find("max backlog"), std::string::npos);
+  EXPECT_NE(out2.str().find("utilization"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedTrace) {
+  const std::string path = ::testing::TempDir() + "wlc_cli_bad.csv";
+  std::ofstream(path) << "not,a,trace\n1,2\n";
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path}, out, err), 2);
+  EXPECT_NE(err.str().find("bad trace file"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wlc::cli

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "curve/pwl_curve.h"
+#include "workload/convert.h"
+
+namespace wlc::workload {
+namespace {
+
+using trace::EmpiricalArrivalCurve;
+using Bnd = EmpiricalArrivalCurve::Bound;
+
+EmpiricalArrivalCurve step_upper() {
+  // 2 events instantly, +1 at Δ = 1, 2, 3, ...
+  return EmpiricalArrivalCurve(Bnd::Upper, {{0.0, 2}, {1.0, 3}, {2.0, 4}, {3.0, 5}, {4.0, 6}});
+}
+
+WorkloadCurve gamma_upper() {
+  return WorkloadCurve::from_dense(Bound::Upper, {0, 10, 16, 21, 25, 28, 31});
+}
+
+TEST(Convert, CycleArrivalUpperComposesCurves) {
+  const curve::DiscreteCurve alpha = cycle_arrival_upper(step_upper(), gamma_upper(), 0.5, 9);
+  // Δ=0: γᵘ(2)=16; Δ=1: γᵘ(3)=21; Δ=0.5 holds the Δ=0 value (step curve).
+  EXPECT_DOUBLE_EQ(alpha[0], 16.0);
+  EXPECT_DOUBLE_EQ(alpha[1], 16.0);
+  EXPECT_DOUBLE_EQ(alpha[2], 21.0);
+  EXPECT_DOUBLE_EQ(alpha[8], 31.0);
+}
+
+TEST(Convert, CycleArrivalLowerComposesCurves) {
+  const EmpiricalArrivalCurve lo(Bnd::Lower, {{0.0, 0}, {2.0, 1}, {4.0, 2}});
+  const WorkloadCurve gl = WorkloadCurve::from_dense(Bound::Lower, {0, 3, 7});
+  const curve::DiscreteCurve alpha = cycle_arrival_lower(lo, gl, 1.0, 5);
+  EXPECT_DOUBLE_EQ(alpha[0], 0.0);
+  EXPECT_DOUBLE_EQ(alpha[2], 3.0);
+  EXPECT_DOUBLE_EQ(alpha[4], 7.0);
+}
+
+TEST(Convert, EventServiceLowerRoundsDown) {
+  // β(Δ) = 12Δ cycles; γᵘ = {0,10,16,21,...}: with 12 cycles only 1 event is
+  // guaranteed (γᵘ(2)=16 > 12).
+  const curve::DiscreteCurve beta =
+      curve::DiscreteCurve::sample(curve::PwlCurve::affine(0.0, 12.0), 1.0, 6);
+  const curve::DiscreteCurve events = event_service_lower(beta, gamma_upper());
+  EXPECT_DOUBLE_EQ(events[0], 0.0);
+  EXPECT_DOUBLE_EQ(events[1], 1.0);   // 12 cycles
+  EXPECT_DOUBLE_EQ(events[2], 3.0);   // 24 cycles >= γᵘ(3)=21, < γᵘ(4)=25
+  // 60 cycles: one whole block (γᵘ(6)=31) plus γᵘ(5)=28 fits (59 <= 60).
+  EXPECT_DOUBLE_EQ(events[5], 11.0);
+}
+
+TEST(Convert, EventServiceLowerGuaranteeIsSound) {
+  // γᵘ(β̄(Δ)) <= β(Δ): serving the claimed events never needs more cycles
+  // than supplied.
+  const curve::DiscreteCurve beta =
+      curve::DiscreteCurve::sample(curve::PwlCurve::rate_latency(9.0, 2.0), 0.5, 40);
+  const WorkloadCurve gu = gamma_upper();
+  const curve::DiscreteCurve events = event_service_lower(beta, gu);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    ASSERT_LE(static_cast<double>(gu.value(static_cast<EventCount>(events[i]))), beta[i] + 1e-9);
+}
+
+TEST(Convert, EventServiceUpperCapsThroughput) {
+  // γˡ = {0, 2, 6, 11, 17}: with at most 10 cycles no more than 2 whole
+  // events can finish (3 events need at least 11).
+  const WorkloadCurve gl = WorkloadCurve::from_dense(Bound::Lower, {0, 2, 6, 11, 17});
+  const curve::DiscreteCurve beta_u =
+      curve::DiscreteCurve::sample(curve::PwlCurve::affine(0.0, 5.0), 1.0, 5);
+  const curve::DiscreteCurve events = event_service_upper(beta_u, gl);
+  EXPECT_DOUBLE_EQ(events[0], 0.0);
+  EXPECT_DOUBLE_EQ(events[1], 1.0);   // 5 cycles: 2 events would need 6
+  EXPECT_DOUBLE_EQ(events[2], 2.0);   // 10 cycles
+  EXPECT_DOUBLE_EQ(events[3], 3.0);   // 15 cycles
+  // 20 cycles: block extension admits a 5th event (γˡ(5) = 17 + γˡ(1) = 19).
+  EXPECT_DOUBLE_EQ(events[4], 5.0);
+}
+
+TEST(Convert, BoundKindsAreEnforced) {
+  const EmpiricalArrivalCurve lo(Bnd::Lower, {{0.0, 0}, {1.0, 1}});
+  EXPECT_THROW(cycle_arrival_upper(lo, gamma_upper(), 1.0, 2), std::invalid_argument);
+  const WorkloadCurve gl = WorkloadCurve::from_dense(Bound::Lower, {0, 1});
+  EXPECT_THROW(cycle_arrival_upper(step_upper(), gl, 1.0, 2), std::invalid_argument);
+  const curve::DiscreteCurve beta = curve::DiscreteCurve::zeros(3, 1.0);
+  EXPECT_THROW(event_service_lower(beta, gl), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::workload

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/event_model.h"
+
+namespace wlc::workload {
+namespace {
+
+/// The paper's Fig. 1 setup: events of types a, b, c with execution
+/// intervals chosen to match the quoted values γ_b(3,4) = 5, γ_w(3,4) = 13
+/// for the sequence a b a b c c a a c.
+class Fig1 : public ::testing::Test {
+ protected:
+  Fig1() {
+    a_ = types_.add("a", 1, 4);
+    b_ = types_.add("b", 2, 3);
+    c_ = types_.add("c", 1, 3);
+    seq_ = {a_, b_, a_, b_, c_, c_, a_, a_, c_};
+  }
+  EventTypeTable types_;
+  int a_ = 0, b_ = 0, c_ = 0;
+  std::vector<int> seq_;
+};
+
+TEST_F(Fig1, GammaValuesMatchThePaper) {
+  // Window starting at event 3 (1-based), 4 events: a b c c.
+  EXPECT_EQ(types_.gamma_b(seq_, 3, 4), 5);
+  EXPECT_EQ(types_.gamma_w(seq_, 3, 4), 13);
+}
+
+TEST_F(Fig1, GammaZeroWindows) {
+  EXPECT_EQ(types_.gamma_w(seq_, 1, 0), 0);
+  EXPECT_EQ(types_.gamma_b(seq_, 9, 0), 0);
+}
+
+TEST_F(Fig1, GammaRejectsOutOfRangeWindows) {
+  EXPECT_THROW(types_.gamma_w(seq_, 0, 1), std::invalid_argument);
+  EXPECT_THROW(types_.gamma_w(seq_, 8, 3), std::invalid_argument);
+}
+
+TEST_F(Fig1, CurvesAreExtremaOverAllWindows) {
+  const WorkloadCurve up = types_.upper_curve(seq_, 9);
+  const WorkloadCurve lo = types_.lower_curve(seq_, 9);
+  for (EventCount k = 1; k <= 9; ++k) {
+    Cycles wmax = 0;
+    Cycles bmin = std::numeric_limits<Cycles>::max();
+    for (std::size_t j = 1; j + static_cast<std::size_t>(k) - 1 <= seq_.size(); ++j) {
+      wmax = std::max(wmax, types_.gamma_w(seq_, j, static_cast<std::size_t>(k)));
+      bmin = std::min(bmin, types_.gamma_b(seq_, j, static_cast<std::size_t>(k)));
+    }
+    EXPECT_EQ(up.value(k), wmax) << k;
+    EXPECT_EQ(lo.value(k), bmin) << k;
+  }
+}
+
+TEST_F(Fig1, WcetBcetAreCurveValuesAtOne) {
+  // Paper §2.1: the task's WCET equals γᵘ(1) and BCET equals γˡ(1).
+  const WorkloadCurve up = types_.upper_curve(seq_, 9);
+  const WorkloadCurve lo = types_.lower_curve(seq_, 9);
+  EXPECT_EQ(up.wcet(), 4);  // type a dominates
+  EXPECT_EQ(lo.bcet(), 1);  // a or c in the best case
+}
+
+TEST_F(Fig1, CurvesBoundedByWcetBcetCones) {
+  const WorkloadCurve up = types_.upper_curve(seq_, 9);
+  const WorkloadCurve lo = types_.lower_curve(seq_, 9);
+  for (EventCount k = 0; k <= 9; ++k) {
+    EXPECT_LE(up.value(k), 4 * k);
+    EXPECT_GE(lo.value(k), 1 * k);
+  }
+}
+
+TEST(EventTypeTable, Validation) {
+  EventTypeTable t;
+  EXPECT_THROW(t.add("bad", 5, 3), std::invalid_argument);
+  EXPECT_THROW(t.add("neg", -1, 3), std::invalid_argument);
+  const int id = t.add("ok", 1, 2);
+  EXPECT_EQ(t.type(id).name, "ok");
+  EXPECT_THROW(t.type(42), std::invalid_argument);
+}
+
+TEST(EventTypeTable, DemandProjections) {
+  EventTypeTable t;
+  const int x = t.add("x", 1, 10);
+  const int y = t.add("y", 2, 20);
+  const std::vector<int> seq{x, y, x};
+  EXPECT_EQ(t.wcet_demands(seq), (std::vector<Cycles>{10, 20, 10}));
+  EXPECT_EQ(t.bcet_demands(seq), (std::vector<Cycles>{1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace wlc::workload

@@ -1,0 +1,175 @@
+// Tests for the extension features: deadline-driven sizing, playout-delay
+// analysis, the online workload extractor, and the DVS pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "rtc/energy.h"
+#include "rtc/sizing.h"
+#include "sim/components.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+#include "workload/online_extract.h"
+
+namespace wlc {
+namespace {
+
+using trace::EmpiricalArrivalCurve;
+using workload::Bound;
+using workload::WorkloadCurve;
+
+TEST(DelaySizing, HandComputable) {
+  // 4 events at once then 1/s; each costs 100 cycles; deadline D = 2 s.
+  const EmpiricalArrivalCurve arr(EmpiricalArrivalCurve::Bound::Upper,
+                                  {{0.0, 4}, {1.0, 5}, {2.0, 6}});
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 100);
+  // F = max(400/2, 500/3, 600/4) = 200.
+  EXPECT_DOUBLE_EQ(rtc::min_frequency_for_delay(arr, gu, 2.0), 200.0);
+  // A tighter deadline needs a faster clock.
+  EXPECT_GT(rtc::min_frequency_for_delay(arr, gu, 0.5),
+            rtc::min_frequency_for_delay(arr, gu, 2.0));
+}
+
+TEST(DelaySizing, SimulatedLatencyRespectsDeadline) {
+  common::Rng rng(808);
+  for (int trial = 0; trial < 5; ++trial) {
+    trace::EventTrace events;
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.bernoulli(0.3) ? rng.uniform(0.001, 0.01) : rng.uniform(0.02, 0.1);
+      events.push_back({t, 0, rng.uniform_int(100, 900)});
+    }
+    const auto ks = trace::make_kgrid({.max_k = 300, .dense_limit = 64, .growth = 1.2});
+    const auto arr = trace::extract_upper_arrival(trace::timestamps_of(events), ks);
+    const auto gu = workload::extract_upper(trace::demands_of(events), ks);
+    const TimeSec deadline = 0.25;
+    const Hertz f = rtc::min_frequency_for_delay(arr, gu, deadline);
+    const sim::PipelineStats stats = sim::run_fifo_pipeline(events, f);
+    ASSERT_LE(stats.max_latency, deadline + 1e-9) << trial;
+  }
+}
+
+TEST(Playout, HandComputable) {
+  // Production: 10 events immediately, then nothing until t=5, then plenty.
+  const EmpiricalArrivalCurve lo(EmpiricalArrivalCurve::Bound::Lower,
+                                 {{0.0, 0}, {1.0, 10}, {5.0, 50}});
+  // Drain at 10/s: just before t=5 only 10 produced but 10·(5-d) consumed:
+  // d = 5 - 10/10 = 4.
+  EXPECT_DOUBLE_EQ(rtc::min_playout_delay(lo, 10.0), 4.0);
+  // Unsustainable rate: +inf.
+  EXPECT_TRUE(std::isinf(rtc::min_playout_delay(lo, 11.0)));
+}
+
+TEST(Playout, NoUnderflowWhenDelayed) {
+  // Check the guarantee on the trace itself: consuming one event every 1/r
+  // seconds starting at d_min never outpaces production.
+  common::Rng rng(809);
+  trace::TimestampTrace ts{0.0};
+  for (int i = 0; i < 400; ++i)
+    ts.push_back(ts.back() + (rng.bernoulli(0.2) ? rng.uniform(0.1, 0.5) : rng.uniform(0.001, 0.05)));
+  const auto ks = trace::make_kgrid({.max_k = 401, .dense_limit = 401, .growth = 1.5});
+  const auto lo = trace::extract_lower_arrival(ts, ks);
+  const double rate = 0.8 * lo.long_run_rate();
+  const TimeSec d = rtc::min_playout_delay(lo, rate);
+  ASSERT_TRUE(std::isfinite(d));
+  // The i-th event (0-based) is consumed at d + (i+1)/rate (measured from the
+  // first production); it must have been produced by then.
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const TimeSec consume_at = ts.front() + d + static_cast<double>(i + 1) / rate;
+    ASSERT_GE(consume_at + 1e-9, ts[i]) << i;
+  }
+}
+
+TEST(OnlineExtractor, MatchesBatchOnTrackedWindows) {
+  common::Rng rng(810);
+  trace::DemandTrace d;
+  for (int i = 0; i < 500; ++i) d.push_back(rng.uniform_int(0, 100));
+  const std::vector<EventCount> ks{1, 2, 5, 17, 64, 200};
+  workload::OnlineWorkloadExtractor online{std::vector<EventCount>(ks)};
+  for (Cycles c : d) online.push(c);
+  const WorkloadCurve batch_u = workload::extract_upper_dense(d, 500);
+  const WorkloadCurve batch_l = workload::extract_lower_dense(d, 500);
+  const WorkloadCurve on_u = online.upper();
+  const WorkloadCurve on_l = online.lower();
+  for (EventCount k : ks) {
+    ASSERT_EQ(on_u.value(k), batch_u.value(k)) << k;
+    ASSERT_EQ(on_l.value(k), batch_l.value(k)) << k;
+  }
+}
+
+TEST(OnlineExtractor, PrefixMonotonicity) {
+  // Extrema only widen as more of the trace is seen.
+  common::Rng rng(811);
+  workload::OnlineWorkloadExtractor online({4, 16});
+  Cycles prev_max = 0;
+  Cycles prev_min = std::numeric_limits<Cycles>::max();
+  for (int i = 0; i < 300; ++i) {
+    online.push(rng.uniform_int(1, 50));
+    if (online.events_seen() < 16) continue;
+    const Cycles cur_max = online.upper().value(16);
+    const Cycles cur_min = online.lower().value(16);
+    ASSERT_GE(cur_max, prev_max);
+    ASSERT_LE(cur_min, prev_min);
+    prev_max = cur_max;
+    prev_min = cur_min;
+  }
+}
+
+TEST(OnlineExtractor, ReadyGating) {
+  workload::OnlineWorkloadExtractor online({3});
+  EXPECT_FALSE(online.ready());
+  EXPECT_THROW(online.upper(), std::invalid_argument);
+  online.push(5);
+  EXPECT_TRUE(online.ready());  // k = 1 is always tracked
+  EXPECT_EQ(online.upper().value(1), 5);
+  online.push(7);
+  online.push(1);
+  EXPECT_EQ(online.upper().value(3), 13);
+  EXPECT_EQ(online.lower().value(3), 13);
+}
+
+TEST(Energy, ModelBasics) {
+  const rtc::EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.power(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(m.energy(100.0, 2.0), 400.0);  // 100/2 · 8
+  EXPECT_DOUBLE_EQ(m.ratio(2.0, 1.0), 4.0);       // quadratic per-cycle cost
+}
+
+TEST(Energy, HalvingTheClockQuartersTheEnergy) {
+  trace::EventTrace events;
+  for (int i = 0; i < 50; ++i) events.push_back({0.01 * i, 0, 1000});
+  const auto fast = sim::run_fifo_pipeline(events, 2e6);
+  const auto slow = sim::run_fifo_pipeline(events, 1e6);
+  EXPECT_NEAR(fast.energy / slow.energy, 4.0, 1e-9);
+}
+
+TEST(Dvs, ThresholdPolicyTracksBacklog) {
+  // Bursty arrivals: low clock normally, boost when the queue exceeds 8.
+  common::Rng rng(812);
+  trace::EventTrace events;
+  double t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    t += rng.bernoulli(0.25) ? rng.uniform(0.0005, 0.002) : rng.uniform(0.01, 0.05);
+    events.push_back({t, 0, rng.uniform_int(200, 800)});
+  }
+  const Hertz f_hi = 60000.0;
+  const Hertz f_lo = 25000.0;
+  const auto dvs = sim::run_dvs_pipeline(
+      events, [&](std::int64_t backlog) { return backlog > 8 ? f_hi : f_lo; });
+  const auto constant = sim::run_fifo_pipeline(events, f_hi);
+  EXPECT_EQ(dvs.completed, constant.completed);
+  EXPECT_LT(dvs.energy, constant.energy);          // slower most of the time
+  EXPECT_GE(dvs.max_latency, constant.max_latency);// the price is latency
+}
+
+TEST(Dvs, PolicyValidation) {
+  trace::EventTrace events{{0.0, 0, 10}};
+  EXPECT_THROW(sim::run_dvs_pipeline(events, nullptr), std::invalid_argument);
+  EXPECT_THROW(sim::run_dvs_pipeline(events, [](std::int64_t) { return 0.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc

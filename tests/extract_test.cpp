@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::workload {
+namespace {
+
+TEST(Extract, TinyTraceByHand) {
+  const trace::DemandTrace d{3, 9, 1, 9, 2};
+  const WorkloadCurve up = extract_upper_dense(d, 5);
+  const WorkloadCurve lo = extract_lower_dense(d, 5);
+  EXPECT_EQ(up.value(1), 9);
+  EXPECT_EQ(up.value(2), 12);  // 3+9 or 9+1... max is 3+9=12? windows: 12,10,10,11 -> 12
+  EXPECT_EQ(up.value(3), 19);  // 9+1+9
+  EXPECT_EQ(up.value(5), 24);
+  EXPECT_EQ(lo.value(1), 1);
+  EXPECT_EQ(lo.value(2), 10);  // min window: 9+1 = 10? windows 12,10,10,11 -> 10
+  EXPECT_EQ(lo.value(5), 24);
+}
+
+TEST(Extract, BruteForceEquivalenceOnRandomTraces) {
+  common::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    trace::DemandTrace d;
+    const int n = 60 + static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < n; ++i) d.push_back(rng.uniform_int(0, 50));
+    const WorkloadCurve up = extract_upper_dense(d, n);
+    const WorkloadCurve lo = extract_lower_dense(d, n);
+    for (EventCount k = 1; k <= n; k += 5) {
+      Cycles wmax = 0;
+      Cycles bmin = std::numeric_limits<Cycles>::max();
+      for (std::size_t j = 0; j + static_cast<std::size_t>(k) <= d.size(); ++j) {
+        Cycles s = 0;
+        for (std::size_t i = j; i < j + static_cast<std::size_t>(k); ++i) s += d[i];
+        wmax = std::max(wmax, s);
+        bmin = std::min(bmin, s);
+      }
+      ASSERT_EQ(up.value(k), wmax) << "trial " << trial << " k " << k;
+      ASSERT_EQ(lo.value(k), bmin) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Extract, GridCurvesAreConservativeEnvelopes) {
+  common::Rng rng(32);
+  trace::DemandTrace d;
+  for (int i = 0; i < 500; ++i) d.push_back(rng.uniform_int(1, 100));
+  const auto grid = trace::make_kgrid({.max_k = 500, .dense_limit = 10, .growth = 1.5});
+  const WorkloadCurve up = extract_upper(d, grid);
+  const WorkloadCurve lo = extract_lower(d, grid);
+  const WorkloadCurve up_exact = extract_upper_dense(d, 500);
+  const WorkloadCurve lo_exact = extract_lower_dense(d, 500);
+  for (EventCount k = 0; k <= 500; k += 3) {
+    ASSERT_GE(up.value(k), up_exact.value(k)) << k;
+    ASSERT_LE(lo.value(k), lo_exact.value(k)) << k;
+  }
+  // And exact at grid points.
+  for (EventCount k : grid) {
+    ASSERT_EQ(up.value(k), up_exact.value(k)) << k;
+    ASSERT_EQ(lo.value(k), lo_exact.value(k)) << k;
+  }
+}
+
+TEST(Extract, UpperCurveIsSubadditive) {
+  common::Rng rng(33);
+  trace::DemandTrace d;
+  for (int i = 0; i < 200; ++i) d.push_back(rng.uniform_int(0, 30));
+  const WorkloadCurve up = extract_upper_dense(d, 200);
+  for (EventCount k1 = 1; k1 <= 60; k1 += 7)
+    for (EventCount k2 = 1; k1 + k2 <= 200; k2 += 13)
+      ASSERT_LE(up.value(k1 + k2), up.value(k1) + up.value(k2)) << k1 << "+" << k2;
+}
+
+TEST(Extract, LowerCurveIsSuperadditive) {
+  common::Rng rng(34);
+  trace::DemandTrace d;
+  for (int i = 0; i < 200; ++i) d.push_back(rng.uniform_int(0, 30));
+  const WorkloadCurve lo = extract_lower_dense(d, 200);
+  for (EventCount k1 = 1; k1 <= 60; k1 += 7)
+    for (EventCount k2 = 1; k1 + k2 <= 200; k2 += 13)
+      ASSERT_GE(lo.value(k1 + k2), lo.value(k1) + lo.value(k2)) << k1 << "+" << k2;
+}
+
+TEST(Extract, RejectsBadInput) {
+  EXPECT_THROW(extract_upper_dense({}, 5), std::invalid_argument);
+  EXPECT_THROW(extract_upper_dense({-3}, 1), std::invalid_argument);
+}
+
+TEST(Extract, KMaxClampedToTraceLength) {
+  const trace::DemandTrace d{1, 2, 3};
+  const WorkloadCurve up = extract_upper_dense(d, 100);
+  EXPECT_EQ(up.max_k(), 3);
+  EXPECT_EQ(up.value(3), 6);
+  // Beyond the trace the block extension applies.
+  EXPECT_EQ(up.value(6), 12);
+}
+
+}  // namespace
+}  // namespace wlc::workload

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "curve/pwl_curve.h"
+#include "rtc/gpc.h"
+
+namespace wlc::rtc {
+namespace {
+
+using curve::DiscreteCurve;
+using curve::PwlCurve;
+
+StreamBounds token_bucket_stream(double burst, double rate, double dt, std::size_t n) {
+  return StreamBounds{DiscreteCurve::sample(PwlCurve::token_bucket(burst, rate), dt, n),
+                      DiscreteCurve::sample(PwlCurve::affine(0.0, rate), dt, n)};
+}
+
+ResourceBounds dedicated_pe(double speed, double dt, std::size_t n) {
+  return ResourceBounds{DiscreteCurve::sample(PwlCurve::affine(0.0, speed), dt, n),
+                        DiscreteCurve::sample(PwlCurve::affine(0.0, speed), dt, n)};
+}
+
+TEST(Gpc, ClassicBacklogAndDelay) {
+  const auto input = token_bucket_stream(4.0, 1.0, 0.5, 81);
+  const ResourceBounds pe{
+      DiscreteCurve::sample(PwlCurve::affine(0.0, 2.0), 0.5, 81),
+      DiscreteCurve::sample(PwlCurve::rate_latency(2.0, 3.0), 0.5, 81)};
+  const GpcResult r = analyze_gpc(input, pe);
+  EXPECT_DOUBLE_EQ(r.backlog, 4.0 + 1.0 * 3.0);  // b + r·T
+  EXPECT_NEAR(r.delay, 3.0 + 4.0 / 2.0, 0.5 + 1e-9);  // T + b/R
+}
+
+TEST(Gpc, OutputStreamIsBoundedByServiceAndInput) {
+  const auto input = token_bucket_stream(6.0, 1.5, 0.5, 61);
+  const auto pe = dedicated_pe(4.0, 0.5, 61);
+  const GpcResult r = analyze_gpc(input, pe);
+  for (std::size_t i = 0; i < r.output.upper.size(); ++i) {
+    // No more output than the resource could ever produce...
+    ASSERT_LE(r.output.upper[i], pe.upper[i] + 1e-9);
+    // ...and the upper output bound dominates the lower one.
+    ASSERT_GE(r.output.upper[i], r.output.lower[i] - 1e-9);
+  }
+}
+
+TEST(Gpc, RemainingServiceIsComplementary) {
+  const auto input = token_bucket_stream(2.0, 1.0, 0.5, 61);
+  const auto pe = dedicated_pe(3.0, 0.5, 61);
+  const GpcResult r = analyze_gpc(input, pe);
+  for (std::size_t i = 0; i < r.remaining.lower.size(); ++i) {
+    // Remaining never exceeds supplied.
+    ASSERT_LE(r.remaining.lower[i], pe.lower[i] + 1e-9);
+    ASSERT_LE(r.remaining.upper[i], pe.upper[i] + 1e-9);
+    ASSERT_GE(r.remaining.lower[i], -1e-9);
+  }
+  // Long-run leftover rate approaches supply minus demand: 3 - 1 = 2.
+  const std::size_t last = r.remaining.lower.size() - 1;
+  EXPECT_NEAR(r.remaining.lower[last] / (0.5 * static_cast<double>(last)), 2.0, 0.2);
+}
+
+TEST(Gpc, ChainPropagatesStreams) {
+  const auto input = token_bucket_stream(5.0, 1.0, 0.5, 81);
+  const std::vector<ResourceBounds> stages{dedicated_pe(3.0, 0.5, 81),
+                                           dedicated_pe(2.0, 0.5, 81)};
+  const auto results = analyze_chain(input, stages);
+  ASSERT_EQ(results.size(), 2u);
+  // A faster upstream smooths the stream: stage 2's backlog cannot exceed
+  // what the raw input would cause there.
+  const GpcResult direct = analyze_gpc(input, stages[1]);
+  EXPECT_LE(results[1].backlog, direct.backlog + 1e-9);
+}
+
+TEST(Gpc, FixedPriorityLeftoverServesLowPriority) {
+  const auto hi = token_bucket_stream(2.0, 0.5, 0.5, 101);
+  const auto lo = token_bucket_stream(1.0, 0.5, 0.5, 101);
+  const auto pe = dedicated_pe(2.0, 0.5, 101);
+  const auto results = analyze_fixed_priority({hi, lo}, pe);
+  ASSERT_EQ(results.size(), 2u);
+  // Both tasks fit (total rate 1 < 2): finite backlogs, and the low-priority
+  // task sees at least the high-priority one's backlog conditions.
+  EXPECT_LT(results[0].backlog, 10.0);
+  EXPECT_LT(results[1].backlog, 20.0);
+  EXPECT_GE(results[1].delay, results[0].delay - 1e-9);
+}
+
+TEST(Gpc, ChainRequiresStages) {
+  const auto input = token_bucket_stream(1.0, 1.0, 1.0, 4);
+  EXPECT_THROW(analyze_chain(input, {}), std::invalid_argument);
+  EXPECT_THROW(analyze_fixed_priority({}, dedicated_pe(1.0, 1.0, 4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::rtc

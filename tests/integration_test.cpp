@@ -1,0 +1,129 @@
+// End-to-end integration of the whole pipeline at reduced scale: synthetic
+// MPEG-2 clip → trace extraction (ᾱ, γᵘ) → frequency sizing (eqs. 9/10) →
+// event-driven simulation. This is the paper's §3.2 case study as a test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpeg/trace_gen.h"
+#include "rtc/bounds.h"
+#include "rtc/sizing.h"
+#include "sim/components.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc {
+namespace {
+
+mpeg::TraceConfig small_config() {
+  mpeg::TraceConfig cfg;
+  cfg.stream.width = 176;   // 11x7 = 77 MBs per frame
+  cfg.stream.height = 112;
+  cfg.stream.bitrate = 1.2e6;
+  cfg.frames = 48;          // 4 GOPs
+  cfg.pe1_frequency = 30e6;
+  return cfg;
+}
+
+class CaseStudySmall : public ::testing::Test {
+ protected:
+  CaseStudySmall() : cfg_(small_config()) {
+    for (std::size_t c = 0; c < 3; ++c) {  // three contrasting clips
+      traces_.push_back(mpeg::generate_clip_trace(
+          cfg_, mpeg::clip_library()[c * 5]));
+    }
+  }
+
+  mpeg::TraceConfig cfg_;
+  std::vector<mpeg::ClipTrace> traces_;
+};
+
+TEST_F(CaseStudySmall, WorkloadCurvesBeatWcetCones) {
+  for (const auto& t : traces_) {
+    const auto n = static_cast<EventCount>(t.pe2_input.size());
+    const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = 128, .growth = 1.3});
+    const auto gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+    const auto gl = workload::extract_lower(trace::demands_of(t.pe2_input), ks);
+    const Cycles wcet = gu.wcet();
+    const Cycles bcet = gl.bcet();
+    // One frame's worth of macroblocks mixes cheap and dear events, so the
+    // upper curve separates clearly from the WCET cone.
+    const EventCount k_frame = cfg_.stream.mb_per_frame();
+    EXPECT_LT(gu.value(k_frame),
+              static_cast<Cycles>(0.8 * static_cast<double>(k_frame * wcet)))
+        << t.name;
+    // A whole GOP necessarily includes I-frame work, so the lower curve
+    // separates from the BCET cone at GOP scale (a single B frame can be
+    // all-skip in a static clip, so frame scale would be too strong).
+    const EventCount k_gop = k_frame * cfg_.stream.gop_n;
+    EXPECT_GT(gl.value(k_gop), 1.2 * static_cast<double>(k_gop) * static_cast<double>(bcet))
+        << t.name;
+    EXPECT_LE(gl.value(k_gop), gu.value(k_gop)) << t.name;
+  }
+}
+
+TEST_F(CaseStudySmall, SizingSavesVersusWcetAndHoldsInSimulation) {
+  const EventCount b = cfg_.stream.mb_per_frame();  // one frame, as in the paper
+  for (const auto& t : traces_) {
+    const auto n = static_cast<EventCount>(t.pe2_input.size());
+    const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = 128, .growth = 1.3});
+    const auto arr = trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks);
+    const auto gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+
+    const Hertz f_gamma = rtc::min_frequency_workload(arr, gu, b);
+    const Hertz f_wcet = rtc::min_frequency_wcet(arr, gu.wcet(), b);
+    ASSERT_TRUE(std::isfinite(f_gamma)) << t.name;
+    EXPECT_LE(f_gamma, f_wcet) << t.name;
+    // The variability of MPEG demand should yield substantial savings.
+    EXPECT_LT(f_gamma, 0.8 * f_wcet) << t.name;
+
+    // Replaying the trace at F^γ_min must respect the buffer.
+    const sim::PipelineStats stats = sim::run_fifo_pipeline(t.pe2_input, f_gamma);
+    EXPECT_LE(stats.max_backlog, b) << t.name;
+    EXPECT_EQ(stats.completed, static_cast<std::int64_t>(t.pe2_input.size())) << t.name;
+
+    // Below the long-run demand rate the queue diverges and the buffer must
+    // burst (F^γ_min itself is conservative, so a mild reduction need not).
+    Cycles total = 0;
+    for (const auto& e : t.pe2_input) total += e.demand;
+    const Hertz f_overload = 0.8 * static_cast<double>(total) / t.duration();
+    ASSERT_LT(f_overload, f_gamma) << t.name;
+    const sim::PipelineStats slow = sim::run_fifo_pipeline(t.pe2_input, f_overload);
+    EXPECT_GT(slow.max_backlog, b) << t.name;
+  }
+}
+
+TEST_F(CaseStudySmall, BacklogBoundDominatesSimulationAcrossFrequencies) {
+  const auto& t = traces_.front();
+  const auto n = static_cast<EventCount>(t.pe2_input.size());
+  const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = 128, .growth = 1.3});
+  const auto arr = trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks);
+  const auto gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+  const Hertz base = rtc::min_frequency_workload(arr, gu, cfg_.stream.mb_per_frame());
+  for (double scale : {1.0, 1.2, 1.6, 2.5}) {
+    const Hertz f = base * scale;
+    const EventCount bound = rtc::backlog_events(arr, gu, rtc::constant_rate_service(f));
+    const sim::PipelineStats stats = sim::run_fifo_pipeline(t.pe2_input, f);
+    ASSERT_GE(bound, stats.max_backlog) << t.name << " scale " << scale;
+  }
+}
+
+TEST_F(CaseStudySmall, CombinedCurvesCoverEveryClip) {
+  // The paper combines curves across clips by taking the pointwise max; the
+  // combination must dominate each constituent and still be a valid curve.
+  std::optional<workload::WorkloadCurve> combined;
+  std::vector<workload::WorkloadCurve> singles;
+  const auto ks = trace::make_kgrid({.max_k = 2000, .dense_limit = 64, .growth = 1.4});
+  for (const auto& t : traces_) {
+    auto gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+    singles.push_back(gu);
+    combined = combined ? workload::WorkloadCurve::combine(*combined, gu) : gu;
+  }
+  for (EventCount k = 0; k <= 2000; k += 97)
+    for (const auto& s : singles) ASSERT_GE(combined->value(k), s.value(k)) << k;
+  EXPECT_TRUE(combined->consistent_with_definition());
+}
+
+}  // namespace
+}  // namespace wlc

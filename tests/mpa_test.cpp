@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/pwl_curve.h"
+#include "rtc/mpa.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::rtc {
+namespace {
+
+using curve::PwlCurve;
+using workload::Bound;
+using workload::WorkloadCurve;
+
+WorkloadCurve flat_upper(Cycles c) { return WorkloadCurve::from_constant_demand(Bound::Upper, c); }
+WorkloadCurve flat_lower(Cycles c) { return WorkloadCurve::from_constant_demand(Bound::Lower, c); }
+
+/// Periodic stream: one event every `p` seconds (closed-window convention).
+void add_periodic_stream(SystemModel& m, const std::string& name, double p) {
+  m.add_stream(name, PwlCurve::periodic_upper(p), PwlCurve::periodic_lower(p));
+}
+
+TEST(Mpa, SingleTaskSteadyState) {
+  SystemModel m;
+  m.add_resource("pe", 1000.0);
+  add_periodic_stream(m, "in", 0.1);              // 10 events/s
+  m.add_task("decode", "in", "pe", flat_upper(50), flat_lower(50));  // 500 cycles/s demand
+  const auto r = m.analyze(0.01, 10.0);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  const auto& t = r.task("decode");
+  EXPECT_NEAR(t.utilization, 0.5, 0.05);
+  // One event (50 cycles) arrives at once: backlog <= 1 event / 50 cycles.
+  EXPECT_LE(t.backlog_events, 1);
+  EXPECT_LE(t.backlog_cycles, 50.0 + 1e-9);
+  // Service time of one event is 0.05 s; the delay bound is close to that.
+  EXPECT_GE(t.delay, 0.05 - 1e-9);
+  EXPECT_LE(t.delay, 0.1);
+}
+
+TEST(Mpa, FixedPriorityOnSharedResource) {
+  SystemModel m;
+  m.add_resource("pe", 1000.0);
+  add_periodic_stream(m, "audio", 0.05);  // 20 ev/s
+  add_periodic_stream(m, "video", 0.2);   // 5 ev/s
+  m.add_task("hi", "audio", "pe", flat_upper(20), flat_lower(20));   // 400 c/s
+  m.add_task("lo", "video", "pe", flat_upper(60), flat_lower(60));   // 300 c/s
+  const auto r = m.analyze(0.005, 8.0);
+  // The low-priority task sees only leftover service: its delay exceeds the
+  // high-priority task's.
+  EXPECT_GE(r.task("lo").delay, r.task("hi").delay);
+  // Both are finite: total demand 700 < 1000.
+  EXPECT_TRUE(std::isfinite(r.task("lo").delay));
+  EXPECT_LT(r.task("lo").utilization, 1.0);
+}
+
+TEST(Mpa, PipelineChainAccumulatesDelay) {
+  SystemModel m;
+  m.add_resource("pe1", 2000.0);
+  m.add_resource("pe2", 1500.0);
+  add_periodic_stream(m, "in", 0.1);
+  m.add_task("stage1", "in", "pe1", flat_upper(100), flat_lower(80));
+  m.add_task("stage2", "stage1", "pe2", flat_upper(90), flat_lower(70));
+  const auto r = m.analyze(0.01, 10.0);
+  EXPECT_GT(r.task("stage2").delay, 0.0);
+  EXPECT_NEAR(r.chain_delay("stage2"), r.task("stage1").delay + r.task("stage2").delay, 1e-12);
+  EXPECT_NEAR(r.chain_delay("stage1"), r.task("stage1").delay, 1e-12);
+}
+
+TEST(Mpa, TdmaResourceStretchesDelay) {
+  // 4 events/s × 50 cycles = 200 cycles/s demand.
+  SystemModel dedicated;
+  dedicated.add_resource("pe", 1000.0);
+  add_periodic_stream(dedicated, "in", 0.25);
+  dedicated.add_task("t", "in", "pe", flat_upper(50), flat_lower(50));
+
+  SystemModel shared;
+  // Same bandwidth but only a 1-of-4 TDMA share: effectively 250 cycles/s —
+  // still above the 200 cycles/s demand, but with slot-gap latency.
+  shared.add_resource("pe", TdmaSlot{.slot = 0.025, .cycle = 0.1, .bandwidth = 1000.0});
+  add_periodic_stream(shared, "in", 0.25);
+  shared.add_task("t", "in", "pe", flat_upper(50), flat_lower(50));
+
+  const auto rd = dedicated.analyze(0.005, 10.0);
+  const auto rs = shared.analyze(0.005, 10.0);
+  EXPECT_GT(rs.task("t").delay, rd.task("t").delay);
+  EXPECT_TRUE(std::isfinite(rs.task("t").delay));
+}
+
+TEST(Mpa, WorkloadCurvesBeatWcetInTheSystemView) {
+  // A modal task (alternating 90/10 cycles): with curves the shared PE
+  // provably sustains it at a clock where the WCET view overflows.
+  const WorkloadCurve modal_u(Bound::Upper, {{0, 0}, {1, 90}, {2, 100}, {4, 200}});
+  const WorkloadCurve modal_l(Bound::Lower, {{0, 0}, {1, 10}, {2, 100}, {4, 200}});
+  auto build = [&](const WorkloadCurve& gu, const WorkloadCurve& gl) {
+    SystemModel m;
+    m.add_resource("pe", 620.0);
+    add_periodic_stream(m, "in", 0.1);  // long-run demand 10/s·50 = 500 c/s
+    m.add_task("t", "in", "pe", gu, gl);
+    return m.analyze(0.01, 20.0);
+  };
+  const auto with_curves = build(modal_u, modal_l);
+  const auto with_wcet = build(flat_upper(90), flat_lower(90));
+  EXPECT_LT(with_curves.task("t").backlog_cycles, with_wcet.task("t").backlog_cycles);
+  EXPECT_LE(with_curves.task("t").delay, with_wcet.task("t").delay + 1e-12);
+}
+
+TEST(Mpa, ValidatesDeclarations) {
+  SystemModel m;
+  EXPECT_THROW(m.add_resource("pe", 0.0), std::invalid_argument);
+  m.add_resource("pe", 100.0);
+  EXPECT_THROW(m.add_resource("pe", 100.0), std::invalid_argument);
+  add_periodic_stream(m, "in", 1.0);
+  EXPECT_THROW(m.add_task("t", "nope", "pe", flat_upper(1), flat_lower(1)),
+               std::invalid_argument);
+  EXPECT_THROW(m.add_task("t", "in", "nope", flat_upper(1), flat_lower(1)),
+               std::invalid_argument);
+  EXPECT_THROW(m.add_task("t", "in", "pe", flat_lower(1), flat_lower(1)),
+               std::invalid_argument);  // wrong bound kinds
+  m.add_task("t", "in", "pe", flat_upper(1), flat_lower(1));
+  EXPECT_THROW(m.add_task("t", "in", "pe", flat_upper(1), flat_lower(1)),
+               std::invalid_argument);
+  const auto r = m.analyze(0.1, 5.0);
+  EXPECT_THROW(r.task("ghost"), std::invalid_argument);
+  EXPECT_THROW(r.chain_delay("ghost"), std::invalid_argument);
+}
+
+TEST(Mpa, OverloadedResourceReportsUnboundedDelay) {
+  SystemModel m;
+  m.add_resource("pe", 100.0);
+  add_periodic_stream(m, "in", 0.1);  // 10 ev/s × 50 = 500 c/s > 100 c/s
+  m.add_task("t", "in", "pe", flat_upper(50), flat_lower(50));
+  const auto r = m.analyze(0.01, 10.0);
+  EXPECT_GT(r.task("t").utilization, 1.0);
+  EXPECT_TRUE(std::isinf(r.task("t").delay));
+  // A downstream consumer of an unbounded-delay task is rejected.
+  m.add_resource("pe2", 1000.0);
+  m.add_task("t2", "t", "pe2", flat_upper(10), flat_lower(10));
+  EXPECT_THROW(m.analyze(0.01, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::rtc

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mpeg/clip.h"
+#include "mpeg/cost.h"
+#include "mpeg/model.h"
+#include "mpeg/trace_gen.h"
+
+namespace wlc::mpeg {
+namespace {
+
+StreamParams small_stream() {
+  StreamParams p;
+  p.width = 160;  // 10x? keep tests fast: 10x6 = 60 MBs per frame
+  p.height = 96;
+  p.bitrate = 1.0e6;
+  return p;
+}
+
+TEST(Params, PaperGeometry) {
+  const StreamParams p;  // defaults = the paper's setup
+  EXPECT_EQ(p.mb_width(), 45);
+  EXPECT_EQ(p.mb_height(), 36);
+  EXPECT_EQ(p.mb_per_frame(), 1620);
+  EXPECT_NEAR(p.bits_per_frame(), 9.78e6 / 25.0, 1e-6);
+}
+
+TEST(Params, GopCodedOrder) {
+  const StreamParams p;  // N=12, M=3
+  const auto order = gop_coded_order(p);
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_EQ(order[0], FrameType::I);
+  int i = 0, pp = 0, b = 0;
+  for (FrameType t : order) {
+    if (t == FrameType::I) ++i;
+    if (t == FrameType::P) ++pp;
+    if (t == FrameType::B) ++b;
+  }
+  EXPECT_EQ(i, 1);
+  EXPECT_EQ(pp, 3);
+  EXPECT_EQ(b, 8);
+  // Anchors precede the Bs they interleave with: position 1 is the first P.
+  EXPECT_EQ(order[1], FrameType::P);
+}
+
+TEST(Params, GopWithoutBFrames) {
+  StreamParams p;
+  p.gop_n = 6;
+  p.gop_m = 1;
+  const auto order = gop_coded_order(p);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], FrameType::I);
+  for (std::size_t k = 1; k < order.size(); ++k) EXPECT_EQ(order[k], FrameType::P);
+}
+
+TEST(Clips, LibraryHasFourteenDistinctClips) {
+  const auto& clips = clip_library();
+  ASSERT_EQ(clips.size(), 14u);
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const auto& c : clips) {
+    names.insert(c.name);
+    seeds.insert(c.seed);
+    EXPECT_GE(c.motion, 0.0);
+    EXPECT_LE(c.motion, 1.0);
+    EXPECT_GE(c.texture, 0.0);
+    EXPECT_LE(c.texture, 1.0);
+  }
+  EXPECT_EQ(names.size(), 14u);
+  EXPECT_EQ(seeds.size(), 14u);
+}
+
+TEST(Model, DeterministicForSameSeed) {
+  StreamModel m1(small_stream(), clip_library()[0]);
+  StreamModel m2(small_stream(), clip_library()[0]);
+  const auto f1 = m1.generate(6);
+  const auto f2 = m2.generate(6);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t f = 0; f < f1.size(); ++f)
+    for (std::size_t i = 0; i < f1[f].mbs.size(); ++i) {
+      ASSERT_EQ(f1[f].mbs[i].cls, f2[f].mbs[i].cls);
+      ASSERT_EQ(f1[f].mbs[i].bits, f2[f].mbs[i].bits);
+    }
+}
+
+TEST(Model, IFramesAreAllIntra) {
+  StreamModel m(small_stream(), clip_library()[5]);
+  const auto frames = m.generate(12);
+  for (const auto& frame : frames) {
+    if (frame.type != FrameType::I) continue;
+    for (const auto& mb : frame.mbs) EXPECT_EQ(mb.cls, MbClass::Intra);
+  }
+}
+
+TEST(Model, BFrameClassesAreLegal) {
+  StreamModel m(small_stream(), clip_library()[6]);
+  const auto frames = m.generate(24);
+  for (const auto& frame : frames) {
+    for (const auto& mb : frame.mbs) {
+      EXPECT_EQ(mb.frame, frame.type);
+      EXPECT_GE(mb.coded_blocks, 0);
+      EXPECT_LE(mb.coded_blocks, 6);
+      if (frame.type == FrameType::P) {
+        EXPECT_NE(mb.cls, MbClass::BwdMc);  // P frames have no backward ref
+      }
+      if (mb.cls == MbClass::Skip) {
+        EXPECT_EQ(mb.coded_blocks, 0);
+      }
+    }
+  }
+}
+
+TEST(Model, CbrNormalizationHitsGopBudget) {
+  const StreamParams p = small_stream();
+  StreamModel m(p, clip_library()[2]);
+  const auto frames = m.generate(p.gop_n);
+  double total = 0.0;
+  for (const auto& f : frames)
+    for (const auto& mb : f.mbs) total += mb.bits;
+  const double budget = p.bits_per_frame() * p.gop_n;
+  EXPECT_NEAR(total / budget, 1.0, 0.02);  // rounding tolerance
+  // I frames carry far more bits than B frames.
+  double i_bits = 0.0, b_bits = 0.0;
+  int b_count = 0;
+  for (const auto& f : frames) {
+    double s = 0.0;
+    for (const auto& mb : f.mbs) s += mb.bits;
+    if (f.type == FrameType::I) i_bits = s;
+    if (f.type == FrameType::B) {
+      b_bits += s;
+      ++b_count;
+    }
+  }
+  EXPECT_GT(i_bits, 3.0 * b_bits / b_count);
+}
+
+TEST(Cost, BoundsHoldForGeneratedMacroblocks) {
+  const CostModel cost = CostModel::reference();
+  StreamModel m(small_stream(), clip_library()[11]);
+  for (const auto& frame : m.generate(24)) {
+    for (const auto& mb : frame.mbs) {
+      const Cycles d2 = cost.idct_mc_cycles(mb);
+      ASSERT_GE(d2, cost.pe2_bcet(mb.cls));
+      ASSERT_LE(d2, cost.pe2_wcet(mb.cls));
+      ASSERT_GE(d2, cost.pe2_bcet());
+      ASSERT_LE(d2, cost.pe2_wcet());
+      ASSERT_GT(cost.vld_iq_cycles(mb), 0);
+    }
+  }
+}
+
+TEST(Cost, ClassOrderingMakesSense) {
+  const CostModel c = CostModel::reference();
+  EXPECT_LT(c.pe2_wcet(MbClass::Skip), c.pe2_wcet(MbClass::FwdMc));
+  EXPECT_LT(c.pe2_wcet(MbClass::FwdMc), c.pe2_wcet(MbClass::BiMc));
+  EXPECT_EQ(c.pe2_wcet(), c.pe2_wcet(MbClass::BiMc));
+  EXPECT_EQ(c.pe2_bcet(), c.pe2_bcet(MbClass::Skip));
+}
+
+TEST(Cost, EventTypeTableMatchesClassIds) {
+  const CostModel c = CostModel::reference();
+  const auto table = c.pe2_event_types();
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_EQ(table.type(static_cast<int>(MbClass::BiMc)).wcet, c.pe2_wcet(MbClass::BiMc));
+  EXPECT_EQ(table.type(static_cast<int>(MbClass::Skip)).bcet, c.pe2_bcet(MbClass::Skip));
+}
+
+TEST(TraceGen, PreloadedEmissionIsComputePaced) {
+  TraceConfig cfg;
+  cfg.stream = small_stream();
+  cfg.frames = 24;
+  cfg.pe1_frequency = 50e6;
+  cfg.preloaded_bitstream = true;
+  const ClipTrace t = generate_clip_trace(cfg, clip_library()[3]);
+  ASSERT_EQ(t.pe2_input.size(),
+            static_cast<std::size_t>(24 * cfg.stream.mb_per_frame()));
+  EXPECT_TRUE(trace::is_time_ordered(t.pe2_input));
+  // With the bitstream in memory PE1 never waits: the makespan is exactly
+  // the summed VLD/IQ compute time.
+  Cycles total = 0;
+  for (Cycles d : t.pe1_demands) total += d;
+  EXPECT_NEAR(t.duration(), static_cast<double>(total) / cfg.pe1_frequency,
+              1e-9 * t.duration());
+}
+
+TEST(TraceGen, CbrPacedEmissionRespectsDelivery) {
+  TraceConfig cfg;
+  cfg.stream = small_stream();
+  cfg.stream.vbv_bits = 0.25e6;
+  cfg.frames = 24;
+  cfg.pe1_frequency = 50e6;
+  cfg.preloaded_bitstream = false;
+  const ClipTrace t = generate_clip_trace(cfg, clip_library()[3]);
+  EXPECT_TRUE(trace::is_time_ordered(t.pe2_input));
+  // Transport-accurate pacing: 24 frames cannot finish before their bits
+  // (minus the VBV prefetch) have been delivered at the CBR rate.
+  const double video_seconds = 24.0 / cfg.stream.fps;
+  const double delivery_floor =
+      (24.0 * cfg.stream.bits_per_frame() - cfg.stream.vbv_bits) / cfg.stream.bitrate;
+  EXPECT_GT(t.duration(), 0.95 * delivery_floor);
+  EXPECT_LT(t.duration(), 1.5 * video_seconds);
+}
+
+TEST(TraceGen, DemandsMatchCostModel) {
+  TraceConfig cfg;
+  cfg.stream = small_stream();
+  cfg.frames = 6;
+  const ClipTrace t = generate_clip_trace(cfg, clip_library()[9]);
+  const CostModel cost = CostModel::reference();
+  for (const auto& e : t.pe2_input) {
+    const auto cls = static_cast<MbClass>(e.type);
+    ASSERT_GE(e.demand, cost.pe2_bcet(cls));
+    ASSERT_LE(e.demand, cost.pe2_wcet(cls));
+  }
+  ASSERT_EQ(t.pe1_demands.size(), t.pe2_input.size());
+}
+
+TEST(TraceGen, AllFourteenClips) {
+  TraceConfig cfg;
+  cfg.stream = small_stream();
+  cfg.frames = 3;
+  const auto traces = generate_clip_traces(cfg);
+  ASSERT_EQ(traces.size(), 14u);
+  std::set<std::string> names;
+  for (const auto& t : traces) {
+    names.insert(t.name);
+    EXPECT_FALSE(t.pe2_input.empty());
+  }
+  EXPECT_EQ(names.size(), 14u);
+}
+
+}  // namespace
+}  // namespace wlc::mpeg

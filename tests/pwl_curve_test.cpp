@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/pwl_curve.h"
+
+namespace wlc::curve {
+namespace {
+
+TEST(PwlCurve, ConstantAndAffineEval) {
+  const PwlCurve c = PwlCurve::constant(3.0);
+  EXPECT_DOUBLE_EQ(c.eval(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.eval(100.0), 3.0);
+  const PwlCurve a = PwlCurve::affine(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.eval(4.5), 10.0);
+}
+
+TEST(PwlCurve, RateLatency) {
+  const PwlCurve b = PwlCurve::rate_latency(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.eval(3.5), 150.0);
+  EXPECT_TRUE(b.non_decreasing());
+}
+
+TEST(PwlCurve, TokenBucketClosedWindowOrigin) {
+  const PwlCurve a = PwlCurve::token_bucket(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.eval(0.0), 5.0);  // closed-window convention
+  EXPECT_DOUBLE_EQ(a.eval(10.0), 25.0);
+}
+
+TEST(PwlCurve, StaircaseStepsAtJumps) {
+  // init 1, +1 at 3, 6, 9, ...
+  const PwlCurve s = PwlCurve::staircase(1.0, 1.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.eval(2.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.eval(3.0), 2.0);  // right-continuous jump
+  EXPECT_DOUBLE_EQ(s.eval(5.9), 2.0);
+  EXPECT_DOUBLE_EQ(s.eval(6.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.eval(300.0), 101.0);
+  EXPECT_DOUBLE_EQ(s.eval_left(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.eval_left(6.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.eval_left(300.0), 100.0);
+}
+
+TEST(PwlCurve, PeriodicUpperMatchesFloorFormula) {
+  const double p = 10.0;
+  for (double j : {0.0, 3.0, 10.0, 17.0}) {
+    const PwlCurve a = PwlCurve::periodic_upper(p, j);
+    for (double d = 0.0; d <= 100.0; d += 1.0) {
+      const double expect = std::floor((d + j) / p) + 1.0;
+      EXPECT_DOUBLE_EQ(a.eval(d), expect) << "j=" << j << " d=" << d;
+    }
+  }
+}
+
+TEST(PwlCurve, PeriodicLowerMatchesFloorFormula) {
+  const double p = 10.0;
+  for (double j : {0.0, 4.0, 12.0}) {
+    const PwlCurve a = PwlCurve::periodic_lower(p, j);
+    for (double d = 0.0; d <= 100.0; d += 0.5) {
+      const double expect = std::max(0.0, std::floor((d - j) / p));
+      EXPECT_DOUBLE_EQ(a.eval(d), expect) << "j=" << j << " d=" << d;
+    }
+  }
+}
+
+TEST(PwlCurve, PjdUpperIsMinOfBothConstraints) {
+  const double p = 10.0, j = 25.0, d = 2.0, horizon = 200.0;
+  const PwlCurve a = PwlCurve::pjd_upper(p, j, d, horizon);
+  for (double x = 0.0; x <= horizon; x += 0.25) {
+    const double jitter_bound = std::floor((x + j) / p) + 1.0;
+    const double spacing_bound = std::floor(x / d) + 1.0;
+    EXPECT_DOUBLE_EQ(a.eval(x), std::min(jitter_bound, spacing_bound)) << "x=" << x;
+  }
+}
+
+TEST(PwlCurve, MinMaxAddWithCrossing) {
+  const PwlCurve f = PwlCurve::affine(0.0, 2.0);       // 2x
+  const PwlCurve g = PwlCurve::affine(6.0, 1.0);       // 6 + x, crosses 2x at x=6
+  const PwlCurve mn = PwlCurve::min(f, g, 20.0);
+  const PwlCurve mx = PwlCurve::max(f, g, 20.0);
+  const PwlCurve sum = PwlCurve::add(f, g, 20.0);
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    EXPECT_NEAR(mn.eval(x), std::min(2.0 * x, 6.0 + x), 1e-9) << x;
+    EXPECT_NEAR(mx.eval(x), std::max(2.0 * x, 6.0 + x), 1e-9) << x;
+    EXPECT_NEAR(sum.eval(x), 3.0 * x + 6.0, 1e-9) << x;
+  }
+}
+
+TEST(PwlCurve, MinOfStaircases) {
+  const PwlCurve a = PwlCurve::staircase(1.0, 1.0, 2.0, 2.0);   // fast stairs
+  const PwlCurve b = PwlCurve::staircase(4.0, 1.0, 10.0, 10.0); // slow, higher start
+  const PwlCurve mn = PwlCurve::min(a, b, 60.0);
+  for (double x = 0.0; x <= 60.0; x += 0.5)
+    EXPECT_DOUBLE_EQ(mn.eval(x), std::min(a.eval(x), b.eval(x))) << x;
+}
+
+TEST(PwlCurve, InverseLowerOnStaircase) {
+  const PwlCurve s = PwlCurve::staircase(0.0, 1.0, 3.0, 3.0);  // floor(x/3)
+  // smallest x with f(x) >= 2 is 6.
+  const auto x = s.inverse_lower(2.0);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 6.0, 1e-6);
+  // Never reaches values it cannot: constant curve.
+  EXPECT_FALSE(PwlCurve::constant(1.0).inverse_lower(2.0).has_value());
+}
+
+TEST(PwlCurve, InverseUpperOnAffine) {
+  const PwlCurve a = PwlCurve::affine(0.0, 4.0);
+  const auto x = a.inverse_upper(10.0);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 2.5, 1e-9);
+  // f(0) > y: empty set.
+  EXPECT_FALSE(PwlCurve::constant(5.0).inverse_upper(4.0).has_value());
+  // f never exceeds y.
+  EXPECT_FALSE(PwlCurve::constant(1.0).inverse_upper(4.0).has_value());
+}
+
+TEST(PwlCurve, BreakpointsIncludePeriodicCopies) {
+  const PwlCurve s = PwlCurve::staircase(0.0, 1.0, 5.0, 2.0);  // jumps at 2,7,12,...
+  const auto bps = s.breakpoints(20.0);
+  for (double expect : {0.0, 2.0, 7.0, 12.0, 17.0})
+    EXPECT_NE(std::find_if(bps.begin(), bps.end(),
+                           [&](double b) { return std::fabs(b - expect) < 1e-9; }),
+              bps.end())
+        << expect;
+}
+
+TEST(PwlCurve, ScaleAndShift) {
+  const PwlCurve s = PwlCurve::staircase(1.0, 2.0, 4.0, 4.0);
+  const PwlCurve scaled = s.scale_y(3.0);
+  const PwlCurve shifted = s.shift_y(10.0);
+  for (double x = 0.0; x <= 30.0; x += 1.0) {
+    EXPECT_DOUBLE_EQ(scaled.eval(x), 3.0 * s.eval(x));
+    EXPECT_DOUBLE_EQ(shifted.eval(x), s.eval(x) + 10.0);
+  }
+}
+
+TEST(PwlCurve, ValidatesConstruction) {
+  EXPECT_THROW(PwlCurve({}), std::invalid_argument);
+  EXPECT_THROW(PwlCurve({{1.0, 0.0, 0.0}}), std::invalid_argument);  // must start at 0
+  EXPECT_THROW(PwlCurve({{0.0, 0.0, 0.0}, {0.0, 1.0, 0.0}}), std::invalid_argument);
+  // Periodic base region must be inside [0, inf).
+  EXPECT_THROW(PwlCurve({{0.0, 0.0, 0.0}}, /*pstart=*/1.0, /*period=*/5.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(PwlCurve::staircase(0.0, 1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(PwlCurve, NonDecreasingDetection) {
+  EXPECT_TRUE(PwlCurve::affine(0.0, 1.0).non_decreasing());
+  EXPECT_FALSE(PwlCurve::affine(0.0, -1.0).non_decreasing());
+  // Downward jump.
+  EXPECT_FALSE(PwlCurve({{0.0, 5.0, 0.0}, {1.0, 3.0, 0.0}}).non_decreasing());
+}
+
+}  // namespace
+}  // namespace wlc::curve

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "curve/discrete_curve.h"
+#include "curve/pwl_minplus.h"
+
+namespace wlc::curve {
+namespace {
+
+TEST(PwlMinPlus, RateLatencyComposition) {
+  // β1 ⊗ β2 = rate-latency(min rate, summed latency) — the classical tandem
+  // result.
+  const PwlCurve b1 = PwlCurve::rate_latency(4.0, 2.0);
+  const PwlCurve b2 = PwlCurve::rate_latency(7.0, 1.0);
+  const PwlCurve c = pwl_min_plus_conv(b1, b2, 50.0);
+  const PwlCurve expect = PwlCurve::rate_latency(4.0, 3.0);
+  for (double x = 0.0; x <= 50.0; x += 0.1) ASSERT_NEAR(c.eval(x), expect.eval(x), 1e-9) << x;
+}
+
+TEST(PwlMinPlus, TokenBucketsAddBurstsKeepMinRate) {
+  const PwlCurve a1 = PwlCurve::token_bucket(5.0, 2.0);
+  const PwlCurve a2 = PwlCurve::token_bucket(3.0, 1.0);
+  const PwlCurve c = pwl_min_plus_conv(a1, a2, 40.0);
+  for (double x = 0.0; x <= 40.0; x += 0.25)
+    ASSERT_NEAR(c.eval(x), 8.0 + 1.0 * x, 1e-9) << x;
+}
+
+TEST(PwlMinPlus, IdentityWithZeroLatencyInfiniteRate) {
+  // β(Δ) = big·Δ acts as a near-identity for curves with bounded slope.
+  const PwlCurve f = PwlCurve::token_bucket(2.0, 3.0);
+  const PwlCurve fast = PwlCurve::affine(0.0, 1e9);
+  const PwlCurve c = pwl_min_plus_conv(f, fast, 10.0);
+  for (double x = 0.25; x <= 10.0; x += 0.25) ASSERT_NEAR(c.eval(x), f.eval(x), 1e-5) << x;
+}
+
+TEST(PwlMinPlus, MaxPlusRateLatencyIsMaxOfShifts) {
+  // Convex curves: the sup-convolution picks an endpoint split.
+  const PwlCurve b1 = PwlCurve::rate_latency(4.0, 2.0);
+  const PwlCurve b2 = PwlCurve::rate_latency(7.0, 1.0);
+  const PwlCurve c = pwl_max_plus_conv(b1, b2, 30.0);
+  for (double x = 0.0; x <= 30.0; x += 0.1)
+    ASSERT_NEAR(c.eval(x), std::max(b1.eval(x), b2.eval(x)), 1e-9) << x;
+}
+
+/// Random continuous non-decreasing pw-linear curves.
+PwlCurve random_continuous(common::Rng& rng, int pieces, double span) {
+  std::vector<Segment> segs;
+  double x = 0.0;
+  double y = rng.uniform(0.0, 3.0);
+  for (int i = 0; i < pieces; ++i) {
+    const double slope = rng.uniform(0.0, 5.0);
+    segs.push_back({x, y, slope});
+    const double len = rng.uniform(0.2, span / pieces * 2.0);
+    y += slope * len;
+    x += len;
+  }
+  return PwlCurve(std::move(segs));
+}
+
+TEST(PwlMinPlus, MatchesSampledReferenceOnRandomCurves) {
+  common::Rng rng(4242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const PwlCurve f = random_continuous(rng, 5, 10.0);
+    const PwlCurve g = random_continuous(rng, 4, 10.0);
+    const double horizon = 12.0;
+    const PwlCurve exact = pwl_min_plus_conv(f, g, horizon);
+    const double dt = 0.01;
+    const auto n = static_cast<std::size_t>(horizon / dt) + 1;
+    const DiscreteCurve ref = DiscreteCurve::min_plus_conv(DiscreteCurve::sample(f, dt, n),
+                                                           DiscreteCurve::sample(g, dt, n));
+    // Grid splits only over-approximate the true infimum by at most one
+    // grid step of the steepest slope.
+    const double tol = 5.0 * dt + 1e-9;
+    for (std::size_t i = 0; i < ref.size(); i += 7) {
+      const double x = dt * static_cast<double>(i);
+      ASSERT_LE(exact.eval(x), ref[i] + 1e-9) << "trial " << trial << " x " << x;
+      ASSERT_GE(exact.eval(x), ref[i] - tol) << "trial " << trial << " x " << x;
+    }
+  }
+}
+
+TEST(PwlMinPlus, MaxPlusMatchesSampledReferenceOnRandomCurves) {
+  common::Rng rng(4343);
+  for (int trial = 0; trial < 12; ++trial) {
+    const PwlCurve f = random_continuous(rng, 4, 8.0);
+    const PwlCurve g = random_continuous(rng, 5, 8.0);
+    const double horizon = 10.0;
+    const PwlCurve exact = pwl_max_plus_conv(f, g, horizon);
+    const double dt = 0.01;
+    const auto n = static_cast<std::size_t>(horizon / dt) + 1;
+    const DiscreteCurve ref = DiscreteCurve::max_plus_conv(DiscreteCurve::sample(f, dt, n),
+                                                           DiscreteCurve::sample(g, dt, n));
+    const double tol = 5.0 * dt + 1e-9;
+    for (std::size_t i = 0; i < ref.size(); i += 7) {
+      const double x = dt * static_cast<double>(i);
+      ASSERT_GE(exact.eval(x), ref[i] - 1e-9) << "trial " << trial << " x " << x;
+      ASSERT_LE(exact.eval(x), ref[i] + tol) << "trial " << trial << " x " << x;
+    }
+  }
+}
+
+TEST(PwlMinPlus, StaircaseConvolutionStaysBelowOperands) {
+  // With jumps the inf uses left limits; the result must bound from below
+  // the zero-origin combination of the operands.
+  const PwlCurve stairs = PwlCurve::staircase(1.0, 1.0, 2.0, 2.0);
+  const PwlCurve bucket = PwlCurve::token_bucket(2.0, 0.75);
+  const PwlCurve c = pwl_min_plus_conv(stairs, bucket, 20.0);
+  for (double x = 0.0; x <= 20.0; x += 0.1) {
+    ASSERT_LE(c.eval(x), stairs.eval(x) + bucket.eval(0.0) + 1e-9) << x;
+    ASSERT_LE(c.eval(x), bucket.eval(x) + stairs.eval(0.0) + 1e-9) << x;
+  }
+  EXPECT_TRUE(c.non_decreasing());
+}
+
+TEST(PwlMinPlus, CommutativityOnMixedCurves) {
+  const PwlCurve a = PwlCurve::staircase(2.0, 3.0, 4.0, 1.5);
+  const PwlCurve b = PwlCurve::rate_latency(2.5, 1.0);
+  const PwlCurve ab = pwl_min_plus_conv(a, b, 25.0);
+  const PwlCurve ba = pwl_min_plus_conv(b, a, 25.0);
+  for (double x = 0.0; x <= 25.0; x += 0.05) ASSERT_NEAR(ab.eval(x), ba.eval(x), 1e-9) << x;
+}
+
+TEST(PwlMinPlus, RejectsDecreasingAndOversized) {
+  const PwlCurve down({{0.0, 5.0, -1.0}});
+  const PwlCurve ok = PwlCurve::affine(0.0, 1.0);
+  EXPECT_THROW(pwl_min_plus_conv(down, ok, 5.0), std::invalid_argument);
+  // A tiny-period staircase over a huge horizon explodes the segment count.
+  const PwlCurve dense = PwlCurve::staircase(0.0, 1.0, 0.001, 0.001);
+  EXPECT_THROW(pwl_min_plus_conv(dense, dense, 1000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::curve

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sched/generators.h"
+#include "sched/rms.h"
+
+namespace wlc::sched {
+namespace {
+
+PeriodicTask task(std::string name, TimeSec period, Cycles wcet) {
+  return PeriodicTask{std::move(name), period, period, wcet, std::nullopt};
+}
+
+TEST(Rms, LiuLaylandBound) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-4);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7798, 1e-4);
+}
+
+TEST(Rms, UtilizationAccessors) {
+  const TaskSet ts{task("a", 2.0, 1), task("b", 4.0, 2)};
+  EXPECT_DOUBLE_EQ(utilization_wcet(ts, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(utilization_wcet(ts, 2.0), 0.5);
+}
+
+TEST(Rms, ClassicLehoczkyTextbookSet) {
+  // C = (20, 40, 100), T = (100, 150, 350), f = 1: U ≈ 0.75, schedulable.
+  const TaskSet ts{task("t1", 100.0, 20), task("t2", 150.0, 40), task("t3", 350.0, 100)};
+  const RmsLoad load = lehoczky_test(ts, 1.0, DemandModel::WcetOnly);
+  EXPECT_TRUE(load.schedulable);
+  EXPECT_LE(load.overall, 1.0);
+  // Task 1 alone: L1 = 20/100.
+  EXPECT_DOUBLE_EQ(load.per_task[0], 0.2);
+}
+
+TEST(Rms, ClassicLehoczkyRejectsOverload) {
+  const TaskSet ts{task("t1", 1.0, 6), task("t2", 2.0, 10)};  // U = 1.1 at f=10
+  EXPECT_FALSE(lehoczky_test(ts, 10.0, DemandModel::WcetOnly).schedulable);
+  EXPECT_TRUE(lehoczky_test(ts, 12.0, DemandModel::WcetOnly).schedulable);
+}
+
+TEST(Rms, ExactnessBeyondLiuLayland) {
+  // Harmonic periods are schedulable up to U = 1 (beyond the LL bound).
+  const TaskSet ts{task("a", 1.0, 5), task("b", 2.0, 5), task("c", 4.0, 10)};
+  // U = 0.5 + 0.25 + 0.25 = 1.0 at f = 10.
+  EXPECT_GT(utilization_wcet(ts, 10.0), liu_layland_bound(3));
+  EXPECT_TRUE(lehoczky_test(ts, 10.0, DemandModel::WcetOnly).schedulable);
+}
+
+/// An MPEG-like modal task: GOP pattern I,B,B,P repeating with very
+/// different demands.
+PeriodicTask modal_task(std::string name, TimeSec period, std::vector<Cycles> pattern,
+                        EventCount horizon) {
+  const CyclicDemand gen(pattern);
+  PeriodicTask t{std::move(name), period, period, 0, gen.upper_curve(horizon)};
+  t.wcet = t.gamma_u->wcet();
+  return t;
+}
+
+TEST(Rms, CurveTestNeverWorseThanWcet) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    TaskSet ts;
+    for (int i = 0; i < 3; ++i) {
+      std::vector<Cycles> pat;
+      const int len = 2 + static_cast<int>(rng.uniform_int(0, 6));
+      for (int j = 0; j < len; ++j) pat.push_back(rng.uniform_int(1, 30));
+      ts.push_back(modal_task("m" + std::to_string(i), rng.uniform(1.0, 10.0), pat, 64));
+    }
+    const Hertz f = 30.0;
+    const RmsLoad classic = lehoczky_test(ts, f, DemandModel::WcetOnly);
+    const RmsLoad curve = lehoczky_test(ts, f, DemandModel::WorkloadCurve);
+    // Paper eq. (5): L' <= L, per task and overall.
+    ASSERT_LE(curve.overall, classic.overall + 1e-12) << trial;
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      ASSERT_LE(curve.per_task[i], classic.per_task[i] + 1e-12) << trial << " task " << i;
+  }
+}
+
+TEST(Rms, CurveTestAcceptsWhatWcetRejects) {
+  // Paper §3.1's point: a task alternating heavy/light jobs passes the curve
+  // test at a clock where the WCET test fails.
+  const std::vector<Cycles> gop{100, 10, 10, 40};  // I, B, B, P
+  TaskSet ts{modal_task("mpeg", 1.0, gop, 64), task("ctrl", 4.0, 80)};
+  // WCET view needs f >= 120 (U = 100/1 + 80/4); the curve view only needs
+  // f >= 100 (the γᵘ(1) spike of the top task dominates; the control task is
+  // covered by the GOP's long-run demand).
+  const Hertz f = 110.0;
+  EXPECT_FALSE(lehoczky_test(ts, f, DemandModel::WcetOnly).schedulable);
+  EXPECT_TRUE(lehoczky_test(ts, f, DemandModel::WorkloadCurve).schedulable);
+}
+
+TEST(Rms, MinFrequencySearchBracketsTheTest) {
+  const std::vector<Cycles> gop{100, 10, 10, 40};
+  const TaskSet ts{modal_task("mpeg", 1.0, gop, 64), task("ctrl", 4.0, 80)};
+  const Hertz f_curve = min_schedulable_frequency(ts, DemandModel::WorkloadCurve);
+  const Hertz f_wcet = min_schedulable_frequency(ts, DemandModel::WcetOnly);
+  EXPECT_LT(f_curve, f_wcet);
+  EXPECT_TRUE(lehoczky_test(ts, f_curve * 1.001, DemandModel::WorkloadCurve).schedulable);
+  EXPECT_FALSE(lehoczky_test(ts, f_curve * 0.98, DemandModel::WorkloadCurve).schedulable);
+}
+
+TEST(Rms, RejectsDeadlineNotEqualPeriod) {
+  TaskSet ts{task("x", 1.0, 1)};
+  ts[0].deadline = 0.5;
+  EXPECT_THROW(lehoczky_test(ts, 10.0, DemandModel::WcetOnly), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::sched

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "curve/pwl_curve.h"
+#include "rtc/bounds.h"
+#include "sim/components.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::rtc {
+namespace {
+
+using trace::EmpiricalArrivalCurve;
+using workload::Bound;
+using workload::WorkloadCurve;
+
+TEST(Bounds, ServiceFactories) {
+  const ServiceFn flat = constant_rate_service(100.0);
+  EXPECT_DOUBLE_EQ(flat(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(flat(2.5), 250.0);
+  const ServiceFn rl = rate_latency_service(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(rl(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rl(3.0), 200.0);
+}
+
+TEST(Bounds, BacklogCyclesMatchesSupDiff) {
+  const auto alpha = curve::DiscreteCurve::sample(curve::PwlCurve::token_bucket(10.0, 2.0), 1.0, 20);
+  const auto beta = curve::DiscreteCurve::sample(curve::PwlCurve::rate_latency(4.0, 3.0), 1.0, 20);
+  EXPECT_DOUBLE_EQ(backlog_cycles(alpha, beta), 10.0 + 2.0 * 3.0);
+}
+
+TEST(Bounds, BacklogEventsHandComputable) {
+  // Burst of 4 events instantly, then 1 per second; γᵘ(k) = 10k (constant
+  // demand); service 10 cycles/s => one event per second.
+  const EmpiricalArrivalCurve arr(EmpiricalArrivalCurve::Bound::Upper,
+                                  {{0.0, 4}, {1.0, 5}, {2.0, 6}, {3.0, 7}});
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 10);
+  // At Δ=0: 4 - 0 = 4; at Δ=1: 5 - 1 = 4; steady state keeps 4.
+  EXPECT_EQ(backlog_events(arr, gu, constant_rate_service(10.0)), 4);
+  // Double the clock: at Δ=0 backlog 4, afterwards it drains.
+  EXPECT_EQ(backlog_events(arr, gu, constant_rate_service(20.0)), 4);
+  EXPECT_EQ(backlog_events_wcet(arr, 10, constant_rate_service(10.0)), 4);
+}
+
+TEST(Bounds, WorkloadCurveTightensEventBacklog) {
+  // Alternating demands 2, 10: γᵘ(2k) = 12k but WCET-only assumes 20k.
+  const trace::DemandTrace d{10, 2, 10, 2, 10, 2, 10, 2, 10, 2};
+  const WorkloadCurve gu = workload::extract_upper_dense(d, 10);
+  const EmpiricalArrivalCurve arr(EmpiricalArrivalCurve::Bound::Upper,
+                                  {{0.0, 2}, {1.0, 4}, {2.0, 6}, {3.0, 8}, {4.0, 10}});
+  const ServiceFn beta = constant_rate_service(12.0);
+  const EventCount with_curve = backlog_events(arr, gu, beta);
+  const EventCount with_wcet = backlog_events_wcet(arr, gu.wcet(), beta);
+  EXPECT_LT(with_curve, with_wcet);  // eq. (7) tighter than WCET conversion
+}
+
+TEST(Bounds, DelayBoundHandComputable) {
+  // 5 events at once, each costing 10 cycles, served at 10 cycles/s:
+  // the last of the burst waits 5 s; afterwards 1 ev/s keeps pace.
+  const EmpiricalArrivalCurve arr(EmpiricalArrivalCurve::Bound::Upper,
+                                  {{0.0, 5}, {1.0, 6}, {2.0, 7}});
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 10);
+  const TimeSec d = delay_bound(arr, gu, constant_rate_service(10.0), 100.0);
+  EXPECT_NEAR(d, 5.0, 1e-6);
+}
+
+TEST(Bounds, DelayBoundInfiniteWhenUnderProvisioned) {
+  const EmpiricalArrivalCurve arr(EmpiricalArrivalCurve::Bound::Upper, {{0.0, 1}, {1.0, 100}});
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 10);
+  EXPECT_TRUE(std::isinf(delay_bound(arr, gu, constant_rate_service(1.0), 10.0)));
+}
+
+/// Integration soundness: for random traces, the analytic event-backlog and
+/// delay bounds computed from *extracted* curves must dominate what the
+/// event-driven simulation actually produces at the same clock.
+TEST(Bounds, AnalysisDominatesSimulationOnRandomTraces) {
+  common::Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    trace::EventTrace events;
+    double t = 0.0;
+    for (int i = 0; i < 400; ++i) {
+      // Bursty arrivals: occasional dense clusters.
+      t += rng.bernoulli(0.2) ? rng.uniform(0.001, 0.01) : rng.uniform(0.02, 0.2);
+      events.push_back({t, 0, rng.uniform_int(50, 500)});
+    }
+    const auto ks = trace::make_kgrid({.max_k = 400, .dense_limit = 64, .growth = 1.3});
+    const EmpiricalArrivalCurve arr = trace::extract_upper_arrival(trace::timestamps_of(events), ks);
+    const WorkloadCurve gu = workload::extract_upper(trace::demands_of(events), ks);
+
+    const Hertz f = 4000.0;
+    const EventCount analytic = backlog_events(arr, gu, constant_rate_service(f));
+    const TimeSec delay = delay_bound(arr, gu, constant_rate_service(f), 1000.0);
+    const sim::PipelineStats simulated = sim::run_fifo_pipeline(events, f);
+    ASSERT_GE(analytic, simulated.max_backlog) << "trial " << trial;
+    ASSERT_GE(delay + 1e-9, simulated.max_latency) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wlc::rtc

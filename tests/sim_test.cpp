@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/components.h"
+#include "sim/kernel.h"
+
+namespace wlc::sim {
+namespace {
+
+TEST(Kernel, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Kernel, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, HandlersCanScheduleMoreWork) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule_in(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Kernel, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(Kernel, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(1.0, [&] {
+    EXPECT_THROW(sim.schedule(0.5, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Fifo, WatermarkAndOverflow) {
+  Fifo f(2);
+  EXPECT_TRUE(f.push({0.0, 1}));
+  EXPECT_TRUE(f.push({0.0, 2}));
+  EXPECT_FALSE(f.push({0.0, 3}));  // full
+  EXPECT_EQ(f.overflows(), 1);
+  EXPECT_EQ(f.max_backlog(), 2);
+  EXPECT_EQ(f.pop().demand, 1);
+  EXPECT_TRUE(f.push({0.0, 4}));
+  EXPECT_EQ(f.max_backlog(), 2);
+}
+
+TEST(Fifo, PopEmptyThrows) {
+  Fifo f;
+  EXPECT_THROW(f.pop(), std::logic_error);
+}
+
+TEST(Pipeline, SingleItemTimings) {
+  const trace::EventTrace events{{1.0, 0, 100}};
+  const PipelineStats s = run_fifo_pipeline(events, 50.0);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);     // starts at 1.0, 2 s of service
+  EXPECT_DOUBLE_EQ(s.max_latency, 2.0);
+  EXPECT_EQ(s.max_backlog, 1);
+}
+
+TEST(Pipeline, BacklogGrowsUnderBurst) {
+  trace::EventTrace events;
+  for (int i = 0; i < 10; ++i) events.push_back({0.0, 0, 100});  // all at once
+  const PipelineStats s = run_fifo_pipeline(events, 100.0);
+  // The first item of the burst goes straight into service, so the queue
+  // holds the other nine.
+  EXPECT_EQ(s.max_backlog, 9);
+  EXPECT_EQ(s.completed, 10);
+  EXPECT_DOUBLE_EQ(s.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_latency, 10.0);
+  EXPECT_NEAR(s.utilization, 1.0, 1e-12);
+}
+
+TEST(Pipeline, BoundedFifoDropsExcess) {
+  trace::EventTrace events;
+  for (int i = 0; i < 10; ++i) events.push_back({0.0, 0, 100});
+  const PipelineStats s = run_fifo_pipeline(events, 100.0, /*capacity=*/4);
+  EXPECT_GT(s.overflows, 0);
+  EXPECT_LE(s.max_backlog, 4);
+}
+
+TEST(Pipeline, RecursionMatchesEventDrivenOnRandomTraces) {
+  common::Rng rng(606);
+  for (int trial = 0; trial < 10; ++trial) {
+    trace::EventTrace events;
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.bernoulli(0.3) ? rng.uniform(0.0001, 0.003) : rng.uniform(0.005, 0.05);
+      events.push_back({t, 0, rng.uniform_int(10, 800)});
+    }
+    const Hertz f = 20000.0;
+    const PipelineStats des = run_fifo_pipeline(events, f);
+    const PipelineStats rec = queue_recursion_pipeline(events, f);
+    ASSERT_EQ(des.max_backlog, rec.max_backlog) << trial;
+    ASSERT_EQ(des.completed, rec.completed) << trial;
+    ASSERT_NEAR(des.makespan, rec.makespan, 1e-9) << trial;
+    ASSERT_NEAR(des.max_latency, rec.max_latency, 1e-9) << trial;
+    ASSERT_NEAR(des.utilization, rec.utilization, 1e-9) << trial;
+  }
+}
+
+TEST(Pipeline, RecursionHandlesSimultaneousArrivals) {
+  // Two items at the same instant: the first goes straight into service, so
+  // the queue never holds both (documented event ordering).
+  const trace::EventTrace events{{0.0, 0, 100}, {0.0, 0, 100}};
+  const PipelineStats des = run_fifo_pipeline(events, 100.0);
+  const PipelineStats rec = queue_recursion_pipeline(events, 100.0);
+  EXPECT_EQ(des.max_backlog, 1);
+  EXPECT_EQ(rec.max_backlog, 1);
+}
+
+TEST(Pipeline, EmptyTrace) {
+  const PipelineStats s = queue_recursion_pipeline({}, 10.0);
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.max_backlog, 0);
+}
+
+}  // namespace
+}  // namespace wlc::sim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "curve/pwl_curve.h"
+#include "rtc/sizing.h"
+#include "sim/components.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::rtc {
+namespace {
+
+using trace::EmpiricalArrivalCurve;
+using workload::Bound;
+using workload::WorkloadCurve;
+
+EmpiricalArrivalCurve burst_then_steady() {
+  // 3 events at once, one more each second for 9 s.
+  std::vector<std::pair<TimeSec, EventCount>> pts{{0.0, 3}};
+  for (int i = 1; i <= 9; ++i) pts.emplace_back(static_cast<double>(i), 3 + i);
+  return EmpiricalArrivalCurve(EmpiricalArrivalCurve::Bound::Upper, std::move(pts));
+}
+
+TEST(Sizing, HandComputableFrequencies) {
+  const EmpiricalArrivalCurve arr = burst_then_steady();
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 100);
+  // b = 3 absorbs the burst: excess(Δ=i) = i, demand = 100·i, F = max 100·i/i.
+  EXPECT_DOUBLE_EQ(min_frequency_workload(arr, gu, 3), 100.0);
+  // b = 0: excess(0) = 3 > 0 at Δ = 0 -> infeasible.
+  EXPECT_TRUE(std::isinf(min_frequency_workload(arr, gu, 0)));
+  // b = 5: excess(Δ=i) = i-2, ratio 100(i-2)/i peaks at the last breakpoint.
+  EXPECT_DOUBLE_EQ(min_frequency_workload(arr, gu, 5), 100.0 * 7.0 / 9.0);
+  // WCET variant is identical for a constant-demand curve.
+  EXPECT_DOUBLE_EQ(min_frequency_wcet(arr, 100, 3), 100.0);
+}
+
+TEST(Sizing, WorkloadNeverExceedsWcetSizing) {
+  common::Rng rng(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random demand trace with strong variability.
+    trace::DemandTrace d;
+    for (int i = 0; i < 300; ++i)
+      d.push_back(rng.bernoulli(0.1) ? rng.uniform_int(800, 1000) : rng.uniform_int(50, 150));
+    trace::TimestampTrace ts{0.0};
+    for (int i = 1; i < 300; ++i) ts.push_back(ts.back() + rng.uniform(0.001, 0.02));
+    const auto ks = trace::make_kgrid({.max_k = 300, .dense_limit = 48, .growth = 1.4});
+    const auto arr = trace::extract_upper_arrival(ts, ks);
+    const auto gu = workload::extract_upper(d, ks);
+    for (EventCount b : {0, 5, 20, 100}) {
+      const Hertz fg = min_frequency_workload(arr, gu, b);
+      const Hertz fw = min_frequency_wcet(arr, gu.wcet(), b);
+      ASSERT_LE(fg, fw + 1e-9) << "trial " << trial << " b " << b;
+    }
+  }
+}
+
+TEST(Sizing, TradeoffIsMonotoneInBuffer) {
+  const EmpiricalArrivalCurve arr = burst_then_steady();
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 100);
+  const auto sweep = buffer_frequency_tradeoff(arr, gu, {0, 1, 2, 3, 4, 6, 8, 12});
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LE(sweep[i].second, sweep[i - 1].second) << i;
+}
+
+TEST(Sizing, RequiredServiceFloorMatchesDefinition) {
+  const EmpiricalArrivalCurve arr = burst_then_steady();
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 10);
+  const curve::DiscreteCurve floor_curve = required_service_floor(arr, gu, 2, 0.5, 10);
+  for (std::size_t i = 0; i < floor_curve.size(); ++i) {
+    const TimeSec delta = 0.5 * static_cast<double>(i);
+    const EventCount excess = std::max<EventCount>(0, arr.eval(delta) - 2);
+    EXPECT_DOUBLE_EQ(floor_curve[i], 10.0 * static_cast<double>(excess));
+  }
+}
+
+TEST(Sizing, ServiceSatisfiesBufferCheck) {
+  const EmpiricalArrivalCurve arr = burst_then_steady();
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 10);
+  const Hertz f = min_frequency_workload(arr, gu, 3);
+  const auto beta_ok = curve::DiscreteCurve::sample(curve::PwlCurve::affine(0.0, f), 0.25, 60);
+  EXPECT_TRUE(service_satisfies_buffer(beta_ok, arr, gu, 3));
+  const auto beta_low =
+      curve::DiscreteCurve::sample(curve::PwlCurve::affine(0.0, 0.8 * f), 0.25, 60);
+  EXPECT_FALSE(service_satisfies_buffer(beta_low, arr, gu, 3));
+}
+
+/// The load-bearing guarantee behind the paper's case study: running the
+/// consumer at F^γ_min keeps the FIFO backlog within b for the very trace
+/// the curves were extracted from.
+TEST(Sizing, SimulationRespectsBufferAtComputedFrequency) {
+  common::Rng rng(505);
+  for (int trial = 0; trial < 6; ++trial) {
+    trace::EventTrace events;
+    double t = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      t += rng.bernoulli(0.25) ? rng.uniform(0.0005, 0.004) : rng.uniform(0.01, 0.08);
+      const Cycles demand =
+          rng.bernoulli(0.08) ? rng.uniform_int(2000, 3000) : rng.uniform_int(100, 600);
+      events.push_back({t, 0, demand});
+    }
+    const auto ks = trace::make_kgrid({.max_k = 500, .dense_limit = 64, .growth = 1.3});
+    const auto arr = trace::extract_upper_arrival(trace::timestamps_of(events), ks);
+    const auto gu = workload::extract_upper(trace::demands_of(events), ks);
+    for (EventCount b : {4, 16, 64}) {
+      const Hertz f = min_frequency_workload(arr, gu, b);
+      ASSERT_TRUE(std::isfinite(f));
+      const sim::PipelineStats stats = sim::run_fifo_pipeline(events, f);
+      ASSERT_LE(stats.max_backlog, b) << "trial " << trial << " b " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wlc::rtc

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/discrete_curve.h"
+#include "curve/pwl_curve.h"
+#include "rtc/gpc.h"
+#include "rtc/shaper.h"
+#include "rtc/tdma.h"
+
+namespace wlc::rtc {
+namespace {
+
+using curve::DiscreteCurve;
+using curve::PwlCurve;
+
+TEST(Tdma, LowerCurveMatchesDefinition) {
+  // Slot 2 of every 10, bandwidth 100.
+  const PwlCurve bl = tdma_service_lower({.slot = 2.0, .cycle = 10.0, .bandwidth = 100.0});
+  auto expect = [](double d) {
+    const double full = std::floor(d / 10.0);
+    const double rem = d - full * 10.0;
+    return 100.0 * (full * 2.0 + std::max(0.0, rem - 8.0));
+  };
+  for (double d = 0.0; d <= 100.0; d += 0.25) EXPECT_NEAR(bl.eval(d), expect(d), 1e-9) << d;
+  EXPECT_TRUE(bl.non_decreasing());
+}
+
+TEST(Tdma, UpperCurveMatchesDefinition) {
+  const PwlCurve bu = tdma_service_upper({.slot = 2.0, .cycle = 10.0, .bandwidth = 100.0});
+  auto expect = [](double d) {
+    const double full = std::floor(d / 10.0);
+    const double rem = d - full * 10.0;
+    return 100.0 * (full * 2.0 + std::min(rem, 2.0));
+  };
+  for (double d = 0.0; d <= 100.0; d += 0.25) EXPECT_NEAR(bu.eval(d), expect(d), 1e-9) << d;
+}
+
+TEST(Tdma, UpperDominatesLowerAndFullSlotIsAffine) {
+  const TdmaSlot t{.slot = 3.0, .cycle = 7.0, .bandwidth = 50.0};
+  const PwlCurve lo = tdma_service_lower(t);
+  const PwlCurve hi = tdma_service_upper(t);
+  for (double d = 0.0; d <= 70.0; d += 0.5) EXPECT_GE(hi.eval(d), lo.eval(d) - 1e-9);
+  const PwlCurve full = tdma_service_lower({.slot = 5.0, .cycle = 5.0, .bandwidth = 50.0});
+  EXPECT_DOUBLE_EQ(full.eval(3.0), 150.0);
+}
+
+TEST(Tdma, LongRunRateIsBandwidthShare)
+{
+  const TdmaSlot t{.slot = 2.0, .cycle = 10.0, .bandwidth = 100.0};
+  const PwlCurve lo = tdma_service_lower(t);
+  // Over many cycles both curves converge to B·s/c = 20 per second.
+  EXPECT_NEAR(lo.eval(1e4) / 1e4, 20.0, 0.1);
+}
+
+TEST(Tdma, ValidatesInput) {
+  EXPECT_THROW(tdma_service_lower({.slot = 0.0, .cycle = 1.0, .bandwidth = 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(tdma_service_lower({.slot = 2.0, .cycle = 1.0, .bandwidth = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Tdma, WorksAsGpcResource) {
+  const double dt = 0.25;
+  const std::size_t n = 400;
+  const StreamBounds input{DiscreteCurve::sample(PwlCurve::token_bucket(3.0, 1.0), dt, n),
+                           DiscreteCurve::sample(PwlCurve::affine(0.0, 1.0), dt, n)};
+  const TdmaSlot slot{.slot = 4.0, .cycle = 10.0, .bandwidth = 5.0};  // 2 units/s share
+  const ResourceBounds res{DiscreteCurve::sample(tdma_service_upper(slot), dt, n),
+                           DiscreteCurve::sample(tdma_service_lower(slot), dt, n)};
+  const GpcResult r = analyze_gpc(input, res);
+  EXPECT_GT(r.backlog, 0.0);
+  EXPECT_TRUE(std::isfinite(r.delay));  // rate 1 < share 2: bounded delay
+}
+
+TEST(Shaper, OutputIsShapedAndTighter) {
+  const DiscreteCurve alpha = DiscreteCurve::sample(PwlCurve::token_bucket(10.0, 1.0), 1.0, 64);
+  const DiscreteCurve sigma = DiscreteCurve::sample(PwlCurve::token_bucket(3.0, 1.5), 1.0, 64);
+  const ShaperResult r = analyze_shaper(alpha, sigma);
+  for (std::size_t i = 0; i < r.output.size(); ++i)
+    EXPECT_LE(r.output[i], sigma[i] + 1e-9) << i;   // σ-bounded
+  // Over any non-degenerate window the output never exceeds the input
+  // (at Δ = 0 backlogged events may be released together, bounded by σ).
+  for (std::size_t i = 1; i < r.output.size(); ++i)
+    EXPECT_LE(r.output[i], alpha[i] + 1e-9) << i;
+}
+
+TEST(Shaper, BacklogAndDelayClassicValues) {
+  // Token bucket (b=10, r=1) through a (b=3, r=1.5) shaper: worst backlog at
+  // Δ=0 is 10-3=7; worst delay is when 10 burst units drain at rate 1.5
+  // above the 3 admitted instantly: h ≈ (10-3)/1.5.
+  const DiscreteCurve alpha = DiscreteCurve::sample(PwlCurve::token_bucket(10.0, 1.0), 0.5, 128);
+  const DiscreteCurve sigma = DiscreteCurve::sample(PwlCurve::token_bucket(3.0, 1.5), 0.5, 128);
+  const ShaperResult r = analyze_shaper(alpha, sigma);
+  EXPECT_DOUBLE_EQ(r.backlog, 7.0);
+  EXPECT_NEAR(r.delay, 7.0 / 1.5, 0.5 + 1e-9);
+}
+
+TEST(Shaper, ShapingIsFreeForDownstreamDelay) {
+  // End-to-end delay with a shaper (σ ⊗ β view) never exceeds the direct
+  // delay bound h(α, β) when σ >= β on the relevant range... classical
+  // "shaping is free": delay(α, σ) + delay(α⊗σ, β) <= delay(α, σ ⊗ β) and
+  // with σ >= β the end-to-end equals h(α, β). We verify the weaker, safe
+  // direction: shaped-then-served delay <= unshaped delay + shaper delay.
+  const DiscreteCurve alpha = DiscreteCurve::sample(PwlCurve::token_bucket(8.0, 1.0), 0.5, 200);
+  const DiscreteCurve sigma = DiscreteCurve::sample(PwlCurve::token_bucket(2.0, 2.0), 0.5, 200);
+  const DiscreteCurve beta = DiscreteCurve::sample(PwlCurve::rate_latency(2.0, 1.0), 0.5, 200);
+  const ShaperResult shaped = analyze_shaper(alpha, sigma);
+  const double direct = DiscreteCurve::horizontal_deviation(alpha, beta);
+  const double downstream = DiscreteCurve::horizontal_deviation(shaped.output, beta);
+  EXPECT_LE(downstream, direct + 1e-9);
+  EXPECT_LE(shaped.delay + downstream,
+            direct + DiscreteCurve::horizontal_deviation(alpha, sigma) + 1e-9);
+}
+
+TEST(Shaper, RejectsDecreasingSigma) {
+  const DiscreteCurve alpha = DiscreteCurve::zeros(4, 1.0);
+  const DiscreteCurve bad({1.0, 0.5, 0.2, 0.1}, 1.0);
+  EXPECT_THROW(analyze_shaper(alpha, bad), std::invalid_argument);
+}
+
+TEST(Closure, SubadditiveClosureProperties) {
+  // A super-additive-ish staircase gets flattened to sub-additive.
+  const DiscreteCurve f({0.0, 5.0, 7.0, 20.0, 22.0, 40.0}, 1.0);
+  const DiscreteCurve g = f.sub_additive_closure();
+  // Below the original, anchored at 0.
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_LE(g[i], f[i] + 1e-12);
+  // Sub-additive on the horizon.
+  for (std::size_t a = 0; a < g.size(); ++a)
+    for (std::size_t b = 0; a + b < g.size(); ++b)
+      EXPECT_LE(g[a + b], g[a] + g[b] + 1e-9) << a << "+" << b;
+  // Idempotent.
+  const DiscreteCurve gg = g.sub_additive_closure();
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_DOUBLE_EQ(gg[i], g[i]);
+  // g(3) improves on f(3): 5+7 = 12 < 20... closure found the split.
+  EXPECT_DOUBLE_EQ(g[3], 12.0);
+}
+
+TEST(Closure, AlreadySubadditiveIsFixpoint) {
+  const DiscreteCurve f = DiscreteCurve::sample(PwlCurve::token_bucket(2.0, 1.0), 1.0, 32);
+  const DiscreteCurve g = f.sub_additive_closure();
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_DOUBLE_EQ(g[i], f[i]);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+}
+
+}  // namespace
+}  // namespace wlc::rtc

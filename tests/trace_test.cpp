@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "trace/arrival_extract.h"
+#include "trace/io.h"
+#include "trace/kgrid.h"
+#include "trace/traces.h"
+
+namespace wlc::trace {
+namespace {
+
+TEST(KGrid, DensePrefixThenGeometric) {
+  const auto ks = make_kgrid({.max_k = 1000, .dense_limit = 10, .growth = 2.0});
+  ASSERT_GE(ks.size(), 11u);
+  for (std::int64_t k = 1; k <= 10; ++k) EXPECT_EQ(ks[static_cast<std::size_t>(k - 1)], k);
+  EXPECT_EQ(ks.back(), 1000);
+  for (std::size_t i = 1; i < ks.size(); ++i) EXPECT_LT(ks[i - 1], ks[i]);
+}
+
+TEST(KGrid, DenseCoversEverything) {
+  const auto ks = make_kgrid({.max_k = 5, .dense_limit = 100, .growth = 1.5});
+  EXPECT_EQ(ks, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Traces, ProjectionsAndOrdering) {
+  EventTrace t{{0.0, 1, 10}, {0.5, 2, 20}, {0.5, 1, 30}};
+  EXPECT_TRUE(is_time_ordered(t));
+  EXPECT_EQ(demands_of(t), (DemandTrace{10, 20, 30}));
+  EXPECT_EQ(timestamps_of(t), (TimestampTrace{0.0, 0.5, 0.5}));
+  t.push_back({0.1, 0, 0});
+  EXPECT_FALSE(is_time_ordered(t));
+}
+
+TEST(TraceIo, RoundTrip) {
+  EventTrace t{{0.25, 3, 1234}, {1.5, 0, 5}};
+  std::stringstream ss;
+  write_event_trace_csv(ss, t);
+  const EventTrace back = read_event_trace_csv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].time, 0.25);
+  EXPECT_EQ(back[0].type, 3);
+  EXPECT_EQ(back[0].demand, 1234);
+  EXPECT_EQ(back[1].demand, 5);
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  std::stringstream empty;
+  EXPECT_THROW(read_event_trace_csv(empty), std::invalid_argument);
+  std::stringstream bad("time,type,demand\n1.0;2;3\n");
+  EXPECT_THROW(read_event_trace_csv(bad), std::invalid_argument);
+}
+
+TEST(Spans, MinAndMaxSpans) {
+  const TimestampTrace ts{0.0, 1.0, 3.0, 6.0, 7.0};
+  const std::int64_t ks[] = {1, 2, 3};
+  const auto mins = minspans(ts, ks);
+  const auto maxs = maxspans(ts, ks);
+  EXPECT_DOUBLE_EQ(mins[0], 0.0);
+  EXPECT_DOUBLE_EQ(mins[1], 1.0);  // 0-1 or 6-7
+  EXPECT_DOUBLE_EQ(mins[2], 3.0);  // 0-1-3
+  EXPECT_DOUBLE_EQ(maxs[1], 3.0);  // 3-6
+  EXPECT_DOUBLE_EQ(maxs[2], 5.0);  // 1-3-6
+}
+
+TEST(ArrivalExtract, UpperCurveOnPeriodicTrace) {
+  TimestampTrace ts;
+  for (int i = 0; i < 50; ++i) ts.push_back(static_cast<double>(i));
+  const auto ks = make_kgrid({.max_k = 50, .dense_limit = 50, .growth = 2.0});
+  const EmpiricalArrivalCurve a = extract_upper_arrival(ts, ks);
+  // A closed window of length d contains at most floor(d)+1 unit-spaced events.
+  for (double d = 0.0; d <= 20.0; d += 0.5)
+    EXPECT_EQ(a.eval(d), static_cast<EventCount>(std::floor(d)) + 1) << d;
+  EXPECT_EQ(a.max_events(), 50);
+}
+
+TEST(ArrivalExtract, UpperMatchesDirectSweepOnRandomTraces) {
+  common::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    TimestampTrace ts{0.0};
+    for (int i = 0; i < 200; ++i) ts.push_back(ts.back() + rng.uniform(0.01, 1.0));
+    const auto ks = make_kgrid({.max_k = 201, .dense_limit = 201, .growth = 2.0});
+    const EmpiricalArrivalCurve a = extract_upper_arrival(ts, ks);
+    for (double d : {0.0, 0.3, 1.0, 2.5, 10.0, 50.0, 300.0})
+      ASSERT_EQ(a.eval(d), max_events_in_window(ts, d)) << "trial " << trial << " d=" << d;
+  }
+}
+
+TEST(ArrivalExtract, CoarseGridIsConservativeUpper) {
+  common::Rng rng(78);
+  TimestampTrace ts{0.0};
+  for (int i = 0; i < 300; ++i) ts.push_back(ts.back() + rng.uniform(0.01, 1.0));
+  const auto coarse = make_kgrid({.max_k = 301, .dense_limit = 8, .growth = 1.5});
+  const EmpiricalArrivalCurve a = extract_upper_arrival(ts, coarse);
+  for (double d = 0.0; d < 120.0; d += 0.7)
+    ASSERT_GE(a.eval(d), max_events_in_window(ts, d)) << d;
+}
+
+TEST(ArrivalExtract, LowerMatchesDirectSweepOnRandomTraces) {
+  common::Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    TimestampTrace ts{0.0};
+    for (int i = 0; i < 150; ++i) ts.push_back(ts.back() + rng.uniform(0.05, 1.0));
+    const auto ks = make_kgrid({.max_k = 151, .dense_limit = 151, .growth = 2.0});
+    const EmpiricalArrivalCurve a = extract_lower_arrival(ts, ks);
+    for (double d : {0.1, 1.0, 3.0, 10.0, 40.0})
+      ASSERT_EQ(a.eval(d), min_events_in_window(ts, d)) << "trial " << trial << " d=" << d;
+  }
+}
+
+TEST(ArrivalExtract, CoarseGridIsConservativeLower) {
+  common::Rng rng(80);
+  TimestampTrace ts{0.0};
+  for (int i = 0; i < 300; ++i) ts.push_back(ts.back() + rng.uniform(0.01, 1.0));
+  const auto coarse = make_kgrid({.max_k = 301, .dense_limit = 8, .growth = 1.6});
+  const EmpiricalArrivalCurve a = extract_lower_arrival(ts, coarse);
+  for (double d = 0.0; d < 120.0; d += 0.7)
+    ASSERT_LE(a.eval(d), min_events_in_window(ts, d)) << d;
+}
+
+TEST(ArrivalCurve, UpperDominatesLowerEverywhere) {
+  common::Rng rng(81);
+  TimestampTrace ts{0.0};
+  for (int i = 0; i < 200; ++i) ts.push_back(ts.back() + rng.uniform(0.01, 2.0));
+  const auto ks = make_kgrid({.max_k = 201, .dense_limit = 32, .growth = 1.4});
+  const EmpiricalArrivalCurve up = extract_upper_arrival(ts, ks);
+  const EmpiricalArrivalCurve lo = extract_lower_arrival(ts, ks);
+  for (double d = 0.0; d < 150.0; d += 0.5) ASSERT_GE(up.eval(d), lo.eval(d));
+}
+
+TEST(ArrivalCurve, CombineTakesWorstOfBothTraces) {
+  // Trace A: a tight burst; trace B: spread out.
+  const TimestampTrace a{0.0, 0.1, 0.2, 10.0};
+  const TimestampTrace b{0.0, 5.0, 10.0, 15.0};
+  const auto ks = make_kgrid({.max_k = 4, .dense_limit = 4, .growth = 2.0});
+  const auto ca = extract_upper_arrival(a, ks);
+  const auto cb = extract_upper_arrival(b, ks);
+  const auto combined = EmpiricalArrivalCurve::combine(ca, cb);
+  for (double d = 0.0; d <= 20.0; d += 0.05)
+    ASSERT_EQ(combined.eval(d), std::max(ca.eval(d), cb.eval(d))) << d;
+}
+
+TEST(ArrivalCurve, ValidatesConstruction) {
+  using B = EmpiricalArrivalCurve::Bound;
+  EXPECT_THROW(EmpiricalArrivalCurve(B::Upper, {}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalArrivalCurve(B::Upper, {{1.0, 1}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalArrivalCurve(B::Upper, {{0.0, 2}, {1.0, 1}}), std::invalid_argument);
+  const EmpiricalArrivalCurve ok(B::Upper, {{0.0, 1}, {2.0, 5}});
+  EXPECT_EQ(ok.eval(1.99), 1);
+  EXPECT_EQ(ok.eval(2.0), 5);
+  EXPECT_EQ(ok.eval(100.0), 5);
+  EXPECT_DOUBLE_EQ(ok.long_run_rate(), 2.5);
+}
+
+}  // namespace
+}  // namespace wlc::trace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+
+#include "workload/polling.h"
+#include "workload/type_bounds.h"
+
+namespace wlc::workload {
+namespace {
+
+TEST(TypeBounds, GreedyMatchesBruteForceEnumeration) {
+  EventTypeTable types;
+  types.add("cheap", 1, 2);
+  types.add("mid", 2, 5);
+  types.add("dear", 3, 9);
+  // Occurrence bounds: cheap unlimited, mid at most ceil(k/2), dear at most
+  // 1 + k/4 and at least k/8.
+  std::array<TypeOccurrenceBounds, 3> bounds{{
+      {[](EventCount) { return 0; }, [](EventCount k) { return k; }},
+      {[](EventCount) { return 0; }, [](EventCount k) { return (k + 1) / 2; }},
+      {[](EventCount k) { return k / 8; }, [](EventCount k) { return 1 + k / 4; }},
+  }};
+  for (EventCount k = 0; k <= 16; ++k) {
+    Cycles best_max = -1;
+    Cycles best_min = std::numeric_limits<Cycles>::max();
+    // Enumerate all feasible mixes.
+    for (EventCount n2 = 0; n2 <= k; ++n2)
+      for (EventCount n3 = 0; n2 + n3 <= k; ++n3) {
+        const EventCount n1 = k - n2 - n3;
+        if (n2 > (k + 1) / 2) continue;
+        if (n3 < k / 8 || n3 > 1 + k / 4) continue;
+        best_max = std::max(best_max, n1 * 2 + n2 * 5 + n3 * 9);
+        best_min = std::min(best_min, n1 * 1 + n2 * 2 + n3 * 3);
+      }
+    if (k == 0) {
+      EXPECT_EQ(max_demand_mix(types, bounds, k), 0);
+      EXPECT_EQ(min_demand_mix(types, bounds, k), 0);
+      continue;
+    }
+    ASSERT_EQ(max_demand_mix(types, bounds, k), best_max) << k;
+    ASSERT_EQ(min_demand_mix(types, bounds, k), best_min) << k;
+  }
+}
+
+TEST(TypeBounds, ReproducesPollingModel) {
+  // Polling task as a two-type system: 'hit' (cost e_p) bounded by
+  // n_min/n_max, 'miss' (cost e_c) taking the rest.
+  const Cycles e_p = 10, e_c = 2;
+  const PollingTaskModel m(1.0, 3.0, 5.0, e_p, e_c);
+  EventTypeTable types;
+  types.add("hit", e_p, e_p);
+  types.add("miss", e_c, e_c);
+  std::array<TypeOccurrenceBounds, 2> bounds{{
+      {[&m](EventCount k) { return m.n_min(k); }, [&m](EventCount k) { return m.n_max(k); }},
+      {[&m](EventCount k) { return k - m.n_max(k); },
+       [&m](EventCount k) { return k - m.n_min(k); }},
+  }};
+  const WorkloadCurve up = upper_from_type_bounds(types, bounds, 40);
+  const WorkloadCurve lo = lower_from_type_bounds(types, bounds, 40);
+  for (EventCount k = 0; k <= 40; ++k) {
+    EXPECT_EQ(up.value(k), m.gamma_u(k)) << k;
+    EXPECT_EQ(lo.value(k), m.gamma_l(k)) << k;
+  }
+}
+
+TEST(TypeBounds, InfeasibleBoundsThrow) {
+  EventTypeTable types;
+  types.add("only", 1, 1);
+  std::array<TypeOccurrenceBounds, 1> impossible{{
+      {[](EventCount) { return 5; }, [](EventCount) { return 3; }},  // min > max
+  }};
+  EXPECT_THROW(max_demand_mix(types, impossible, 4), std::invalid_argument);
+  std::array<TypeOccurrenceBounds, 1> starved{{
+      {[](EventCount) { return 0; }, [](EventCount k) { return k / 2; }},  // Σmax < k
+  }};
+  EXPECT_THROW(max_demand_mix(types, starved, 4), std::invalid_argument);
+}
+
+TEST(TypeBounds, MismatchedTableSizeThrows) {
+  EventTypeTable types;
+  types.add("a", 1, 1);
+  types.add("b", 1, 1);
+  std::array<TypeOccurrenceBounds, 1> bounds{{
+      {[](EventCount) { return 0; }, [](EventCount k) { return k; }},
+  }};
+  EXPECT_THROW(max_demand_mix(types, bounds, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlc::workload

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/extract.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::workload {
+namespace {
+
+WorkloadCurve sample_upper() {
+  // Exact on k = 0..3, breakpoint at 6.
+  return WorkloadCurve(Bound::Upper, {{0, 0}, {1, 10}, {2, 16}, {3, 21}, {6, 33}});
+}
+
+WorkloadCurve sample_lower() {
+  return WorkloadCurve(Bound::Lower, {{0, 0}, {1, 2}, {2, 6}, {3, 11}, {6, 26}});
+}
+
+TEST(WorkloadCurve, ValidatesConstruction) {
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{1, 5}, {2, 6}}), std::invalid_argument);
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}, {2, 5}}), std::invalid_argument);  // no k=1
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}, {1, 5}, {1, 6}}), std::invalid_argument);
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}, {1, 5}, {2, 4}}), std::invalid_argument);
+}
+
+TEST(WorkloadCurve, UpperStepsToNextBreakpoint) {
+  const WorkloadCurve g = sample_upper();
+  EXPECT_EQ(g.value(0), 0);
+  EXPECT_EQ(g.value(1), 10);
+  EXPECT_EQ(g.value(3), 21);
+  // Between exact points 3 and 6 the upper curve is conservative: next value.
+  EXPECT_EQ(g.value(4), 33);
+  EXPECT_EQ(g.value(5), 33);
+  EXPECT_EQ(g.value(6), 33);
+}
+
+TEST(WorkloadCurve, LowerHoldsPreviousBreakpoint) {
+  const WorkloadCurve g = sample_lower();
+  EXPECT_EQ(g.value(4), 11);  // holds the k=3 value
+  EXPECT_EQ(g.value(5), 11);
+  EXPECT_EQ(g.value(6), 26);
+}
+
+TEST(WorkloadCurve, BlockExtensionSubadditiveUpper) {
+  const WorkloadCurve g = sample_upper();
+  // value(6q + r) = q·33 + value(r).
+  EXPECT_EQ(g.value(7), 33 + 10);
+  EXPECT_EQ(g.value(12), 66);
+  EXPECT_EQ(g.value(14), 66 + 16);
+  // Extension never undercuts monotonicity.
+  Cycles prev = 0;
+  for (EventCount k = 0; k <= 40; ++k) {
+    EXPECT_GE(g.value(k), prev) << k;
+    prev = g.value(k);
+  }
+}
+
+TEST(WorkloadCurve, BlockExtensionSuperadditiveLower) {
+  const WorkloadCurve g = sample_lower();
+  EXPECT_EQ(g.value(8), 26 + 6);
+  EXPECT_EQ(g.value(12), 52);
+  Cycles prev = 0;
+  for (EventCount k = 0; k <= 40; ++k) {
+    EXPECT_GE(g.value(k), prev) << k;
+    prev = g.value(k);
+  }
+}
+
+TEST(WorkloadCurve, ExtensionBoundsDenseExtractionOnRealTrace) {
+  // A truncated curve's extension must still bound the true (dense) curve.
+  common::Rng rng(5);
+  trace::DemandTrace d;
+  for (int i = 0; i < 400; ++i) d.push_back(rng.uniform_int(5, 40));
+  const WorkloadCurve full_u = extract_upper_dense(d, 400);
+  const WorkloadCurve full_l = extract_lower_dense(d, 400);
+  const WorkloadCurve short_u = extract_upper_dense(d, 50);
+  const WorkloadCurve short_l = extract_lower_dense(d, 50);
+  for (EventCount k = 0; k <= 400; k += 7) {
+    ASSERT_GE(short_u.value(k), full_u.value(k)) << k;
+    ASSERT_LE(short_l.value(k), full_l.value(k)) << k;
+  }
+}
+
+TEST(WorkloadCurve, PseudoInverseDefinitionUpper) {
+  const WorkloadCurve g = sample_upper();
+  // γᵘ⁻¹(e) = max{k : γᵘ(k) <= e}, checked exhaustively against value().
+  for (Cycles e = 0; e <= 200; ++e) {
+    const EventCount inv = g.inverse(e);
+    ASSERT_LE(g.value(inv), e) << e;
+    ASSERT_GT(g.value(inv + 1), e) << e;
+  }
+}
+
+TEST(WorkloadCurve, PseudoInverseDefinitionLower) {
+  const WorkloadCurve g = sample_lower();
+  // γˡ⁻¹(e) = min{k : γˡ(k) >= e}.
+  for (Cycles e = 1; e <= 200; ++e) {
+    const EventCount inv = g.inverse(e);
+    ASSERT_GE(g.value(inv), e) << e;
+    ASSERT_LT(g.value(inv - 1), e) << e;
+  }
+  EXPECT_EQ(g.inverse(0), 0);
+}
+
+TEST(WorkloadCurve, PaperInverseIdentity) {
+  // γᵘ⁻¹(γᵘ(k)) = k on a strictly increasing exact curve (paper §2.1).
+  const WorkloadCurve g = WorkloadCurve::from_dense(Bound::Upper, {0, 10, 16, 21, 25, 28});
+  for (EventCount k = 0; k <= 5; ++k) EXPECT_EQ(g.inverse(g.value(k)), k);
+  const WorkloadCurve l = WorkloadCurve::from_dense(Bound::Lower, {0, 2, 6, 11, 17, 24});
+  for (EventCount k = 0; k <= 5; ++k) EXPECT_EQ(l.inverse(l.value(k)), k);
+}
+
+TEST(WorkloadCurve, WcetBcetAccessors) {
+  EXPECT_EQ(sample_upper().wcet(), 10);
+  EXPECT_EQ(sample_lower().bcet(), 2);
+  EXPECT_THROW(sample_upper().bcet(), std::invalid_argument);
+  EXPECT_THROW(sample_lower().wcet(), std::invalid_argument);
+}
+
+TEST(WorkloadCurve, FromConstantDemandIsLinear) {
+  const WorkloadCurve g = WorkloadCurve::from_constant_demand(Bound::Upper, 7);
+  for (EventCount k : {0, 1, 5, 50, 100, 250}) EXPECT_EQ(g.value(k), 7 * k);
+  EXPECT_EQ(g.inverse(70), 10);
+  EXPECT_EQ(g.inverse(69), 9);
+}
+
+TEST(WorkloadCurve, AddCombinesStageDemands) {
+  const WorkloadCurve sum = WorkloadCurve::add(sample_upper(), sample_upper());
+  for (EventCount k = 0; k <= 6; ++k) EXPECT_EQ(sum.value(k), 2 * sample_upper().value(k));
+  EXPECT_THROW(WorkloadCurve::add(sample_upper(), sample_lower()), std::invalid_argument);
+}
+
+TEST(WorkloadCurve, CombineIsPointwiseWorstCase) {
+  const WorkloadCurve a = WorkloadCurve::from_dense(Bound::Upper, {0, 10, 15, 30});
+  const WorkloadCurve b = WorkloadCurve::from_dense(Bound::Upper, {0, 8, 20, 26});
+  const WorkloadCurve c = WorkloadCurve::combine(a, b);
+  EXPECT_EQ(c.value(1), 10);
+  EXPECT_EQ(c.value(2), 20);
+  EXPECT_EQ(c.value(3), 30);
+  const WorkloadCurve la = WorkloadCurve::from_dense(Bound::Lower, {0, 3, 9, 12});
+  const WorkloadCurve lb = WorkloadCurve::from_dense(Bound::Lower, {0, 4, 7, 13});
+  const WorkloadCurve lc = WorkloadCurve::combine(la, lb);
+  EXPECT_EQ(lc.value(1), 3);
+  EXPECT_EQ(lc.value(2), 7);
+  EXPECT_EQ(lc.value(3), 12);
+}
+
+TEST(WorkloadCurve, ConsistencyWithDefinition) {
+  EXPECT_TRUE(sample_upper().consistent_with_definition());   // γᵘ(k) <= k·WCET
+  EXPECT_TRUE(sample_lower().consistent_with_definition());   // γˡ(k) >= k·BCET
+  const WorkloadCurve bogus(Bound::Upper, {{0, 0}, {1, 10}, {2, 25}});  // 25 > 2·10
+  EXPECT_FALSE(bogus.consistent_with_definition());
+}
+
+TEST(WorkloadCurve, LongRunDemand) {
+  EXPECT_DOUBLE_EQ(sample_upper().long_run_demand(), 33.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace wlc::workload

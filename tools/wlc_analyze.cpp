@@ -1,0 +1,12 @@
+// Thin entry point of the wlc_analyze command-line tool; all logic is in
+// src/cli (testable without spawning processes).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return wlc::cli::run(args, std::cout, std::cerr);
+}
