@@ -43,7 +43,10 @@ int main() {
                        "long-run estimate [cycles/MB]"});
   std::size_t next_report = 5;
   for (std::size_t i = 0; i < clip.pe2_input.size(); ++i) {
-    monitor.push(clip.pe2_input[i].demand);
+    // try_push, not push: a deployed monitor must survive a corrupted
+    // sample (it would be quarantined and counted in health()) rather than
+    // unwind the player with an exception.
+    monitor.try_push(clip.pe2_input[i].demand);
     const std::size_t frames_seen = (i + 1) / static_cast<std::size_t>(frame_mbs);
     if (frames_seen == next_report && (i + 1) % static_cast<std::size_t>(frame_mbs) == 0) {
       const auto gu = monitor.upper();
@@ -54,6 +57,13 @@ int main() {
     }
   }
   table.print(std::cout);
+
+  // How much of the stream do the curves certify? All of it, unless
+  // samples were quarantined or an extremum saturated.
+  const auto health = monitor.health();
+  std::cout << "\nmonitor health: " << health.accepted << " accepted, " << health.quarantined
+            << " quarantined" << (health.degraded() ? " — curves certify clean runs only" : "")
+            << "\n";
 
   // The monitor's final curve vs the offline batch extraction: identical on
   // the tracked windows (the extractor is exact, not an approximation).

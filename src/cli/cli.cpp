@@ -7,12 +7,14 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/error.h"
 #include "common/table.h"
 #include "rtc/sizing.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
 #include "trace/io.h"
 #include "trace/kgrid.h"
+#include "validate/validate.h"
 #include "workload/extract.h"
 
 namespace wlc::cli {
@@ -43,12 +45,21 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
   Options o;
   o.command = argv[0];
   o.trace_path = argv[1];
-  for (std::size_t i = 2; i < argv.size(); i += 2) {
-    if (argv[i].rfind("--", 0) != 0 || i + 1 >= argv.size()) {
+  for (std::size_t i = 2; i < argv.size(); ++i) {
+    if (argv[i].rfind("--", 0) != 0) {
       err << "malformed flag: " << argv[i] << "\n" << usage();
       return std::nullopt;
     }
-    o.flags[argv[i].substr(2)] = argv[i + 1];
+    const std::string key = argv[i].substr(2);
+    if (key == "strict" || key == "lenient") {  // boolean flags
+      o.flags.emplace(key, "1");
+      continue;
+    }
+    if (i + 1 >= argv.size()) {
+      err << "malformed flag: " << argv[i] << "\n" << usage();
+      return std::nullopt;
+    }
+    o.flags[key] = argv[++i];
   }
   return o;
 }
@@ -164,6 +175,78 @@ int cmd_simulate(const Options& o, const LoadedTrace& t, std::ostream& out, std:
   return 0;
 }
 
+// Exit codes of the `validate` subcommand (documented in usage()).
+constexpr int kExitValid = 0;
+constexpr int kExitParseError = 3;
+constexpr int kExitUnsound = 4;
+constexpr int kExitDegraded = 5;
+
+int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.flags.count("strict") && o.flags.count("lenient")) {
+    err << "validate: --strict and --lenient are mutually exclusive\n";
+    return 2;
+  }
+  const auto policy =
+      o.flags.count("lenient") ? trace::ParsePolicy::Lenient : trace::ParsePolicy::Strict;
+
+  std::ifstream file(o.trace_path);
+  if (!file) {
+    err << "cannot open trace file: " << o.trace_path << "\n";
+    return 2;
+  }
+  trace::ParseReport report;
+  trace::EventTrace events;
+  try {
+    events = trace::read_event_trace_csv(file, policy, &report);
+  } catch (const Error& e) {
+    err << "rejected: " << e.detail() << "\n";
+    return kExitParseError;
+  }
+  if (events.empty()) {
+    err << "rejected: no usable rows (" << report.to_string() << ")\n";
+    return kExitParseError;
+  }
+
+  validate::Report vr = validate::check_event_trace(events);
+  try {
+    const auto n = static_cast<std::int64_t>(events.size());
+    const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
+    const double growth = o.number("growth").value_or(1.02);
+    const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
+    const auto gu = workload::extract_upper(trace::demands_of(events), ks);
+    const auto gl = workload::extract_lower(trace::demands_of(events), ks);
+    const auto au = trace::extract_upper_arrival(trace::timestamps_of(events), ks);
+    const auto al = trace::extract_lower_arrival(trace::timestamps_of(events), ks);
+    vr.merge(validate::check_workload_curve(gu));
+    vr.merge(validate::check_workload_curve(gl));
+    vr.merge(validate::check_workload_pair(gu, gl));
+    vr.merge(validate::check_empirical_arrival_curve(au));
+    vr.merge(validate::check_empirical_arrival_curve(al));
+    vr.merge(validate::check_empirical_arrival_pair(au, al));
+  } catch (const Error& e) {
+    err << "unsound: extraction refused: " << e.detail() << "\n";
+    return kExitUnsound;
+  }
+
+  common::Table table({"quantity", "value"});
+  table.add_row({"rows kept", common::fmt_i(static_cast<long long>(report.rows_kept))});
+  table.add_row({"rows dropped", common::fmt_i(static_cast<long long>(report.rows_dropped()))});
+  table.add_row({"soundness violations", common::fmt_i(static_cast<long long>(vr.size()))});
+  table.print(out);
+
+  if (!vr.ok()) {
+    err << "unsound:\n" << vr.to_string() << "\n";
+    return kExitUnsound;
+  }
+  if (!report.clean()) {
+    out << "degraded: " << report.to_string() << "\n"
+        << "surviving rows are sound; bounds certify the kept rows only\n";
+    return kExitDegraded;
+  }
+  out << "trace is well-formed and extracted curves are sound\n";
+  return kExitValid;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -176,6 +259,13 @@ std::string usage() {
          "               minimum clock meeting a per-event deadline\n"
          "  simulate     <trace.csv> --mhz <clock> [--capacity <events>]\n"
          "               replay the trace through the FIFO + PE pipeline\n"
+         "  validate     <trace.csv> [--strict | --lenient] [--dense N] [--growth G]\n"
+         "               check the trace and its extracted curves against the\n"
+         "               soundness invariants (monotone/additive curves, ordered\n"
+         "               finite trace). --strict (default) rejects the first bad\n"
+         "               row; --lenient drops bad rows and reports them.\n"
+         "               exit codes: 0 valid, 2 usage, 3 rejected input,\n"
+         "               4 soundness violation, 5 valid but rows were dropped\n"
          "trace format: CSV with header 'time,type,demand'\n";
 }
 
@@ -183,6 +273,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
   const auto opts = parse(argv, err);
   if (!opts) return 2;
   try {
+    if (opts->command == "validate") return cmd_validate(*opts, out, err);
     const auto loaded = load(*opts, err);
     if (!loaded) return 2;
     if (opts->command == "curves") return cmd_curves(*opts, *loaded, out);

@@ -19,8 +19,11 @@ namespace wlc::cli {
 ///   {"size-buffer", "trace.csv", "--buffer", "1620"}
 ///   {"size-delay",  "trace.csv", "--deadline-ms", "5"}
 ///   {"simulate",    "trace.csv", "--mhz", "350", "--capacity", "1620"}
+///   {"validate",    "trace.csv", "--lenient"}
 /// Writes human-readable results to `out`, diagnostics to `err`.
-/// Returns a process exit code (0 = success, 2 = usage error).
+/// Returns a process exit code: 0 = success, 2 = usage error; the validate
+/// command additionally returns 3 (input rejected), 4 (soundness violation)
+/// or 5 (lenient mode dropped rows; surviving rows sound) — see usage().
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
 
 /// The usage text printed on bad invocations.

@@ -1,29 +1,33 @@
 // Contract-checking macros used throughout the library.
 //
 // WLC_REQUIRE  — precondition on public API arguments; always enabled and
-//                throws std::invalid_argument so misuse is recoverable/testable.
+//                throws wlc::DomainError (a std::invalid_argument) so misuse
+//                is recoverable/testable.
 // WLC_ASSERT   — internal invariant; always enabled (the library is analysis
 //                tooling, not an inner loop of a shipping product) and throws
-//                std::logic_error.
+//                wlc::SoundnessViolation (a std::logic_error).
 //
 // Both macros stringify the condition and attach file:line so a failure in a
-// long experiment run is immediately locatable.
+// long experiment run is immediately locatable; the thrown objects carry the
+// structured payload of common/error.h for callers that catch wlc::Error.
 #pragma once
 
-#include <stdexcept>
 #include <string>
+
+#include "common/error.h"
 
 namespace wlc::detail {
 
 [[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
                                         const std::string& msg) {
-  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file + ":" +
-                              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+  throw DomainError(std::string("precondition failed: ") + cond +
+                        (msg.empty() ? "" : ": " + msg),
+                    /*offending=*/"", file, line);
 }
 
 [[noreturn]] inline void assert_failed(const char* cond, const char* file, int line) {
-  throw std::logic_error(std::string("invariant violated: ") + cond + " at " + file + ":" +
-                         std::to_string(line));
+  throw SoundnessViolation(std::string("invariant violated: ") + cond, /*offending=*/"", file,
+                           line);
 }
 
 }  // namespace wlc::detail

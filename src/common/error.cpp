@@ -1,0 +1,33 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace wlc {
+
+std::string Error::detail() const {
+  std::ostringstream os;
+  os << kind() << ": " << message_;
+  if (!offending_.empty()) os << " [offending value: " << offending_ << "]";
+  if (file_ && file_[0] != '\0') os << " (" << file_ << ":" << line_ << ")";
+  for (auto it = context_.rbegin(); it != context_.rend(); ++it) os << "\n  while " << *it;
+  return os.str();
+}
+
+std::string Error::format_what(const char* kind, const std::string& message,
+                               const std::string& offending, const char* file, int line) {
+  std::ostringstream os;
+  os << kind << ": " << message;
+  if (!offending.empty()) os << " [offending value: " << offending << "]";
+  if (file && file[0] != '\0') os << " (" << file << ":" << line << ")";
+  return os.str();
+}
+
+std::string ParseError::decorate(const std::string& message, std::size_t l, std::size_t c) {
+  if (l == 0) return message;
+  std::ostringstream os;
+  os << message << " at input line " << l;
+  if (c != 0) os << ", column " << c;
+  return os.str();
+}
+
+}  // namespace wlc

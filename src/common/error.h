@@ -1,0 +1,139 @@
+// Structured error taxonomy for the whole library.
+//
+// Every failure a caller can meaningfully react to is one of four kinds:
+//
+//   ParseError          — malformed external input (trace files, CSV rows);
+//                         carries the input line/column when known.
+//   DomainError         — a precondition on a public API argument was
+//                         violated (what WLC_REQUIRE throws).
+//   SoundnessViolation  — an internal invariant or a curve soundness
+//                         property does not hold (what WLC_ASSERT and the
+//                         wlc::validate checkers throw). If one of these
+//                         escapes, a *bound* can no longer be trusted.
+//   OverflowError       — an exact integer computation (window sums, block
+//                         extension) would wrap; the library saturates or
+//                         refuses rather than silently producing a wrong
+//                         Cycles value.
+//
+// Each concrete type also derives from the std exception the library
+// historically threw (std::invalid_argument / std::logic_error /
+// std::overflow_error), so existing `catch` sites and tests keep working;
+// new code catches `wlc::Error` to get the structured payload: source
+// location, the stringified offending value, and a context chain that
+// outer layers append to while propagating (see error_context()).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wlc {
+
+/// Mixin carrying the structured diagnostic payload. Not itself a
+/// std::exception — concrete types inherit both this and a std type.
+class Error {
+ public:
+  virtual ~Error() = default;
+
+  /// Taxonomy tag, e.g. "ParseError".
+  virtual const char* kind() const noexcept = 0;
+
+  /// Short human-readable summary (without location/context decoration).
+  const std::string& message() const noexcept { return message_; }
+  /// Stringified offending value, empty if none applies.
+  const std::string& offending() const noexcept { return offending_; }
+  /// Source location of the throw site ("" / 0 when unknown).
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+  /// Outer-to-inner annotations added while the exception propagated.
+  const std::vector<std::string>& context() const noexcept { return context_; }
+
+  /// Appends one annotation ("while extracting curves from clip X").
+  /// Returns *this so rethrow sites can chain.
+  Error& add_context(std::string note) {
+    context_.push_back(std::move(note));
+    return *this;
+  }
+
+  /// Full multi-part diagnostic: kind, message, offending value, source
+  /// location and the context chain.
+  std::string detail() const;
+
+ protected:
+  Error(std::string message, std::string offending, const char* file, int line)
+      : message_(std::move(message)),
+        offending_(std::move(offending)),
+        file_(file ? file : ""),
+        line_(line) {}
+
+  /// The string handed to the std exception base (what() text).
+  static std::string format_what(const char* kind, const std::string& message,
+                                 const std::string& offending, const char* file, int line);
+
+ private:
+  std::string message_;
+  std::string offending_;
+  const char* file_;
+  int line_;
+  std::vector<std::string> context_;
+};
+
+/// Malformed external input. `input_line`/`input_column` locate the fault in
+/// the *parsed stream* (1-based; 0 = not applicable), independent of the
+/// C++ source location.
+class ParseError : public std::invalid_argument, public Error {
+ public:
+  ParseError(std::string message, std::string offending = "", std::size_t input_line = 0,
+             std::size_t input_column = 0, const char* file = "", int line = 0)
+      : std::invalid_argument(format_what("ParseError", decorate(message, input_line, input_column),
+                                          offending, file, line)),
+        Error(decorate(message, input_line, input_column), std::move(offending), file, line),
+        input_line_(input_line),
+        input_column_(input_column) {}
+
+  const char* kind() const noexcept override { return "ParseError"; }
+  std::size_t input_line() const noexcept { return input_line_; }
+  std::size_t input_column() const noexcept { return input_column_; }
+
+ private:
+  static std::string decorate(const std::string& message, std::size_t l, std::size_t c);
+
+  std::size_t input_line_;
+  std::size_t input_column_;
+};
+
+/// Public-API precondition violation (WLC_REQUIRE).
+class DomainError : public std::invalid_argument, public Error {
+ public:
+  explicit DomainError(std::string message, std::string offending = "", const char* file = "",
+                       int line = 0)
+      : std::invalid_argument(format_what("DomainError", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line) {}
+
+  const char* kind() const noexcept override { return "DomainError"; }
+};
+
+/// Internal invariant or curve soundness property broken (WLC_ASSERT,
+/// wlc::validate::Report::require).
+class SoundnessViolation : public std::logic_error, public Error {
+ public:
+  explicit SoundnessViolation(std::string message, std::string offending = "",
+                              const char* file = "", int line = 0)
+      : std::logic_error(format_what("SoundnessViolation", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line) {}
+
+  const char* kind() const noexcept override { return "SoundnessViolation"; }
+};
+
+/// Exact integer arithmetic would wrap.
+class OverflowError : public std::overflow_error, public Error {
+ public:
+  explicit OverflowError(std::string message, std::string offending = "", const char* file = "",
+                         int line = 0)
+      : std::overflow_error(format_what("OverflowError", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line) {}
+
+  const char* kind() const noexcept override { return "OverflowError"; }
+};
+
+}  // namespace wlc

@@ -1,36 +1,161 @@
 #include "trace/io.h"
 
+#include <charconv>
+#include <cmath>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+#include <string_view>
+
+#include "common/error.h"
 
 namespace wlc::trace {
 
 void write_event_trace_csv(std::ostream& os, const EventTrace& t) {
   os << "time,type,demand\n";
-  os.precision(12);
+  // max_digits10 makes the round trip lossless: read(write(t)) == t exactly,
+  // a property the fault-injection differential tests rely on.
+  os.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& e : t) os << e.time << ',' << e.type << ',' << e.demand << '\n';
 }
 
-EventTrace read_event_trace_csv(std::istream& is) {
+namespace {
+
+/// Fault classes a data row can exhibit; each maps to one ParseReport
+/// counter and one strict-mode exception.
+enum class RowFault { Malformed, NonFinite, NegativeDemand, OutOfOrder, Overflow };
+
+std::size_t& counter_for(ParseReport& r, RowFault f) {
+  switch (f) {
+    case RowFault::Malformed: return r.malformed;
+    case RowFault::NonFinite: return r.non_finite;
+    case RowFault::NegativeDemand: return r.negative_demand;
+    case RowFault::OutOfOrder: return r.out_of_order;
+    case RowFault::Overflow: return r.overflow;
+  }
+  return r.malformed;  // unreachable
+}
+
+struct RowError {
+  RowFault fault;
+  std::string message;
+  std::size_t column;  // 1-based offset into the row, 0 = whole row
+};
+
+/// Parses one complete field (no leading/trailing junk tolerated).
+/// std::from_chars accepts "nan"/"inf" for doubles, so finiteness is checked
+/// separately by the caller.
+template <typename T>
+bool parse_field(std::string_view field, T& out, bool& out_of_range) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto res = std::from_chars(begin, end, out);
+  out_of_range = res.ec == std::errc::result_out_of_range;
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+/// Parses "time,type,demand" into `e`; `prev_time` is the last accepted
+/// timestamp (events must be non-decreasing in time). Returns the first
+/// fault found, if any.
+std::optional<RowError> parse_row(std::string_view line, TimeSec prev_time, EventRecord& e) {
+  const std::size_t c1 = line.find(',');
+  const std::size_t c2 = c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+  if (c2 == std::string_view::npos)
+    return RowError{RowFault::Malformed, "expected 3 comma-separated fields", 0};
+  if (line.find(',', c2 + 1) != std::string_view::npos)
+    return RowError{RowFault::Malformed, "expected exactly 3 fields", c2 + 2};
+
+  const std::string_view time_f = line.substr(0, c1);
+  const std::string_view type_f = line.substr(c1 + 1, c2 - c1 - 1);
+  const std::string_view demand_f = line.substr(c2 + 1);
+  bool range = false;
+
+  if (!parse_field(time_f, e.time, range))
+    return RowError{range ? RowFault::Overflow : RowFault::Malformed,
+                    "bad time field '" + std::string(time_f) + "'", 1};
+  if (!std::isfinite(e.time))
+    return RowError{RowFault::NonFinite, "non-finite time '" + std::string(time_f) + "'", 1};
+  if (!parse_field(type_f, e.type, range))
+    return RowError{range ? RowFault::Overflow : RowFault::Malformed,
+                    "bad type field '" + std::string(type_f) + "'", c1 + 2};
+  if (!parse_field(demand_f, e.demand, range))
+    return RowError{range ? RowFault::Overflow : RowFault::Malformed,
+                    "bad demand field '" + std::string(demand_f) + "'", c2 + 2};
+  if (e.demand < 0)
+    return RowError{RowFault::NegativeDemand,
+                    "negative demand '" + std::string(demand_f) + "'", c2 + 2};
+  if (e.time < prev_time)
+    return RowError{RowFault::OutOfOrder,
+                    "timestamp '" + std::string(time_f) + "' earlier than preceding row", 1};
+  return std::nullopt;
+}
+
+/// Tolerate Windows line endings: getline leaves a trailing '\r'.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+[[noreturn]] void throw_row_error(const RowError& re, std::size_t lineno) {
+  if (re.fault == RowFault::Overflow)
+    throw OverflowError("trace field out of range: " + re.message +
+                        " at input line " + std::to_string(lineno));
+  throw ParseError("malformed trace row: " + re.message, /*offending=*/"", lineno, re.column);
+}
+
+}  // namespace
+
+std::string ParseReport::to_string() const {
+  std::ostringstream os;
+  os << "rows: " << rows_total << " total, " << rows_kept << " kept, " << rows_dropped()
+     << " dropped";
+  if (malformed) os << "; malformed: " << malformed;
+  if (non_finite) os << "; non-finite: " << non_finite;
+  if (negative_demand) os << "; negative demand: " << negative_demand;
+  if (out_of_order) os << "; out-of-order: " << out_of_order;
+  if (overflow) os << "; overflow: " << overflow;
+  for (const auto& s : samples) os << "\n  " << s;
+  return os.str();
+}
+
+EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report) {
+  static constexpr std::size_t kMaxSamples = 8;
+  ParseReport local;
+  ParseReport& rep = report ? *report : local;
+  rep = ParseReport{};
+
   EventTrace out;
   std::string line;
-  if (!std::getline(is, line)) throw std::invalid_argument("empty trace file");
+  if (!std::getline(is, line)) throw ParseError("empty trace file", "", 1);
+  strip_cr(line);
   if (line != "time,type,demand")
-    throw std::invalid_argument("unexpected trace header: " + line);
+    throw ParseError("unexpected trace header", line, 1);
+
   std::size_t lineno = 1;
+  TimeSec prev_time = -std::numeric_limits<TimeSec>::infinity();
   while (std::getline(is, line)) {
     ++lineno;
+    strip_cr(line);
     if (line.empty()) continue;
-    std::istringstream row(line);
+    ++rep.rows_total;
     EventRecord e;
-    char c1 = 0, c2 = 0;
-    if (!(row >> e.time >> c1 >> e.type >> c2 >> e.demand) || c1 != ',' || c2 != ',')
-      throw std::invalid_argument("malformed trace row at line " + std::to_string(lineno));
+    if (const auto err = parse_row(line, prev_time, e)) {
+      if (policy == ParsePolicy::Strict) throw_row_error(*err, lineno);
+      ++counter_for(rep, err->fault);
+      if (rep.samples.size() < kMaxSamples)
+        rep.samples.push_back("line " + std::to_string(lineno) + ": " + err->message);
+      continue;
+    }
+    prev_time = e.time;
     out.push_back(e);
+    ++rep.rows_kept;
   }
   return out;
+}
+
+EventTrace read_event_trace_csv(std::istream& is) {
+  return read_event_trace_csv(is, ParsePolicy::Strict, nullptr);
 }
 
 void write_arrival_curve_csv(std::ostream& os, const EmpiricalArrivalCurve& c) {

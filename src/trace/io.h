@@ -1,10 +1,33 @@
 // CSV persistence for traces and curve breakpoints, so experiments can dump
 // their inputs/outputs for external plotting and so tests can use golden
 // files.
+//
+// Ingestion is hardened against untrusted input: every field must parse
+// completely (no trailing garbage), values must be finite, demands
+// non-negative and timestamps non-decreasing. CRLF line endings are
+// accepted. Two policies govern what happens on a bad row:
+//
+//   ParsePolicy::Strict  — throw wlc::ParseError (or wlc::OverflowError for
+//                          out-of-range numerics) carrying the input line
+//                          and column of the first fault. Default, and the
+//                          behavior of the legacy single-argument overload.
+//   ParsePolicy::Lenient — drop the offending row, tally it in a
+//                          ParseReport, and continue. The surviving trace is
+//                          guaranteed well-formed (finite, non-negative
+//                          demands, time-ordered), so curves extracted from
+//                          it are sound bounds *for the surviving rows*;
+//                          the report says how much was discarded and why,
+//                          so the caller can decide whether that partial
+//                          certificate is acceptable.
+//
+// A malformed *header* throws in both modes: when the very first line is
+// wrong the stream cannot be trusted to be a trace file at all.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/arrival_curve.h"
 #include "trace/traces.h"
@@ -13,8 +36,33 @@ namespace wlc::trace {
 
 /// Writes "time,type,demand" rows (with header).
 void write_event_trace_csv(std::ostream& os, const EventTrace& t);
-/// Parses the format written by write_event_trace_csv. Throws
-/// std::invalid_argument on malformed input.
+
+enum class ParsePolicy { Strict, Lenient };
+
+/// Tally of what lenient ingestion dropped, by fault class.
+struct ParseReport {
+  std::size_t rows_total = 0;       ///< non-empty data rows seen
+  std::size_t rows_kept = 0;
+  std::size_t malformed = 0;        ///< wrong field count / unparsable / trailing garbage
+  std::size_t non_finite = 0;       ///< NaN or ±Inf in a numeric field
+  std::size_t negative_demand = 0;
+  std::size_t out_of_order = 0;     ///< timestamp earlier than the last kept row's
+  std::size_t overflow = 0;         ///< numeric field out of the target type's range
+  std::vector<std::string> samples; ///< first few human-readable diagnostics
+
+  std::size_t rows_dropped() const { return rows_total - rows_kept; }
+  bool clean() const { return rows_dropped() == 0; }
+  std::string to_string() const;
+};
+
+/// Parses the format written by write_event_trace_csv under `policy`. If
+/// `report` is non-null it is filled in either mode (strict fills it up to
+/// the first fault before throwing).
+EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy,
+                                ParseReport* report = nullptr);
+
+/// Legacy overload: strict parsing. Throws wlc::ParseError (a
+/// std::invalid_argument) on malformed input.
 EventTrace read_event_trace_csv(std::istream& is);
 
 /// Writes "delta,events" breakpoint rows (with header).

@@ -1,0 +1,182 @@
+#include "validate/fault_inject.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+#include "trace/io.h"
+
+namespace wlc::validate {
+
+const char* to_string(Fault f) {
+  switch (f) {
+    case Fault::NanTime: return "NanTime";
+    case Fault::InfTime: return "InfTime";
+    case Fault::NegateDemand: return "NegateDemand";
+    case Fault::ReorderEvents: return "ReorderEvents";
+    case Fault::GarbageSuffix: return "GarbageSuffix";
+    case Fault::TruncateRow: return "TruncateRow";
+    case Fault::OverflowDemand: return "OverflowDemand";
+    case Fault::DeleteRow: return "DeleteRow";
+    case Fault::DuplicateRow: return "DuplicateRow";
+    case Fault::CrlfEndings: return "CrlfEndings";
+    case Fault::SaturateDemand: return "SaturateDemand";
+    case Fault::ZeroDemand: return "ZeroDemand";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string serialize(const trace::EventTrace& t) {
+  std::ostringstream os;
+  trace::write_event_trace_csv(os, t);
+  return os.str();
+}
+
+/// Header + one string per data row (no trailing newlines).
+std::vector<std::string> split_lines(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::istringstream is(csv);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replaces the `field`-th (0-based) comma-separated field of `row`.
+void replace_field(std::string& row, int field, const std::string& value) {
+  std::size_t begin = 0;
+  for (int i = 0; i < field; ++i) begin = row.find(',', begin) + 1;
+  std::size_t end = row.find(',', begin);
+  if (end == std::string::npos) end = row.size();
+  row.replace(begin, end - begin, value);
+}
+
+}  // namespace
+
+Injection inject(const trace::EventTrace& clean, Fault f, common::Rng& rng) {
+  WLC_REQUIRE(!clean.empty(), "fault injection needs a non-empty trace");
+  const auto n = clean.size();
+  const auto pick = [&] { return static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)); };
+
+  // Operators that edit the trace before serialization.
+  switch (f) {
+    case Fault::ReorderEvents: {
+      if (n < 2) return {serialize(clean), {0}};
+      trace::EventTrace t = clean;
+      // Swap two rows with distinct timestamps so the disorder is real.
+      std::size_t i = pick(), j = pick();
+      for (int tries = 0; t[i].time == t[j].time && tries < 64; ++tries) j = pick();
+      if (t[i].time == t[j].time) {  // fully constant-time trace: force disorder
+        j = (i + 1) % n;
+        t[j].time = t[i].time - 1.0;
+      } else {
+        std::swap(t[i], t[j]);
+      }
+      return {serialize(t), {std::min(i, j), std::max(i, j)}};
+    }
+    case Fault::DeleteRow: {
+      trace::EventTrace t = clean;
+      const std::size_t i = pick();
+      t.erase(t.begin() + static_cast<std::ptrdiff_t>(i));
+      return {serialize(t), {i}};
+    }
+    case Fault::DuplicateRow: {
+      trace::EventTrace t = clean;
+      const std::size_t i = pick();
+      t.insert(t.begin() + static_cast<std::ptrdiff_t>(i), t[i]);
+      return {serialize(t), {i}};
+    }
+    case Fault::SaturateDemand: {
+      trace::EventTrace t = clean;
+      const std::size_t i = pick();
+      t[i].demand = Cycles{1} << 40;  // huge but far from overflow in window sums
+      return {serialize(t), {i}};
+    }
+    case Fault::ZeroDemand: {
+      trace::EventTrace t = clean;
+      const std::size_t i = pick();
+      t[i].demand = 0;
+      return {serialize(t), {i}};
+    }
+    default: break;
+  }
+
+  // Operators that edit the serialized text.
+  std::vector<std::string> lines = split_lines(serialize(clean));
+  const std::size_t i = pick();
+  std::string& row = lines[1 + i];  // line 0 is the header
+  switch (f) {
+    case Fault::NanTime: replace_field(row, 0, "nan"); break;
+    case Fault::InfTime: replace_field(row, 0, "inf"); break;
+    case Fault::NegateDemand: replace_field(row, 2, "-" + std::to_string(1 + clean[i].demand)); break;
+    case Fault::GarbageSuffix: row += "junk"; break;
+    case Fault::TruncateRow: {
+      // Cut no later than just past the second comma: every such prefix is
+      // missing the demand field (or whole fields), so a truncated row can
+      // never re-parse as a shorter-but-still-valid record.
+      const std::size_t second_comma = row.find(',', row.find(',') + 1);
+      row.resize(1 + static_cast<std::size_t>(
+                         rng.uniform_int(0, static_cast<std::int64_t>(second_comma))));
+      break;
+    }
+    case Fault::OverflowDemand: replace_field(row, 2, "99999999999999999999999999"); break;
+    case Fault::CrlfEndings: {
+      std::string crlf;
+      for (const auto& l : lines) {
+        crlf += l;
+        crlf += "\r\n";
+      }
+      return {std::move(crlf), {}};
+    }
+    default: WLC_ASSERT(false);
+  }
+  return {join_lines(lines), {i}};
+}
+
+std::string mutate_bytes(std::string csv, common::Rng& rng) {
+  WLC_REQUIRE(!csv.empty(), "cannot mutate an empty serialization");
+  const int edits = static_cast<int>(rng.uniform_int(1, 4));
+  for (int e = 0; e < edits && !csv.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(csv.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // bit flip
+        csv[pos] = static_cast<char>(csv[pos] ^ (1 << rng.uniform_int(0, 7)));
+        break;
+      case 1:  // overwrite with a random printable byte
+        csv[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 2:  // insert
+        csv.insert(csv.begin() + static_cast<std::ptrdiff_t>(pos),
+                   static_cast<char>(rng.uniform_int(32, 126)));
+        break;
+      case 3:  // delete
+        csv.erase(csv.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+    }
+  }
+  return csv;
+}
+
+trace::EventTrace make_random_trace(common::Rng& rng, std::size_t n) {
+  trace::EventTrace t;
+  t.reserve(n);
+  double time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += rng.bernoulli(0.25) ? rng.uniform(0.0001, 0.001) : rng.uniform(0.005, 0.05);
+    t.push_back({time, static_cast<int>(rng.uniform_int(0, 3)), rng.uniform_int(0, 2000)});
+  }
+  return t;
+}
+
+}  // namespace wlc::validate

@@ -1,0 +1,88 @@
+// Deterministic fault injection for the ingestion/extraction pipeline.
+//
+// Each operator corrupts a clean event trace (or its CSV serialization) in
+// one specific way, driven by common::Rng so every failure is
+// bit-reproducible from a seed. The operators are grouped by what the
+// pipeline can promise about them — the taxonomy the differential test
+// suite (tests/fault_inject_test.cpp) asserts:
+//
+//   Detectable faults (NaN/Inf fields, negative demands, out-of-order
+//   timestamps, trailing garbage, truncated rows, overflowing numerics):
+//   strict parsing throws a structured wlc::Error identifying the fault;
+//   lenient parsing drops the rows and tallies them in the ParseReport.
+//
+//   Well-formed mutations (delete / duplicate a whole row, CRLF endings):
+//   indistinguishable from a legitimately different trace — no parser can
+//   flag them. The pipeline's guarantee is exactness: the extracted curves
+//   equal the batch extractor's on the parsed rows, i.e. they certify what
+//   was actually received (the paper's caveat that trace-derived curves
+//   certify the analyzed trace only applies verbatim).
+//
+//   One-sided value corruptions (saturate a demand upward, zero one out):
+//   parse clean, but move demands in a single direction, so one bound
+//   provably dominates the clean reference pointwise (γᵘ_corrupt ≥ γᵘ_ref
+//   for saturation, γˡ_corrupt ≤ γˡ_ref for zeroing).
+//
+// `affected` reports which data rows an operator touched so differential
+// tests can build the clean counterpart of the surviving rows.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/traces.h"
+
+namespace wlc::validate {
+
+enum class Fault {
+  // Detectable by the hardened parser.
+  NanTime,         ///< replace one timestamp with "nan"
+  InfTime,         ///< replace one timestamp with "inf"
+  NegateDemand,    ///< make one demand negative
+  ReorderEvents,   ///< swap two rows' positions (breaks time order)
+  GarbageSuffix,   ///< append junk after one demand field ("3junk")
+  TruncateRow,     ///< cut one row short mid-field
+  OverflowDemand,  ///< demand with digits beyond Cycles range
+  // Well-formed mutations.
+  DeleteRow,       ///< drop one row entirely
+  DuplicateRow,    ///< repeat one row (same timestamp: stays ordered)
+  CrlfEndings,     ///< rewrite every \n as \r\n (must still parse!)
+  // One-sided value corruptions.
+  SaturateDemand,  ///< raise one demand to a huge value
+  ZeroDemand,      ///< zero one demand
+};
+
+inline constexpr std::array<Fault, 12> kAllFaults{
+    Fault::NanTime,       Fault::InfTime,    Fault::NegateDemand,   Fault::ReorderEvents,
+    Fault::GarbageSuffix, Fault::TruncateRow, Fault::OverflowDemand, Fault::DeleteRow,
+    Fault::DuplicateRow,  Fault::CrlfEndings, Fault::SaturateDemand, Fault::ZeroDemand,
+};
+
+const char* to_string(Fault f);
+
+/// One corrupted serialization plus the 0-based data-row indices the
+/// operator touched (deleted, mutated or duplicated).
+struct Injection {
+  std::string csv;
+  std::vector<std::size_t> affected;
+};
+
+/// Applies `f` once to (the serialization of) `clean`. Requires a
+/// non-empty trace; draws all positions/values from `rng`.
+Injection inject(const trace::EventTrace& clean, Fault f, common::Rng& rng);
+
+/// Unstructured byte-level fuzzing: applies 1–4 random edits (bit flip,
+/// byte overwrite, insertion, deletion) anywhere in `csv`. Used by the
+/// round-trip property test: the result must either parse to a
+/// validator-clean trace or raise wlc::ParseError/OverflowError — never
+/// crash, never silently admit non-finite values.
+std::string mutate_bytes(std::string csv, common::Rng& rng);
+
+/// Deterministic well-formed random trace (bursty times, spread demands)
+/// for property tests.
+trace::EventTrace make_random_trace(common::Rng& rng, std::size_t n);
+
+}  // namespace wlc::validate

@@ -1,0 +1,320 @@
+#include "validate/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wlc::validate {
+
+namespace {
+
+using workload::Bound;
+using workload::WorkloadCurve;
+
+std::string fmt_i128(__int128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 u = neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (u) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) s.push_back('-');
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+/// Caps per-check violation spam on adversarial inputs: after `kCap`
+/// entries one summary line is added and further ones are dropped.
+constexpr std::size_t kCap = 64;
+
+void add_capped(Report& r, std::size_t& count, std::string invariant, std::string detail) {
+  ++count;
+  if (count < kCap) {
+    r.add(std::move(invariant), std::move(detail));
+  } else if (count == kCap) {
+    r.add(std::move(invariant), "further violations of this kind suppressed");
+  }
+}
+
+}  // namespace
+
+void Report::add(std::string invariant, std::string detail) {
+  violations_.push_back({std::move(invariant), std::move(detail)});
+}
+
+void Report::merge(const Report& other) {
+  violations_.insert(violations_.end(), other.violations_.begin(), other.violations_.end());
+}
+
+std::string Report::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    if (i) os << '\n';
+    os << violations_[i].invariant << ": " << violations_[i].detail;
+  }
+  return os.str();
+}
+
+void Report::require(const std::string& subject) const {
+  if (ok()) return;
+  throw SoundnessViolation(subject + " failed validation (" + std::to_string(size()) +
+                               " violation" + (size() == 1 ? "" : "s") + "):\n" + to_string(),
+                           /*offending=*/violations_.front().detail);
+}
+
+Report check_workload_curve(const WorkloadCurve& c) {
+  Report r;
+  const auto& pts = c.points();
+  const bool upper = c.bound() == Bound::Upper;
+  const char* tag = upper ? "gamma_u" : "gamma_l";
+
+  // Structure (defense in depth: the constructor enforces these, but a
+  // validator must not assume the object came through the constructor of
+  // this build — e.g. after deserialization or ABI mismatch).
+  if (pts.size() < 2 || pts.front() != WorkloadCurve::Point(0, 0))
+    r.add(std::string(tag) + ".origin", "breakpoints must start at (0, 0) and include k = 1");
+  std::size_t mono = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i - 1].first >= pts[i].first)
+      add_capped(r, mono, std::string(tag) + ".k_increasing",
+                 "k breakpoints not strictly increasing at index " + std::to_string(i));
+    if (pts[i - 1].second > pts[i].second)
+      add_capped(r, mono, std::string(tag) + ".monotone",
+                 "value decreases at k = " + std::to_string(pts[i].first) + " (" +
+                     std::to_string(pts[i - 1].second) + " -> " + std::to_string(pts[i].second) +
+                     ")");
+    if (pts[i].second < 0)
+      add_capped(r, mono, std::string(tag) + ".non_negative",
+                 "negative cycles at k = " + std::to_string(pts[i].first));
+  }
+  if (!r.ok()) return r;  // deeper checks assume sane structure
+
+  // WCET/BCET cone: γᵘ(k) <= k·γᵘ(1), γˡ(k) >= k·γˡ(1) — the bounds a
+  // single-value characterization implies (exact-width arithmetic so huge
+  // curves cannot wrap the check itself).
+  const __int128 per_event = pts[1].second;
+  std::size_t cone = 0;
+  for (const auto& [k, v] : pts) {
+    const __int128 lin = per_event * static_cast<__int128>(k);
+    if (upper ? static_cast<__int128>(v) > lin : static_cast<__int128>(v) < lin)
+      add_capped(r, cone, std::string(tag) + (upper ? ".wcet_cone" : ".bcet_cone"),
+                 "value " + std::to_string(v) + " at k = " + std::to_string(k) +
+                     (upper ? " exceeds k*gamma(1) = " : " below k*gamma(1) = ") + fmt_i128(lin));
+  }
+
+  // Sub-/super-additivity over exact breakpoint triples: for breakpoints
+  // a, b with a + b also a breakpoint, γᵘ(a+b) <= γᵘ(a) + γᵘ(b) (resp. >=
+  // for γˡ). Conservative stepping between breakpoints is exempt by design
+  // (see header).
+  std::size_t addv = 0;
+  const auto value_at = [&](EventCount k) -> const WorkloadCurve::Point* {
+    const auto it = std::lower_bound(
+        pts.begin(), pts.end(), k,
+        [](const WorkloadCurve::Point& p, EventCount v) { return p.first < v; });
+    return (it != pts.end() && it->first == k) ? &*it : nullptr;
+  };
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    for (std::size_t j = i; j < pts.size(); ++j) {
+      const EventCount sum_k = pts[i].first + pts[j].first;
+      if (sum_k > c.max_k()) break;
+      const auto* p = value_at(sum_k);
+      if (!p) continue;
+      const __int128 split =
+          static_cast<__int128>(pts[i].second) + static_cast<__int128>(pts[j].second);
+      const bool bad = upper ? static_cast<__int128>(p->second) > split
+                             : static_cast<__int128>(p->second) < split;
+      if (bad)
+        add_capped(r, addv, std::string(tag) + (upper ? ".sub_additive" : ".super_additive"),
+                   "gamma(" + std::to_string(sum_k) + ") = " + std::to_string(p->second) +
+                       (upper ? " > " : " < ") + "gamma(" + std::to_string(pts[i].first) +
+                       ") + gamma(" + std::to_string(pts[j].first) + ") = " + fmt_i128(split));
+    }
+  }
+
+  // Galois relation of the pseudo-inverse w.r.t. the curve itself:
+  //   Upper: γᵘ⁻¹(γᵘ(k)) >= k  (a budget of exactly γᵘ(k) cycles must
+  //          certify at least k events),
+  //   Lower: γˡ⁻¹(γˡ(k)) <= k.
+  // Skipped for identically-zero curves, whose inverse is undefined by
+  // contract (every budget admits unboundedly many events).
+  if (pts.back().second > 0) {
+    std::size_t galois = 0;
+    for (const auto& [k, v] : pts) {
+      const EventCount k_back = c.inverse(v);
+      const bool bad = upper ? k_back < k : k_back > k;
+      if (bad)
+        add_capped(r, galois, std::string(tag) + ".galois",
+                   "inverse(gamma(" + std::to_string(k) + ") = " + std::to_string(v) + ") = " +
+                       std::to_string(k_back) + (upper ? " < " : " > ") + std::to_string(k));
+    }
+  }
+  return r;
+}
+
+Report check_workload_pair(const WorkloadCurve& upper, const WorkloadCurve& lower) {
+  Report r;
+  if (upper.bound() != Bound::Upper || lower.bound() != Bound::Lower) {
+    r.add("pair.bounds", "arguments must be an (Upper, Lower) pair");
+    return r;
+  }
+  const EventCount limit = std::min(upper.max_k(), lower.max_k());
+  std::vector<EventCount> ks;
+  for (const auto& p : upper.points())
+    if (p.first <= limit) ks.push_back(p.first);
+  for (const auto& p : lower.points())
+    if (p.first <= limit) ks.push_back(p.first);
+  // A few block-extended samples past the common exact range: the
+  // extension must preserve dominance too.
+  ks.push_back(limit + 1);
+  ks.push_back(2 * limit);
+  ks.push_back(2 * limit + 1);
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  std::size_t dom = 0;
+  for (EventCount k : ks) {
+    const Cycles u = upper.value(k);
+    const Cycles l = lower.value(k);
+    if (u < l)
+      add_capped(r, dom, "pair.dominance",
+                 "gamma_u(" + std::to_string(k) + ") = " + std::to_string(u) + " < gamma_l(" +
+                     std::to_string(k) + ") = " + std::to_string(l));
+  }
+  return r;
+}
+
+namespace {
+
+Report check_pwl_common(const curve::PwlCurve& c, const char* tag) {
+  Report r;
+  std::size_t fin = 0;
+  for (std::size_t i = 0; i < c.segments().size(); ++i) {
+    const auto& s = c.segments()[i];
+    if (!std::isfinite(s.x) || !std::isfinite(s.y) || !std::isfinite(s.slope))
+      add_capped(r, fin, std::string(tag) + ".finite",
+                 "non-finite segment data at index " + std::to_string(i));
+  }
+  if (c.periodic() && (!std::isfinite(c.period()) || !std::isfinite(c.period_height())))
+    r.add(std::string(tag) + ".finite", "non-finite periodic tail parameters");
+  if (!r.ok()) return r;
+  if (!c.non_decreasing()) r.add(std::string(tag) + ".monotone", "curve is not non-decreasing");
+  if (c.eval(0.0) < 0.0)
+    r.add(std::string(tag) + ".non_negative", "f(0) = " + std::to_string(c.eval(0.0)) + " < 0");
+  return r;
+}
+
+}  // namespace
+
+Report check_arrival_curve(const curve::PwlCurve& c, Bound bound) {
+  const char* tag = bound == Bound::Upper ? "alpha_u" : "alpha_l";
+  Report r = check_pwl_common(c, tag);
+  if (!r.ok()) return r;
+  if (bound == Bound::Upper && c.eval(0.0) < 1.0)
+    r.add("alpha_u.closed_window",
+          "alpha_u(0) = " + std::to_string(c.eval(0.0)) +
+              " < 1 (closed windows [t, t+0] contain the event at t)");
+  return r;
+}
+
+Report check_service_curve(const curve::PwlCurve& beta) {
+  Report r = check_pwl_common(beta, "beta");
+  if (!r.ok()) return r;
+  if (beta.eval(0.0) != 0.0)
+    r.add("beta.causal", "beta(0) = " + std::to_string(beta.eval(0.0)) +
+                             " != 0 (no service is deliverable in a zero-length window)");
+  return r;
+}
+
+Report check_empirical_arrival_curve(const trace::EmpiricalArrivalCurve& c) {
+  Report r;
+  const bool upper = c.bound() == trace::EmpiricalArrivalCurve::Bound::Upper;
+  const char* tag = upper ? "alpha_u" : "alpha_l";
+  const auto& pts = c.points();
+  if (pts.empty() || pts.front().first != 0.0) {
+    r.add(std::string(tag) + ".origin", "breakpoints must start at delta = 0");
+    return r;
+  }
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!std::isfinite(pts[i].first))
+      add_capped(r, bad, std::string(tag) + ".finite",
+                 "non-finite delta at index " + std::to_string(i));
+    if (pts[i].second < 0)
+      add_capped(r, bad, std::string(tag) + ".non_negative",
+                 "negative event count at index " + std::to_string(i));
+    if (i > 0 && (pts[i - 1].first >= pts[i].first || pts[i - 1].second > pts[i].second))
+      add_capped(r, bad, std::string(tag) + ".monotone",
+                 "breakpoints not increasing at index " + std::to_string(i));
+  }
+  if (r.ok() && upper && pts.front().second < 1)
+    r.add("alpha_u.closed_window", "alpha_u(0) = " + std::to_string(pts.front().second) +
+                                       " < 1 (closed-window convention)");
+  return r;
+}
+
+Report check_empirical_arrival_pair(const trace::EmpiricalArrivalCurve& upper,
+                                    const trace::EmpiricalArrivalCurve& lower) {
+  Report r;
+  using B = trace::EmpiricalArrivalCurve::Bound;
+  if (upper.bound() != B::Upper || lower.bound() != B::Lower) {
+    r.add("alpha_pair.bounds", "arguments must be an (Upper, Lower) pair");
+    return r;
+  }
+  std::vector<TimeSec> deltas;
+  for (const auto& p : upper.points()) deltas.push_back(p.first);
+  for (const auto& p : lower.points()) deltas.push_back(p.first);
+  std::sort(deltas.begin(), deltas.end());
+  deltas.erase(std::unique(deltas.begin(), deltas.end()), deltas.end());
+  std::size_t dom = 0;
+  for (TimeSec d : deltas)
+    if (upper.eval(d) < lower.eval(d))
+      add_capped(r, dom, "alpha_pair.dominance",
+                 "alpha_u(" + std::to_string(d) + ") = " + std::to_string(upper.eval(d)) +
+                     " < alpha_l = " + std::to_string(lower.eval(d)));
+  return r;
+}
+
+Report check_discrete_curve(const curve::DiscreteCurve& c, const DiscreteCurveRequirements& req) {
+  Report r;
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    if (!std::isfinite(c[i]))
+      add_capped(r, bad, "discrete.finite", "non-finite sample at index " + std::to_string(i));
+  if (!r.ok()) return r;
+  if (req.non_decreasing && !c.is_non_decreasing())
+    r.add("discrete.monotone", "samples are not non-decreasing");
+  if (req.non_negative) {
+    std::size_t neg = 0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (c[i] < 0.0)
+        add_capped(r, neg, "discrete.non_negative",
+                   "negative sample at index " + std::to_string(i));
+  }
+  if (req.starts_at_zero && c[0] != 0.0)
+    r.add("discrete.origin", "f(0) = " + std::to_string(c[0]) + " != 0");
+  return r;
+}
+
+Report check_event_trace(const trace::EventTrace& t) {
+  Report r;
+  std::size_t fin = 0, neg = 0, ord = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(t[i].time))
+      add_capped(r, fin, "trace.finite_time", "non-finite timestamp at row " + std::to_string(i));
+    if (t[i].demand < 0)
+      add_capped(r, neg, "trace.non_negative_demand",
+                 "negative demand " + std::to_string(t[i].demand) + " at row " +
+                     std::to_string(i));
+    if (i > 0 && t[i].time < t[i - 1].time)
+      add_capped(r, ord, "trace.time_ordered",
+                 "timestamp decreases at row " + std::to_string(i) + " (" +
+                     std::to_string(t[i - 1].time) + " -> " + std::to_string(t[i].time) + ")");
+  }
+  return r;
+}
+
+}  // namespace wlc::validate

@@ -1,0 +1,118 @@
+// Soundness validators — executable statements of the properties every
+// guarantee in this library rests on.
+//
+// The analysis stack promises *bounds*: γᵘ/γˡ workload curves, arrival and
+// service curves, and everything derived from them (eq. (4) RMS factors,
+// eq. (7)–(9) sizings). Those promises hold only if the curves entering an
+// analysis satisfy the definitional properties: monotonicity, γᵘ
+// sub-additivity / γˡ super-additivity, γᵘ ≥ γˡ, the Galois relation of the
+// pseudo-inverses, causality of service curves, the closed-window
+// convention ᾱᵘ(0) ≥ 1 (docs/architecture.md). These checkers verify each
+// property over a curve's exact range and report every violation found.
+//
+// They are meant to run at module boundaries — after ingesting an untrusted
+// trace, after constructing curves from external parameters, inside
+// differential tests — wherever a corrupted object must be caught before
+// its numbers are presented as guarantees. Checks are O(B²) in the
+// breakpoint count at worst (the additivity sweeps); fine for boundary use,
+// not for inner loops.
+//
+// Additivity caveat: between breakpoints a WorkloadCurve steps
+// *conservatively* (up for Upper, down for Lower), and the stepped
+// interpolant of a perfectly sub-additive γᵘ is not itself sub-additive at
+// non-breakpoint arguments. The additivity sweeps therefore compare only
+// breakpoint triples (kᵢ, kⱼ, kᵢ+kⱼ all exact) — the property the
+// *definition* speaks about — rather than flagging representation
+// artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "curve/discrete_curve.h"
+#include "curve/pwl_curve.h"
+#include "trace/arrival_curve.h"
+#include "trace/traces.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::validate {
+
+/// One failed invariant: which property, and a human-readable witness.
+struct Violation {
+  std::string invariant;  ///< short property tag, e.g. "gamma_u.sub_additive"
+  std::string detail;     ///< witness: values and positions that break it
+};
+
+/// Accumulated validation outcome. Empty = object is sound.
+class Report {
+ public:
+  bool ok() const { return violations_.empty(); }
+  std::size_t size() const { return violations_.size(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  void add(std::string invariant, std::string detail);
+  void merge(const Report& other);
+
+  /// All violations, one per line; "ok" when clean.
+  std::string to_string() const;
+
+  /// Throws wlc::SoundnessViolation describing every violation if !ok().
+  void require(const std::string& subject) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+// ---- workload curves (Definition 1) ----------------------------------------
+
+/// Structural soundness of one curve: (0,0) origin, k = 1 breakpoint,
+/// strictly increasing k, non-decreasing values, non-negative values,
+/// sub-additivity (Upper) or super-additivity (Lower) over exact
+/// breakpoint triples, WCET/BCET cone consistency, and the Galois
+/// pseudo-inverse relation (Upper: γᵘ⁻¹(γᵘ(k)) ≥ k; Lower: γˡ⁻¹(γˡ(k)) ≤ k).
+Report check_workload_curve(const workload::WorkloadCurve& c);
+
+/// Pair consistency: γᵘ(k) ≥ γˡ(k) for every k up to the smaller exact
+/// range (and block-extended samples beyond it).
+Report check_workload_pair(const workload::WorkloadCurve& upper,
+                           const workload::WorkloadCurve& lower);
+
+// ---- event-arrival curves ---------------------------------------------------
+
+/// Piecewise-linear arrival curve: finite segment data, non-decreasing,
+/// non-negative, and — for an upper curve — ᾱᵘ(0) ≥ 1 (closed-window
+/// convention; a non-empty stream always has one event in [t, t]).
+Report check_arrival_curve(const curve::PwlCurve& c, workload::Bound bound);
+
+/// Service curve: finite, non-decreasing, non-negative, and causal
+/// (β(0) = 0 — no service can be delivered in a zero-length window).
+Report check_service_curve(const curve::PwlCurve& beta);
+
+/// Empirical (trace-extracted) arrival curve: breakpoint structure plus the
+/// closed-window origin for upper curves.
+Report check_empirical_arrival_curve(const trace::EmpiricalArrivalCurve& c);
+
+/// Pair consistency ᾱᵘ ≥ ᾱˡ on merged breakpoints.
+Report check_empirical_arrival_pair(const trace::EmpiricalArrivalCurve& upper,
+                                    const trace::EmpiricalArrivalCurve& lower);
+
+// ---- sampled curves ---------------------------------------------------------
+
+struct DiscreteCurveRequirements {
+  bool non_decreasing = true;
+  bool non_negative = true;
+  bool starts_at_zero = false;
+};
+
+/// Finite samples plus the requested shape requirements.
+Report check_discrete_curve(const curve::DiscreteCurve& c, const DiscreteCurveRequirements& req);
+
+// ---- traces -----------------------------------------------------------------
+
+/// Well-formedness of an ingested trace: finite timestamps, non-decreasing
+/// times, non-negative demands. This is what lenient ingestion guarantees
+/// about its surviving rows.
+Report check_event_trace(const trace::EventTrace& t);
+
+}  // namespace wlc::validate

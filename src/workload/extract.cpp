@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.h"
+#include "common/error.h"
 
 namespace wlc::workload {
 
@@ -14,7 +15,9 @@ std::vector<Cycles> prefix_sums(const trace::DemandTrace& d) {
   std::vector<Cycles> p(d.size() + 1, 0);
   for (std::size_t i = 0; i < d.size(); ++i) {
     WLC_REQUIRE(d[i] >= 0, "execution demands must be non-negative");
-    p[i + 1] = p[i] + d[i];
+    if (__builtin_add_overflow(p[i], d[i], &p[i + 1]))
+      throw OverflowError("cumulative trace demand exceeds the Cycles range",
+                          "prefix sum at event " + std::to_string(i), __FILE__, __LINE__);
   }
   return p;
 }

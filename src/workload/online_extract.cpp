@@ -7,6 +7,24 @@
 
 namespace wlc::workload {
 
+namespace {
+
+/// Saturating narrowing of a 128-bit extremum to the reported Cycles range.
+/// Clamping at the Cycles maximum is sound in both directions: a clamped
+/// γᵘ value is still >= nothing it bounds could exceed representably, and a
+/// clamped γˡ value only moves the lower bound *down* (true window sums
+/// beyond the clamp are larger).
+Cycles clamp_to_cycles(__int128 v, bool& saturated) {
+  constexpr __int128 kMax = std::numeric_limits<Cycles>::max();
+  if (v > kMax) {
+    saturated = true;
+    return std::numeric_limits<Cycles>::max();
+  }
+  return static_cast<Cycles>(v);
+}
+
+}  // namespace
+
 OnlineWorkloadExtractor::OnlineWorkloadExtractor(std::vector<EventCount> ks) : ks_(std::move(ks)) {
   WLC_REQUIRE(!ks_.empty(), "need at least one window size");
   for (EventCount k : ks_) WLC_REQUIRE(k >= 1, "window sizes must be >= 1");
@@ -14,41 +32,83 @@ OnlineWorkloadExtractor::OnlineWorkloadExtractor(std::vector<EventCount> ks) : k
   std::sort(ks_.begin(), ks_.end());
   ks_.erase(std::unique(ks_.begin(), ks_.end()), ks_.end());
   window_sum_.assign(ks_.size(), 0);
-  max_sum_.assign(ks_.size(), std::numeric_limits<Cycles>::min());
-  min_sum_.assign(ks_.size(), std::numeric_limits<Cycles>::max());
+  max_sum_.assign(ks_.size(), std::numeric_limits<WideCycles>::min());
+  min_sum_.assign(ks_.size(), std::numeric_limits<WideCycles>::max());
+  window_seen_.assign(ks_.size(), false);
   ring_.assign(static_cast<std::size_t>(ks_.back()), 0);
 }
 
 void OnlineWorkloadExtractor::push(Cycles demand) {
   WLC_REQUIRE(demand >= 0, "execution demands must be non-negative");
+  accept(demand);
+}
+
+bool OnlineWorkloadExtractor::try_push(Cycles demand) {
+  if (demand < 0) {
+    // Quarantine: count it and restart every in-flight window, so no
+    // reported extremum joins demands from across the corrupted gap.
+    ++quarantined_;
+    if (clean_run_ > 0) {
+      ++windows_reset_;
+      std::fill(window_sum_.begin(), window_sum_.end(), 0);
+      clean_run_ = 0;
+    }
+    return false;
+  }
+  accept(demand);
+  return true;
+}
+
+void OnlineWorkloadExtractor::accept(Cycles demand) {
   ++events_;
-  // The ring holds the last max(ks) demands. Save the slot being overwritten
-  // first — for k == ring size, that is exactly the element sliding out.
+  ++clean_run_;
+  // The ring holds the last max(ks) accepted demands. Save the slot being
+  // overwritten first — for k == ring size, that is exactly the element
+  // sliding out.
   const Cycles overwritten = ring_[ring_pos_];
   ring_[ring_pos_] = demand;
   for (std::size_t i = 0; i < ks_.size(); ++i) {
     const auto k = static_cast<std::size_t>(ks_[i]);
     window_sum_[i] += demand;
-    if (events_ > ks_[i]) {
+    if (clean_run_ > ks_[i]) {
       const std::size_t out = (ring_pos_ + ring_.size() - k) % ring_.size();
       window_sum_[i] -= (out == ring_pos_) ? overwritten : ring_[out];
     }
-    if (events_ >= ks_[i]) {
+    if (clean_run_ >= ks_[i]) {
       max_sum_[i] = std::max(max_sum_[i], window_sum_[i]);
       min_sum_[i] = std::min(min_sum_[i], window_sum_[i]);
+      window_seen_[i] = true;
     }
   }
   ring_pos_ = (ring_pos_ + 1) % ring_.size();
 }
 
-bool OnlineWorkloadExtractor::ready() const { return events_ >= ks_.front(); }
+bool OnlineWorkloadExtractor::ready() const { return window_seen_.front(); }
+
+ExtractorHealth OnlineWorkloadExtractor::health() const {
+  ExtractorHealth h;
+  h.accepted = events_;
+  h.quarantined = quarantined_;
+  h.windows_reset = windows_reset_;
+  constexpr WideCycles kMax = std::numeric_limits<Cycles>::max();
+  for (std::size_t i = 0; i < ks_.size(); ++i)
+    if (window_seen_[i] && (max_sum_[i] > kMax || min_sum_[i] > kMax)) h.saturated = true;
+  return h;
+}
 
 WorkloadCurve OnlineWorkloadExtractor::upper() const {
   WLC_REQUIRE(ready(), "no window has completed yet");
   std::vector<WorkloadCurve::Point> pts{{0, 0}};
+  bool saturated = false;
+  // Quarantine gaps can leave a larger window's extremum below a smaller
+  // window's (the big window only closed in a different clean run); γᵘ is
+  // definitionally non-decreasing, and raising a value keeps it an upper
+  // bound, so materialize the running maximum.
+  WideCycles running = 0;
   for (std::size_t i = 0; i < ks_.size(); ++i) {
-    if (events_ < ks_[i]) break;
-    pts.emplace_back(ks_[i], max_sum_[i]);
+    if (!window_seen_[i]) break;
+    running = std::max(running, max_sum_[i]);
+    pts.emplace_back(ks_[i], clamp_to_cycles(running, saturated));
   }
   return WorkloadCurve(Bound::Upper, std::move(pts));
 }
@@ -56,9 +116,10 @@ WorkloadCurve OnlineWorkloadExtractor::upper() const {
 WorkloadCurve OnlineWorkloadExtractor::lower() const {
   WLC_REQUIRE(ready(), "no window has completed yet");
   std::vector<WorkloadCurve::Point> pts{{0, 0}};
+  bool saturated = false;
   for (std::size_t i = 0; i < ks_.size(); ++i) {
-    if (events_ < ks_[i]) break;
-    pts.emplace_back(ks_[i], min_sum_[i]);
+    if (!window_seen_[i]) break;
+    pts.emplace_back(ks_[i], clamp_to_cycles(min_sum_[i], saturated));
   }
   return WorkloadCurve(Bound::Lower, std::move(pts));
 }

@@ -10,8 +10,23 @@
 //
 // The curves it reports are exactly what the batch extractor would produce
 // on the same prefix restricted to the tracked window sizes (tested), and
-// they only ever grow tighter... wider: extrema are monotone in the prefix,
-// so a bound certified at time t remains a bound for every earlier prefix.
+// they only ever widen as the prefix grows: the upper extrema are
+// non-decreasing and the lower extrema non-increasing in the observed
+// prefix, so curves reported at time t remain valid bounds for every
+// earlier prefix (a bound, once certified, is never retracted).
+//
+// Robustness (deployed-monitor hardening):
+//  * Window sums are accumulated in 128-bit integers, so no sequence of
+//    valid Cycles demands can wrap them. If an extremum exceeds the Cycles
+//    range, the *reported* value saturates in the sound direction (γᵘ
+//    clamps up to the Cycles maximum — still an upper bound) and the
+//    health report flags `saturated` instead of silently wrapping.
+//  * `try_push` quarantines invalid demands (negative values) instead of
+//    throwing: the event is counted in the health report and every
+//    in-flight window is restarted, so no reported extremum ever spans a
+//    corrupted observation. The curves then certify the contiguous clean
+//    runs of the stream — exactly what the health report says they do.
+//    `push` keeps the strict contract (throws wlc::DomainError).
 #pragma once
 
 #include <vector>
@@ -21,33 +36,64 @@
 
 namespace wlc::workload {
 
+/// Quarantine-with-counters health of an OnlineWorkloadExtractor — how much
+/// of the observed stream the reported curves actually certify.
+struct ExtractorHealth {
+  EventCount accepted = 0;     ///< demands folded into the extrema
+  EventCount quarantined = 0;  ///< invalid demands rejected by try_push
+  EventCount windows_reset = 0;///< quarantine gaps that restarted window fill
+  bool saturated = false;      ///< some reported value clamped to the Cycles range
+
+  /// True when the curves certify less than the full observed stream.
+  bool degraded() const { return quarantined > 0 || saturated; }
+};
+
 class OnlineWorkloadExtractor {
  public:
   /// `ks`: window sizes to track (deduplicated, sorted internally; >= 1).
   explicit OnlineWorkloadExtractor(std::vector<EventCount> ks);
 
-  /// Observe the demand of the next activation.
+  /// Observe the demand of the next activation. Throws wlc::DomainError on
+  /// a negative demand (strict contract; the extractor state is unchanged).
   void push(Cycles demand);
 
+  /// Non-throwing observation for deployed monitors: a negative demand is
+  /// quarantined (health().quarantined increments, in-flight windows
+  /// restart) and false is returned; otherwise behaves like push().
+  bool try_push(Cycles demand);
+
+  /// Accepted activations (quarantined ones excluded).
   EventCount events_seen() const { return events_; }
 
-  /// True once at least min(ks) activations were observed (the smallest
-  /// window closed), i.e. curves are available.
+  /// Quarantine / saturation counters for the stream observed so far.
+  ExtractorHealth health() const;
+
+  /// True once at least min(ks) consecutive clean activations were observed
+  /// (the smallest window closed), i.e. curves are available.
   bool ready() const;
 
   /// Current upper/lower curves over the tracked window sizes (plus the
-  /// implicit exact k=1 point). Throws if !ready().
+  /// implicit exact k=1 point). Throws if !ready(). Values exceeding the
+  /// Cycles range saturate conservatively (see header comment).
   WorkloadCurve upper() const;
   WorkloadCurve lower() const;
 
  private:
+  using WideCycles = __int128;  ///< overflow-proof window accumulators
+
+  void accept(Cycles demand);
+
   std::vector<EventCount> ks_;
-  std::vector<Cycles> window_sum_;  ///< running sum of the last ks_[i] demands
-  std::vector<Cycles> max_sum_;     ///< extrema over all complete windows
-  std::vector<Cycles> min_sum_;
-  std::vector<Cycles> ring_;        ///< last max(ks_) demands
+  std::vector<WideCycles> window_sum_;  ///< running sum of the last ks_[i] demands
+  std::vector<WideCycles> max_sum_;     ///< extrema over all complete clean windows
+  std::vector<WideCycles> min_sum_;
+  std::vector<bool> window_seen_;       ///< extrema valid (some clean window closed)
+  std::vector<Cycles> ring_;            ///< last max(ks_) demands
   std::size_t ring_pos_ = 0;
-  EventCount events_ = 0;
+  EventCount events_ = 0;     ///< accepted demands
+  EventCount clean_run_ = 0;  ///< accepted demands since the last quarantine
+  EventCount quarantined_ = 0;
+  EventCount windows_reset_ = 0;
 };
 
 }  // namespace wlc::workload

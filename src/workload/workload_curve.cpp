@@ -54,7 +54,14 @@ Cycles WorkloadCurve::value(EventCount k) const {
   if (k <= kmax) return value_in_range(k);
   const EventCount q = k / kmax;
   const EventCount r = k % kmax;
-  return q * points_.back().second + value_in_range(r);
+  // Block extension q·γ(K) + γ(r) in checked arithmetic: wrapping here
+  // would silently turn a guaranteed bound into garbage.
+  Cycles blocks = 0, total = 0;
+  if (__builtin_mul_overflow(q, points_.back().second, &blocks) ||
+      __builtin_add_overflow(blocks, value_in_range(r), &total))
+    throw OverflowError("block-extended curve value exceeds the Cycles range",
+                        "gamma(" + std::to_string(k) + ")", __FILE__, __LINE__);
+  return total;
 }
 
 EventCount WorkloadCurve::inverse(Cycles e) const {
@@ -143,7 +150,13 @@ WorkloadCurve WorkloadCurve::add(const WorkloadCurve& a, const WorkloadCurve& b)
   WLC_REQUIRE(a.bound() == b.bound(), "can only add curves of the same bound kind");
   const EventCount limit = std::min(a.max_k(), b.max_k());
   std::vector<Point> pts;
-  for (EventCount k : merged_ks(a, b, limit)) pts.emplace_back(k, a.value(k) + b.value(k));
+  for (EventCount k : merged_ks(a, b, limit)) {
+    Cycles sum = 0;
+    if (__builtin_add_overflow(a.value(k), b.value(k), &sum))
+      throw OverflowError("sum of curves exceeds the Cycles range",
+                          "gamma_a + gamma_b at k = " + std::to_string(k), __FILE__, __LINE__);
+    pts.emplace_back(k, sum);
+  }
   return WorkloadCurve(a.bound(), std::move(pts));
 }
 

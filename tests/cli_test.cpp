@@ -84,6 +84,54 @@ TEST(Cli, SizeDelayAndSimulate) {
   EXPECT_NE(out2.str().find("utilization"), std::string::npos);
 }
 
+std::string fixture(const std::string& name) { return std::string(WLC_FIXTURE_DIR "/") + name; }
+
+TEST(CliValidate, CleanTraceExitsZero) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"validate", fixture("polling_clean.csv")}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("sound"), std::string::npos);
+  // Also via the temp-file demo trace, with explicit --strict.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run({"validate", write_demo_trace(), "--strict"}, out2, err2), 0) << err2.str();
+}
+
+TEST(CliValidate, StrictRejectsEveryCorruptionFixture) {
+  for (const char* name : {"corrupt_garbage.csv", "corrupt_nonfinite.csv",
+                           "corrupt_unordered.csv", "corrupt_negative.csv",
+                           "corrupt_overflow.csv"}) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"validate", fixture(name)}, out, err), 3) << name;
+    EXPECT_NE(err.str().find("rejected:"), std::string::npos) << name;
+  }
+}
+
+TEST(CliValidate, LenientDegradesOnCorruptionFixtures) {
+  for (const char* name : {"corrupt_garbage.csv", "corrupt_nonfinite.csv",
+                           "corrupt_unordered.csv", "corrupt_negative.csv",
+                           "corrupt_overflow.csv"}) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"validate", fixture(name), "--lenient"}, out, err), 5) << name << err.str();
+    EXPECT_NE(out.str().find("degraded:"), std::string::npos) << name;
+    EXPECT_NE(out.str().find("kept rows only"), std::string::npos) << name;
+  }
+}
+
+TEST(CliValidate, UnsoundExtractionExitsFour) {
+  // Two near-max demands parse fine but the 2-window sum overflows Cycles —
+  // extraction must refuse rather than report a wrapped "bound".
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"validate", fixture("unsound_extraction.csv")}, out, err), 4);
+  EXPECT_NE(err.str().find("unsound"), std::string::npos);
+}
+
+TEST(CliValidate, UsageErrors) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"validate", fixture("polling_clean.csv"), "--strict", "--lenient"}, out, err), 2);
+  EXPECT_NE(err.str().find("mutually exclusive"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_EQ(run({"validate", "/nonexistent/file.csv"}, out, err2), 2);
+}
+
 TEST(Cli, RejectsMalformedTrace) {
   const std::string path = ::testing::TempDir() + "wlc_cli_bad.csv";
   std::ofstream(path) << "not,a,trace\n1,2\n";

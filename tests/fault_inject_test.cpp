@@ -1,0 +1,294 @@
+// Differential fault-injection suite: every corruption operator in
+// validate::kAllFaults is either *rejected* with a structured error, parsed
+// back *exactly*, or yields curves that conservatively *dominate* the clean
+// reference — never a silently wrong bound. See fault_inject.h for the
+// taxonomy these tests pin down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "trace/io.h"
+#include "trace/traces.h"
+#include "validate/fault_inject.h"
+#include "validate/validate.h"
+#include "workload/extract.h"
+#include "workload/online_extract.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::validate {
+namespace {
+
+using trace::EventTrace;
+using trace::ParsePolicy;
+using trace::ParseReport;
+using workload::WorkloadCurve;
+
+EventTrace parse(const std::string& csv, ParsePolicy policy, ParseReport* rep = nullptr) {
+  std::istringstream is(csv);
+  return trace::read_event_trace_csv(is, policy, rep);
+}
+
+std::string serialize(const EventTrace& t) {
+  std::ostringstream os;
+  trace::write_event_trace_csv(os, t);
+  return os.str();
+}
+
+bool records_equal(const trace::EventRecord& a, const trace::EventRecord& b) {
+  return a.time == b.time && a.type == b.type && a.demand == b.demand;
+}
+
+bool traces_equal(const EventTrace& a, const EventTrace& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), records_equal);
+}
+
+EventTrace erase_rows(EventTrace t, const std::vector<std::size_t>& rows) {
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it)
+    t.erase(t.begin() + static_cast<std::ptrdiff_t>(*it));
+  return t;
+}
+
+/// What the pipeline promises about each operator.
+enum class Expect { Rejected, AcceptedExact, UpperDominates, LowerDominates };
+
+struct Case {
+  Fault fault;
+  Expect expect;
+  /// Rejected faults where lenient parsing drops exactly the affected rows
+  /// (ReorderEvents cascades: rows between the swapped pair drop too).
+  bool drops_exactly_affected;
+};
+
+constexpr Case kCases[] = {
+    {Fault::NanTime, Expect::Rejected, true},
+    {Fault::InfTime, Expect::Rejected, true},
+    {Fault::NegateDemand, Expect::Rejected, true},
+    {Fault::ReorderEvents, Expect::Rejected, false},
+    {Fault::GarbageSuffix, Expect::Rejected, true},
+    {Fault::TruncateRow, Expect::Rejected, true},
+    {Fault::OverflowDemand, Expect::Rejected, true},
+    {Fault::DeleteRow, Expect::AcceptedExact, false},
+    {Fault::DuplicateRow, Expect::AcceptedExact, false},
+    {Fault::CrlfEndings, Expect::AcceptedExact, false},
+    {Fault::SaturateDemand, Expect::UpperDominates, false},
+    {Fault::ZeroDemand, Expect::LowerDominates, false},
+};
+
+// ---- round-trip identity -----------------------------------------------------
+
+TEST(FaultInject, RoundTripIsLossless) {
+  // write → read must be the identity — the differential assertions below
+  // compare parsed traces against in-memory references bit for bit.
+  common::Rng rng(7);
+  const EventTrace t = make_random_trace(rng, 200);
+  EXPECT_TRUE(traces_equal(parse(serialize(t), ParsePolicy::Strict), t));
+}
+
+// ---- the taxonomy, operator by operator -------------------------------------
+
+TEST(FaultInject, EveryOperatorHonorsItsContract) {
+  for (const Case& c : kCases) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(std::string(to_string(c.fault)) + " seed " + std::to_string(seed));
+      common::Rng trace_rng(seed);
+      const EventTrace clean = make_random_trace(trace_rng, 40);
+      common::Rng fault_rng(seed * 1000003);
+      const Injection inj = inject(clean, c.fault, fault_rng);
+
+      // Lenient mode never throws for data-row faults, and whatever survives
+      // is well-formed.
+      ParseReport rep;
+      const EventTrace survivors = parse(inj.csv, ParsePolicy::Lenient, &rep);
+      EXPECT_TRUE(check_event_trace(survivors).ok())
+          << check_event_trace(survivors).to_string();
+
+      switch (c.expect) {
+        case Expect::Rejected: {
+          EXPECT_THROW(parse(inj.csv, ParsePolicy::Strict), wlc::Error);
+          // ...but still catchable at the legacy std boundary.
+          EXPECT_THROW(parse(inj.csv, ParsePolicy::Strict), std::exception);
+          EXPECT_GE(rep.rows_dropped(), 1u);
+          EXPECT_FALSE(rep.clean());
+          if (c.drops_exactly_affected) {
+            EXPECT_TRUE(traces_equal(survivors, erase_rows(clean, inj.affected)));
+          }
+          break;
+        }
+        case Expect::AcceptedExact: {
+          const EventTrace strict = parse(inj.csv, ParsePolicy::Strict);
+          EXPECT_TRUE(rep.clean()) << rep.to_string();
+          EXPECT_TRUE(traces_equal(strict, survivors));
+          // The parse certifies exactly what was received: the clean trace
+          // with the row-level edit applied (CRLF: no edit at all).
+          switch (c.fault) {
+            case Fault::CrlfEndings:
+              EXPECT_TRUE(traces_equal(strict, clean));
+              break;
+            case Fault::DeleteRow:
+              EXPECT_TRUE(traces_equal(strict, erase_rows(clean, inj.affected)));
+              break;
+            case Fault::DuplicateRow: {
+              ASSERT_EQ(strict.size(), clean.size() + 1);
+              ASSERT_EQ(inj.affected.size(), 1u);
+              EventTrace expected = clean;
+              const std::size_t i = inj.affected.front();
+              expected.insert(expected.begin() + static_cast<std::ptrdiff_t>(i), clean[i]);
+              EXPECT_TRUE(traces_equal(strict, expected));
+              break;
+            }
+            default:
+              FAIL() << "unclassified AcceptedExact fault";
+          }
+          break;
+        }
+        case Expect::UpperDominates: {
+          const EventTrace corrupt = parse(inj.csv, ParsePolicy::Strict);
+          ASSERT_EQ(corrupt.size(), clean.size());
+          const auto n = static_cast<EventCount>(clean.size());
+          const WorkloadCurve gu_ref =
+              workload::extract_upper_dense(trace::demands_of(clean), n);
+          const WorkloadCurve gu_bad =
+              workload::extract_upper_dense(trace::demands_of(corrupt), n);
+          for (EventCount k = 0; k <= n; ++k)
+            EXPECT_GE(gu_bad.value(k), gu_ref.value(k)) << "k = " << k;
+          break;
+        }
+        case Expect::LowerDominates: {
+          const EventTrace corrupt = parse(inj.csv, ParsePolicy::Strict);
+          ASSERT_EQ(corrupt.size(), clean.size());
+          const auto n = static_cast<EventCount>(clean.size());
+          const WorkloadCurve gl_ref =
+              workload::extract_lower_dense(trace::demands_of(clean), n);
+          const WorkloadCurve gl_bad =
+              workload::extract_lower_dense(trace::demands_of(corrupt), n);
+          for (EventCount k = 0; k <= n; ++k)
+            EXPECT_LE(gl_bad.value(k), gl_ref.value(k)) << "k = " << k;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- byte-level fuzzing ------------------------------------------------------
+
+TEST(FaultInject, ByteMutationsNeverCrashOrAdmitGarbage) {
+  // Unstructured mutations must land in exactly two buckets: a structured
+  // wlc::Error, or a parse whose result passes every trace invariant. No
+  // other exception type, no non-finite value, ever.
+  common::Rng rng(20260806);
+  const std::string clean_csv = serialize(make_random_trace(rng, 30));
+  for (int iter = 0; iter < 300; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const std::string mutated = mutate_bytes(clean_csv, rng);
+    for (ParsePolicy policy : {ParsePolicy::Strict, ParsePolicy::Lenient}) {
+      try {
+        const EventTrace t = parse(mutated, policy);
+        const auto r = check_event_trace(t);
+        EXPECT_TRUE(r.ok()) << r.to_string() << "\ninput:\n" << mutated;
+      } catch (const wlc::Error&) {
+        // Structured rejection — fine (lenient still throws on a broken
+        // header; that is the documented contract).
+      }
+    }
+  }
+}
+
+// ---- online extractor under corruption --------------------------------------
+
+TEST(OnlineExtractorRobustness, QuarantineRestartsWindows) {
+  workload::OnlineWorkloadExtractor ex({2});
+  for (Cycles d : {5, 5}) ASSERT_TRUE(ex.try_push(d));
+  ASSERT_FALSE(ex.try_push(-1));  // quarantined, windows restart
+  for (Cycles d : {7, 7}) ASSERT_TRUE(ex.try_push(d));
+
+  // No window may span the gap: the only complete 2-windows are [5,5] and
+  // [7,7] — never [5,7] across the corrupted observation.
+  EXPECT_EQ(ex.upper().value(2), 14);
+  EXPECT_EQ(ex.lower().value(2), 10);
+  EXPECT_EQ(ex.upper().value(1), 7);
+  EXPECT_EQ(ex.lower().value(1), 5);
+
+  const auto h = ex.health();
+  EXPECT_EQ(h.accepted, 4);
+  EXPECT_EQ(h.quarantined, 1);
+  EXPECT_EQ(h.windows_reset, 1);
+  EXPECT_TRUE(h.degraded());
+  EXPECT_FALSE(h.saturated);
+  EXPECT_EQ(ex.events_seen(), 4);
+}
+
+TEST(OnlineExtractorRobustness, StrictPushStillThrowsAndLeavesStateIntact) {
+  workload::OnlineWorkloadExtractor ex({2});
+  ex.push(3);
+  EXPECT_THROW(ex.push(-1), wlc::DomainError);
+  EXPECT_EQ(ex.events_seen(), 1);
+  EXPECT_EQ(ex.health().quarantined, 0);  // push() does not quarantine
+  ex.push(4);
+  EXPECT_EQ(ex.upper().value(2), 7);  // the run was not reset by the throw
+}
+
+TEST(OnlineExtractorRobustness, WindowSumsSaturateInsteadOfWrapping) {
+  constexpr Cycles kMax = std::numeric_limits<Cycles>::max();
+  workload::OnlineWorkloadExtractor ex({2});
+  ex.push(kMax);
+  ex.push(kMax);
+  // The 2-window sum is 2^64 - 2 — far past the Cycles range. The report
+  // clamps (sound in both directions, see online_extract.h) and says so.
+  EXPECT_EQ(ex.upper().value(2), kMax);
+  EXPECT_EQ(ex.lower().value(2), kMax);
+  EXPECT_EQ(ex.upper().value(1), kMax);
+  EXPECT_TRUE(ex.health().saturated);
+  EXPECT_TRUE(ex.health().degraded());
+}
+
+TEST(OnlineExtractorRobustness, CurvesEqualPerSegmentBatchCombine) {
+  // Differential reference: with one quarantine gap, the online curves must
+  // equal the combine of the batch extractor run on each clean segment.
+  common::Rng rng(31337);
+  trace::DemandTrace run_a, run_b;
+  for (int i = 0; i < 30; ++i) run_a.push_back(rng.uniform_int(1, 900));
+  for (int i = 0; i < 30; ++i) run_b.push_back(rng.uniform_int(1, 900));
+
+  const std::vector<std::int64_t> ks{1, 2, 3, 5, 8};
+  workload::OnlineWorkloadExtractor ex(ks);
+  for (Cycles d : run_a) ex.try_push(d);
+  ex.try_push(-7);
+  for (Cycles d : run_b) ex.try_push(d);
+
+  const WorkloadCurve gu = WorkloadCurve::combine(workload::extract_upper(run_a, ks),
+                                                  workload::extract_upper(run_b, ks));
+  const WorkloadCurve gl = WorkloadCurve::combine(workload::extract_lower(run_a, ks),
+                                                  workload::extract_lower(run_b, ks));
+  for (std::int64_t k : ks) {
+    EXPECT_EQ(ex.upper().value(k), gu.value(k)) << "k = " << k;
+    EXPECT_EQ(ex.lower().value(k), gl.value(k)) << "k = " << k;
+  }
+  EXPECT_TRUE(check_workload_pair(ex.upper(), ex.lower()).ok());
+}
+
+TEST(OnlineExtractorRobustness, LargerWindowsReportedOnlyAfterACleanRunCloses) {
+  workload::OnlineWorkloadExtractor ex({3});
+  EXPECT_FALSE(ex.ready());
+  ex.try_push(1);
+  ex.try_push(2);
+  EXPECT_TRUE(ex.ready());             // implicit k = 1 window has closed...
+  EXPECT_EQ(ex.upper().max_k(), 1);    // ...but no 3-window has, so no k = 3 point
+  ex.try_push(-1);  // resets the run: the 3-window needs 3 fresh demands
+  ex.try_push(3);
+  ex.try_push(4);
+  EXPECT_EQ(ex.upper().max_k(), 1);    // two post-gap demands: still no 3-window
+  ex.try_push(5);
+  EXPECT_EQ(ex.upper().max_k(), 3);
+  EXPECT_EQ(ex.upper().value(3), 12);  // [3,4,5] — never [1,2,...] across the gap
+}
+
+}  // namespace
+}  // namespace wlc::validate

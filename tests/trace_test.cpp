@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "trace/arrival_extract.h"
 #include "trace/io.h"
@@ -51,6 +52,97 @@ TEST(TraceIo, RejectsMalformed) {
   EXPECT_THROW(read_event_trace_csv(empty), std::invalid_argument);
   std::stringstream bad("time,type,demand\n1.0;2;3\n");
   EXPECT_THROW(read_event_trace_csv(bad), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsTrailingGarbageAfterNumericField) {
+  // Regression: the old stream-extraction parser read "3junk" as 3 and
+  // silently dropped the rest of the line.
+  std::stringstream ss("time,type,demand\n1,2,3junk\n");
+  try {
+    read_event_trace_csv(ss);
+    FAIL() << "trailing garbage accepted";
+  } catch (const wlc::ParseError& e) {
+    EXPECT_EQ(e.input_line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("column"), std::string::npos);
+  }
+  std::stringstream time_junk("time,type,demand\n1.5e,2,3\n");
+  EXPECT_THROW(read_event_trace_csv(time_junk), wlc::ParseError);
+}
+
+TEST(TraceIo, AcceptsCrlfLineEndings) {
+  // Regression: CRLF used to leave "\r" glued to the demand field (rejected
+  // now that fields must parse completely) — strip it instead.
+  std::stringstream ss("time,type,demand\r\n0.5,1,10\r\n1.5,2,20\r\n");
+  const EventTrace t = read_event_trace_csv(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0].time, 0.5);
+  EXPECT_EQ(t[1].demand, 20);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream four("time,type,demand\n1,2,3,4\n");
+  EXPECT_THROW(read_event_trace_csv(four), wlc::ParseError);
+  std::stringstream two("time,type,demand\n1,2\n");
+  EXPECT_THROW(read_event_trace_csv(two), wlc::ParseError);
+}
+
+TEST(TraceIo, RejectsNonFiniteNegativeAndUnordered) {
+  for (const char* row : {"nan,0,1", "inf,0,1", "1,0,-5"}) {
+    std::stringstream ss(std::string("time,type,demand\n") + row + "\n");
+    EXPECT_THROW(read_event_trace_csv(ss), wlc::ParseError) << row;
+  }
+  std::stringstream unordered("time,type,demand\n2,0,1\n1,0,1\n");
+  EXPECT_THROW(read_event_trace_csv(unordered), wlc::ParseError);
+}
+
+TEST(TraceIo, RejectsOverflowingDemand) {
+  std::stringstream ss("time,type,demand\n1,0,99999999999999999999999999\n");
+  EXPECT_THROW(read_event_trace_csv(ss), std::overflow_error);
+}
+
+TEST(TraceIo, LenientModeDropsAndTallies) {
+  std::stringstream ss(
+      "time,type,demand\n"
+      "1,0,10\n"
+      "2,0,3junk\n"     // malformed
+      "nan,0,5\n"       // non-finite
+      "3,0,-4\n"        // negative demand
+      "0.5,0,6\n"       // out of order (earlier than the kept t=1 row)
+      "4,0,99999999999999999999999999\n"  // overflow
+      "5,0,50\n");
+  ParseReport rep;
+  const EventTrace t = read_event_trace_csv(ss, ParsePolicy::Lenient, &rep);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].demand, 50);
+  EXPECT_EQ(rep.rows_total, 7u);
+  EXPECT_EQ(rep.rows_kept, 2u);
+  EXPECT_EQ(rep.rows_dropped(), 5u);
+  EXPECT_EQ(rep.malformed, 1u);
+  EXPECT_EQ(rep.non_finite, 1u);
+  EXPECT_EQ(rep.negative_demand, 1u);
+  EXPECT_EQ(rep.out_of_order, 1u);
+  EXPECT_EQ(rep.overflow, 1u);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_FALSE(rep.samples.empty());
+}
+
+TEST(TraceIo, LenientKeepsOutOfOrderRelativeToLastKeptRow) {
+  // t=1.5 is out of order against the *kept* t=2 row? No — 2 was dropped
+  // (bad demand), so 1.5 compares against t=1 and survives.
+  std::stringstream ss("time,type,demand\n1,0,10\n2,0,-1\n1.5,0,6\n");
+  ParseReport rep;
+  const EventTrace t = read_event_trace_csv(ss, ParsePolicy::Lenient, &rep);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[1].time, 1.5);
+  EXPECT_EQ(rep.negative_demand, 1u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(TraceIo, BadHeaderThrowsInBothModes) {
+  for (ParsePolicy p : {ParsePolicy::Strict, ParsePolicy::Lenient}) {
+    std::stringstream ss("wrong,header,here\n1,0,10\n");
+    EXPECT_THROW(read_event_trace_csv(ss, p), wlc::ParseError);
+  }
 }
 
 TEST(Spans, MinAndMaxSpans) {

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "curve/discrete_curve.h"
+#include "curve/pwl_curve.h"
+#include "mpeg/trace_gen.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "validate/validate.h"
+#include "workload/extract.h"
+#include "workload/polling.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::validate {
+namespace {
+
+using workload::Bound;
+using workload::WorkloadCurve;
+
+// ---- error taxonomy ---------------------------------------------------------
+
+TEST(ErrorTaxonomy, KindsAndStdBases) {
+  // Each structured type stays catchable as the std exception the library
+  // historically threw.
+  EXPECT_THROW(throw ParseError("bad row"), std::invalid_argument);
+  EXPECT_THROW(throw DomainError("bad arg"), std::invalid_argument);
+  EXPECT_THROW(throw SoundnessViolation("bad bound"), std::logic_error);
+  EXPECT_THROW(throw OverflowError("wrap"), std::overflow_error);
+  try {
+    throw ParseError("bad demand field", "3junk", 7, 5);
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.kind(), "ParseError");
+    EXPECT_EQ(e.offending(), "3junk");
+    EXPECT_NE(e.detail().find("line 7"), std::string::npos);
+    EXPECT_NE(e.detail().find("column 5"), std::string::npos);
+  }
+}
+
+TEST(ErrorTaxonomy, ContextChainAndMacros) {
+  try {
+    try {
+      WLC_REQUIRE(1 < 0, "impossible");
+      FAIL() << "unreachable";
+    } catch (Error& e) {
+      e.add_context("validating example trace");
+      throw;
+    }
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.kind(), "DomainError");
+    ASSERT_EQ(e.context().size(), 1u);
+    EXPECT_NE(e.detail().find("validating example trace"), std::string::npos);
+    EXPECT_NE(std::string(e.file()).find("validate_test"), std::string::npos);
+  }
+  EXPECT_THROW(WLC_ASSERT(false), SoundnessViolation);
+}
+
+// ---- workload-curve validators: positives -----------------------------------
+
+TEST(ValidateWorkload, PollingFixturePassesClean) {
+  // Paper §2.2 Example 1 — the analytic fixture must satisfy every
+  // definitional property.
+  const workload::PollingTaskModel m(0.01, 0.015, 0.03, 500, 50);
+  const WorkloadCurve gu = m.upper_curve(60);
+  const WorkloadCurve gl = m.lower_curve(60);
+  EXPECT_TRUE(check_workload_curve(gu).ok()) << check_workload_curve(gu).to_string();
+  EXPECT_TRUE(check_workload_curve(gl).ok()) << check_workload_curve(gl).to_string();
+  EXPECT_TRUE(check_workload_pair(gu, gl).ok()) << check_workload_pair(gu, gl).to_string();
+}
+
+TEST(ValidateWorkload, ExtractedCurvesPassClean) {
+  common::Rng rng(4242);
+  trace::DemandTrace d;
+  for (int i = 0; i < 300; ++i) d.push_back(rng.uniform_int(10, 5000));
+  const WorkloadCurve gu = workload::extract_upper_dense(d, 300);
+  const WorkloadCurve gl = workload::extract_lower_dense(d, 300);
+  EXPECT_TRUE(check_workload_curve(gu).ok()) << check_workload_curve(gu).to_string();
+  EXPECT_TRUE(check_workload_curve(gl).ok()) << check_workload_curve(gl).to_string();
+  EXPECT_TRUE(check_workload_pair(gu, gl).ok());
+}
+
+TEST(ValidateWorkload, MpegClipFixturesPassClean) {
+  // Two case-study clips end to end: generated decoder traces must yield
+  // validator-clean workload and arrival curves (sparse extraction grid, so
+  // the conservative-step exemption is exercised too).
+  mpeg::TraceConfig cfg;
+  cfg.stream.width = 160;
+  cfg.stream.height = 96;
+  cfg.frames = 24;
+  for (std::size_t clip = 0; clip < 2; ++clip) {
+    const auto trace = mpeg::generate_clip_trace(cfg, mpeg::clip_library()[clip]);
+    const auto demands = trace::demands_of(trace.pe2_input);
+    const auto n = static_cast<std::int64_t>(demands.size());
+    const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = 64, .growth = 1.1});
+    const WorkloadCurve gu = workload::extract_upper(demands, ks);
+    const WorkloadCurve gl = workload::extract_lower(demands, ks);
+    EXPECT_TRUE(check_workload_curve(gu).ok())
+        << trace.name << ": " << check_workload_curve(gu).to_string();
+    EXPECT_TRUE(check_workload_curve(gl).ok())
+        << trace.name << ": " << check_workload_curve(gl).to_string();
+    EXPECT_TRUE(check_workload_pair(gu, gl).ok());
+    EXPECT_TRUE(check_event_trace(trace.pe2_input).ok());
+    const auto ts = trace::timestamps_of(trace.pe2_input);
+    const auto au = trace::extract_upper_arrival(ts, ks);
+    const auto al = trace::extract_lower_arrival(ts, ks);
+    EXPECT_TRUE(check_empirical_arrival_curve(au).ok())
+        << check_empirical_arrival_curve(au).to_string();
+    EXPECT_TRUE(check_empirical_arrival_curve(al).ok());
+    EXPECT_TRUE(check_empirical_arrival_pair(au, al).ok());
+  }
+}
+
+// ---- workload-curve validators: constructed counterexamples -----------------
+
+TEST(ValidateWorkload, NonMonotoneCurveIsRejectedAtConstruction) {
+  // Decreasing values cannot even be represented — the constructor throws a
+  // structured DomainError.
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}, {1, 10}, {2, 5}}), DomainError);
+  EXPECT_THROW(WorkloadCurve(Bound::Upper, {{0, 0}, {1, 10}, {1, 12}}), std::invalid_argument);
+}
+
+TEST(ValidateWorkload, SubAdditivityBreakIsFlagged) {
+  // γᵘ(2) = 20 > γᵘ(1) + γᵘ(1) = 10: monotone (passes construction) but
+  // impossible for a max-over-windows curve.
+  const WorkloadCurve bad(Bound::Upper, {{0, 0}, {1, 5}, {2, 20}});
+  const Report r = check_workload_curve(bad);
+  ASSERT_FALSE(r.ok());
+  bool found = false;
+  for (const auto& v : r.violations()) found |= v.invariant == "gamma_u.sub_additive";
+  EXPECT_TRUE(found) << r.to_string();
+  EXPECT_THROW(r.require("bad gamma_u"), SoundnessViolation);
+}
+
+TEST(ValidateWorkload, SuperAdditivityBreakIsFlagged) {
+  // γˡ(2) = 15 < 2·γˡ(1) = 20.
+  const WorkloadCurve bad(Bound::Lower, {{0, 0}, {1, 10}, {2, 15}});
+  const Report r = check_workload_curve(bad);
+  ASSERT_FALSE(r.ok());
+  bool found = false;
+  for (const auto& v : r.violations())
+    found |= v.invariant == "gamma_l.super_additive" || v.invariant == "gamma_l.bcet_cone";
+  EXPECT_TRUE(found) << r.to_string();
+}
+
+TEST(ValidateWorkload, UpperBelowLowerIsFlagged) {
+  const WorkloadCurve gu = WorkloadCurve::from_constant_demand(Bound::Upper, 5);
+  const WorkloadCurve gl = WorkloadCurve::from_constant_demand(Bound::Lower, 10);
+  const Report r = check_workload_pair(gu, gl);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations().front().invariant, "pair.dominance");
+  // Swapped argument kinds are themselves a violation.
+  EXPECT_FALSE(check_workload_pair(gl, gu).ok());
+}
+
+TEST(ValidateWorkload, GaloisHoldsOnFixtures) {
+  // γᵘ⁻¹(γᵘ(k)) >= k and γˡ⁻¹(γˡ(k)) <= k, spot-checked beyond the
+  // validator by direct evaluation.
+  const workload::PollingTaskModel m(0.01, 0.015, 0.03, 500, 50);
+  const WorkloadCurve gu = m.upper_curve(40);
+  const WorkloadCurve gl = m.lower_curve(40);
+  for (EventCount k = 1; k <= 40; ++k) {
+    EXPECT_GE(gu.inverse(gu.value(k)), k);
+    EXPECT_LE(gl.inverse(gl.value(k)), k);
+  }
+}
+
+// ---- arrival / service curves -----------------------------------------------
+
+TEST(ValidateArrival, ClosedWindowConventionEnforced) {
+  // ᾱᵘ from a periodic stream honours ᾱᵘ(0) >= 1; the matching lower curve
+  // used as an upper curve violates it.
+  EXPECT_TRUE(check_arrival_curve(curve::PwlCurve::periodic_upper(2.0, 0.5), Bound::Upper).ok());
+  const Report r = check_arrival_curve(curve::PwlCurve::periodic_lower(2.0, 0.5), Bound::Upper);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations().front().invariant, "alpha_u.closed_window");
+  // As a *lower* curve it is fine.
+  EXPECT_TRUE(check_arrival_curve(curve::PwlCurve::periodic_lower(2.0, 0.5), Bound::Lower).ok());
+}
+
+TEST(ValidateService, NonCausalServiceCurveIsFlagged) {
+  EXPECT_TRUE(check_service_curve(curve::PwlCurve::rate_latency(100.0, 0.25)).ok());
+  // A token bucket delivers burst cycles in a zero-length window — not a
+  // causal service guarantee.
+  const Report r = check_service_curve(curve::PwlCurve::token_bucket(5.0, 100.0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations().front().invariant, "beta.causal");
+}
+
+TEST(ValidateEmpiricalArrival, PairAndStructure) {
+  common::Rng rng(99);
+  trace::TimestampTrace ts{0.0};
+  for (int i = 0; i < 100; ++i) ts.push_back(ts.back() + rng.uniform(0.01, 0.5));
+  const auto ks = trace::make_kgrid({.max_k = 101, .dense_limit = 16, .growth = 1.4});
+  const auto au = trace::extract_upper_arrival(ts, ks);
+  const auto al = trace::extract_lower_arrival(ts, ks);
+  EXPECT_TRUE(check_empirical_arrival_curve(au).ok());
+  EXPECT_TRUE(check_empirical_arrival_pair(au, al).ok());
+  EXPECT_FALSE(check_empirical_arrival_pair(al, au).ok());  // swapped kinds
+}
+
+// ---- discrete curves and traces ---------------------------------------------
+
+TEST(ValidateDiscrete, FiniteAndShapeRequirements) {
+  const curve::DiscreteCurve good({0.0, 1.0, 2.5, 2.5}, 0.5);
+  EXPECT_TRUE(check_discrete_curve(good, {.starts_at_zero = true}).ok());
+
+  const curve::DiscreteCurve nan_curve({0.0, std::nan(""), 2.0}, 0.5);
+  EXPECT_FALSE(check_discrete_curve(nan_curve, {}).ok());
+
+  const curve::DiscreteCurve decreasing({3.0, 2.0, 1.0}, 0.5);
+  const Report r = check_discrete_curve(decreasing, {.non_decreasing = true});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations().front().invariant, "discrete.monotone");
+
+  const curve::DiscreteCurve negative({-1.0, 0.0, 1.0}, 0.5);
+  EXPECT_FALSE(check_discrete_curve(negative, {.non_negative = true}).ok());
+}
+
+TEST(ValidateTrace, FlagsEveryCorruptionClass) {
+  trace::EventTrace t{{0.0, 0, 10}, {1.0, 0, 20}};
+  EXPECT_TRUE(check_event_trace(t).ok());
+
+  trace::EventTrace nan_time = t;
+  nan_time[1].time = std::nan("");
+  EXPECT_FALSE(check_event_trace(nan_time).ok());
+
+  trace::EventTrace neg = t;
+  neg[0].demand = -5;
+  const Report r = check_event_trace(neg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations().front().invariant, "trace.non_negative_demand");
+
+  trace::EventTrace unordered = t;
+  std::swap(unordered[0].time, unordered[1].time);
+  EXPECT_FALSE(check_event_trace(unordered).ok());
+}
+
+TEST(ValidateReport, RequireThrowsStructuredViolation) {
+  Report r;
+  r.add("gamma_u.sub_additive", "gamma(2) = 20 > 10");
+  try {
+    r.require("test curve");
+    FAIL() << "unreachable";
+  } catch (const SoundnessViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("test curve"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("gamma_u.sub_additive"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wlc::validate

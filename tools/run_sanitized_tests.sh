@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the test suite with ASan+UBSan (-DWLC_SANITIZE=ON) in a separate
+# build tree and runs it. The fault-injection and fuzz tests exercise the
+# parser on corrupted bytes, so this is the configuration where memory bugs
+# in the ingestion path would actually surface.
+#
+# Usage: tools/run_sanitized_tests.sh [ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-sanitize"
+
+cmake -B "$build" -S "$repo" \
+  -DWLC_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWLC_BUILD_BENCH=OFF \
+  -DWLC_BUILD_EXAMPLES=OFF
+cmake --build "$build" -j "$(nproc)"
+
+# halt_on_error makes any sanitizer report fail the test run rather than
+# scroll past; detect_leaks stays on by default where supported.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
