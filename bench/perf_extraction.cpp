@@ -1,10 +1,14 @@
 // PERF — google-benchmark microbenchmarks of trace analysis: workload-curve
 // and arrival-curve extraction, dense versus compacted k-grids (the cost
 // side of the DESIGN.md §5(1) ablation; the tightness side is printed by
-// tab_fmin_sizing).
+// tab_fmin_sizing), and the serial-vs-parallel extraction engine
+// (tools/run_benchmarks.sh records the JSON trajectory in
+// BENCH_extraction.json; the parallel paths are bit-identical to serial, so
+// these measure pure scheduling overhead/speedup).
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "trace/arrival_extract.h"
 #include "trace/kgrid.h"
 #include "workload/extract.h"
@@ -58,6 +62,67 @@ void BM_ArrivalExtractGrid(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(trace::extract_upper_arrival(ts, ks));
 }
 BENCHMARK(BM_ArrivalExtractGrid)->Range(4096, 65536);
+
+// Parallel engine: same trace/grid as BM_ExtractUpperGrid, k-grid fanned
+// across a pool of range(1) threads. The n=65536 / 4-thread point against
+// the serial BM_ExtractUpperGrid/65536 baseline is the speedup the perf
+// trajectory tracks.
+void BM_ExtractUpperGridParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const trace::DemandTrace d = demand_trace(n, 11);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  wlc::common::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(workload::extract_upper(d, ks, pool));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExtractUpperGridParallel)
+    ->ArgsProduct({{4096, 16384, 65536}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_ArrivalExtractGridParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const trace::TimestampTrace ts = timestamp_trace(n, 13);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  wlc::common::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(trace::extract_upper_arrival(ts, ks, pool));
+}
+BENCHMARK(BM_ArrivalExtractGridParallel)
+    ->ArgsProduct({{16384, 65536}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+// Batched API: 8 medium traces per iteration, fanned one-task-per-trace.
+// The serial baseline runs the identical per-trace extractions in a loop.
+std::vector<trace::DemandTrace> batch_traces(std::size_t count, std::size_t n) {
+  std::vector<trace::DemandTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) traces.push_back(demand_trace(n, 100 + i));
+  return traces;
+}
+
+void BM_ExtractBatchSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto traces = batch_traces(8, n);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  for (auto _ : state)
+    for (const auto& d : traces) {
+      benchmark::DoNotOptimize(workload::extract_upper(d, ks));
+      benchmark::DoNotOptimize(workload::extract_lower(d, ks));
+    }
+}
+BENCHMARK(BM_ExtractBatchSerial)->Arg(16384);
+
+void BM_ExtractBatchParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto traces = batch_traces(8, n);
+  const auto ks = trace::make_kgrid(
+      {.max_k = static_cast<std::int64_t>(n), .dense_limit = 256, .growth = 1.2});
+  wlc::common::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(workload::extract_batch(traces, ks, pool));
+}
+BENCHMARK(BM_ExtractBatchParallel)->ArgsProduct({{16384}, {1, 2, 4}})->ArgNames({"n", "threads"});
 
 void BM_WorkloadCurveEval(benchmark::State& state) {
   const trace::DemandTrace d = demand_trace(8192, 14);

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "rtc/sizing.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
@@ -70,7 +71,19 @@ struct LoadedTrace {
   workload::WorkloadCurve gamma_l;
   trace::EmpiricalArrivalCurve arr_u;
   trace::EmpiricalArrivalCurve arr_l;
+  workload::ExtractStats stats;
 };
+
+/// --threads N (alias --jobs N), defaulting to the hardware concurrency.
+/// Extraction is bit-identical at every thread count, so the flag is purely
+/// a throughput knob (tests/cli_test.cpp pins the byte-identity).
+unsigned requested_threads(const Options& o) {
+  const auto t = o.number("threads");
+  const auto j = o.number("jobs");
+  const double v = t.value_or(j.value_or(static_cast<double>(common::hardware_threads())));
+  WLC_REQUIRE(v >= 1.0, "--threads/--jobs must be >= 1");
+  return static_cast<unsigned>(v);
+}
 
 std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
   std::ifstream file(o.trace_path);
@@ -93,10 +106,14 @@ std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
   const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
   const double growth = o.number("growth").value_or(1.02);
   const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
-  return LoadedTrace{events, workload::extract_upper(trace::demands_of(events), ks),
-                     workload::extract_lower(trace::demands_of(events), ks),
-                     trace::extract_upper_arrival(trace::timestamps_of(events), ks),
-                     trace::extract_lower_arrival(trace::timestamps_of(events), ks)};
+  common::ThreadPool pool(requested_threads(o));
+  workload::ExtractStats stats;
+  return LoadedTrace{events,
+                     workload::extract_upper(trace::demands_of(events), ks, pool, &stats),
+                     workload::extract_lower(trace::demands_of(events), ks, pool),
+                     trace::extract_upper_arrival(trace::timestamps_of(events), ks, pool),
+                     trace::extract_lower_arrival(trace::timestamps_of(events), ks, pool),
+                     stats};
 }
 
 void write_curves(const LoadedTrace& t, const std::string& prefix, std::ostream& out) {
@@ -124,6 +141,11 @@ int cmd_curves(const Options& o, const LoadedTrace& t, std::ostream& out) {
                  common::fmt_f(static_cast<double>(t.arr_u.eval(1e-3)) / 1e-3, 1)});
   table.add_row({"long-run rate [events/s]", common::fmt_f(t.arr_u.long_run_rate(), 1)});
   table.print(out);
+  if (t.stats.clamped_ks > 0)
+    out << "note: " << t.stats.clamped_ks
+        << " requested window sizes exceed the trace length and were clamped; the\n"
+           "curve's exact range ends at k = "
+        << t.gamma_u.max_k() << " (block extension beyond)\n";
   if (o.flags.count("out")) write_curves(t, o.text("out", "trace"), out);
   return 0;
 }
@@ -251,8 +273,13 @@ int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
 
 std::string usage() {
   return "usage: wlc_analyze <command> <trace.csv> [flags]\n"
-         "  curves       <trace.csv> [--dense N] [--growth G] [--out prefix]\n"
-         "               extract workload + arrival curves, print a summary\n"
+         "  extract      <trace.csv> [--dense N] [--growth G] [--out prefix]\n"
+         "               [--threads N | --jobs N]\n"
+         "               extract workload + arrival curves, print a summary.\n"
+         "               extraction fans the k-grid across a thread pool\n"
+         "               (default: hardware concurrency); output is\n"
+         "               bit-identical at every thread count\n"
+         "  curves       alias of extract (kept for compatibility)\n"
          "  size-buffer  <trace.csv> --buffer <events>\n"
          "               minimum clock so a FIFO of that size never overflows (eq. 9/10)\n"
          "  size-delay   <trace.csv> --deadline-ms <ms>\n"
@@ -276,7 +303,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
     if (opts->command == "validate") return cmd_validate(*opts, out, err);
     const auto loaded = load(*opts, err);
     if (!loaded) return 2;
-    if (opts->command == "curves") return cmd_curves(*opts, *loaded, out);
+    if (opts->command == "curves" || opts->command == "extract")
+      return cmd_curves(*opts, *loaded, out);
     if (opts->command == "size-buffer") return cmd_size_buffer(*opts, *loaded, out, err);
     if (opts->command == "size-delay") return cmd_size_delay(*opts, *loaded, out, err);
     if (opts->command == "simulate") return cmd_simulate(*opts, *loaded, out, err);

@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+namespace wlc::common {
+
+namespace {
+/// Set for the lifetime of a worker's loop; lets blocking helpers detect
+/// that they are being re-entered from inside their own pool.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+}  // namespace
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  WLC_REQUIRE(threads >= 1, "a thread pool needs at least one thread");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_owning_pool == this; }
+
+void ThreadPool::worker_loop() {
+  t_owning_pool = this;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace wlc::common

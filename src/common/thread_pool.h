@@ -1,0 +1,170 @@
+// Shared worker-thread pool and deterministic data-parallel helpers.
+//
+// Workload-curve extraction is the hot path of the pipeline: every k on the
+// grid is an independent sliding-window scan over a shared prefix-sum array,
+// and every trace in a batch is an independent extraction. Both shapes map
+// onto `parallel_for` / `parallel_map` over a `ThreadPool`.
+//
+// Determinism contract. The helpers never change *what* is computed, only
+// *where*: work is split into contiguous index chunks, each index is
+// processed by exactly one thread in ascending order within its chunk, and
+// results land in caller-indexed slots — no reduction ever crosses a chunk
+// boundary. Parallel results are therefore bit-identical to the serial loop
+// (tests/parallel_extract_test.cpp holds the serial implementations up as
+// the oracle against this promise).
+//
+// Exception contract. If body invocations throw, every chunk still runs to
+// its own completion or first failure, the pool stays usable, and the
+// exception of the *lowest-indexed* failing chunk is rethrown ("first error
+// wins" — deterministic, so a differential test that expects DomainError
+// from index 3 is not raced by index 7).
+//
+// Deadlock guard. Calling `parallel_for` from inside a pool worker would
+// block that worker on tasks that may be queued behind it. Nested calls are
+// therefore detected (thread-local ownership mark) and run inline on the
+// calling worker — correct, merely not further parallelized.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wlc::common {
+
+/// Number of hardware threads, never less than 1 (the standard allows
+/// hardware_concurrency() to return 0 when unknown).
+unsigned hardware_threads();
+
+/// Fixed-size worker pool. Threads are started in the constructor and
+/// joined in the destructor; `submit` enqueues fire-and-forget jobs.
+/// Prefer the `parallel_for`/`parallel_map` helpers, which add blocking,
+/// chunking and exception propagation on top.
+class ThreadPool {
+ public:
+  /// Requires threads >= 1. A 1-thread pool is valid and makes every
+  /// helper run inline on the calling thread (serial semantics, no queue
+  /// hop), which is what the differential tests pin.
+  explicit ThreadPool(unsigned threads = hardware_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a job. Jobs must not throw (the helpers wrap bodies in
+  /// try/catch); an exception escaping a bare submitted job terminates.
+  void submit(std::function<void()> job);
+
+  /// True iff the calling thread is one of this pool's workers — the
+  /// condition under which a blocking helper must degrade to inline
+  /// execution instead of waiting on its own queue.
+  bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Completion latch + first-error-wins exception store for one parallel_for.
+class ForkJoinState {
+ public:
+  explicit ForkJoinState(std::size_t chunks) : pending_(chunks), errors_(chunks) {}
+
+  void record_error(std::size_t chunk, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    errors_[chunk] = std::move(e);
+  }
+
+  void finish_chunk() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until every chunk finished, then rethrows the exception of the
+  /// lowest-indexed failing chunk (if any).
+  void wait_and_rethrow() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0; });
+    for (auto& e : errors_)
+      if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n), blocking until all complete.
+/// Deterministic: contiguous chunks, ascending order within each chunk,
+/// lowest-chunk exception rethrown. Degrades to an inline serial loop for
+/// empty/singleton ranges, 1-thread pools, and nested calls from a worker.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+  if (n == 0) return;
+  if (n == 1 || pool.size() <= 1 || pool.on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // A few chunks per worker so an expensive tail (large k scans the same
+  // O(n) window count as a small k, but cache behaviour differs) cannot
+  // serialize the whole call behind one thread.
+  const std::size_t chunks = std::min<std::size_t>(n, static_cast<std::size_t>(pool.size()) * 4);
+  detail::ForkJoinState state(chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = start;
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+    start = hi;
+    pool.submit([&state, &body, c, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        state.record_error(c, std::current_exception());
+      }
+      state.finish_chunk();
+    });
+  }
+  state.wait_and_rethrow();
+}
+
+/// Maps fn over items, preserving order: out[i] = fn(items[i]). Results
+/// are staged through std::optional so the mapped type needs no default
+/// constructor (WorkloadCurve, ClipAnalysis, ...).
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, const Fn& fn) {
+  using R = std::decay_t<decltype(fn(items.front()))>;
+  std::vector<std::optional<R>> staged(items.size());
+  parallel_for(pool, items.size(), [&](std::size_t i) { staged[i].emplace(fn(items[i])); });
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (auto& slot : staged) {
+    WLC_ASSERT(slot.has_value());
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace wlc::common

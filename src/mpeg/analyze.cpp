@@ -1,0 +1,30 @@
+#include "mpeg/analyze.h"
+
+#include <algorithm>
+
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc::mpeg {
+
+std::vector<ClipAnalysis> analyze_clips(const TraceConfig& config,
+                                        std::span<const ClipProfile> profiles,
+                                        const AnalyzeOptions& options,
+                                        common::ThreadPool& pool) {
+  const std::vector<ClipProfile> items(profiles.begin(), profiles.end());
+  return common::parallel_map(pool, items, [&](const ClipProfile& profile) {
+    ClipTrace t = generate_clip_trace(config, profile);
+    const auto max_k = std::max<std::int64_t>(options.min_max_k,
+                                              static_cast<std::int64_t>(t.pe2_input.size()));
+    const auto ks = trace::make_kgrid(
+        {.max_k = max_k, .dense_limit = options.dense_limit, .growth = options.growth});
+    workload::WorkloadCurve gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
+    workload::WorkloadCurve gl = workload::extract_lower(trace::demands_of(t.pe2_input), ks);
+    trace::EmpiricalArrivalCurve au =
+        trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks);
+    return ClipAnalysis{std::move(t), std::move(gu), std::move(gl), std::move(au)};
+  });
+}
+
+}  // namespace wlc::mpeg

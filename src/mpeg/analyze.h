@@ -1,0 +1,51 @@
+// Batched clip analysis — the MPEG case-study front half (trace generation
+// plus γᵘ/γˡ/ᾱᵘ extraction) fanned across a thread pool.
+//
+// The paper's Fig. 6/Tab. 2 experiments extract workload and arrival curves
+// from 14 clip traces before any eq. (7)–(9) analysis can run; each clip is
+// independent, so the batch maps one task per clip onto the pool. Inside a
+// task everything runs the serial reference path (generation is seeded per
+// clip, extraction is the serial oracle), so results are bit-identical to a
+// sequential loop over the clips regardless of scheduling, and the output
+// order always matches the profile order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mpeg/trace_gen.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::mpeg {
+
+/// Grid shaping for analyze_clips, mirroring the experiment harnesses: the
+/// ladder is exact up to dense_limit, geometric beyond, and always extends
+/// to max(min_max_k, trace length) — stopping short of the trace length
+/// would leave one giant conservative step under eq. (9)'s supremum.
+struct AnalyzeOptions {
+  std::int64_t min_max_k = 0;     ///< analysis window floor (e.g. 24 frames of MBs)
+  std::int64_t dense_limit = 512; ///< exact grid up to here
+  double growth = 1.01;           ///< geometric ladder factor beyond
+};
+
+/// One clip's generated trace and extracted curves.
+struct ClipAnalysis {
+  ClipTrace trace;
+  workload::WorkloadCurve gamma_u;
+  workload::WorkloadCurve gamma_l;
+  trace::EmpiricalArrivalCurve alpha_u;
+};
+
+/// Generates and analyzes `profiles` (PE2 stage: IDCT/MC demands at the FIFO
+/// measurement point), one pool task per clip. out[i] corresponds to
+/// profiles[i] and is bit-identical to the serial per-clip pipeline.
+std::vector<ClipAnalysis> analyze_clips(const TraceConfig& config,
+                                        std::span<const ClipProfile> profiles,
+                                        const AnalyzeOptions& options,
+                                        common::ThreadPool& pool);
+
+}  // namespace wlc::mpeg

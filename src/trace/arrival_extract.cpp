@@ -27,45 +27,49 @@ std::vector<std::int64_t> normalized_grid(std::span<const std::int64_t> ks, std:
   return out;
 }
 
-}  // namespace
+/// One k's span extremum, scanned in ascending window order. Serial and
+/// parallel paths share this exact loop, so the floating-point reduction
+/// order — and therefore the result, bit for bit — cannot differ.
+TimeSec scan_minspan(const TimestampTrace& ts, std::int64_t n, std::int64_t k) {
+  TimeSec best = std::numeric_limits<TimeSec>::infinity();
+  for (std::int64_t i = 0; i + k <= n; ++i)
+    best = std::min(best, ts[static_cast<std::size_t>(i + k - 1)] - ts[static_cast<std::size_t>(i)]);
+  return best;
+}
 
-std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
+TimeSec scan_maxspan(const TimestampTrace& ts, std::int64_t n, std::int64_t k) {
+  TimeSec best = 0.0;
+  for (std::int64_t i = 0; i + k <= n; ++i)
+    best = std::max(best, ts[static_cast<std::size_t>(i + k - 1)] - ts[static_cast<std::size_t>(i)]);
+  return best;
+}
+
+enum class Span { Min, Max };
+
+std::vector<TimeSec> spans(const TimestampTrace& ts, std::span<const std::int64_t> ks, Span which,
+                           common::ThreadPool* pool) {
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
-  std::vector<TimeSec> out;
-  out.reserve(ks.size());
-  for (std::int64_t k : ks) {
+  std::vector<TimeSec> out(ks.size());
+  const auto eval_entry = [&](std::size_t i) {
+    const std::int64_t k = ks[i];
     WLC_REQUIRE(k >= 1 && k <= n, "span window must fit in the trace");
-    TimeSec best = std::numeric_limits<TimeSec>::infinity();
-    for (std::int64_t i = 0; i + k <= n; ++i)
-      best = std::min(best, ts[static_cast<std::size_t>(i + k - 1)] - ts[static_cast<std::size_t>(i)]);
-    out.push_back(best);
-  }
+    out[i] = which == Span::Min ? scan_minspan(ts, n, k) : scan_maxspan(ts, n, k);
+  };
+  if (pool)
+    common::parallel_for(*pool, ks.size(), eval_entry);
+  else
+    for (std::size_t i = 0; i < ks.size(); ++i) eval_entry(i);
   return out;
 }
 
-std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
-  require_ordered(ts);
-  const auto n = static_cast<std::int64_t>(ts.size());
-  std::vector<TimeSec> out;
-  out.reserve(ks.size());
-  for (std::int64_t k : ks) {
-    WLC_REQUIRE(k >= 1 && k <= n, "span window must fit in the trace");
-    TimeSec best = 0.0;
-    for (std::int64_t i = 0; i + k <= n; ++i)
-      best = std::max(best, ts[static_cast<std::size_t>(i + k - 1)] - ts[static_cast<std::size_t>(i)]);
-    out.push_back(best);
-  }
-  return out;
-}
-
-EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks) {
+EmpiricalArrivalCurve upper_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                                    common::ThreadPool* pool) {
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   std::vector<std::int64_t> grid = normalized_grid(ks, n);
   if (grid.empty() || grid.back() != n) grid.push_back(n);  // sound top step
-  const std::vector<TimeSec> m = minspans(ts, grid);
+  const std::vector<TimeSec> m = spans(ts, grid, Span::Min, pool);
 
   // On [m(k_i), m(k_{i+1})) at most k_{i+1}-1 events fit (αᵘ(Δ) >= k iff
   // minspan(k) <= Δ); the final step is exactly the trace length.
@@ -85,8 +89,8 @@ EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
   return EmpiricalArrivalCurve(EmpiricalArrivalCurve::Bound::Upper, std::move(cleaned));
 }
 
-EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks) {
+EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                                    common::ThreadPool* pool) {
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   // αˡ(Δ) >= k iff maxspan(k+1) <= Δ, so evaluate spans at k+1 (capped at n-1
@@ -99,9 +103,9 @@ EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
     for (std::int64_t k : grid)
       if (k + 1 <= n) kplus.push_back(k + 1);
     std::vector<std::int64_t> kept(grid.begin(), grid.begin() + static_cast<std::ptrdiff_t>(kplus.size()));
-    const std::vector<TimeSec> spans = maxspans(ts, kplus);
+    const std::vector<TimeSec> span_vals = spans(ts, kplus, Span::Max, pool);
     for (std::size_t i = 0; i < kplus.size(); ++i) {
-      const TimeSec x = spans[i];
+      const TimeSec x = span_vals[i];
       const EventCount value = kept[i];
       if (!pts.empty() && pts.back().first == x)
         pts.back().second = std::max(pts.back().second, value);
@@ -116,6 +120,48 @@ EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
   else if (total > pts.back().first)
     pts.emplace_back(total, n);
   return EmpiricalArrivalCurve(EmpiricalArrivalCurve::Bound::Lower, std::move(pts));
+}
+
+}  // namespace
+
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
+  return spans(ts, ks, Span::Min, nullptr);
+}
+
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
+  return spans(ts, ks, Span::Max, nullptr);
+}
+
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool) {
+  return spans(ts, ks, Span::Min, &pool);
+}
+
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool) {
+  return spans(ts, ks, Span::Max, &pool);
+}
+
+EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks) {
+  return upper_arrival(ts, ks, nullptr);
+}
+
+EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks) {
+  return lower_arrival(ts, ks, nullptr);
+}
+
+EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool) {
+  return upper_arrival(ts, ks, &pool);
+}
+
+EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool) {
+  return lower_arrival(ts, ks, &pool);
 }
 
 EventCount max_events_in_window(const TimestampTrace& ts, TimeSec delta) {

@@ -18,10 +18,18 @@
 // curves take the conservative side (see arrival_curve.h). For the upper
 // curve the full trace length is always appended to the grid so the top
 // step is sound.
+//
+// Parallel engine. Each k's span scan is independent, so the overloads
+// taking a common::ThreadPool partition the k-grid across workers. Every k
+// is still scanned i = 0..n-k in ascending order by one thread, and results
+// land in grid-indexed slots, so the (floating-point) min/max reductions
+// run in exactly the serial order and parallel output is bit-identical to
+// the pool-less functions — which remain the serial reference oracle.
 #pragma once
 
 #include <span>
 
+#include "common/thread_pool.h"
 #include "trace/arrival_curve.h"
 #include "trace/traces.h"
 
@@ -32,6 +40,13 @@ std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int
 /// maxspan(k) for each k in `ks`.
 std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks);
 
+/// Parallel span computations: k-grid partitioned across `pool`,
+/// bit-identical to the serial overloads.
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool);
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool);
+
 /// Upper arrival curve of the trace on the given k-grid (trace length is
 /// appended automatically). Requires a non-empty, time-ordered trace.
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
@@ -40,6 +55,15 @@ EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
 /// Lower arrival curve of the trace on the given k-grid.
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks);
+
+/// Parallel arrival-curve extraction: the span scans fan across `pool`, the
+/// step-merge stays serial. Bit-identical to the serial overloads.
+EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool);
+EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool);
 
 /// Reference implementation — direct window sweep at one Δ; O(n). Used by
 /// tests to validate the span-inversion extractors.

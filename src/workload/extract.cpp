@@ -22,45 +22,78 @@ std::vector<Cycles> prefix_sums(const trace::DemandTrace& d) {
   return p;
 }
 
-std::vector<EventCount> normalized_grid(std::span<const std::int64_t> ks, EventCount n) {
-  std::vector<EventCount> grid;
-  grid.reserve(ks.size() + 1);
+struct NormalizedGrid {
+  std::vector<EventCount> ks;
+  std::int64_t clamped = 0;  ///< requested entries with k > n (before dedup)
+};
+
+NormalizedGrid normalized_grid(std::span<const std::int64_t> ks, EventCount n) {
+  NormalizedGrid g;
+  g.ks.reserve(ks.size() + 1);
   for (std::int64_t k : ks) {
     WLC_REQUIRE(k >= 1, "window sizes must be >= 1");
-    grid.push_back(std::min<EventCount>(k, n));
+    if (k > n) ++g.clamped;
+    g.ks.push_back(std::min<EventCount>(k, n));
   }
-  grid.push_back(n);
-  std::sort(grid.begin(), grid.end());
-  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
-  return grid;
+  g.ks.push_back(n);
+  std::sort(g.ks.begin(), g.ks.end());
+  g.ks.erase(std::unique(g.ks.begin(), g.ks.end()), g.ks.end());
+  return g;
+}
+
+/// One grid entry's sliding-window extremum. The scan order (j ascending)
+/// is the unit of determinism: serial and parallel paths both run this
+/// exact loop per k, so their results cannot differ.
+Cycles scan_window(const std::vector<Cycles>& p, EventCount n, EventCount k, Bound bound) {
+  Cycles best = bound == Bound::Upper ? std::numeric_limits<Cycles>::min()
+                                      : std::numeric_limits<Cycles>::max();
+  for (EventCount j = 0; j + k <= n; ++j) {
+    const Cycles w = p[static_cast<std::size_t>(j + k)] - p[static_cast<std::size_t>(j)];
+    best = bound == Bound::Upper ? std::max(best, w) : std::min(best, w);
+  }
+  return best;
 }
 
 WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                      Bound bound) {
+                      Bound bound, common::ThreadPool* pool, ExtractStats* stats) {
   WLC_REQUIRE(!demands.empty(), "demand trace must be non-empty");
   const auto n = static_cast<EventCount>(demands.size());
   const std::vector<Cycles> p = prefix_sums(demands);
-  std::vector<WorkloadCurve::Point> pts{{0, 0}};
-  for (EventCount k : normalized_grid(ks, n)) {
-    Cycles best = bound == Bound::Upper ? std::numeric_limits<Cycles>::min()
-                                        : std::numeric_limits<Cycles>::max();
-    for (EventCount j = 0; j + k <= n; ++j) {
-      const Cycles w = p[static_cast<std::size_t>(j + k)] - p[static_cast<std::size_t>(j)];
-      best = bound == Bound::Upper ? std::max(best, w) : std::min(best, w);
-    }
-    pts.emplace_back(k, best);
-  }
+  const NormalizedGrid grid = normalized_grid(ks, n);
+  if (stats) stats->clamped_ks = grid.clamped;
+  std::vector<WorkloadCurve::Point> pts(grid.ks.size() + 1);
+  pts[0] = {0, 0};
+  const auto eval_entry = [&](std::size_t gi) {
+    const EventCount k = grid.ks[gi];
+    pts[gi + 1] = {k, scan_window(p, n, k, bound)};
+  };
+  if (pool)
+    common::parallel_for(*pool, grid.ks.size(), eval_entry);
+  else
+    for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) eval_entry(gi);
   return WorkloadCurve(bound, std::move(pts));
 }
 
 }  // namespace
 
-WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks) {
-  return extract(demands, ks, Bound::Upper);
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            ExtractStats* stats) {
+  return extract(demands, ks, Bound::Upper, nullptr, stats);
 }
 
-WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks) {
-  return extract(demands, ks, Bound::Lower);
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            ExtractStats* stats) {
+  return extract(demands, ks, Bound::Lower, nullptr, stats);
+}
+
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            common::ThreadPool& pool, ExtractStats* stats) {
+  return extract(demands, ks, Bound::Upper, &pool, stats);
+}
+
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            common::ThreadPool& pool, ExtractStats* stats) {
+  return extract(demands, ks, Bound::Lower, &pool, stats);
 }
 
 namespace {
@@ -79,6 +112,20 @@ WorkloadCurve extract_upper_dense(const trace::DemandTrace& demands, EventCount 
 WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount k_max) {
   WLC_REQUIRE(k_max >= 1, "need k_max >= 1");
   return extract_lower(demands, every_k(std::min<EventCount>(k_max, static_cast<EventCount>(demands.size()))));
+}
+
+std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& traces,
+                                       std::span<const std::int64_t> ks,
+                                       common::ThreadPool& pool) {
+  // Outer parallelism only: each task runs the serial per-trace extraction,
+  // so every bundle is bit-identical to individual extract_upper/lower
+  // calls regardless of how the pool schedules the traces.
+  return common::parallel_map(pool, traces, [&](const trace::DemandTrace& d) {
+    ExtractStats stats;
+    WorkloadCurve upper = extract_upper(d, ks, &stats);
+    WorkloadCurve lower = extract_lower(d, ks);
+    return CurveBundle{std::move(upper), std::move(lower), stats};
+  });
 }
 
 }  // namespace wlc::workload

@@ -12,26 +12,75 @@
 // every k. As the paper notes, such curves certify the analyzed trace (class
 // of traces) only — for hard real-time guarantees construct curves
 // analytically (see polling.h, type_bounds.h).
+//
+// Parallel engine. Each grid entry's window scan is independent given the
+// shared prefix-sum array, so the overloads taking a common::ThreadPool
+// partition the k-grid across workers; each k is still scanned j = 0..n-k in
+// ascending order by a single thread and results land in grid-indexed slots,
+// so parallel output is bit-identical to the serial path. The pool-less
+// functions remain the plain serial loops and serve as the reference oracle
+// for the differential tests. extract_batch fans whole traces across the
+// pool (each trace extracted serially inside its task — again bit-identical
+// to individual serial calls).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
+#include "common/thread_pool.h"
 #include "trace/traces.h"
 #include "workload/workload_curve.h"
 
 namespace wlc::workload {
 
+/// Side information about one extraction that the returned curve cannot
+/// carry itself.
+struct ExtractStats {
+  /// Requested window sizes larger than the trace length. Each such k is
+  /// clamped to n (the curve past n is served by block extension), which is
+  /// sound but easy to misread: a caller asking for k = 10⁶ on a 10³-event
+  /// trace gets a curve whose exact range ends at 10³. Non-zero means the
+  /// grid did not cover the request exactly.
+  std::int64_t clamped_ks = 0;
+};
+
 /// Exact γᵘ restricted to windows of `demands`, on window sizes `ks`
 /// (each clamped to the trace length; the trace length is appended so the
-/// curve's exact range covers whole-trace windows).
-WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks);
+/// curve's exact range covers whole-trace windows). Serial reference
+/// implementation. `stats`, when given, reports grid clamping.
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            ExtractStats* stats = nullptr);
 
 /// Exact γˡ analogue.
-WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks);
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            ExtractStats* stats = nullptr);
+
+/// Parallel γᵘ: the k-grid is partitioned across `pool`. Bit-identical to
+/// the serial overload on every input.
+WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            common::ThreadPool& pool, ExtractStats* stats = nullptr);
+
+/// Parallel γˡ analogue.
+WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
+                            common::ThreadPool& pool, ExtractStats* stats = nullptr);
 
 /// Convenience: dense extraction of every k in [1, k_max] (k_max clamped to
 /// the trace length) — exact but Θ(n·k_max); fine for short traces and tests.
 WorkloadCurve extract_upper_dense(const trace::DemandTrace& demands, EventCount k_max);
 WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount k_max);
+
+/// Both curves of one trace, as produced by the batched API.
+struct CurveBundle {
+  WorkloadCurve upper;
+  WorkloadCurve lower;
+  ExtractStats stats;
+};
+
+/// Batched extraction: fans `traces` across `pool`, one task per trace,
+/// each extracting γᵘ and γˡ on the shared grid `ks`. out[i] matches
+/// serial extract_upper/lower on traces[i] bit for bit; order preserved.
+std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& traces,
+                                       std::span<const std::int64_t> ks,
+                                       common::ThreadPool& pool);
 
 }  // namespace wlc::workload

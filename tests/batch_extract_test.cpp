@@ -1,0 +1,79 @@
+// Batched-API differential tests: extract_batch / mpeg::analyze_clips over
+// the 14-clip library must reproduce the individual serial calls exactly.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "mpeg/analyze.h"
+#include "mpeg/clip.h"
+#include "mpeg/trace_gen.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc {
+namespace {
+
+/// Short clips (2 GOPs) keep the 14-clip sweep fast while still exercising
+/// every profile's generator path.
+mpeg::TraceConfig small_config() {
+  mpeg::TraceConfig cfg;
+  cfg.frames = 24;
+  return cfg;
+}
+
+void expect_same_curve(const workload::WorkloadCurve& a, const workload::WorkloadCurve& b) {
+  ASSERT_EQ(a.bound(), b.bound());
+  ASSERT_EQ(a.points(), b.points());
+}
+
+TEST(BatchExtract, FourteenClipModelsMatchIndividualCalls) {
+  const mpeg::TraceConfig cfg = small_config();
+  std::vector<trace::DemandTrace> demands;
+  for (const auto& profile : mpeg::clip_library())
+    demands.push_back(trace::demands_of(mpeg::generate_clip_trace(cfg, profile).pe2_input));
+  ASSERT_EQ(demands.size(), 14u);
+
+  const auto ks = trace::make_kgrid({.max_k = 4'000, .dense_limit = 48, .growth = 1.3});
+  common::ThreadPool pool;  // hardware concurrency
+  const auto bundles = workload::extract_batch(demands, ks, pool);
+  ASSERT_EQ(bundles.size(), 14u);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    expect_same_curve(bundles[i].upper, workload::extract_upper(demands[i], ks));
+    expect_same_curve(bundles[i].lower, workload::extract_lower(demands[i], ks));
+    EXPECT_EQ(bundles[i].stats.clamped_ks, 0) << i;
+  }
+}
+
+TEST(BatchExtract, AnalyzeClipsMatchesSerialPerClipPipeline) {
+  const mpeg::TraceConfig cfg = small_config();
+  const mpeg::AnalyzeOptions opts{.min_max_k = 2'000, .dense_limit = 64, .growth = 1.2};
+  common::ThreadPool pool(4);
+  // Two clips are enough to pin the pipeline; the full library is covered
+  // by the extract_batch test above.
+  const std::vector<mpeg::ClipProfile> profiles(mpeg::clip_library().begin(),
+                                                mpeg::clip_library().begin() + 2);
+  const auto analyses = mpeg::analyze_clips(cfg, profiles, opts, pool);
+  ASSERT_EQ(analyses.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const mpeg::ClipTrace t = mpeg::generate_clip_trace(cfg, profiles[i]);
+    EXPECT_EQ(analyses[i].trace.name, profiles[i].name);
+    ASSERT_EQ(analyses[i].trace.pe2_input.size(), t.pe2_input.size());
+    const auto max_k = std::max<std::int64_t>(opts.min_max_k,
+                                              static_cast<std::int64_t>(t.pe2_input.size()));
+    const auto ks = trace::make_kgrid(
+        {.max_k = max_k, .dense_limit = opts.dense_limit, .growth = opts.growth});
+    expect_same_curve(analyses[i].gamma_u, workload::extract_upper(trace::demands_of(t.pe2_input), ks));
+    expect_same_curve(analyses[i].gamma_l, workload::extract_lower(trace::demands_of(t.pe2_input), ks));
+    EXPECT_EQ(analyses[i].alpha_u.points(),
+              trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks).points());
+  }
+}
+
+TEST(BatchExtract, EmptyBatchIsEmpty) {
+  common::ThreadPool pool(2);
+  const auto ks = trace::make_kgrid({.max_k = 8, .dense_limit = 8, .growth = 1.5});
+  EXPECT_TRUE(workload::extract_batch({}, ks, pool).empty());
+}
+
+}  // namespace
+}  // namespace wlc

@@ -86,6 +86,53 @@ TEST(Cli, SizeDelayAndSimulate) {
 
 std::string fixture(const std::string& name) { return std::string(WLC_FIXTURE_DIR "/") + name; }
 
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Cli, ExtractIsThreadCountInvariant) {
+  // The parallel engine promises bit-identical curves at every thread
+  // count; at the CLI boundary that means byte-identical stdout and
+  // byte-identical exported CSVs between --threads 1 and --threads 4.
+  const std::string path = fixture("polling_clean.csv");
+  const std::string p1 = ::testing::TempDir() + "wlc_cli_t1";
+  const std::string p4 = ::testing::TempDir() + "wlc_cli_t4";
+  std::ostringstream out1, err1, out4, err4;
+  ASSERT_EQ(run({"extract", path, "--threads", "1", "--out", p1}, out1, err1), 0) << err1.str();
+  ASSERT_EQ(run({"extract", path, "--threads", "4", "--out", p4}, out4, err4), 0) << err4.str();
+  // Normalize the only intentional difference: the printed output prefix.
+  std::string s1 = out1.str(), s4 = out4.str();
+  ASSERT_NE(s1.find(p1), std::string::npos);
+  s1.replace(s1.find(p1), p1.size(), "PREFIX");
+  // p1 appears twice in "wrote PREFIX.gamma.csv and PREFIX.arrival.csv".
+  while (s1.find(p1) != std::string::npos) s1.replace(s1.find(p1), p1.size(), "PREFIX");
+  while (s4.find(p4) != std::string::npos) s4.replace(s4.find(p4), p4.size(), "PREFIX");
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(slurp(p1 + ".gamma.csv"), slurp(p4 + ".gamma.csv"));
+  EXPECT_EQ(slurp(p1 + ".arrival.csv"), slurp(p4 + ".arrival.csv"));
+  for (const std::string& p : {p1, p4}) {
+    std::remove((p + ".gamma.csv").c_str());
+    std::remove((p + ".arrival.csv").c_str());
+  }
+}
+
+TEST(Cli, ExtractAliasesCurvesAndJobsAliasesThreads) {
+  const std::string path = write_demo_trace();
+  std::ostringstream out_extract, out_curves, err;
+  ASSERT_EQ(run({"extract", path, "--jobs", "2"}, out_extract, err), 0) << err.str();
+  ASSERT_EQ(run({"curves", path}, out_curves, err), 0) << err.str();
+  EXPECT_EQ(out_extract.str(), out_curves.str());
+}
+
+TEST(Cli, ExtractRejectsZeroThreads) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"extract", fixture("polling_clean.csv"), "--threads", "0"}, out, err), 1);
+  EXPECT_NE(err.str().find("--threads"), std::string::npos);
+}
+
 TEST(CliValidate, CleanTraceExitsZero) {
   std::ostringstream out, err;
   EXPECT_EQ(run({"validate", fixture("polling_clean.csv")}, out, err), 0) << err.str();

@@ -97,5 +97,28 @@ TEST(Extract, KMaxClampedToTraceLength) {
   EXPECT_EQ(up.value(6), 12);
 }
 
+TEST(Extract, ClampCountIsReportedNotSilent) {
+  // Regression: requested window sizes beyond the trace length used to be
+  // clamped silently — a caller asking for k = 10⁶ on a 10³-event trace got
+  // a curve whose exact range quietly ended at 10³. The clamp count must
+  // now surface through ExtractStats.
+  trace::DemandTrace d(1'000, 7);
+  const std::vector<std::int64_t> ks{1, 10, 100, 1'000, 10'000, 100'000, 1'000'000};
+  ExtractStats stats;
+  const WorkloadCurve up = extract_upper(d, ks, &stats);
+  EXPECT_EQ(stats.clamped_ks, 3);  // 10⁴, 10⁵, 10⁶ all exceed n = 10³
+  EXPECT_EQ(up.max_k(), 1'000);
+
+  // Duplicates past n are deduped in the grid but each counts as clamped.
+  ExtractStats dup_stats;
+  extract_lower(d, std::vector<std::int64_t>{1, 2'000, 2'000, 5'000}, &dup_stats);
+  EXPECT_EQ(dup_stats.clamped_ks, 3);
+
+  // A grid inside the trace reports zero.
+  ExtractStats clean_stats;
+  extract_upper(d, std::vector<std::int64_t>{1, 2, 1'000}, &clean_stats);
+  EXPECT_EQ(clean_stats.clamped_ks, 0);
+}
+
 }  // namespace
 }  // namespace wlc::workload

@@ -1,0 +1,175 @@
+// Differential suite for the parallel extraction engine: on randomized
+// traces, the pool-partitioned extractors must be *bit-identical* to the
+// serial reference oracle — not merely equivalent bounds. Workload curves
+// are exact integers, so any divergence is a scheduling bug; arrival-curve
+// spans are floating-point min/max reductions whose scan order the engine
+// promises to preserve, so even the doubles must match bit for bit.
+//
+// Covered axes: thread counts {1, 2, 7, hardware_concurrency}, grid shapes
+// (dense, geometric/sparse, k > n clamping, duplicates/unsorted), trace
+// shapes (bursty, uniform, constant, tiny).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "trace/arrival_extract.h"
+#include "trace/kgrid.h"
+#include "workload/extract.h"
+
+namespace wlc {
+namespace {
+
+std::vector<unsigned> thread_counts() {
+  return {1u, 2u, 7u, common::hardware_threads()};
+}
+
+trace::DemandTrace random_demands(common::Rng& rng, std::size_t n) {
+  trace::DemandTrace d;
+  d.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d.push_back(rng.bernoulli(0.1) ? rng.uniform_int(3'000, 5'000) : rng.uniform_int(0, 900));
+  return d;
+}
+
+trace::TimestampTrace random_timestamps(common::Rng& rng, std::size_t n) {
+  trace::TimestampTrace ts{0.0};
+  for (std::size_t i = 1; i < n; ++i)
+    ts.push_back(ts.back() +
+                 (rng.bernoulli(0.3) ? rng.uniform(1e-5, 1e-4) : rng.uniform(1e-4, 1e-3)));
+  return ts;
+}
+
+/// The grid shapes the engine partitions: dense, geometric ladders of two
+/// coarsenesses, a grid whose entries exceed the trace length (clamping),
+/// and an unsorted grid with duplicates (normalization path).
+std::vector<std::vector<std::int64_t>> grid_shapes(std::int64_t n) {
+  std::vector<std::vector<std::int64_t>> grids;
+  grids.push_back(trace::make_kgrid({.max_k = n, .dense_limit = n, .growth = 1.5}));
+  grids.push_back(trace::make_kgrid({.max_k = n, .dense_limit = 16, .growth = 1.3}));
+  grids.push_back(trace::make_kgrid({.max_k = n, .dense_limit = 64, .growth = 1.05}));
+  grids.push_back({1, 2, n, 2 * n, 10 * n, 1'000'000});  // k > n clamping
+  grids.push_back({5, 3, 5, 1, n, 3, 7});                // unsorted + duplicates
+  return grids;
+}
+
+void expect_same_curve(const workload::WorkloadCurve& a, const workload::WorkloadCurve& b) {
+  ASSERT_EQ(a.bound(), b.bound());
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    ASSERT_EQ(a.points()[i].first, b.points()[i].first) << "breakpoint " << i;
+    ASSERT_EQ(a.points()[i].second, b.points()[i].second) << "breakpoint " << i;
+  }
+}
+
+void expect_same_arrival(const trace::EmpiricalArrivalCurve& a,
+                         const trace::EmpiricalArrivalCurve& b) {
+  ASSERT_EQ(a.bound(), b.bound());
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    // Bit-identity of the double, not approximate equality: the engine
+    // promises the serial reduction order.
+    ASSERT_EQ(std::memcmp(&a.points()[i].first, &b.points()[i].first, sizeof(TimeSec)), 0)
+        << "breakpoint " << i;
+    ASSERT_EQ(a.points()[i].second, b.points()[i].second) << "breakpoint " << i;
+  }
+}
+
+TEST(ParallelExtract, WorkloadCurvesMatchSerialOracle) {
+  common::Rng rng(2026);
+  for (const std::size_t n : {7u, 97u, 1'024u, 5'000u}) {
+    const trace::DemandTrace d = random_demands(rng, n);
+    for (const auto& ks : grid_shapes(static_cast<std::int64_t>(n))) {
+      workload::ExtractStats serial_stats;
+      const auto up_serial = workload::extract_upper(d, ks, &serial_stats);
+      const auto lo_serial = workload::extract_lower(d, ks);
+      for (unsigned threads : thread_counts()) {
+        common::ThreadPool pool(threads);
+        workload::ExtractStats par_stats;
+        expect_same_curve(up_serial, workload::extract_upper(d, ks, pool, &par_stats));
+        expect_same_curve(lo_serial, workload::extract_lower(d, ks, pool));
+        EXPECT_EQ(par_stats.clamped_ks, serial_stats.clamped_ks) << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelExtract, ArrivalCurvesMatchSerialOracle) {
+  common::Rng rng(2027);
+  for (const std::size_t n : {5u, 313u, 2'048u}) {
+    const trace::TimestampTrace ts = random_timestamps(rng, n);
+    for (const auto& ks : grid_shapes(static_cast<std::int64_t>(n))) {
+      const auto up_serial = trace::extract_upper_arrival(ts, ks);
+      const auto lo_serial = trace::extract_lower_arrival(ts, ks);
+      for (unsigned threads : thread_counts()) {
+        common::ThreadPool pool(threads);
+        expect_same_arrival(up_serial, trace::extract_upper_arrival(ts, ks, pool));
+        expect_same_arrival(lo_serial, trace::extract_lower_arrival(ts, ks, pool));
+      }
+    }
+  }
+}
+
+TEST(ParallelExtract, SpansMatchSerialOracleBitForBit) {
+  common::Rng rng(2028);
+  const trace::TimestampTrace ts = random_timestamps(rng, 1'500);
+  const auto ks = trace::make_kgrid({.max_k = 1'500, .dense_limit = 128, .growth = 1.1});
+  const auto min_serial = trace::minspans(ts, ks);
+  const auto max_serial = trace::maxspans(ts, ks);
+  for (unsigned threads : thread_counts()) {
+    common::ThreadPool pool(threads);
+    const auto min_par = trace::minspans(ts, ks, pool);
+    const auto max_par = trace::maxspans(ts, ks, pool);
+    ASSERT_EQ(min_par.size(), min_serial.size());
+    ASSERT_EQ(max_par.size(), max_serial.size());
+    for (std::size_t i = 0; i < min_serial.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&min_par[i], &min_serial[i], sizeof(TimeSec)), 0) << i;
+      ASSERT_EQ(std::memcmp(&max_par[i], &max_serial[i], sizeof(TimeSec)), 0) << i;
+    }
+  }
+}
+
+TEST(ParallelExtract, DegenerateTraces) {
+  common::ThreadPool pool(7);
+  // Constant demand: curves collapse to the linear cone at every k.
+  const trace::DemandTrace constant(64, 42);
+  const std::vector<std::int64_t> ks{1, 2, 3, 64, 100};
+  expect_same_curve(workload::extract_upper(constant, ks),
+                    workload::extract_upper(constant, ks, pool));
+  // Single-event trace: grid normalizes to {1}.
+  const trace::DemandTrace one{17};
+  expect_same_curve(workload::extract_upper(one, ks), workload::extract_upper(one, ks, pool));
+  expect_same_curve(workload::extract_lower(one, ks), workload::extract_lower(one, ks, pool));
+}
+
+TEST(ParallelExtract, PreconditionViolationsSurfaceFromWorkers) {
+  common::ThreadPool pool(4);
+  const trace::TimestampTrace ts{0.0, 0.5, 1.0};
+  // minspans requires every k <= n; the parallel path must throw the same
+  // DomainError the serial path does (propagated out of the pool).
+  const std::vector<std::int64_t> bad{1, 2, 9};
+  EXPECT_THROW(trace::minspans(ts, bad), std::invalid_argument);
+  EXPECT_THROW(trace::minspans(ts, bad, pool), std::invalid_argument);
+  EXPECT_THROW(workload::extract_upper({}, bad, pool), std::invalid_argument);
+}
+
+TEST(ParallelExtract, BatchMatchesIndividualSerialCalls) {
+  common::Rng rng(2029);
+  std::vector<trace::DemandTrace> traces;
+  for (int i = 0; i < 10; ++i) traces.push_back(random_demands(rng, 200 + 37 * i));
+  const auto ks = trace::make_kgrid({.max_k = 512, .dense_limit = 32, .growth = 1.2});
+  for (unsigned threads : thread_counts()) {
+    common::ThreadPool pool(threads);
+    const auto bundles = workload::extract_batch(traces, ks, pool);
+    ASSERT_EQ(bundles.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      expect_same_curve(bundles[i].upper, workload::extract_upper(traces[i], ks));
+      expect_same_curve(bundles[i].lower, workload::extract_lower(traces[i], ks));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wlc

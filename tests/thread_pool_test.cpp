@@ -1,0 +1,124 @@
+// ThreadPool / parallel_for contract tests: the determinism, exception and
+// deadlock-guard promises the parallel extraction engine is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace wlc::common {
+namespace {
+
+TEST(ThreadPool, RequiresAtLeastOneThread) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(0), DomainError);
+  EXPECT_NO_THROW(ThreadPool(1));
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) { EXPECT_GE(hardware_threads(), 1u); }
+
+TEST(ThreadPool, ParallelForEmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1, 0);
+  parallel_for(pool, 1, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 7u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(pool, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrderAndValues) {
+  ThreadPool pool(4);
+  std::vector<int> items(1'000);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = parallel_map(pool, items, [](int v) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], static_cast<int>(i * i)) << i;
+}
+
+TEST(ThreadPool, ParallelMapWorksWithoutDefaultConstructor) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  ThreadPool pool(3);
+  const std::vector<int> items{1, 2, 3, 4, 5};
+  const auto out = parallel_map(pool, items, [](int v) { return NoDefault(v + 10); });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4].value, 15);
+}
+
+TEST(ThreadPool, FirstErrorWinsDeterministically) {
+  ThreadPool pool(4);
+  // Several indices throw; the lowest-chunk exception must surface, every
+  // time, regardless of scheduling. With 4 threads and 10k indices chunk 0
+  // always contains index 7.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for(pool, 10'000, [](std::size_t i) {
+        if (i == 7 || i == 5'000 || i == 9'999)
+          throw std::runtime_error("boom at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 7") << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 100, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // Same pool, clean run afterwards.
+  std::atomic<int> calls{0};
+  parallel_for(pool, 100, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A nested call from a worker must degrade to inline execution instead of
+  // waiting on its own queue. With a 2-thread pool and 8 outer chunks, a
+  // blocking nested wait would deadlock the whole call.
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  parallel_for(pool, 8, [&](std::size_t) {
+    parallel_for(pool, 50, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 50);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsPoolSpecific) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.on_worker_thread());
+  std::atomic<int> seen_a{0}, seen_b{0};
+  parallel_for(a, 4, [&](std::size_t) {
+    if (a.on_worker_thread()) ++seen_a;
+    if (b.on_worker_thread()) ++seen_b;
+  });
+  EXPECT_EQ(seen_a.load(), 4);
+  EXPECT_EQ(seen_b.load(), 0);
+}
+
+}  // namespace
+}  // namespace wlc::common

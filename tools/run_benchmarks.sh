@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the extraction microbenchmarks and records the perf trajectory as
+# JSON: serial vs parallel workload/arrival extraction and the batched API,
+# per trace size and thread count. The JSON lands in BENCH_extraction.json
+# at the repo root (google-benchmark format; `context` carries host info —
+# compare speedups only across runs with the same num_cpus).
+#
+# Usage: tools/run_benchmarks.sh [benchmark args...]
+#   e.g. tools/run_benchmarks.sh --benchmark_filter='ExtractUpperGrid'
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target perf_extraction
+
+"$build/bench/perf_extraction" \
+  --benchmark_out="$repo/BENCH_extraction.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $repo/BENCH_extraction.json"

@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# Builds the test suite with ASan+UBSan (-DWLC_SANITIZE=ON) in a separate
-# build tree and runs it. The fault-injection and fuzz tests exercise the
-# parser on corrupted bytes, so this is the configuration where memory bugs
-# in the ingestion path would actually surface.
+# Builds the test suite with sanitizers in a separate build tree and runs it.
 #
-# Usage: tools/run_sanitized_tests.sh [ctest args...]
+# Default: ASan+UBSan (-DWLC_SANITIZE=ON) — the fault-injection and fuzz
+# tests exercise the parser on corrupted bytes, so this is the configuration
+# where memory bugs in the ingestion path would actually surface.
+#
+# --tsan: ThreadSanitizer (-DWLC_SANITIZE_THREAD=ON) in its own build tree —
+# the configuration where data races in the ThreadPool / parallel extraction
+# engine would surface. Combine with `-L parallel` to run just that suite.
+#
+# Usage: tools/run_sanitized_tests.sh [--tsan] [ctest args...]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="$repo/build-sanitize"
+
+mode=address
+if [[ "${1:-}" == "--tsan" ]]; then
+  mode=thread
+  shift
+fi
+
+if [[ "$mode" == "thread" ]]; then
+  build="$repo/build-tsan"
+  san_flags=(-DWLC_SANITIZE_THREAD=ON)
+else
+  build="$repo/build-sanitize"
+  san_flags=(-DWLC_SANITIZE=ON)
+fi
 
 cmake -B "$build" -S "$repo" \
-  -DWLC_SANITIZE=ON \
+  "${san_flags[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DWLC_BUILD_BENCH=OFF \
   -DWLC_BUILD_EXAMPLES=OFF
@@ -21,5 +39,6 @@ cmake --build "$build" -j "$(nproc)"
 # scroll past; detect_leaks stays on by default where supported.
 export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
