@@ -1,15 +1,18 @@
 #include "cli/cli.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/error.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "rtc/sizing.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
@@ -22,16 +25,44 @@ namespace wlc::cli {
 
 namespace {
 
+/// Bad flag value: reported with the usage text and exit code 2 (unlike
+/// analysis errors, which exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct Options {
   std::string command;
   std::string trace_path;
   std::map<std::string, std::string> flags;
 
+  /// The flag's value as a finite double. The whole value must parse —
+  /// "--threads abc" and trailing garbage like "--threads 4x" are usage
+  /// errors naming the flag, not raw std::stod exceptions.
   std::optional<double> number(const std::string& key) const {
     const auto it = flags.find(key);
     if (it == flags.end()) return std::nullopt;
-    return std::stod(it->second);
+    const std::string& raw = it->second;
+    double v{};
+    const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (res.ec != std::errc{} || res.ptr != raw.data() + raw.size() || !std::isfinite(v))
+      throw UsageError("invalid numeric value for --" + key + ": '" + raw + "'");
+    return v;
   }
+
+  /// The flag's value as an integer; fractional values ("--threads 2.5")
+  /// are rejected, not truncated.
+  std::optional<std::int64_t> integer(const std::string& key) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return std::nullopt;
+    const std::string& raw = it->second;
+    std::int64_t v{};
+    const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (res.ec != std::errc{} || res.ptr != raw.data() + raw.size())
+      throw UsageError("--" + key + " expects an integer, got '" + raw + "'");
+    return v;
+  }
+
   std::string text(const std::string& key, std::string fallback) const {
     const auto it = flags.find(key);
     return it == flags.end() ? std::move(fallback) : it->second;
@@ -76,16 +107,19 @@ struct LoadedTrace {
 
 /// --threads N (alias --jobs N), defaulting to the hardware concurrency.
 /// Extraction is bit-identical at every thread count, so the flag is purely
-/// a throughput knob (tests/cli_test.cpp pins the byte-identity).
+/// a throughput knob (tests/cli_test.cpp pins the byte-identity). Must be a
+/// whole number: "--threads 2.5" is rejected, not silently truncated.
 unsigned requested_threads(const Options& o) {
-  const auto t = o.number("threads");
-  const auto j = o.number("jobs");
-  const double v = t.value_or(j.value_or(static_cast<double>(common::hardware_threads())));
-  WLC_REQUIRE(v >= 1.0, "--threads/--jobs must be >= 1");
+  const auto t = o.integer("threads");
+  const auto j = o.integer("jobs");
+  const std::int64_t v =
+      t.value_or(j.value_or(static_cast<std::int64_t>(common::hardware_threads())));
+  WLC_REQUIRE(v >= 1, "--threads/--jobs must be >= 1");
   return static_cast<unsigned>(v);
 }
 
 std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
+  WLC_TRACE_SPAN("cli.load");
   std::ifstream file(o.trace_path);
   if (!file) {
     err << "cannot open trace file: " << o.trace_path << "\n";
@@ -179,6 +213,14 @@ int cmd_size_delay(const Options& o, const LoadedTrace& t, std::ostream& out, st
   return 0;
 }
 
+int cmd_report(const LoadedTrace& t, std::ostream& out) {
+  out << "pipeline ran: " << t.events.size()
+      << " events ingested, curves + arrival bounds extracted\n"
+         "metric snapshot of this run (JSON via --metrics-out):\n";
+  obs::registry().snapshot().print(out);
+  return 0;
+}
+
 int cmd_simulate(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
   const auto mhz = o.number("mhz");
   if (!mhz || *mhz <= 0) {
@@ -269,6 +311,42 @@ int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
   return kExitValid;
 }
 
+int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.command == "validate") return cmd_validate(opts, out, err);
+  const auto loaded = load(opts, err);
+  if (!loaded) return 2;
+  if (opts.command == "curves" || opts.command == "extract") return cmd_curves(opts, *loaded, out);
+  if (opts.command == "report") return cmd_report(*loaded, out);
+  if (opts.command == "size-buffer") return cmd_size_buffer(opts, *loaded, out, err);
+  if (opts.command == "size-delay") return cmd_size_delay(opts, *loaded, out, err);
+  if (opts.command == "simulate") return cmd_simulate(opts, *loaded, out, err);
+  err << "unknown command: " << opts.command << "\n" << usage();
+  return 2;
+}
+
+/// Writes --metrics-out / --trace-out files after the command ran. Analysis
+/// stdout is already complete by now, so the instrumented and plain runs
+/// stay byte-identical on the primary stream.
+int write_observability_outputs(const Options& o, std::ostream& err) {
+  if (const auto it = o.flags.find("metrics-out"); it != o.flags.end()) {
+    std::ofstream f(it->second);
+    if (!f) {
+      err << "cannot open metrics output file: " << it->second << "\n";
+      return 2;
+    }
+    f << obs::registry().snapshot().to_json();
+  }
+  if (const auto it = o.flags.find("trace-out"); it != o.flags.end()) {
+    std::ofstream f(it->second);
+    if (!f) {
+      err << "cannot open trace output file: " << it->second << "\n";
+      return 2;
+    }
+    obs::write_chrome_trace(f);
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -280,6 +358,10 @@ std::string usage() {
          "               (default: hardware concurrency); output is\n"
          "               bit-identical at every thread count\n"
          "  curves       alias of extract (kept for compatibility)\n"
+         "  report       <trace.csv> [extract flags]\n"
+         "               run the extraction pipeline, then pretty-print the\n"
+         "               run's metric snapshot (counters, gauges, latency\n"
+         "               histograms) instead of the curve summary\n"
          "  size-buffer  <trace.csv> --buffer <events>\n"
          "               minimum clock so a FIFO of that size never overflows (eq. 9/10)\n"
          "  size-delay   <trace.csv> --deadline-ms <ms>\n"
@@ -293,27 +375,37 @@ std::string usage() {
          "               row; --lenient drops bad rows and reports them.\n"
          "               exit codes: 0 valid, 2 usage, 3 rejected input,\n"
          "               4 soundness violation, 5 valid but rows were dropped\n"
+         "global flags (every command):\n"
+         "  --metrics-out FILE   write this run's metric snapshot as JSON\n"
+         "  --trace-out FILE     record scoped spans and write Chrome\n"
+         "                       trace-event JSON (open in chrome://tracing\n"
+         "                       or ui.perfetto.dev)\n"
          "trace format: CSV with header 'time,type,demand'\n";
 }
 
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
   const auto opts = parse(argv, err);
   if (!opts) return 2;
+  // Span recording costs a clock read per span, so it is armed only when a
+  // trace sink was actually requested (and disarmed again for in-process
+  // callers like the test suite).
+  const bool tracing = opts->flags.count("trace-out") > 0;
+  if (tracing) obs::set_tracing_enabled(true);
+  int rc;
   try {
-    if (opts->command == "validate") return cmd_validate(*opts, out, err);
-    const auto loaded = load(*opts, err);
-    if (!loaded) return 2;
-    if (opts->command == "curves" || opts->command == "extract")
-      return cmd_curves(*opts, *loaded, out);
-    if (opts->command == "size-buffer") return cmd_size_buffer(*opts, *loaded, out, err);
-    if (opts->command == "size-delay") return cmd_size_delay(*opts, *loaded, out, err);
-    if (opts->command == "simulate") return cmd_simulate(*opts, *loaded, out, err);
+    rc = dispatch(*opts, out, err);
+  } catch (const UsageError& e) {
+    if (tracing) obs::set_tracing_enabled(false);
+    err << e.what() << "\n" << usage();
+    return 2;
   } catch (const std::exception& e) {
+    if (tracing) obs::set_tracing_enabled(false);
     err << "error: " << e.what() << "\n";
     return 1;
   }
-  err << "unknown command: " << opts->command << "\n" << usage();
-  return 2;
+  if (tracing) obs::set_tracing_enabled(false);
+  const int obs_rc = write_observability_outputs(*opts, err);
+  return obs_rc != 0 ? obs_rc : rc;
 }
 
 }  // namespace wlc::cli

@@ -16,14 +16,21 @@ namespace wlc::cli {
 
 /// Runs one command. argv excludes the program name, e.g.
 ///   {"curves",      "trace.csv", "--dense", "256", "--out", "prefix"}
+///   {"report",      "trace.csv", "--threads", "4"}
 ///   {"size-buffer", "trace.csv", "--buffer", "1620"}
 ///   {"size-delay",  "trace.csv", "--deadline-ms", "5"}
 ///   {"simulate",    "trace.csv", "--mhz", "350", "--capacity", "1620"}
 ///   {"validate",    "trace.csv", "--lenient"}
+/// Every command also accepts the global observability flags
+/// `--metrics-out FILE` (metric snapshot as JSON) and `--trace-out FILE`
+/// (Chrome trace-event JSON of the run's scoped spans); neither changes
+/// what is written to `out`.
 /// Writes human-readable results to `out`, diagnostics to `err`.
-/// Returns a process exit code: 0 = success, 2 = usage error; the validate
-/// command additionally returns 3 (input rejected), 4 (soundness violation)
-/// or 5 (lenient mode dropped rows; surviving rows sound) — see usage().
+/// Returns a process exit code: 0 = success, 2 = usage error (including
+/// malformed flag values and unwritable --metrics-out/--trace-out paths);
+/// the validate command additionally returns 3 (input rejected), 4
+/// (soundness violation) or 5 (lenient mode dropped rows; surviving rows
+/// sound) — see usage().
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
 
 /// The usage text printed on bad invocations.

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "obs/obs.h"
+
 namespace wlc::common {
 
 namespace {
@@ -29,10 +31,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  Item item{std::move(job), 0};
+#ifndef WLC_OBS_DISABLE
+  item.enqueue_us = obs::now_us();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(item));
   }
+  WLC_GAUGE_ADD("pool.queue_depth", 1);
   cv_.notify_one();
 }
 
@@ -40,17 +47,33 @@ bool ThreadPool::on_worker_thread() const { return t_owning_pool == this; }
 
 void ThreadPool::worker_loop() {
   t_owning_pool = this;
+  WLC_GAUGE_ADD("pool.workers", 1);
   for (;;) {
-    std::function<void()> job;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      job = std::move(queue_.front());
+      if (queue_.empty()) break;  // stop_ set and queue drained
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    WLC_GAUGE_ADD("pool.queue_depth", -1);
+#ifndef WLC_OBS_DISABLE
+    const std::int64_t start_us = obs::now_us();
+    WLC_HISTOGRAM_OBSERVE("pool.task_wait_us", start_us - item.enqueue_us);
+#endif
+    {
+      WLC_TRACE_SPAN("pool.task");
+      item.fn();
+    }
+#ifndef WLC_OBS_DISABLE
+    const std::int64_t run_us = obs::now_us() - start_us;
+    WLC_HISTOGRAM_OBSERVE("pool.task_run_us", run_us);
+    WLC_COUNTER_ADD("pool.busy_us", run_us);
+#endif
+    WLC_COUNTER_ADD("pool.tasks", 1);
   }
+  WLC_GAUGE_ADD("pool.workers", -1);
 }
 
 }  // namespace wlc::common

@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -63,6 +64,10 @@ class ThreadPool {
 
   /// Enqueues a job. Jobs must not throw (the helpers wrap bodies in
   /// try/catch); an exception escaping a bare submitted job terminates.
+  /// Instrumented (unless WLC_OBS_DISABLE): queue depth gauge
+  /// "pool.queue_depth", wait/run latency histograms "pool.task_wait_us" /
+  /// "pool.task_run_us", "pool.tasks"/"pool.busy_us" counters and a
+  /// "pool.task" trace span per executed job.
   void submit(std::function<void()> job);
 
   /// True iff the calling thread is one of this pool's workers — the
@@ -71,11 +76,18 @@ class ThreadPool {
   bool on_worker_thread() const;
 
  private:
+  /// Queued job plus its enqueue timestamp (µs, 0 when instrumentation is
+  /// compiled out) feeding the task-wait-latency histogram.
+  struct Item {
+    std::function<void()> fn;
+    std::int64_t enqueue_us = 0;
+  };
+
   void worker_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "trace/arrival_extract.h"
 #include "trace/kgrid.h"
 #include "workload/extract.h"
@@ -12,8 +13,11 @@ std::vector<ClipAnalysis> analyze_clips(const TraceConfig& config,
                                         std::span<const ClipProfile> profiles,
                                         const AnalyzeOptions& options,
                                         common::ThreadPool& pool) {
+  WLC_TRACE_SPAN("mpeg.analyze_clips");
   const std::vector<ClipProfile> items(profiles.begin(), profiles.end());
   return common::parallel_map(pool, items, [&](const ClipProfile& profile) {
+    WLC_TRACE_SPAN("mpeg.clip");
+    WLC_COUNTER_ADD("mpeg.clips_analyzed", 1);
     ClipTrace t = generate_clip_trace(config, profile);
     const auto max_k = std::max<std::int64_t>(options.min_max_k,
                                               static_cast<std::int64_t>(t.pe2_input.size()));

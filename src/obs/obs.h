@@ -1,0 +1,85 @@
+// wlc::obs — umbrella header and instrumentation macros.
+//
+// Call sites use the macros, never the registry directly:
+//
+//   WLC_COUNTER_ADD("extract.windows_scanned", n - k + 1);
+//   WLC_GAUGE_ADD("pool.queue_depth", 1);
+//   WLC_HISTOGRAM_OBSERVE("pool.task_wait_us", wait_us);
+//   WLC_TRACE_SPAN("extract.upper");            // RAII: spans the block
+//
+// Each macro caches its instrument handle in a function-local static, so
+// the name lookup (registry mutex) happens once per call site and the hot
+// path is a single sharded atomic op. WLC_TRACE_SPAN records only while
+// obs::set_tracing_enabled(true) — one relaxed load otherwise.
+//
+// Metric naming scheme: "<layer>.<quantity>[_<unit>]", e.g.
+// "pool.task_wait_us", "trace.rows_dropped.malformed", "sched.preemptions".
+// Units are suffixed (_us); dotted suffixes subdivide a quantity by kind.
+//
+// Compiling out. Defining WLC_OBS_DISABLE (the WLC_OBS_DISABLE=ON CMake
+// option does it globally) empties every macro: no statics, no atomics, no
+// clock reads — the binary is bit-identical in behavior to never having
+// been instrumented, which tests pin by comparing CLI output byte for byte.
+// The obs library API (registry(), snapshot(), write_chrome_trace()) still
+// exists in a disabled build — snapshots and traces are simply empty — so
+// exporters like the CLI need no conditional code.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+#define WLC_OBS_CONCAT_(a, b) a##b
+#define WLC_OBS_CONCAT(a, b) WLC_OBS_CONCAT_(a, b)
+
+#ifndef WLC_OBS_DISABLE
+
+#define WLC_COUNTER_ADD(name, delta)                                             \
+  do {                                                                           \
+    static ::wlc::obs::Counter wlc_obs_c = ::wlc::obs::registry().counter(name); \
+    wlc_obs_c.add(delta);                                                        \
+  } while (0)
+
+#define WLC_GAUGE_ADD(name, delta)                                           \
+  do {                                                                       \
+    static ::wlc::obs::Gauge wlc_obs_g = ::wlc::obs::registry().gauge(name); \
+    wlc_obs_g.add(delta);                                                    \
+  } while (0)
+
+#define WLC_GAUGE_SET(name, value)                                           \
+  do {                                                                       \
+    static ::wlc::obs::Gauge wlc_obs_g = ::wlc::obs::registry().gauge(name); \
+    wlc_obs_g.set(value);                                                    \
+  } while (0)
+
+/// Observes into a histogram with the default latency buckets (µs scale).
+#define WLC_HISTOGRAM_OBSERVE(name, value)                             \
+  do {                                                                 \
+    static ::wlc::obs::Histogram wlc_obs_h = ::wlc::obs::registry().histogram( \
+        name, ::wlc::obs::default_latency_bounds_us());                \
+    wlc_obs_h.observe(value);                                          \
+  } while (0)
+
+/// RAII span over the rest of the enclosing block. `name` must be a string
+/// literal (the tracer stores the pointer).
+#define WLC_TRACE_SPAN(name) \
+  ::wlc::obs::ScopedSpan WLC_OBS_CONCAT(wlc_obs_span_, __LINE__)(name)
+
+#else  // WLC_OBS_DISABLE: every macro vanishes.
+
+#define WLC_COUNTER_ADD(name, delta) \
+  do {                               \
+  } while (0)
+#define WLC_GAUGE_ADD(name, delta) \
+  do {                             \
+  } while (0)
+#define WLC_GAUGE_SET(name, value) \
+  do {                             \
+  } while (0)
+#define WLC_HISTOGRAM_OBSERVE(name, value) \
+  do {                                     \
+  } while (0)
+#define WLC_TRACE_SPAN(name) \
+  do {                       \
+  } while (0)
+
+#endif  // WLC_OBS_DISABLE

@@ -1,0 +1,197 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wlc::obs {
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;  ///< spans per thread
+
+std::atomic<bool> g_tracing{false};
+
+std::int64_t now_ns() {
+  // Epoch fixed at the first clock use so all timestamps are small positive
+  // offsets on one axis (magic-static init is thread-safe).
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              epoch)
+      .count();
+}
+
+struct SpanEvent {
+  const char* name;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;
+};
+
+/// One thread's span ring. `mu` is per-ring and virtually uncontended: only
+/// the owner records; the serializer takes it briefly during export.
+struct Ring {
+  explicit Ring(std::uint32_t tid) : tid(tid) {}
+
+  void record(SpanEvent e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[next] = e;
+      next = (next + 1) % kRingCapacity;
+      ++dropped;
+    }
+  }
+
+  /// Events in recording order (oldest surviving first).
+  std::vector<SpanEvent> ordered() const {
+    std::vector<SpanEvent> out;
+    out.reserve(events.size());
+    out.insert(out.end(), events.begin() + static_cast<std::ptrdiff_t>(next), events.end());
+    out.insert(out.end(), events.begin(), events.begin() + static_cast<std::ptrdiff_t>(next));
+    return out;
+  }
+
+  std::uint32_t tid;
+  mutable std::mutex mu;
+  std::vector<SpanEvent> events;
+  std::size_t next = 0;  ///< overwrite position once the ring is full
+  std::uint64_t dropped = 0;
+};
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<Ring*> live;  ///< owned by the RingHolder thread_locals
+  std::vector<std::pair<std::uint32_t, std::vector<SpanEvent>>> retired;
+  std::uint32_t next_tid = 1;
+  std::uint64_t dropped_retired = 0;
+};
+
+TracerState& tracer() {
+  // Leaked for the same reason as the metrics registry: worker threads may
+  // retire their rings after main()'s statics are gone.
+  static TracerState* g = new TracerState;
+  return *g;
+}
+
+/// Moves the thread's ring into the retired list at thread exit so its
+/// spans survive the thread (e.g. ThreadPool workers joined before export).
+struct RingHolder {
+  Ring* ring = nullptr;
+
+  ~RingHolder() {
+    if (ring == nullptr) return;
+    TracerState& t = tracer();
+    std::lock_guard<std::mutex> lock(t.mu);
+    {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      if (!ring->events.empty()) t.retired.emplace_back(ring->tid, ring->ordered());
+      t.dropped_retired += ring->dropped;
+    }
+    t.live.erase(std::remove(t.live.begin(), t.live.end(), ring), t.live.end());
+    delete ring;
+  }
+};
+
+Ring& this_ring() {
+  thread_local RingHolder holder;
+  if (holder.ring == nullptr) {
+    TracerState& t = tracer();
+    std::lock_guard<std::mutex> lock(t.mu);
+    holder.ring = new Ring(t.next_tid++);
+    t.live.push_back(holder.ring);
+  }
+  return *holder.ring;
+}
+
+/// Nanosecond count as a microsecond decimal ("12.345") — Chrome trace
+/// timestamps are microseconds, fractions allowed.
+void write_us(std::ostream& os, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  os << buf;
+}
+
+void write_event(std::ostream& os, bool& first, std::uint32_t tid, const SpanEvent& e) {
+  os << (first ? "\n" : ",\n");
+  first = false;
+  os << " {\"name\":\"" << e.name << "\",\"cat\":\"wlc\",\"ph\":\"X\",\"ts\":";
+  write_us(os, e.ts_ns);
+  os << ",\"dur\":";
+  write_us(os, e.dur_ns);
+  os << ",\"pid\":1,\"tid\":" << tid << "}";
+}
+
+void write_thread_meta(std::ostream& os, bool& first, std::uint32_t tid) {
+  os << (first ? "\n" : ",\n");
+  first = false;
+  os << " {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+     << ",\"args\":{\"name\":\"wlc-thread-" << tid << "\"}}";
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::int64_t now_us() { return now_ns() / 1000; }
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name), begin_ns_(0), active_(g_tracing.load(std::memory_order_relaxed)) {
+  if (active_) begin_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (active_) this_ring().record({name_, begin_ns_, now_ns() - begin_ns_});
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TracerState& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  os << "[";
+  bool first = true;
+  for (const auto& [tid, events] : t.retired) {
+    write_thread_meta(os, first, tid);
+    for (const SpanEvent& e : events) write_event(os, first, tid, e);
+  }
+  for (const Ring* ring : t.live) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->events.empty()) continue;
+    write_thread_meta(os, first, ring->tid);
+    for (const SpanEvent& e : ring->ordered()) write_event(os, first, ring->tid, e);
+  }
+  os << (first ? "]" : "\n]") << "\n";
+}
+
+std::uint64_t dropped_span_count() {
+  TracerState& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::uint64_t n = t.dropped_retired;
+  for (const Ring* ring : t.live) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    n += ring->dropped;
+  }
+  return n;
+}
+
+void clear_trace_for_testing() {
+  TracerState& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.retired.clear();
+  t.dropped_retired = 0;
+  for (Ring* ring : t.live) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace wlc::obs

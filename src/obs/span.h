@@ -1,0 +1,65 @@
+// Scoped-span tracer: WLC_TRACE_SPAN("extract.upper") records a named
+// begin/end interval on the current thread; write_chrome_trace() serializes
+// everything recorded so far as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Recording model. Each thread owns a fixed-capacity ring buffer of
+// completed spans (name, begin, duration); a full ring overwrites its oldest
+// entries (the drop count is preserved), so tracing can stay on for long
+// runs with bounded memory. Rings of exiting threads — ThreadPool workers
+// in particular — are moved to a retired list, so their spans survive the
+// pool's destruction and still appear in the serialized trace.
+//
+// Tracing is off by default: a disabled ScopedSpan is one relaxed atomic
+// load (no clock read, no allocation). The CLI flips it on when --trace-out
+// is requested, before the pipeline runs.
+//
+// Span names must be string literals (or otherwise outlive serialization):
+// the ring stores the pointer, not a copy — that keeps recording
+// allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace wlc::obs {
+
+/// Globally enables/disables span recording (off by default).
+void set_tracing_enabled(bool on);
+bool tracing_enabled();
+
+/// Microseconds since the process trace epoch (first clock use), from the
+/// steady clock. Shared by the tracer and the latency instrumentation so
+/// all observability timestamps are on one axis.
+std::int64_t now_us();
+
+/// RAII span: records [construction, destruction) on the current thread
+/// when tracing is enabled. Use through WLC_TRACE_SPAN (obs.h) so the whole
+/// statement compiles out under WLC_OBS_DISABLE.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t begin_ns_;
+  bool active_;
+};
+
+/// Serializes every recorded span (live threads + retired rings) as a JSON
+/// array of Chrome trace-event objects ("ph":"X" complete events, with
+/// per-thread "thread_name" metadata). Valid JSON; loads in Perfetto.
+void write_chrome_trace(std::ostream& os);
+
+/// Spans lost to ring overflow so far (diagnostic; also useful in tests).
+std::uint64_t dropped_span_count();
+
+/// Discards every recorded span and resets the drop count. Test-only:
+/// callers must ensure no spans are being recorded concurrently.
+void clear_trace_for_testing();
+
+}  // namespace wlc::obs

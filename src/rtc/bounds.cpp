@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::rtc {
 
@@ -32,9 +33,11 @@ EventCount events_completable(const workload::WorkloadCurve& gamma_u, double cyc
 
 EventCount backlog_events(const trace::EmpiricalArrivalCurve& arrivals,
                           const workload::WorkloadCurve& gamma_u, const ServiceFn& beta) {
+  WLC_TRACE_SPAN("rtc.backlog_events");
   WLC_REQUIRE(arrivals.bound() == trace::EmpiricalArrivalCurve::Bound::Upper,
               "backlog bound needs an upper arrival curve");
   WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "backlog bound needs γᵘ");
+  WLC_COUNTER_ADD("rtc.sup_iterations", static_cast<std::int64_t>(arrivals.points().size()));
   // ᾱ is a right-continuous step function, so ᾱ(Δ) − γᵘ⁻¹(β(Δ)) attains its
   // supremum at an arrival breakpoint: ᾱ only rises there while γᵘ⁻¹(β) is
   // non-decreasing everywhere.
@@ -46,7 +49,9 @@ EventCount backlog_events(const trace::EmpiricalArrivalCurve& arrivals,
 
 EventCount backlog_events_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
                                const ServiceFn& beta) {
+  WLC_TRACE_SPAN("rtc.backlog_events_wcet");
   WLC_REQUIRE(wcet > 0, "WCET must be positive");
+  WLC_COUNTER_ADD("rtc.sup_iterations", static_cast<std::int64_t>(arrivals.points().size()));
   EventCount worst = 0;
   for (const auto& [delta, events] : arrivals.points()) {
     const auto done = static_cast<EventCount>(
@@ -59,8 +64,11 @@ EventCount backlog_events_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cyc
 TimeSec delay_bound(const trace::EmpiricalArrivalCurve& arrivals,
                     const workload::WorkloadCurve& gamma_u, const ServiceFn& beta,
                     TimeSec horizon) {
+  WLC_TRACE_SPAN("rtc.delay_bound");
   WLC_REQUIRE(horizon > 0.0, "need a positive search horizon");
   WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "delay bound needs γᵘ");
+  WLC_COUNTER_ADD("rtc.sup_iterations", static_cast<std::int64_t>(arrivals.points().size()));
+  std::int64_t bisect_iters = 0;
   TimeSec worst = 0.0;
   for (const auto& [delta, events] : arrivals.points()) {
     const auto demand = static_cast<double>(gamma_u.value(events));
@@ -71,9 +79,11 @@ TimeSec delay_bound(const trace::EmpiricalArrivalCurve& arrivals,
     for (int iter = 0; iter < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++iter) {
       const TimeSec mid = 0.5 * (lo + hi);
       (beta(delta + mid) >= demand ? hi : lo) = mid;
+      ++bisect_iters;
     }
     worst = std::max(worst, hi);
   }
+  WLC_COUNTER_ADD("rtc.bisect_iterations", bisect_iters);
   return worst;
 }
 

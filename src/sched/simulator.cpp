@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::sched {
 
@@ -13,7 +14,8 @@ namespace {
 struct Job {
   TimeSec release = 0.0;
   TimeSec abs_deadline = 0.0;
-  double remaining = 0.0;  ///< cycles
+  double remaining = 0.0;   ///< cycles
+  std::int64_t serial = 0;  ///< unique per released job; preemption detection
 };
 
 struct TaskState {
@@ -34,6 +36,7 @@ namespace {
 enum class Policy { FixedPriority, Edf };
 
 SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, Policy policy) {
+  WLC_TRACE_SPAN("sched.simulate");
   WLC_REQUIRE(!input.empty(), "need at least one task");
   WLC_REQUIRE(f > 0.0, "clock frequency must be positive");
   WLC_REQUIRE(horizon > 0.0, "simulation horizon must be positive");
@@ -57,13 +60,16 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
   for (std::size_t i = 0; i < ts.size(); ++i) result.tasks[i].name = ts[i].spec.name;
 
   TimeSec now = 0.0;
+  std::int64_t next_serial = 1;
+  std::int64_t running_serial = 0;  ///< 0 = nothing started-and-incomplete
   while (now < horizon) {
     // Release every job due at or before `now`.
     for (std::size_t i = 0; i < ts.size(); ++i) {
       auto& t = ts[i];
       while (t.next_release <= now && t.next_release < horizon) {
         const double cycles = static_cast<double>(t.spec.demand->next());
-        t.pending.push_back(Job{t.next_release, t.next_release + t.spec.deadline, cycles});
+        t.pending.push_back(
+            Job{t.next_release, t.next_release + t.spec.deadline, cycles, next_serial++});
         ++result.tasks[i].jobs_released;
         t.next_release += t.spec.period;
       }
@@ -95,6 +101,9 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
     }
 
     Job& job = ts[running].pending.front();
+    // A different job taking over from a started-but-incomplete one is a
+    // preemption (completions reset running_serial and don't count).
+    if (running_serial != 0 && running_serial != job.serial) ++result.preemptions;
     const TimeSec completion = now + job.remaining / f;
     const TimeSec until = std::min({completion, next_release, horizon});
     job.remaining -= (until - now) * f;
@@ -107,6 +116,9 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
       stats.response_time.add(now - job.release);
       if (now > job.abs_deadline + 1e-12) ++stats.deadline_misses;
       ts[running].pending.pop_front();
+      running_serial = 0;
+    } else {
+      running_serial = job.serial;
     }
   }
 
@@ -114,6 +126,17 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
   for (std::size_t i = 0; i < ts.size(); ++i)
     for (const auto& job : ts[i].pending)
       if (job.abs_deadline < horizon) ++result.tasks[i].deadline_misses;
+
+  std::int64_t released = 0;
+  std::int64_t completed = 0;
+  for (const auto& t : result.tasks) {
+    released += t.jobs_released;
+    completed += t.jobs_completed;
+  }
+  WLC_COUNTER_ADD("sched.jobs_released", released);
+  WLC_COUNTER_ADD("sched.jobs_completed", completed);
+  WLC_COUNTER_ADD("sched.deadline_misses", result.total_misses());
+  WLC_COUNTER_ADD("sched.preemptions", result.preemptions);
 
   return result;
 }

@@ -39,6 +39,9 @@ struct SimResult {
   std::vector<SimTaskStats> tasks;  ///< priority order (ascending period)
   double busy_time = 0.0;           ///< processor busy seconds
   double horizon = 0.0;
+  /// Times the processor was taken from a started-but-incomplete job by a
+  /// different job (context switches that are not completions).
+  std::int64_t preemptions = 0;
   std::int64_t total_misses() const;
   double utilization() const { return horizon > 0.0 ? busy_time / horizon : 0.0; }
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::trace {
 
@@ -48,12 +49,15 @@ enum class Span { Min, Max };
 
 std::vector<TimeSec> spans(const TimestampTrace& ts, std::span<const std::int64_t> ks, Span which,
                            common::ThreadPool* pool) {
+  WLC_TRACE_SPAN(which == Span::Min ? "arrival.minspans" : "arrival.maxspans");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
+  WLC_COUNTER_ADD("arrival.grid_entries", static_cast<std::int64_t>(ks.size()));
   std::vector<TimeSec> out(ks.size());
   const auto eval_entry = [&](std::size_t i) {
     const std::int64_t k = ks[i];
     WLC_REQUIRE(k >= 1 && k <= n, "span window must fit in the trace");
+    WLC_COUNTER_ADD("arrival.windows_scanned", n - k + 1);
     out[i] = which == Span::Min ? scan_minspan(ts, n, k) : scan_maxspan(ts, n, k);
   };
   if (pool)

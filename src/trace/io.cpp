@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace wlc::trace {
 
@@ -104,6 +105,25 @@ void strip_cr(std::string& line) {
   throw ParseError("malformed trace row: " + re.message, /*offending=*/"", lineno, re.column);
 }
 
+/// Folds the final ParseReport into the obs counters on every exit path of
+/// read_event_trace_csv — normal return and strict-mode throw alike — so
+/// "trace.rows_kept"/"trace.rows_dropped.*" always reflect what the parser
+/// actually did.
+struct [[maybe_unused]] ReportTally {
+  const ParseReport& rep;
+
+  ~ReportTally() {
+    WLC_COUNTER_ADD("trace.rows_kept", static_cast<std::int64_t>(rep.rows_kept));
+    WLC_COUNTER_ADD("trace.rows_dropped.malformed", static_cast<std::int64_t>(rep.malformed));
+    WLC_COUNTER_ADD("trace.rows_dropped.non_finite", static_cast<std::int64_t>(rep.non_finite));
+    WLC_COUNTER_ADD("trace.rows_dropped.negative_demand",
+                    static_cast<std::int64_t>(rep.negative_demand));
+    WLC_COUNTER_ADD("trace.rows_dropped.out_of_order",
+                    static_cast<std::int64_t>(rep.out_of_order));
+    WLC_COUNTER_ADD("trace.rows_dropped.overflow", static_cast<std::int64_t>(rep.overflow));
+  }
+};
+
 }  // namespace
 
 std::string ParseReport::to_string() const {
@@ -120,10 +140,12 @@ std::string ParseReport::to_string() const {
 }
 
 EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report) {
+  WLC_TRACE_SPAN("trace.parse_csv");
   static constexpr std::size_t kMaxSamples = 8;
   ParseReport local;
   ParseReport& rep = report ? *report : local;
   rep = ParseReport{};
+  const ReportTally tally{rep};
 
   EventTrace out;
   std::string line;

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace wlc::workload {
 
@@ -56,15 +57,19 @@ Cycles scan_window(const std::vector<Cycles>& p, EventCount n, EventCount k, Bou
 
 WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                       Bound bound, common::ThreadPool* pool, ExtractStats* stats) {
+  WLC_TRACE_SPAN(bound == Bound::Upper ? "extract.upper" : "extract.lower");
   WLC_REQUIRE(!demands.empty(), "demand trace must be non-empty");
   const auto n = static_cast<EventCount>(demands.size());
   const std::vector<Cycles> p = prefix_sums(demands);
   const NormalizedGrid grid = normalized_grid(ks, n);
+  WLC_COUNTER_ADD("extract.grid_entries", static_cast<std::int64_t>(grid.ks.size()));
+  WLC_COUNTER_ADD("extract.clamped_ks", grid.clamped);
   if (stats) stats->clamped_ks = grid.clamped;
   std::vector<WorkloadCurve::Point> pts(grid.ks.size() + 1);
   pts[0] = {0, 0};
   const auto eval_entry = [&](std::size_t gi) {
     const EventCount k = grid.ks[gi];
+    WLC_COUNTER_ADD("extract.windows_scanned", n - k + 1);
     pts[gi + 1] = {k, scan_window(p, n, k, bound)};
   };
   if (pool)
@@ -117,6 +122,8 @@ WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount 
 std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& traces,
                                        std::span<const std::int64_t> ks,
                                        common::ThreadPool& pool) {
+  WLC_TRACE_SPAN("extract.batch");
+  WLC_COUNTER_ADD("extract.batch_traces", static_cast<std::int64_t>(traces.size()));
   // Outer parallelism only: each task runs the serial per-trace extraction,
   // so every bundle is bit-identical to individual extract_upper/lower
   // calls regardless of how the pool schedules the traces.

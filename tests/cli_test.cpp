@@ -133,6 +133,46 @@ TEST(Cli, ExtractRejectsZeroThreads) {
   EXPECT_NE(err.str().find("--threads"), std::string::npos);
 }
 
+TEST(Cli, RejectsNonNumericFlagValues) {
+  // "--threads abc" used to reach std::stod and die with a raw
+  // std::invalid_argument; it must be a usage error naming flag and value.
+  const std::string path = fixture("polling_clean.csv");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"extract", path, "--threads", "abc"}, out, err), 2);
+  EXPECT_NE(err.str().find("--threads"), std::string::npos);
+  EXPECT_NE(err.str().find("abc"), std::string::npos);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_EQ(run({"simulate", path, "--mhz", "fast"}, out, err2), 2);
+  EXPECT_NE(err2.str().find("--mhz"), std::string::npos);
+  EXPECT_NE(err2.str().find("fast"), std::string::npos);
+}
+
+TEST(Cli, RejectsTrailingGarbageInFlagValues) {
+  // Partial parses like "4x" or "3.5GHz" must not silently use the prefix.
+  const std::string path = fixture("polling_clean.csv");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"extract", path, "--threads", "4x"}, out, err), 2);
+  EXPECT_NE(err.str().find("4x"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_EQ(run({"simulate", path, "--mhz", "3.5GHz"}, out, err2), 2);
+  EXPECT_NE(err2.str().find("3.5GHz"), std::string::npos);
+  std::ostringstream err3;
+  EXPECT_EQ(run({"extract", path, "--dense", "1e3q"}, out, err3), 2);
+}
+
+TEST(Cli, RejectsFractionalThreadCounts) {
+  // "--threads 2.5" used to truncate to 2; integer flags reject fractions.
+  const std::string path = fixture("polling_clean.csv");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"extract", path, "--threads", "2.5"}, out, err), 2);
+  EXPECT_NE(err.str().find("--threads"), std::string::npos);
+  EXPECT_NE(err.str().find("integer"), std::string::npos);
+  std::ostringstream err2;
+  EXPECT_EQ(run({"extract", path, "--jobs", "2.5"}, out, err2), 2);
+  EXPECT_NE(err2.str().find("--jobs"), std::string::npos);
+}
+
 TEST(CliValidate, CleanTraceExitsZero) {
   std::ostringstream out, err;
   EXPECT_EQ(run({"validate", fixture("polling_clean.csv")}, out, err), 0) << err.str();

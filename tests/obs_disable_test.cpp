@@ -1,0 +1,53 @@
+// Compile-out contract of WLC_OBS_DISABLE, checked from inside an
+// instrumented build: this TU defines the macro before including obs.h, so
+// *its* WLC_* instrumentation statements must preprocess to no-ops — no
+// registration, no recording — while the registry API itself stays usable
+// (snapshots simply see nothing from this TU). The full-build variant (every
+// TU compiled with -DWLC_OBS_DISABLE=ON, binary output byte-compared against
+// the instrumented build) runs in CI; preprocessing is per-TU, so the macro
+// semantics verified here are exactly what that build sees everywhere.
+#define WLC_OBS_DISABLE 1
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wlc::obs {
+namespace {
+
+TEST(ObsDisabled, MacrosRegisterAndRecordNothing) {
+  registry().reset_for_testing();
+  WLC_COUNTER_ADD("disabled.counter", 42);
+  WLC_GAUGE_ADD("disabled.gauge", 7);
+  WLC_GAUGE_SET("disabled.gauge_set", 7);
+  WLC_HISTOGRAM_OBSERVE("disabled.hist", 13);
+  const MetricsSnapshot snap = registry().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(ObsDisabled, SpanMacroRecordsNothingEvenWhenTracingIsArmed) {
+  clear_trace_for_testing();
+  set_tracing_enabled(true);
+  { WLC_TRACE_SPAN("disabled.span"); }
+  set_tracing_enabled(false);
+  std::ostringstream os;
+  write_chrome_trace(os);
+  EXPECT_EQ(os.str().find("disabled.span"), std::string::npos);
+}
+
+TEST(ObsDisabled, SnapshotApiStaysUsable) {
+  // Exporters keep compiling and running against an empty registry.
+  registry().reset_for_testing();
+  const std::string json = registry().snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  std::ostringstream os;
+  registry().snapshot().print(os);
+  EXPECT_NE(os.str().find("counters:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wlc::obs

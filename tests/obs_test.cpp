@@ -1,0 +1,296 @@
+// Tests for wlc::obs: metric exactness under concurrency, snapshot
+// serialization, the span tracer, and the CLI's observability surface.
+//
+// The registry and tracer are process-wide, so every test starts from
+// reset_for_testing() / clear_trace_for_testing(); the suite runs these
+// tests in one process sequentially, which is exactly the "no concurrent
+// instrumentation" contract those helpers require.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace wlc::obs {
+namespace {
+
+std::string fixture(const std::string& name) { return std::string(WLC_FIXTURE_DIR "/") + name; }
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ObsCounter, ExactAcrossPoolThreadsAndAfterPoolDestruction) {
+  registry().reset_for_testing();
+  Counter c = registry().counter("test.pool_counter");
+  constexpr int kTasks = 200;
+  {
+    common::ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&c] { c.add(3); });
+  }  // workers join here; their cells must be folded into the retired total
+  EXPECT_EQ(c.total(), std::int64_t{3} * kTasks);
+}
+
+TEST(ObsCounter, HandlesAliasTheSameInstrument) {
+  registry().reset_for_testing();
+  Counter a = registry().counter("test.alias");
+  Counter b = registry().counter("test.alias");
+  a.add(5);
+  b.add(7);
+  EXPECT_EQ(a.total(), 12);
+  EXPECT_EQ(b.total(), 12);
+}
+
+TEST(ObsGauge, TracksValueAndHighWatermark) {
+  registry().reset_for_testing();
+  Gauge g = registry().gauge("test.gauge");
+  g.add(4);
+  g.add(3);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max(), 7);  // watermark is monotone
+}
+
+TEST(ObsHistogram, BucketsBoundsAndStats) {
+  registry().reset_for_testing();
+  const std::int64_t bounds[] = {10, 100};
+  Histogram h = registry().histogram("test.hist", bounds);
+  h.observe(5);
+  h.observe(10);  // bucket i counts v <= bounds[i]: lands in the first bucket
+  h.observe(50);
+  h.observe(500);  // past the last bound: overflow bucket
+  const MetricsSnapshot snap = registry().snapshot();
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& r) { return r.name == "test.hist"; });
+  ASSERT_NE(it, snap.histograms.end());
+  const auto& row = *it;
+  ASSERT_EQ(row.bounds, (std::vector<std::int64_t>{10, 100}));
+  EXPECT_EQ(row.counts, (std::vector<std::int64_t>{2, 1, 1}));
+  EXPECT_EQ(row.count, 4);
+  EXPECT_EQ(row.sum, 565);
+  EXPECT_EQ(row.min, 5);
+  EXPECT_EQ(row.max, 500);
+}
+
+TEST(ObsHistogram, ExactUnderConcurrentObservation) {
+  registry().reset_for_testing();
+  Histogram h = registry().histogram("test.mt_hist", default_latency_bounds_us());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(i % 97);
+    });
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = registry().snapshot();
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& r) { return r.name == "test.mt_hist"; });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->count, std::int64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsPool, InstrumentationCountsTasksAndDrainsQueue) {
+  registry().reset_for_testing();
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  {
+    common::ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+  const MetricsSnapshot snap = registry().snapshot();
+  std::int64_t tasks = -1, queue_depth = -1, workers = -1, run_count = -1;
+  for (const auto& c : snap.counters)
+    if (c.name == "pool.tasks") tasks = c.value;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "pool.queue_depth") queue_depth = g.value;
+    if (g.name == "pool.workers") workers = g.value;
+  }
+  for (const auto& h : snap.histograms)
+    if (h.name == "pool.task_run_us") run_count = h.count;
+  EXPECT_EQ(tasks, kTasks);
+  EXPECT_EQ(queue_depth, 0);  // fully drained
+  EXPECT_EQ(workers, 0);      // all exited
+  EXPECT_EQ(run_count, kTasks);
+}
+
+TEST(ObsSnapshot, JsonIsWellFormedAndNameSorted) {
+  registry().reset_for_testing();
+  registry().counter("b.second").add(2);
+  registry().counter("a.first").add(1);
+  registry().gauge("g.level").set(9);
+  const std::int64_t bounds[] = {1};
+  registry().histogram("h.lat", bounds).observe(3);
+  const std::string json = registry().snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_LT(json.find("\"a.first\""), json.find("\"b.second\""));
+  EXPECT_NE(json.find("\"g.level\": {\"value\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [0,1]"), std::string::npos);
+}
+
+TEST(ObsTracer, RecordsSpansFromMultipleThreadsIntoOneTrace) {
+  clear_trace_for_testing();
+  set_tracing_enabled(true);
+  {
+    WLC_TRACE_SPAN("test.main_span");
+    common::ThreadPool pool(2);
+    // Rendezvous: each task waits until both workers hold one, so both
+    // worker threads are guaranteed to record a span (a fast worker could
+    // otherwise drain the whole queue alone).
+    std::atomic<int> arrived{0};
+    for (int i = 0; i < 2; ++i)
+      pool.submit([&arrived] {
+        WLC_TRACE_SPAN("test.worker_span");
+        arrived.fetch_add(1);
+        while (arrived.load() < 2) std::this_thread::yield();
+      });
+  }
+  set_tracing_enabled(false);
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_NE(trace.find("\"test.main_span\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.worker_span\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pool.task\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  // One thread_name metadata event per thread that recorded spans: the main
+  // thread plus both workers.
+  EXPECT_GE(count_occurrences(trace, "\"thread_name\""), 3);
+  EXPECT_EQ(dropped_span_count(), 0u);
+}
+
+TEST(ObsTracer, DisabledSpansRecordNothing) {
+  clear_trace_for_testing();
+  ASSERT_FALSE(tracing_enabled());
+  { WLC_TRACE_SPAN("test.should_not_appear"); }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  EXPECT_EQ(os.str().find("test.should_not_appear"), std::string::npos);
+  EXPECT_EQ(os.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ObsTracer, RingOverflowDropsOldestAndCounts) {
+  clear_trace_for_testing();
+  set_tracing_enabled(true);
+  constexpr int kSpans = 20000;  // > ring capacity (16384)
+  for (int i = 0; i < kSpans; ++i) {
+    WLC_TRACE_SPAN("test.flood");
+  }
+  set_tracing_enabled(false);
+  EXPECT_GT(dropped_span_count(), 0u);
+  std::ostringstream os;
+  write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"test.flood\""), std::string::npos);
+  clear_trace_for_testing();
+  EXPECT_EQ(dropped_span_count(), 0u);
+}
+
+// --- CLI observability surface --------------------------------------------
+
+TEST(ObsCli, PrimaryOutputIsByteIdenticalWithAndWithoutObsFlags) {
+  // --metrics-out/--trace-out must never perturb the analysis stream.
+  const std::string path = fixture("polling_clean.csv");
+  const std::string mpath = ::testing::TempDir() + "wlc_obs_m.json";
+  const std::string tpath = ::testing::TempDir() + "wlc_obs_t.json";
+  std::ostringstream plain_out, plain_err, obs_out, obs_err;
+  ASSERT_EQ(cli::run({"extract", path, "--threads", "2"}, plain_out, plain_err), 0)
+      << plain_err.str();
+  ASSERT_EQ(cli::run({"extract", path, "--threads", "2", "--metrics-out", mpath, "--trace-out",
+                      tpath},
+                     obs_out, obs_err),
+            0)
+      << obs_err.str();
+  EXPECT_EQ(plain_out.str(), obs_out.str());
+  EXPECT_EQ(plain_err.str(), obs_err.str());
+  std::remove(mpath.c_str());
+  std::remove(tpath.c_str());
+}
+
+TEST(ObsCli, MetricsOutCapturesPipelineCounters) {
+  registry().reset_for_testing();
+  const std::string path = fixture("polling_clean.csv");
+  const std::string mpath = ::testing::TempDir() + "wlc_obs_metrics.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"extract", path, "--threads", "2", "--metrics-out", mpath}, out, err), 0)
+      << err.str();
+  std::ifstream f(mpath);
+  ASSERT_TRUE(f.good());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"extract.windows_scanned\""), std::string::npos);
+  EXPECT_NE(json.find("\"extract.grid_entries\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace.rows_kept\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"pool.tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.task_wait_us\""), std::string::npos);
+  std::remove(mpath.c_str());
+}
+
+TEST(ObsCli, TraceOutRecordsSpansFromAtLeastTwoThreads) {
+  clear_trace_for_testing();
+  const std::string path = fixture("polling_clean.csv");
+  const std::string tpath = ::testing::TempDir() + "wlc_obs_trace.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"extract", path, "--threads", "4", "--trace-out", tpath}, out, err), 0)
+      << err.str();
+  EXPECT_FALSE(tracing_enabled());  // run() disarms tracing on the way out
+  std::ifstream f(tpath);
+  ASSERT_TRUE(f.good());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"cli.load\""), std::string::npos);      // main thread
+  EXPECT_NE(trace.find("\"pool.task\""), std::string::npos);     // workers
+  EXPECT_NE(trace.find("\"extract.upper\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trace.parse_csv\""), std::string::npos);
+  EXPECT_GE(count_occurrences(trace, "\"thread_name\""), 2);
+  std::remove(tpath.c_str());
+}
+
+TEST(ObsCli, ReportPrintsMetricSnapshot) {
+  registry().reset_for_testing();
+  const std::string path = fixture("polling_clean.csv");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"report", path, "--threads", "2"}, out, err), 0) << err.str();
+  const std::string s = out.str();
+  EXPECT_NE(s.find("20 events ingested"), std::string::npos);
+  EXPECT_NE(s.find("counters:"), std::string::npos);
+  EXPECT_NE(s.find("gauges:"), std::string::npos);
+  EXPECT_NE(s.find("histograms:"), std::string::npos);
+  EXPECT_NE(s.find("extract.windows_scanned"), std::string::npos);
+  EXPECT_NE(s.find("pool.tasks"), std::string::npos);
+}
+
+TEST(ObsCli, UnwritableObsOutputPathIsAUsageError) {
+  const std::string path = fixture("polling_clean.csv");
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run({"extract", path, "--metrics-out", "/nonexistent/dir/m.json"}, out, err), 2);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wlc::obs

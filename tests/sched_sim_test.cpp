@@ -78,6 +78,20 @@ TEST(SchedSim, PreemptionDelaysLowPriority) {
   EXPECT_NEAR(r.tasks[1].response_time.max(), 5.0, 1e-6);
 }
 
+TEST(SchedSim, CountsPreemptions) {
+  // The "lo" job (3s of work) is interrupted by every "hi" release while it
+  // runs, and each resumption of an already-started job is a preemption.
+  const auto r = simulate_fixed_priority(
+      {sim_task("hi", 1.0, std::make_shared<FixedDemand>(40)),
+       sim_task("lo", 10.0, std::make_shared<FixedDemand>(300))},
+      100.0, 100.0);
+  EXPECT_GE(r.preemptions, 10);
+  // A lone task is never preempted.
+  const auto solo = simulate_fixed_priority(
+      {sim_task("solo", 1.0, std::make_shared<FixedDemand>(50))}, 100.0, 10.0);
+  EXPECT_EQ(solo.preemptions, 0);
+}
+
 TEST(SchedSim, OverloadProducesMisses) {
   const auto r = simulate_fixed_priority(
       {sim_task("a", 1.0, std::make_shared<FixedDemand>(80)),

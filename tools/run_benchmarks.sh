@@ -5,6 +5,12 @@
 # at the repo root (google-benchmark format; `context` carries host info —
 # compare speedups only across runs with the same num_cpus).
 #
+# The benchmark JSON is then enriched with a `wlc_env` envelope: git sha,
+# CPU count, compiler/flags from the build cache, and the metric snapshot of
+# a representative `wlc_analyze extract` run (windows scanned, pool queue
+# depth/latency) — so a checked-in benchmark file says exactly what was
+# measured, on what, built how.
+#
 # Usage: tools/run_benchmarks.sh [benchmark args...]
 #   e.g. tools/run_benchmarks.sh --benchmark_filter='ExtractUpperGrid'
 set -euo pipefail
@@ -13,11 +19,47 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
 
 cmake -B "$build" -S "$repo" >/dev/null
-cmake --build "$build" -j "$(nproc)" --target perf_extraction
+cmake --build "$build" -j "$(nproc)" --target perf_extraction wlc_analyze
 
 "$build/bench/perf_extraction" \
   --benchmark_out="$repo/BENCH_extraction.json" \
   --benchmark_out_format=json \
   "$@"
+
+# Representative instrumented run: the extraction pipeline over the checked-in
+# polling fixture at full parallelism, metrics captured as JSON.
+metrics="$(mktemp)"
+"$build/tools/wlc_analyze" extract "$repo/tests/fixtures/polling_clean.csv" \
+  --threads "$(nproc)" --metrics-out "$metrics" >/dev/null
+
+git_sha="$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)"
+cxx_flags="$(grep -m1 '^CMAKE_CXX_FLAGS:' "$build/CMakeCache.txt" | cut -d= -f2- || true)"
+build_type="$(grep -m1 '^CMAKE_BUILD_TYPE:' "$build/CMakeCache.txt" | cut -d= -f2- || true)"
+compiler="$(grep -m1 '^CMAKE_CXX_COMPILER:' "$build/CMakeCache.txt" | cut -d= -f2- || true)"
+
+METRICS_FILE="$metrics" GIT_SHA="$git_sha" CXX_FLAGS="$cxx_flags" \
+BUILD_TYPE="$build_type" COMPILER="$compiler" \
+python3 - "$repo/BENCH_extraction.json" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    bench = json.load(f)
+with open(os.environ["METRICS_FILE"]) as f:
+    metrics = json.load(f)
+
+bench["wlc_env"] = {
+    "git_sha": os.environ["GIT_SHA"],
+    "cpu_count": os.cpu_count(),
+    "compiler": os.environ["COMPILER"],
+    "build_type": os.environ["BUILD_TYPE"],
+    "cxx_flags": os.environ["CXX_FLAGS"],
+    "extract_metrics": metrics,
+}
+with open(path, "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+PY
+rm -f "$metrics"
 
 echo "wrote $repo/BENCH_extraction.json"
