@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -8,12 +9,14 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/error.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
 #include "rtc/sizing.h"
+#include "runtime/runtime.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
 #include "trace/io.h"
@@ -83,6 +86,15 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
       return std::nullopt;
     }
     const std::string key = argv[i].substr(2);
+    // --key=value and "--key value" are equivalent everywhere.
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      if (eq == 0) {
+        err << "malformed flag: " << argv[i] << "\n" << usage();
+        return std::nullopt;
+      }
+      o.flags[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (key == "strict" || key == "lenient") {  // boolean flags
       o.flags.emplace(key, "1");
       continue;
@@ -94,6 +106,91 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
     o.flags[key] = argv[++i];
   }
   return o;
+}
+
+/// "2" / "2.5s" / "500ms" → seconds. The whole value must parse and be a
+/// positive finite number; anything else is a usage error naming the flag.
+double parse_duration_seconds(const std::string& raw, const std::string& flag) {
+  std::string_view sv = raw;
+  double scale = 1.0;
+  if (sv.size() >= 2 && sv.substr(sv.size() - 2) == "ms") {
+    scale = 1e-3;
+    sv.remove_suffix(2);
+  } else if (!sv.empty() && sv.back() == 's') {
+    sv.remove_suffix(1);
+  }
+  double v{};
+  const auto res = std::from_chars(sv.data(), sv.data() + sv.size(), v);
+  if (res.ec != std::errc{} || res.ptr != sv.data() + sv.size() || !std::isfinite(v) || v <= 0.0)
+    throw UsageError("--" + flag + " expects a positive duration like '2', '2.5s' or '500ms', got '" +
+                     raw + "'");
+  return v * scale;
+}
+
+/// The runtime knobs shared by every subcommand: deadline, budgets, and the
+/// budget reaction, plus where to write the degradation report. Built once
+/// per run; the deadline is armed here, so it measures wall time from flag
+/// parsing to completion.
+struct RuntimeControls {
+  runtime::RunPolicy policy;
+  runtime::DegradationReport degradation;
+  std::optional<std::string> degradation_out;
+  bool active = false;  ///< any runtime flag present
+
+  /// null when no runtime flag was given, so unflagged runs take the
+  /// historical zero-overhead path.
+  const runtime::RunPolicy* policy_or_null() const { return active ? &policy : nullptr; }
+  runtime::DegradationReport* degradation_or_null() {
+    return active ? &degradation : nullptr;
+  }
+};
+
+RuntimeControls runtime_controls(const Options& o) {
+  RuntimeControls c;
+  if (const auto it = o.flags.find("timeout"); it != o.flags.end()) {
+    const double secs = parse_duration_seconds(it->second, "timeout");
+    c.policy.deadline = runtime::Deadline::after(
+        std::chrono::duration_cast<runtime::Deadline::Clock::duration>(
+            std::chrono::duration<double>(secs)));
+    c.active = true;
+  }
+  const auto positive = [&](const std::string& key) -> std::int64_t {
+    const auto v = o.integer(key);
+    if (!v) return 0;
+    if (*v < 1) throw UsageError("--" + key + " must be >= 1, got " + std::to_string(*v));
+    c.active = true;
+    return *v;
+  };
+  c.policy.budget.max_grid_points = positive("max-grid");
+  c.policy.budget.max_trace_rows = positive("max-rows");
+  c.policy.budget.max_resident_bytes = positive("max-bytes");
+  if (const auto it = o.flags.find("on-budget"); it != o.flags.end()) {
+    if (it->second == "degrade")
+      c.policy.on_budget = runtime::OnBudget::Degrade;
+    else if (it->second != "fail")
+      throw UsageError("--on-budget expects 'fail' or 'degrade', got '" + it->second + "'");
+    c.active = true;
+  }
+  if (const auto it = o.flags.find("degradation-out"); it != o.flags.end()) {
+    c.degradation_out = it->second;
+    c.active = true;
+  }
+  // Degradation (grid coarsening, row/event shedding) only exists along the
+  // extraction pipeline; for the other subcommands a budget can only mean
+  // fail-fast, so asking them to degrade is a contradiction we reject
+  // rather than silently treat as fail.
+  const bool has_degradation_path =
+      o.command == "extract" || o.command == "curves" || o.command == "report";
+  if (!has_degradation_path) {
+    if (c.policy.on_budget == runtime::OnBudget::Degrade)
+      throw UsageError("--on-budget=degrade is not supported by subcommand '" + o.command +
+                       "', which has no degradation path (supported: extract, curves, report); "
+                       "use --on-budget=fail or drop the flag");
+    if (c.degradation_out)
+      throw UsageError("--degradation-out is not supported by subcommand '" + o.command +
+                       "', which has no degradation path (supported: extract, curves, report)");
+  }
+  return c;
 }
 
 struct LoadedTrace {
@@ -118,16 +215,25 @@ unsigned requested_threads(const Options& o) {
   return static_cast<unsigned>(v);
 }
 
-std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
+std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostream& err) {
   WLC_TRACE_SPAN("cli.load");
   std::ifstream file(o.trace_path);
   if (!file) {
     err << "cannot open trace file: " << o.trace_path << "\n";
     return std::nullopt;
   }
+  const runtime::RunPolicy* pol = rc.policy_or_null();
+  trace::ReadOptions ropts;
+  ropts.source_name = o.trace_path;  // parse faults name the file, not "a stream"
+  ropts.policy = pol;
+  ropts.degradation = rc.degradation_or_null();
   trace::EventTrace events;
   try {
-    events = trace::read_event_trace_csv(file);
+    events = trace::read_event_trace_csv(file, trace::ParsePolicy::Strict, nullptr, ropts);
+  } catch (const CancelledError&) {
+    throw;  // exit 6, handled in run()
+  } catch (const BudgetExceededError&) {
+    throw;  // exit 7, handled in run()
   } catch (const std::exception& e) {
     err << "bad trace file: " << e.what() << "\n";
     return std::nullopt;
@@ -139,14 +245,26 @@ std::optional<LoadedTrace> load(const Options& o, std::ostream& err) {
   const auto n = static_cast<std::int64_t>(events.size());
   const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
   const double growth = o.number("growth").value_or(1.02);
-  const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
+  auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
+  // Grid budget is applied once, here; the extracts below run with the grid
+  // axis dropped so they cannot re-shed what was already coarsened.
+  ks = runtime::apply_grid_budget(std::move(ks), pol, rc.degradation_or_null(),
+                                  "analysis of '" + o.trace_path + "'");
+  runtime::RunPolicy inner;
+  const runtime::RunPolicy* ip = nullptr;
+  if (pol) {
+    inner = *pol;
+    inner.budget.max_grid_points = 0;
+    ip = &inner;
+  }
   common::ThreadPool pool(requested_threads(o));
   workload::ExtractStats stats;
+  auto* deg = rc.degradation_or_null();
   return LoadedTrace{events,
-                     workload::extract_upper(trace::demands_of(events), ks, pool, &stats),
-                     workload::extract_lower(trace::demands_of(events), ks, pool),
-                     trace::extract_upper_arrival(trace::timestamps_of(events), ks, pool),
-                     trace::extract_lower_arrival(trace::timestamps_of(events), ks, pool),
+                     workload::extract_upper(trace::demands_of(events), ks, pool, &stats, ip, deg),
+                     workload::extract_lower(trace::demands_of(events), ks, pool, nullptr, ip, deg),
+                     trace::extract_upper_arrival(trace::timestamps_of(events), ks, pool, ip),
+                     trace::extract_lower_arrival(trace::timestamps_of(events), ks, pool, ip),
                      stats};
 }
 
@@ -184,14 +302,15 @@ int cmd_curves(const Options& o, const LoadedTrace& t, std::ostream& out) {
   return 0;
 }
 
-int cmd_size_buffer(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
+int cmd_size_buffer(const Options& o, const LoadedTrace& t, const RuntimeControls& rc,
+                    std::ostream& out, std::ostream& err) {
   const auto b = o.number("buffer");
   if (!b || *b < 0) {
     err << "size-buffer needs --buffer <events>\n";
     return 2;
   }
-  const Hertz fg =
-      rtc::min_frequency_workload(t.arr_u, t.gamma_u, static_cast<EventCount>(*b));
+  const Hertz fg = rtc::min_frequency_workload(t.arr_u, t.gamma_u, static_cast<EventCount>(*b),
+                                               rc.policy_or_null());
   const Hertz fw = rtc::min_frequency_wcet(t.arr_u, t.gamma_u.wcet(), static_cast<EventCount>(*b));
   common::Table table({"model", "minimum clock [MHz]"});
   table.add_row({"workload curves (eq. 9)", common::fmt_f(fg / 1e6, 2)});
@@ -244,8 +363,11 @@ constexpr int kExitValid = 0;
 constexpr int kExitParseError = 3;
 constexpr int kExitUnsound = 4;
 constexpr int kExitDegraded = 5;
+// Global runtime-control exit codes (any subcommand, documented in usage()).
+constexpr int kExitCancelled = 6;  ///< cancel token tripped or --timeout expired
+constexpr int kExitBudget = 7;     ///< a budget axis exceeded under --on-budget=fail
 
-int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
+int cmd_validate(const Options& o, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
   if (o.flags.count("strict") && o.flags.count("lenient")) {
     err << "validate: --strict and --lenient are mutually exclusive\n";
     return 2;
@@ -258,10 +380,17 @@ int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
     err << "cannot open trace file: " << o.trace_path << "\n";
     return 2;
   }
+  trace::ReadOptions ropts;
+  ropts.source_name = o.trace_path;
+  ropts.policy = rc.policy_or_null();
   trace::ParseReport report;
   trace::EventTrace events;
   try {
-    events = trace::read_event_trace_csv(file, policy, &report);
+    events = trace::read_event_trace_csv(file, policy, &report, ropts);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const BudgetExceededError&) {
+    throw;
   } catch (const Error& e) {
     err << "rejected: " << e.detail() << "\n";
     return kExitParseError;
@@ -277,16 +406,21 @@ int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
     const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
     const double growth = o.number("growth").value_or(1.02);
     const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
-    const auto gu = workload::extract_upper(trace::demands_of(events), ks);
-    const auto gl = workload::extract_lower(trace::demands_of(events), ks);
-    const auto au = trace::extract_upper_arrival(trace::timestamps_of(events), ks);
-    const auto al = trace::extract_lower_arrival(trace::timestamps_of(events), ks);
+    const runtime::RunPolicy* pol = rc.policy_or_null();
+    const auto gu = workload::extract_upper(trace::demands_of(events), ks, nullptr, pol);
+    const auto gl = workload::extract_lower(trace::demands_of(events), ks, nullptr, pol);
+    const auto au = trace::extract_upper_arrival(trace::timestamps_of(events), ks, pol);
+    const auto al = trace::extract_lower_arrival(trace::timestamps_of(events), ks, pol);
     vr.merge(validate::check_workload_curve(gu));
     vr.merge(validate::check_workload_curve(gl));
     vr.merge(validate::check_workload_pair(gu, gl));
     vr.merge(validate::check_empirical_arrival_curve(au));
     vr.merge(validate::check_empirical_arrival_curve(al));
     vr.merge(validate::check_empirical_arrival_pair(au, al));
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const BudgetExceededError&) {
+    throw;
   } catch (const Error& e) {
     err << "unsound: extraction refused: " << e.detail() << "\n";
     return kExitUnsound;
@@ -311,13 +445,17 @@ int cmd_validate(const Options& o, std::ostream& out, std::ostream& err) {
   return kExitValid;
 }
 
-int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.command == "validate") return cmd_validate(opts, out, err);
-  const auto loaded = load(opts, err);
+int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
+  // First checkpoint before any work: an already-expired --timeout (or a
+  // pre-cancelled token) trips deterministically here, not file-dependent
+  // rows into ingestion.
+  if (rc.active) rc.policy.checkpoint("command dispatch");
+  if (opts.command == "validate") return cmd_validate(opts, rc, out, err);
+  const auto loaded = load(opts, rc, err);
   if (!loaded) return 2;
   if (opts.command == "curves" || opts.command == "extract") return cmd_curves(opts, *loaded, out);
   if (opts.command == "report") return cmd_report(*loaded, out);
-  if (opts.command == "size-buffer") return cmd_size_buffer(opts, *loaded, out, err);
+  if (opts.command == "size-buffer") return cmd_size_buffer(opts, *loaded, rc, out, err);
   if (opts.command == "size-delay") return cmd_size_delay(opts, *loaded, out, err);
   if (opts.command == "simulate") return cmd_simulate(opts, *loaded, out, err);
   err << "unknown command: " << opts.command << "\n" << usage();
@@ -344,6 +482,21 @@ int write_observability_outputs(const Options& o, std::ostream& err) {
     }
     obs::write_chrome_trace(f);
   }
+  return 0;
+}
+
+/// Writes --degradation-out after the command ran (or was aborted). The
+/// report is written on the cancelled/budget exit paths too — an aborted
+/// run's report says what had been shed before the trip, and its "aborted"
+/// field says why the run stopped.
+int write_degradation_output(const RuntimeControls& rc, std::ostream& err) {
+  if (!rc.degradation_out) return 0;
+  std::ofstream f(*rc.degradation_out);
+  if (!f) {
+    err << "cannot open degradation output file: " << *rc.degradation_out << "\n";
+    return 2;
+  }
+  f << rc.degradation.to_json() << "\n";
   return 0;
 }
 
@@ -375,11 +528,29 @@ std::string usage() {
          "               row; --lenient drops bad rows and reports them.\n"
          "               exit codes: 0 valid, 2 usage, 3 rejected input,\n"
          "               4 soundness violation, 5 valid but rows were dropped\n"
-         "global flags (every command):\n"
+         "global flags (every command; --key value and --key=value both work):\n"
          "  --metrics-out FILE   write this run's metric snapshot as JSON\n"
          "  --trace-out FILE     record scoped spans and write Chrome\n"
          "                       trace-event JSON (open in chrome://tracing\n"
          "                       or ui.perfetto.dev)\n"
+         "runtime controls (every command):\n"
+         "  --timeout D          abort once D of wall time has elapsed; D is\n"
+         "                       '2', '2.5s' or '500ms'. exit code 6\n"
+         "  --max-grid N         budget: at most N k-grid points\n"
+         "  --max-rows N         budget: at most N trace rows ingested\n"
+         "  --max-bytes N        budget: at most N resident bytes per extraction\n"
+         "  --on-budget MODE     'fail' (default): exceeding a budget aborts\n"
+         "                       with exit code 7. 'degrade': shed work instead\n"
+         "                       (coarser grid / truncated trace) and report\n"
+         "                       what was shed; bounds stay sound for the\n"
+         "                       analyzed subset. only extract/curves/report\n"
+         "                       have a degradation path; elsewhere degrade\n"
+         "                       mode is a usage error\n"
+         "  --degradation-out FILE  write the degradation report as JSON\n"
+         "                       (also written when a timeout aborts the run,\n"
+         "                       with \"aborted\" naming the cause)\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 3-5 validate (above),\n"
+         "            6 cancelled/timeout, 7 budget exceeded under fail\n"
          "trace format: CSV with header 'time,type,demand'\n";
 }
 
@@ -390,21 +561,42 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
   // trace sink was actually requested (and disarmed again for in-process
   // callers like the test suite).
   const bool tracing = opts->flags.count("trace-out") > 0;
-  if (tracing) obs::set_tracing_enabled(true);
+  RuntimeControls controls;
   int rc;
   try {
-    rc = dispatch(*opts, out, err);
+    controls = runtime_controls(*opts);  // may throw UsageError; before tracing arms
+    if (tracing) obs::set_tracing_enabled(true);
+    rc = dispatch(*opts, controls, out, err);
   } catch (const UsageError& e) {
     if (tracing) obs::set_tracing_enabled(false);
     err << e.what() << "\n" << usage();
     return 2;
+  } catch (const CancelledError& e) {
+    if (tracing) obs::set_tracing_enabled(false);
+    controls.degradation.aborted =
+        e.reason() == CancelledError::Reason::Deadline ? "deadline" : "cancelled";
+    err << "cancelled: " << e.detail() << "\n";
+    const int deg_rc = write_degradation_output(controls, err);
+    const int obs_rc = write_observability_outputs(*opts, err);
+    return deg_rc != 0 ? deg_rc : obs_rc != 0 ? obs_rc : kExitCancelled;
+  } catch (const BudgetExceededError& e) {
+    if (tracing) obs::set_tracing_enabled(false);
+    controls.degradation.aborted = "budget:" + e.axis();
+    err << "budget exceeded (" << e.axis() << "): " << e.detail() << "\n";
+    const int deg_rc = write_degradation_output(controls, err);
+    const int obs_rc = write_observability_outputs(*opts, err);
+    return deg_rc != 0 ? deg_rc : obs_rc != 0 ? obs_rc : kExitBudget;
   } catch (const std::exception& e) {
     if (tracing) obs::set_tracing_enabled(false);
     err << "error: " << e.what() << "\n";
     return 1;
   }
   if (tracing) obs::set_tracing_enabled(false);
+  if (controls.degradation.degraded())
+    out << "degraded: " << controls.degradation.to_string() << "\n";
+  const int deg_rc = write_degradation_output(controls, err);
   const int obs_rc = write_observability_outputs(*opts, err);
+  if (deg_rc != 0) return deg_rc;
   return obs_rc != 0 ? obs_rc : rc;
 }
 

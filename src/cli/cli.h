@@ -24,13 +24,22 @@ namespace wlc::cli {
 /// Every command also accepts the global observability flags
 /// `--metrics-out FILE` (metric snapshot as JSON) and `--trace-out FILE`
 /// (Chrome trace-event JSON of the run's scoped spans); neither changes
-/// what is written to `out`.
+/// what is written to `out`. Flags may be spelled `--key value` or
+/// `--key=value`.
+/// Runtime controls (also global): `--timeout D` bounds wall time,
+/// `--max-grid/--max-rows/--max-bytes N` bound work and memory, and
+/// `--on-budget {fail,degrade}` picks the reaction — fail aborts, degrade
+/// sheds work (soundly, for the analyzed subset) and reports it;
+/// `--degradation-out FILE` writes that report as JSON. Degrade mode is
+/// only accepted by the subcommands with a degradation path (extract,
+/// curves, report); elsewhere it is a usage error.
 /// Writes human-readable results to `out`, diagnostics to `err`.
-/// Returns a process exit code: 0 = success, 2 = usage error (including
-/// malformed flag values and unwritable --metrics-out/--trace-out paths);
+/// Returns a process exit code: 0 = success, 1 = runtime error, 2 = usage
+/// error (including malformed flag values and unwritable output paths);
 /// the validate command additionally returns 3 (input rejected), 4
 /// (soundness violation) or 5 (lenient mode dropped rows; surviving rows
-/// sound) — see usage().
+/// sound); any command returns 6 when cancelled (--timeout expired) and 7
+/// when a budget is exceeded under --on-budget=fail — see usage().
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
 
 /// The usage text printed on bad invocations.

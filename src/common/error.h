@@ -1,6 +1,6 @@
 // Structured error taxonomy for the whole library.
 //
-// Every failure a caller can meaningfully react to is one of four kinds:
+// Every failure a caller can meaningfully react to is one of six kinds:
 //
 //   ParseError          — malformed external input (trace files, CSV rows);
 //                         carries the input line/column when known.
@@ -14,6 +14,14 @@
 //                         extension) would wrap; the library saturates or
 //                         refuses rather than silently producing a wrong
 //                         Cycles value.
+//   CancelledError      — a cooperative run-policy checkpoint observed a
+//                         cancelled CancelToken or an expired Deadline
+//                         (wlc::runtime); the operation unwound cleanly and
+//                         no partial result was published.
+//   BudgetExceededError — a wlc::runtime::Budget axis (k-grid points, trace
+//                         rows, resident bytes) would be exceeded and the
+//                         policy forbids degrading; carries the axis name
+//                         and the requested-vs-allowed amounts.
 //
 // Each concrete type also derives from the std exception the library
 // historically threw (std::invalid_argument / std::logic_error /
@@ -134,6 +142,47 @@ class OverflowError : public std::overflow_error, public Error {
         Error(std::move(message), std::move(offending), file, line) {}
 
   const char* kind() const noexcept override { return "OverflowError"; }
+};
+
+/// A cooperative checkpoint (wlc::runtime::RunPolicy::checkpoint) observed a
+/// cancellation request or an expired deadline. Work unwinds cleanly —
+/// pools stay usable, no partial result is published — so catching this is
+/// the normal way to stop a long-running analysis.
+class CancelledError : public std::runtime_error, public Error {
+ public:
+  /// What tripped the checkpoint: an explicit CancelToken::cancel() call or
+  /// a monotonic-clock Deadline passing.
+  enum class Reason { Token, Deadline };
+
+  explicit CancelledError(Reason reason, std::string message, std::string offending = "",
+                          const char* file = "", int line = 0)
+      : std::runtime_error(format_what("CancelledError", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line),
+        reason_(reason) {}
+
+  const char* kind() const noexcept override { return "CancelledError"; }
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// A wlc::runtime::Budget axis would be exceeded and the RunPolicy says
+/// Fail rather than Degrade. `axis` names the budget dimension
+/// ("grid_points", "trace_rows", "resident_bytes").
+class BudgetExceededError : public std::runtime_error, public Error {
+ public:
+  BudgetExceededError(std::string axis, std::string message, std::string offending = "",
+                      const char* file = "", int line = 0)
+      : std::runtime_error(format_what("BudgetExceededError", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line),
+        axis_(std::move(axis)) {}
+
+  const char* kind() const noexcept override { return "BudgetExceededError"; }
+  const std::string& axis() const noexcept { return axis_; }
+
+ private:
+  std::string axis_;
 };
 
 }  // namespace wlc

@@ -23,6 +23,16 @@
 // block that worker on tasks that may be queued behind it. Nested calls are
 // therefore detected (thread-local ownership mark) and run inline on the
 // calling worker — correct, merely not further parallelized.
+//
+// Cancellation contract. The four-argument overloads take a checkpoint
+// callable that runs once on the calling thread before any work is queued
+// and then before every body invocation (inline fallback and worker chunks
+// alike). A throwing checkpoint — wlc::runtime::RunPolicy::checkpoint
+// raising CancelledError — aborts that chunk's remaining iterations; every
+// other chunk observes the same condition at its own next checkpoint, the
+// pool itself stays fully usable, and first-error-wins still picks the
+// lowest-indexed chunk's exception. The checkpoint must be callable
+// concurrently from multiple threads and must not mutate shared state.
 #pragma once
 
 #include <condition_variable>
@@ -127,15 +137,21 @@ class ForkJoinState {
 
 }  // namespace detail
 
-/// Runs body(i) for every i in [0, n), blocking until all complete.
-/// Deterministic: contiguous chunks, ascending order within each chunk,
-/// lowest-chunk exception rethrown. Degrades to an inline serial loop for
+/// Checkpointed parallel_for: runs body(i) for every i in [0, n), invoking
+/// check() on the calling thread before any chunk is queued and then before
+/// every body call. Deterministic: contiguous chunks, ascending order within
+/// each chunk, lowest-chunk exception (body's or check's) rethrown. Degrades
+/// to an inline serial loop — with the same checkpoint cadence — for
 /// empty/singleton ranges, 1-thread pools, and nested calls from a worker.
-template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+template <typename Body, typename Check>
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body, const Check& check) {
+  check();
   if (n == 0) return;
   if (n == 1 || pool.size() <= 1 || pool.on_worker_thread()) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      check();
+      body(i);
+    }
     return;
   }
   // A few chunks per worker so an expensive tail (large k scans the same
@@ -150,9 +166,12 @@ void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
     const std::size_t lo = start;
     const std::size_t hi = lo + base + (c < extra ? 1 : 0);
     start = hi;
-    pool.submit([&state, &body, c, lo, hi] {
+    pool.submit([&state, &body, &check, c, lo, hi] {
       try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
+        for (std::size_t i = lo; i < hi; ++i) {
+          check();
+          body(i);
+        }
       } catch (...) {
         state.record_error(c, std::current_exception());
       }
@@ -162,14 +181,30 @@ void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
   state.wait_and_rethrow();
 }
 
-/// Maps fn over items, preserving order: out[i] = fn(items[i]). Results
-/// are staged through std::optional so the mapped type needs no default
-/// constructor (WorkloadCurve, ClipAnalysis, ...).
-template <typename T, typename Fn>
-auto parallel_map(ThreadPool& pool, const std::vector<T>& items, const Fn& fn) {
+namespace detail {
+/// The uncheckpointed overloads pay nothing: an empty checkpoint inlines to
+/// no code at all.
+inline constexpr auto kNoCheck = [] {};
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n), blocking until all complete.
+/// Deterministic: contiguous chunks, ascending order within each chunk,
+/// lowest-chunk exception rethrown. Degrades to an inline serial loop for
+/// empty/singleton ranges, 1-thread pools, and nested calls from a worker.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, const Body& body) {
+  parallel_for(pool, n, body, detail::kNoCheck);
+}
+
+/// Checkpointed parallel_map; see the checkpointed parallel_for for the
+/// cancellation contract.
+template <typename T, typename Fn, typename Check>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, const Fn& fn,
+                  const Check& check) {
   using R = std::decay_t<decltype(fn(items.front()))>;
   std::vector<std::optional<R>> staged(items.size());
-  parallel_for(pool, items.size(), [&](std::size_t i) { staged[i].emplace(fn(items[i])); });
+  parallel_for(
+      pool, items.size(), [&](std::size_t i) { staged[i].emplace(fn(items[i])); }, check);
   std::vector<R> out;
   out.reserve(items.size());
   for (auto& slot : staged) {
@@ -177,6 +212,14 @@ auto parallel_map(ThreadPool& pool, const std::vector<T>& items, const Fn& fn) {
     out.push_back(std::move(*slot));
   }
   return out;
+}
+
+/// Maps fn over items, preserving order: out[i] = fn(items[i]). Results
+/// are staged through std::optional so the mapped type needs no default
+/// constructor (WorkloadCurve, ClipAnalysis, ...).
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, const Fn& fn) {
+  return parallel_map(pool, items, fn, detail::kNoCheck);
 }
 
 }  // namespace wlc::common

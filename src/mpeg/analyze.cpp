@@ -12,23 +12,52 @@ namespace wlc::mpeg {
 std::vector<ClipAnalysis> analyze_clips(const TraceConfig& config,
                                         std::span<const ClipProfile> profiles,
                                         const AnalyzeOptions& options,
-                                        common::ThreadPool& pool) {
+                                        common::ThreadPool& pool,
+                                        const runtime::RunPolicy* policy,
+                                        runtime::DegradationReport* degradation) {
   WLC_TRACE_SPAN("mpeg.analyze_clips");
   const std::vector<ClipProfile> items(profiles.begin(), profiles.end());
-  return common::parallel_map(pool, items, [&](const ClipProfile& profile) {
-    WLC_TRACE_SPAN("mpeg.clip");
-    WLC_COUNTER_ADD("mpeg.clips_analyzed", 1);
-    ClipTrace t = generate_clip_trace(config, profile);
-    const auto max_k = std::max<std::int64_t>(options.min_max_k,
-                                              static_cast<std::int64_t>(t.pe2_input.size()));
-    const auto ks = trace::make_kgrid(
-        {.max_k = max_k, .dense_limit = options.dense_limit, .growth = options.growth});
-    workload::WorkloadCurve gu = workload::extract_upper(trace::demands_of(t.pe2_input), ks);
-    workload::WorkloadCurve gl = workload::extract_lower(trace::demands_of(t.pe2_input), ks);
-    trace::EmpiricalArrivalCurve au =
-        trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks);
-    return ClipAnalysis{std::move(t), std::move(gu), std::move(gl), std::move(au)};
-  });
+  // The grid budget is applied per clip on the made grid (each clip's grid
+  // depends on its trace length); the per-clip extracts then run with the
+  // grid axis dropped so they cannot re-shed. Per-clip degradation lands in
+  // an indexed slot and is folded in profile order after the join.
+  runtime::RunPolicy inner;
+  const runtime::RunPolicy* ip = nullptr;
+  if (policy) {
+    inner = *policy;
+    inner.budget.max_grid_points = 0;
+    ip = &inner;
+  }
+  std::vector<runtime::DegradationReport> local(items.size());
+  const auto check = [&] {
+    if (policy) policy->checkpoint("clip analysis");
+  };
+  auto out = common::parallel_map(
+      pool, items,
+      [&](const ClipProfile& profile) {
+        WLC_TRACE_SPAN("mpeg.clip");
+        WLC_COUNTER_ADD("mpeg.clips_analyzed", 1);
+        const auto idx = static_cast<std::size_t>(&profile - items.data());
+        auto* deg = degradation ? &local[idx] : nullptr;
+        ClipTrace t = generate_clip_trace(config, profile);
+        const auto max_k = std::max<std::int64_t>(options.min_max_k,
+                                                  static_cast<std::int64_t>(t.pe2_input.size()));
+        auto ks = trace::make_kgrid(
+            {.max_k = max_k, .dense_limit = options.dense_limit, .growth = options.growth});
+        ks = runtime::apply_grid_budget(std::move(ks), policy, deg,
+                                        "clip '" + profile.name + "'");
+        workload::WorkloadCurve gu =
+            workload::extract_upper(trace::demands_of(t.pe2_input), ks, nullptr, ip, deg);
+        workload::WorkloadCurve gl =
+            workload::extract_lower(trace::demands_of(t.pe2_input), ks, nullptr, ip, deg);
+        trace::EmpiricalArrivalCurve au =
+            trace::extract_upper_arrival(trace::timestamps_of(t.pe2_input), ks, ip);
+        return ClipAnalysis{std::move(t), std::move(gu), std::move(gl), std::move(au)};
+      },
+      check);
+  if (degradation)
+    for (const auto& r : local) degradation->merge(r);
+  return out;
 }
 
 }  // namespace wlc::mpeg

@@ -8,6 +8,11 @@
 // clip, extraction is the serial oracle), so results are bit-identical to a
 // sequential loop over the clips regardless of scheduling, and the output
 // order always matches the profile order.
+// Run policy. analyze_clips takes an optional runtime::RunPolicy*: the
+// cancel token/deadline is polled before each clip and inside each clip's
+// extractions; Budget::max_grid_points coarsens every clip's k-grid
+// (recorded per clip, merged in profile order for determinism); the byte
+// budget applies per clip inside workload extraction.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 
 #include "common/thread_pool.h"
 #include "mpeg/trace_gen.h"
+#include "runtime/runtime.h"
 #include "trace/arrival_curve.h"
 #include "workload/workload_curve.h"
 
@@ -46,6 +52,8 @@ struct ClipAnalysis {
 std::vector<ClipAnalysis> analyze_clips(const TraceConfig& config,
                                         std::span<const ClipProfile> profiles,
                                         const AnalyzeOptions& options,
-                                        common::ThreadPool& pool);
+                                        common::ThreadPool& pool,
+                                        const runtime::RunPolicy* policy = nullptr,
+                                        runtime::DegradationReport* degradation = nullptr);
 
 }  // namespace wlc::mpeg

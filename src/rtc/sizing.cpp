@@ -39,8 +39,10 @@ Hertz min_frequency(const trace::EmpiricalArrivalCurve& arrivals, EventCount buf
 }  // namespace
 
 Hertz min_frequency_workload(const trace::EmpiricalArrivalCurve& arrivals,
-                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events) {
+                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events,
+                             const runtime::RunPolicy* policy) {
   WLC_REQUIRE(gamma_u.bound() == workload::Bound::Upper, "sizing needs γᵘ");
+  if (policy) policy->checkpoint("frequency sizing");
   return min_frequency(arrivals, buffer_events, [&](EventCount k) {
     return static_cast<double>(gamma_u.value(k));
   });
@@ -112,11 +114,11 @@ TimeSec min_playout_delay(const trace::EmpiricalArrivalCurve& lower_arrivals, do
 
 std::vector<std::pair<EventCount, Hertz>> buffer_frequency_tradeoff(
     const trace::EmpiricalArrivalCurve& arrivals, const workload::WorkloadCurve& gamma_u,
-    const std::vector<EventCount>& buffer_sizes) {
+    const std::vector<EventCount>& buffer_sizes, const runtime::RunPolicy* policy) {
   std::vector<std::pair<EventCount, Hertz>> out;
   out.reserve(buffer_sizes.size());
   for (EventCount b : buffer_sizes)
-    out.emplace_back(b, min_frequency_workload(arrivals, gamma_u, b));
+    out.emplace_back(b, min_frequency_workload(arrivals, gamma_u, b, policy));
   return out;
 }
 

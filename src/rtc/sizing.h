@@ -14,12 +14,18 @@
 //
 // The case study's headline result is the gap between (9) and (10):
 // ≈ 340 MHz vs ≈ 710 MHz for the MPEG-2 IDCT/MC stage — over 50 % savings.
+// Run policy. The sweep entry points take an optional runtime::RunPolicy*
+// and poll its cancel token/deadline once per swept point (per buffer size
+// in buffer_frequency_tradeoff, per breakpoint batch in
+// min_frequency_workload) — individual eq. (9) evaluations are cheap, so
+// the checkpoint granularity is the sweep step.
 #pragma once
 
 #include <utility>
 #include <vector>
 
 #include "curve/discrete_curve.h"
+#include "runtime/runtime.h"
 #include "trace/arrival_curve.h"
 #include "workload/workload_curve.h"
 
@@ -29,7 +35,8 @@ namespace wlc::rtc {
 /// buffer (no finite clock can help). Exact for step arrival curves: the
 /// ratio is maximized at arrival-curve breakpoints.
 Hertz min_frequency_workload(const trace::EmpiricalArrivalCurve& arrivals,
-                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events);
+                             const workload::WorkloadCurve& gamma_u, EventCount buffer_events,
+                             const runtime::RunPolicy* policy = nullptr);
 
 /// eq. (10): the WCET-only baseline with w = γᵘ(1).
 Hertz min_frequency_wcet(const trace::EmpiricalArrivalCurve& arrivals, Cycles wcet,
@@ -51,7 +58,7 @@ bool service_satisfies_buffer(const curve::DiscreteCurve& beta,
 /// DESIGN.md §5(4)). Returns (b, F^γ_min(b)) pairs.
 std::vector<std::pair<EventCount, Hertz>> buffer_frequency_tradeoff(
     const trace::EmpiricalArrivalCurve& arrivals, const workload::WorkloadCurve& gamma_u,
-    const std::vector<EventCount>& buffer_sizes);
+    const std::vector<EventCount>& buffer_sizes, const runtime::RunPolicy* policy = nullptr);
 
 /// Deadline-driven sizing (the delay analogue of eq. (9)): the smallest
 /// dedicated clock such that every event finishes within `max_delay` of its

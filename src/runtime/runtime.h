@@ -1,0 +1,221 @@
+// wlc::runtime — cooperative cancellation, deadlines and work/memory budgets
+// for the long-running entry points, with soundness-preserving graceful
+// degradation.
+//
+// Every expensive pipeline stage (trace ingestion, workload/arrival curve
+// extraction, batched clip analysis, the eq. (9) sizing sweeps) accepts an
+// optional RunPolicy and polls it at bounded intervals:
+//
+//   runtime::CancelToken token = runtime::CancelToken::make();
+//   runtime::RunPolicy policy{
+//       .token = token.child(),
+//       .deadline = runtime::Deadline::after(std::chrono::seconds(2)),
+//       .budget = {.max_grid_points = 256, .max_trace_rows = 1'000'000},
+//       .on_budget = runtime::OnBudget::Degrade};
+//   runtime::DegradationReport shed;
+//   auto gu = workload::extract_upper(demands, ks, &stats, &policy, &shed);
+//
+// Cancellation is *cooperative*: nothing is killed, checkpoints throw
+// wlc::CancelledError at chunk boundaries and the work unwinds through the
+// normal exception contracts (ThreadPool stays usable, first-error-wins is
+// preserved). The cost discipline matches WLC_TRACE_SPAN: an unarmed token
+// is a null-pointer test, an unarmed deadline never reads the clock, and an
+// armed checkpoint is one relaxed atomic load per hierarchy level plus one
+// steady-clock read.
+//
+// Budgets bound *work* rather than time: k-grid points, ingested trace rows
+// and resident buffer bytes. On a would-exceed, OnBudget::Fail throws
+// wlc::BudgetExceededError; OnBudget::Degrade sheds work instead and records
+// exactly what was shed in a DegradationReport. Degradation never silently
+// weakens a guarantee:
+//
+//   * Coarsening the k-grid keeps γᵘ a valid upper bound and γˡ a valid
+//     lower bound — between the surviving breakpoints the curve objects
+//     interpolate conservatively (step up / hold down), so the degraded γᵘ
+//     dominates the full-grid γᵘ at every k and the degraded γˡ is
+//     dominated. Everything derived from them (F^γ_min, backlog bounds)
+//     moves to the conservative side; tightness is lost, soundness is not.
+//   * Shedding trace rows / truncating the analyzed window shrinks the
+//     *certificate scope* (the bounds certify the analyzed prefix only, as
+//     with lenient ingestion); the report states the kept/requested counts
+//     so the caller can decide whether the partial certificate suffices.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wlc::runtime {
+
+/// Hierarchical cancellation flag. A default-constructed token is *unarmed*:
+/// it can never become cancelled and costs a null-pointer test to poll.
+/// make() arms a fresh root; child() derives a token that observes its own
+/// cancel() *and* every ancestor's, while cancelling a child never affects
+/// the parent — the shape needed to hang one request's sub-operations off a
+/// server-wide shutdown flag.
+class CancelToken {
+ public:
+  CancelToken() = default;  ///< unarmed: never cancelled, zero-cost polls
+
+  /// A fresh, armed, not-yet-cancelled root token.
+  static CancelToken make();
+
+  /// An armed token observing this token and all its ancestors. Requires an
+  /// armed parent (a child of the unarmed token would be unobservable).
+  CancelToken child() const;
+
+  /// Requests cancellation: every holder of this token or a descendant
+  /// observes cancelled() == true from now on. Idempotent, thread-safe.
+  /// Requires an armed token.
+  void cancel() const;
+
+  /// True once this token or any ancestor was cancelled. One relaxed atomic
+  /// load per hierarchy level when armed; no atomics at all when unarmed.
+  bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get())
+      if (s->flag.load(std::memory_order_relaxed)) return true;
+    return false;
+  }
+
+  bool armed() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Monotonic-clock deadline. Default-constructed = unarmed (never expires,
+/// never reads the clock). Built on steady_clock so wall-clock adjustments
+/// cannot spuriously cancel or extend a run.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< unarmed: expired() is constant false
+
+  /// Expires `d` after now. Non-positive durations are already expired.
+  static Deadline after(Clock::duration d);
+
+  /// Expires at the given steady-clock instant.
+  static Deadline at(Clock::time_point tp);
+
+  bool armed() const { return armed_; }
+
+  /// True once the deadline passed. Reads the clock only when armed.
+  bool expired() const { return armed_ && Clock::now() >= when_; }
+
+  /// Seconds until expiry (negative once past); +inf when unarmed.
+  double remaining_seconds() const;
+
+ private:
+  Clock::time_point when_{};
+  bool armed_ = false;
+};
+
+/// Work/memory ceilings. 0 on any axis = unlimited.
+struct Budget {
+  std::int64_t max_grid_points = 0;     ///< k-grid entries per extraction
+  std::int64_t max_trace_rows = 0;      ///< data rows kept by trace ingestion
+  std::int64_t max_resident_bytes = 0;  ///< prefix-sum / curve working buffers
+
+  bool unlimited() const {
+    return max_grid_points <= 0 && max_trace_rows <= 0 && max_resident_bytes <= 0;
+  }
+};
+
+/// What to do when a Budget axis would be exceeded.
+enum class OnBudget {
+  Fail,     ///< throw wlc::BudgetExceededError
+  Degrade,  ///< shed work (coarsen grid / truncate rows) and report it
+};
+
+/// Exactly what a degraded run shed, so "less tight" is never silent.
+/// Counters accumulate across the pipeline stages that share one report;
+/// `actions` holds human-readable one-liners (capped — the counters stay
+/// exact even when the narration saturates).
+struct DegradationReport {
+  std::int64_t grid_points_requested = 0;  ///< grid entries before coarsening
+  std::int64_t grid_points_used = 0;       ///< entries actually evaluated
+  std::int64_t rows_requested = 0;         ///< data rows seen by ingestion
+  std::int64_t rows_used = 0;              ///< rows kept under the row budget
+  std::int64_t events_requested = 0;       ///< trace events offered to extraction
+  std::int64_t events_analyzed = 0;        ///< events fitting the byte budget
+  /// Empty while the run is alive/completed; set to the trip reason
+  /// ("deadline", "cancelled") when the run was aborted mid-degradation.
+  std::string aborted;
+  std::vector<std::string> actions;
+
+  /// True iff anything was shed (or the run was aborted).
+  bool degraded() const;
+
+  /// Appends one narration line (drops it once the cap is reached).
+  void note(std::string action);
+
+  /// Accumulates another report (summed counters, appended actions). Used
+  /// by batched extraction to fold per-trace reports into one.
+  void merge(const DegradationReport& other);
+
+  /// One human-readable line per shed axis; "no degradation" when clean.
+  std::string to_string() const;
+
+  /// Stable JSON object for machine consumers (CI asserts on it):
+  /// {"degraded": bool, "aborted": str, "grid_points": {...}, ...}.
+  std::string to_json() const;
+};
+
+/// Everything a long-running call needs to be interruptible and boundable:
+/// who may cancel it, when it must stop, how much work it may do, and
+/// whether exceeding the budget fails or degrades. Passed by pointer with
+/// nullptr meaning "run unboundedly" (the historical behavior).
+struct RunPolicy {
+  CancelToken token;
+  Deadline deadline;
+  Budget budget;
+  OnBudget on_budget = OnBudget::Fail;
+
+  /// True iff checkpoint() can ever throw (saves clock reads on hot paths).
+  bool interruptible() const { return token.armed() || deadline.armed(); }
+
+  /// Poll point: throws wlc::CancelledError when the token was cancelled or
+  /// the deadline passed; otherwise returns. `where` names the stage for
+  /// the error message ("workload extraction"). Called between work chunks
+  /// — never holds locks, safe from any thread.
+  void checkpoint(const char* where) const;
+
+  /// True when `points` k-grid entries fit max_grid_points.
+  bool grid_within_budget(std::int64_t points) const {
+    return budget.max_grid_points <= 0 || points <= budget.max_grid_points;
+  }
+};
+
+/// Uniformly subsamples a sorted k-grid down to at most max(2, max_points)
+/// entries, always keeping the first and last (so the exact range and the
+/// k = 1 / WCET anchor survive). The result is a subsequence of `ks`:
+/// every surviving entry is still computed exactly, and the curve objects'
+/// conservative interpolation between them preserves the bound direction.
+std::vector<std::int64_t> coarsen_grid(std::span<const std::int64_t> ks,
+                                       std::int64_t max_points);
+
+/// Applies `policy`'s grid budget to `ks`: returns it unchanged when within
+/// budget (or policy is null), coarsens under OnBudget::Degrade (recording
+/// requested/used counts and a narration line tagged `what` in
+/// `degradation`, when given), throws wlc::BudgetExceededError under
+/// OnBudget::Fail.
+std::vector<std::int64_t> apply_grid_budget(std::vector<std::int64_t> ks,
+                                            const RunPolicy* policy,
+                                            DegradationReport* degradation,
+                                            const std::string& what);
+
+}  // namespace wlc::runtime

@@ -122,10 +122,16 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
     }
   }
 
-  // Jobs still pending whose deadline already passed are misses too.
+  // Jobs still pending whose deadline already passed are misses too; the
+  // rest were cut off by the horizon with their outcome undecided, which
+  // the result reports as truncation rather than silently dropping.
   for (std::size_t i = 0; i < ts.size(); ++i)
-    for (const auto& job : ts[i].pending)
-      if (job.abs_deadline < horizon) ++result.tasks[i].deadline_misses;
+    for (const auto& job : ts[i].pending) {
+      if (job.abs_deadline < horizon)
+        ++result.tasks[i].deadline_misses;
+      else
+        ++result.unresolved_jobs;
+    }
 
   std::int64_t released = 0;
   std::int64_t completed = 0;
@@ -137,6 +143,7 @@ SimResult simulate(const std::vector<SimTask>& input, Hertz f, TimeSec horizon, 
   WLC_COUNTER_ADD("sched.jobs_completed", completed);
   WLC_COUNTER_ADD("sched.deadline_misses", result.total_misses());
   WLC_COUNTER_ADD("sched.preemptions", result.preemptions);
+  WLC_COUNTER_ADD("sched.unresolved_jobs", result.unresolved_jobs);
 
   return result;
 }

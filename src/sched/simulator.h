@@ -42,7 +42,14 @@ struct SimResult {
   /// Times the processor was taken from a started-but-incomplete job by a
   /// different job (context switches that are not completions).
   std::int64_t preemptions = 0;
+  /// Jobs still pending at the horizon whose absolute deadline lies at or
+  /// beyond it: their outcome (completion or miss) was simply not observed.
+  /// A nonzero value means "total_misses() is a lower bound over [0,
+  /// horizon)", not "the task set is schedulable" — callers comparing the
+  /// simulation against an analysis verdict must check truncated() first.
+  std::int64_t unresolved_jobs = 0;
   std::int64_t total_misses() const;
+  bool truncated() const { return unresolved_jobs > 0; }
   double utilization() const { return horizon > 0.0 ? busy_time / horizon : 0.0; }
 };
 
@@ -51,7 +58,8 @@ struct SimResult {
 /// running to completion (miss counted once, at its deadline or at
 /// completion, whichever the simulator observes first); an unfinished job at
 /// the horizon counts as neither completed nor missed unless its absolute
-/// deadline already passed.
+/// deadline already passed — such cut-off jobs are tallied in
+/// SimResult::unresolved_jobs instead.
 SimResult simulate_fixed_priority(const std::vector<SimTask>& tasks, Hertz f, TimeSec horizon);
 
 /// Same engine under preemptive earliest-deadline-first: at every scheduling

@@ -48,7 +48,7 @@ TimeSec scan_maxspan(const TimestampTrace& ts, std::int64_t n, std::int64_t k) {
 enum class Span { Min, Max };
 
 std::vector<TimeSec> spans(const TimestampTrace& ts, std::span<const std::int64_t> ks, Span which,
-                           common::ThreadPool* pool) {
+                           common::ThreadPool* pool, const runtime::RunPolicy* policy) {
   WLC_TRACE_SPAN(which == Span::Min ? "arrival.minspans" : "arrival.maxspans");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
@@ -60,20 +60,29 @@ std::vector<TimeSec> spans(const TimestampTrace& ts, std::span<const std::int64_
     WLC_COUNTER_ADD("arrival.windows_scanned", n - k + 1);
     out[i] = which == Span::Min ? scan_minspan(ts, n, k) : scan_maxspan(ts, n, k);
   };
-  if (pool)
-    common::parallel_for(*pool, ks.size(), eval_entry);
-  else
-    for (std::size_t i = 0; i < ks.size(); ++i) eval_entry(i);
+  // Same poll cadence in both paths: before every grid entry's scan.
+  const auto check = [&] {
+    if (policy) policy->checkpoint("arrival extraction");
+  };
+  if (pool) {
+    common::parallel_for(*pool, ks.size(), eval_entry, check);
+  } else {
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      check();
+      eval_entry(i);
+    }
+  }
   return out;
 }
 
 EmpiricalArrivalCurve upper_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                                    common::ThreadPool* pool) {
+                                    common::ThreadPool* pool, const runtime::RunPolicy* policy) {
+  if (policy) policy->checkpoint("arrival extraction");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   std::vector<std::int64_t> grid = normalized_grid(ks, n);
   if (grid.empty() || grid.back() != n) grid.push_back(n);  // sound top step
-  const std::vector<TimeSec> m = spans(ts, grid, Span::Min, pool);
+  const std::vector<TimeSec> m = spans(ts, grid, Span::Min, pool, policy);
 
   // On [m(k_i), m(k_{i+1})) at most k_{i+1}-1 events fit (αᵘ(Δ) >= k iff
   // minspan(k) <= Δ); the final step is exactly the trace length.
@@ -94,7 +103,8 @@ EmpiricalArrivalCurve upper_arrival(const TimestampTrace& ts, std::span<const st
 }
 
 EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                                    common::ThreadPool* pool) {
+                                    common::ThreadPool* pool, const runtime::RunPolicy* policy) {
+  if (policy) policy->checkpoint("arrival extraction");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   // αˡ(Δ) >= k iff maxspan(k+1) <= Δ, so evaluate spans at k+1 (capped at n-1
@@ -107,7 +117,7 @@ EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const st
     for (std::int64_t k : grid)
       if (k + 1 <= n) kplus.push_back(k + 1);
     std::vector<std::int64_t> kept(grid.begin(), grid.begin() + static_cast<std::ptrdiff_t>(kplus.size()));
-    const std::vector<TimeSec> span_vals = spans(ts, kplus, Span::Max, pool);
+    const std::vector<TimeSec> span_vals = spans(ts, kplus, Span::Max, pool, policy);
     for (std::size_t i = 0; i < kplus.size(); ++i) {
       const TimeSec x = span_vals[i];
       const EventCount value = kept[i];
@@ -128,44 +138,50 @@ EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const st
 
 }  // namespace
 
-std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
-  return spans(ts, ks, Span::Min, nullptr);
-}
-
-std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks) {
-  return spans(ts, ks, Span::Max, nullptr);
-}
-
 std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool) {
-  return spans(ts, ks, Span::Min, &pool);
+                              const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Min, nullptr, policy);
 }
 
 std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool) {
-  return spans(ts, ks, Span::Max, &pool);
+                              const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Max, nullptr, policy);
 }
 
-EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks) {
-  return upper_arrival(ts, ks, nullptr);
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool, const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Min, &pool, policy);
 }
 
-EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks) {
-  return lower_arrival(ts, ks, nullptr);
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              common::ThreadPool& pool, const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Max, &pool, policy);
 }
 
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            common::ThreadPool& pool) {
-  return upper_arrival(ts, ks, &pool);
+                                            const runtime::RunPolicy* policy) {
+  return upper_arrival(ts, ks, nullptr, policy);
 }
 
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            common::ThreadPool& pool) {
-  return lower_arrival(ts, ks, &pool);
+                                            const runtime::RunPolicy* policy) {
+  return lower_arrival(ts, ks, nullptr, policy);
+}
+
+EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool,
+                                            const runtime::RunPolicy* policy) {
+  return upper_arrival(ts, ks, &pool, policy);
+}
+
+EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
+                                            std::span<const std::int64_t> ks,
+                                            common::ThreadPool& pool,
+                                            const runtime::RunPolicy* policy) {
+  return lower_arrival(ts, ks, &pool, policy);
 }
 
 EventCount max_events_in_window(const TimestampTrace& ts, TimeSec delta) {

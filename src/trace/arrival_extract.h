@@ -25,45 +25,60 @@
 // land in grid-indexed slots, so the (floating-point) min/max reductions
 // run in exactly the serial order and parallel output is bit-identical to
 // the pool-less functions — which remain the serial reference oracle.
+// Run policy. Every function takes an optional trailing
+// runtime::RunPolicy*; when armed, the span scans poll the cancel token /
+// deadline before each grid entry (same cadence serial and pooled, so a
+// trip aborts within one k's scan either way). Arrival grids are typically
+// caller-sized, so no budget axis applies here — callers wanting a grid
+// budget coarsen the k-grid with runtime::apply_grid_budget first.
 #pragma once
 
 #include <span>
 
 #include "common/thread_pool.h"
+#include "runtime/runtime.h"
 #include "trace/arrival_curve.h"
 #include "trace/traces.h"
 
 namespace wlc::trace {
 
 /// minspan(k) for each k in `ks` (each k must satisfy 1 <= k <= trace size).
-std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks);
+std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              const runtime::RunPolicy* policy = nullptr);
 /// maxspan(k) for each k in `ks`.
-std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks);
+std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                              const runtime::RunPolicy* policy = nullptr);
 
 /// Parallel span computations: k-grid partitioned across `pool`,
 /// bit-identical to the serial overloads.
 std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool);
+                              common::ThreadPool& pool,
+                              const runtime::RunPolicy* policy = nullptr);
 std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool);
+                              common::ThreadPool& pool,
+                              const runtime::RunPolicy* policy = nullptr);
 
 /// Upper arrival curve of the trace on the given k-grid (trace length is
 /// appended automatically). Requires a non-empty, time-ordered trace.
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks);
+                                            std::span<const std::int64_t> ks,
+                                            const runtime::RunPolicy* policy = nullptr);
 
 /// Lower arrival curve of the trace on the given k-grid.
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
-                                            std::span<const std::int64_t> ks);
+                                            std::span<const std::int64_t> ks,
+                                            const runtime::RunPolicy* policy = nullptr);
 
 /// Parallel arrival-curve extraction: the span scans fan across `pool`, the
 /// step-merge stays serial. Bit-identical to the serial overloads.
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            common::ThreadPool& pool);
+                                            common::ThreadPool& pool,
+                                            const runtime::RunPolicy* policy = nullptr);
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            common::ThreadPool& pool);
+                                            common::ThreadPool& pool,
+                                            const runtime::RunPolicy* policy = nullptr);
 
 /// Reference implementation — direct window sweep at one Δ; O(n). Used by
 /// tests to validate the span-inversion extractors.

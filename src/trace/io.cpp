@@ -98,11 +98,18 @@ void strip_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
-[[noreturn]] void throw_row_error(const RowError& re, std::size_t lineno) {
+/// "'trace.csv': " prefix for fault messages, "" for anonymous streams.
+std::string source_prefix(const ReadOptions& options) {
+  return options.source_name.empty() ? "" : "'" + options.source_name + "': ";
+}
+
+[[noreturn]] void throw_row_error(const RowError& re, std::size_t lineno,
+                                  const ReadOptions& options) {
   if (re.fault == RowFault::Overflow)
-    throw OverflowError("trace field out of range: " + re.message +
+    throw OverflowError(source_prefix(options) + "trace field out of range: " + re.message +
                         " at input line " + std::to_string(lineno));
-  throw ParseError("malformed trace row: " + re.message, /*offending=*/"", lineno, re.column);
+  throw ParseError(source_prefix(options) + "malformed trace row: " + re.message,
+                   /*offending=*/"", lineno, re.column);
 }
 
 /// Folds the final ParseReport into the obs counters on every exit path of
@@ -139,45 +146,84 @@ std::string ParseReport::to_string() const {
   return os.str();
 }
 
-EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report) {
+EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report,
+                                const ReadOptions& options) {
   WLC_TRACE_SPAN("trace.parse_csv");
   static constexpr std::size_t kMaxSamples = 8;
+  // Poll cadence for the cancel token / deadline: cheap relative to parsing
+  // a row, frequent enough that a trip aborts within a few hundred rows.
+  static constexpr std::size_t kCheckStride = 256;
   ParseReport local;
   ParseReport& rep = report ? *report : local;
   rep = ParseReport{};
   const ReportTally tally{rep};
+  const runtime::RunPolicy* rp = options.policy;
+  const std::int64_t max_rows = rp ? rp->budget.max_trace_rows : 0;
 
   EventTrace out;
   std::string line;
-  if (!std::getline(is, line)) throw ParseError("empty trace file", "", 1);
+  if (!std::getline(is, line))
+    throw ParseError(source_prefix(options) + "empty trace file", "", 1);
   strip_cr(line);
   if (line != "time,type,demand")
-    throw ParseError("unexpected trace header", line, 1);
+    throw ParseError(source_prefix(options) + "unexpected trace header", line, 1);
 
   std::size_t lineno = 1;
+  std::int64_t rows_shed = 0;  ///< counted-but-not-kept rows past the row budget
   TimeSec prev_time = -std::numeric_limits<TimeSec>::infinity();
   while (std::getline(is, line)) {
     ++lineno;
+    if (rp && lineno % kCheckStride == 0) rp->checkpoint("trace ingestion");
     strip_cr(line);
     if (line.empty()) continue;
     ++rep.rows_total;
+    if (max_rows > 0 && static_cast<std::int64_t>(rep.rows_kept) >= max_rows) {
+      if (rp->on_budget == runtime::OnBudget::Fail)
+        throw BudgetExceededError(
+            "trace_rows",
+            source_prefix(options) + "trace exceeds the row budget of " +
+                std::to_string(max_rows) + " at input line " + std::to_string(lineno),
+            std::to_string(max_rows), __FILE__, __LINE__);
+      // Degrade: keep counting so the report states the exact seen/kept
+      // split, but spend no parsing on rows that will be shed anyway.
+      ++rows_shed;
+      continue;
+    }
     EventRecord e;
     if (const auto err = parse_row(line, prev_time, e)) {
-      if (policy == ParsePolicy::Strict) throw_row_error(*err, lineno);
+      if (policy == ParsePolicy::Strict) throw_row_error(*err, lineno, options);
       ++counter_for(rep, err->fault);
       if (rep.samples.size() < kMaxSamples)
-        rep.samples.push_back("line " + std::to_string(lineno) + ": " + err->message);
+        rep.samples.push_back((options.source_name.empty() ? "line " : options.source_name + ":") +
+                              std::to_string(lineno) + ": " + err->message);
       continue;
     }
     prev_time = e.time;
     out.push_back(e);
     ++rep.rows_kept;
   }
+  if (rows_shed > 0) {
+    WLC_COUNTER_ADD("runtime.degradations", 1);
+    WLC_COUNTER_ADD("runtime.shed_rows", rows_shed);
+    if (options.degradation) {
+      options.degradation->rows_requested += static_cast<std::int64_t>(rep.rows_total);
+      options.degradation->rows_used += static_cast<std::int64_t>(rep.rows_kept);
+      options.degradation->note(
+          "row budget kept the first " + std::to_string(rep.rows_kept) + " of " +
+          std::to_string(rep.rows_total) + " data rows" +
+          (options.source_name.empty() ? "" : " of '" + options.source_name + "'") +
+          " (bounds certify the ingested prefix only)");
+    }
+  }
   return out;
 }
 
+EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report) {
+  return read_event_trace_csv(is, policy, report, ReadOptions{});
+}
+
 EventTrace read_event_trace_csv(std::istream& is) {
-  return read_event_trace_csv(is, ParsePolicy::Strict, nullptr);
+  return read_event_trace_csv(is, ParsePolicy::Strict, nullptr, ReadOptions{});
 }
 
 void write_arrival_curve_csv(std::ostream& os, const EmpiricalArrivalCurve& c) {

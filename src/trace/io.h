@@ -22,6 +22,20 @@
 //
 // A malformed *header* throws in both modes: when the very first line is
 // wrong the stream cannot be trusted to be a trace file at all.
+//
+// Position context: every ParseError/OverflowError names the 1-based input
+// line (and column where it applies) of the fault, prefixed with the input
+// file name when the caller supplies one via ReadOptions::source_name — so
+// "bad demand field" diagnostics point at `trace.csv:7`, not just "a row".
+//
+// Run policy: ReadOptions::policy makes ingestion interruptible and
+// boundable — the parse loop polls the cancel token/deadline every few
+// hundred rows, and Budget::max_trace_rows caps the rows kept:
+// OnBudget::Fail throws wlc::BudgetExceededError at the first row past the
+// budget; OnBudget::Degrade keeps the first max_trace_rows rows, counts
+// (but does not parse) the rest, and records the kept/seen split in the
+// DegradationReport — curves extracted from the surviving prefix certify
+// that prefix only, exactly like lenient ingestion's partial certificate.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "trace/arrival_curve.h"
 #include "trace/traces.h"
 
@@ -55,11 +70,28 @@ struct ParseReport {
   std::string to_string() const;
 };
 
+/// Optional ingestion controls; default-constructed = the historical
+/// behavior (anonymous stream, unbounded, uninterruptible).
+struct ReadOptions {
+  /// Input name used to prefix fault positions ("trace.csv:7"). Empty =
+  /// unnamed stream, positions stay "input line 7".
+  std::string source_name;
+  /// Cancellation/deadline/row-budget policy; null = unbounded.
+  const runtime::RunPolicy* policy = nullptr;
+  /// Receives the kept/seen row split when the row budget sheds rows under
+  /// OnBudget::Degrade. May be null (shedding still happens, unrecorded).
+  runtime::DegradationReport* degradation = nullptr;
+};
+
 /// Parses the format written by write_event_trace_csv under `policy`. If
 /// `report` is non-null it is filled in either mode (strict fills it up to
 /// the first fault before throwing).
 EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy,
                                 ParseReport* report = nullptr);
+
+/// Full-control overload: named source, cancellation and row budgets.
+EventTrace read_event_trace_csv(std::istream& is, ParsePolicy policy, ParseReport* report,
+                                const ReadOptions& options);
 
 /// Legacy overload: strict parsing. Throws wlc::ParseError (a
 /// std::invalid_argument) on malformed input.

@@ -12,15 +12,47 @@ namespace wlc::workload {
 
 namespace {
 
-std::vector<Cycles> prefix_sums(const trace::DemandTrace& d) {
-  std::vector<Cycles> p(d.size() + 1, 0);
-  for (std::size_t i = 0; i < d.size(); ++i) {
+std::vector<Cycles> prefix_sums(const trace::DemandTrace& d, std::size_t n) {
+  std::vector<Cycles> p(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
     WLC_REQUIRE(d[i] >= 0, "execution demands must be non-negative");
     if (__builtin_add_overflow(p[i], d[i], &p[i + 1]))
       throw OverflowError("cumulative trace demand exceeds the Cycles range",
                           "prefix sum at event " + std::to_string(i), __FILE__, __LINE__);
   }
   return p;
+}
+
+/// Applies the resident-byte budget to the trace length: the prefix-sum
+/// buffer is the resident working set of one extraction ((n+1) Cycles
+/// values; the breakpoint buffer is bounded by the grid budget). Under
+/// Degrade the analyzed window shrinks to the longest prefix that fits —
+/// the curves then certify that prefix only, which the report states.
+EventCount apply_byte_budget(EventCount n, const runtime::RunPolicy* policy,
+                             runtime::DegradationReport* degradation) {
+  if (!policy || policy->budget.max_resident_bytes <= 0) return n;
+  const std::int64_t need = (static_cast<std::int64_t>(n) + 1) *
+                            static_cast<std::int64_t>(sizeof(Cycles));
+  if (need <= policy->budget.max_resident_bytes) return n;
+  const EventCount fit =
+      policy->budget.max_resident_bytes / static_cast<std::int64_t>(sizeof(Cycles)) - 1;
+  if (policy->on_budget == runtime::OnBudget::Fail || fit < 1)
+    throw BudgetExceededError("resident_bytes",
+                              "extraction needs " + std::to_string(need) +
+                                  " resident bytes for " + std::to_string(n) +
+                                  " events but the budget allows " +
+                                  std::to_string(policy->budget.max_resident_bytes),
+                              std::to_string(need), __FILE__, __LINE__);
+  WLC_COUNTER_ADD("runtime.degradations", 1);
+  WLC_COUNTER_ADD("runtime.shed_events", n - fit);
+  if (degradation) {
+    degradation->events_requested += n;
+    degradation->events_analyzed += fit;
+    degradation->note("byte budget truncated the analyzed window from " + std::to_string(n) +
+                      " to " + std::to_string(fit) +
+                      " events (bounds certify the analyzed prefix only)");
+  }
+  return fit;
 }
 
 struct NormalizedGrid {
@@ -56,12 +88,18 @@ Cycles scan_window(const std::vector<Cycles>& p, EventCount n, EventCount k, Bou
 }
 
 WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                      Bound bound, common::ThreadPool* pool, ExtractStats* stats) {
+                      Bound bound, common::ThreadPool* pool, ExtractStats* stats,
+                      const runtime::RunPolicy* policy,
+                      runtime::DegradationReport* degradation) {
   WLC_TRACE_SPAN(bound == Bound::Upper ? "extract.upper" : "extract.lower");
+  if (policy) policy->checkpoint("workload extraction");
   WLC_REQUIRE(!demands.empty(), "demand trace must be non-empty");
-  const auto n = static_cast<EventCount>(demands.size());
-  const std::vector<Cycles> p = prefix_sums(demands);
-  const NormalizedGrid grid = normalized_grid(ks, n);
+  const EventCount n =
+      apply_byte_budget(static_cast<EventCount>(demands.size()), policy, degradation);
+  const std::vector<Cycles> p = prefix_sums(demands, static_cast<std::size_t>(n));
+  NormalizedGrid grid = normalized_grid(ks, n);
+  grid.ks = runtime::apply_grid_budget(std::move(grid.ks), policy, degradation,
+                                       "workload extraction");
   WLC_COUNTER_ADD("extract.grid_entries", static_cast<std::int64_t>(grid.ks.size()));
   WLC_COUNTER_ADD("extract.clamped_ks", grid.clamped);
   if (stats) stats->clamped_ks = grid.clamped;
@@ -72,33 +110,48 @@ WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::in
     WLC_COUNTER_ADD("extract.windows_scanned", n - k + 1);
     pts[gi + 1] = {k, scan_window(p, n, k, bound)};
   };
-  if (pool)
-    common::parallel_for(*pool, grid.ks.size(), eval_entry);
-  else
-    for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) eval_entry(gi);
+  // Both paths poll with the same cadence (before every grid entry), so a
+  // cancelled run aborts within one window scan regardless of threading.
+  const auto check = [&] {
+    if (policy) policy->checkpoint("workload extraction");
+  };
+  if (pool) {
+    common::parallel_for(*pool, grid.ks.size(), eval_entry, check);
+  } else {
+    for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) {
+      check();
+      eval_entry(gi);
+    }
+  }
   return WorkloadCurve(bound, std::move(pts));
 }
 
 }  // namespace
 
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            ExtractStats* stats) {
-  return extract(demands, ks, Bound::Upper, nullptr, stats);
+                            ExtractStats* stats, const runtime::RunPolicy* policy,
+                            runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Upper, nullptr, stats, policy, degradation);
 }
 
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            ExtractStats* stats) {
-  return extract(demands, ks, Bound::Lower, nullptr, stats);
+                            ExtractStats* stats, const runtime::RunPolicy* policy,
+                            runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Lower, nullptr, stats, policy, degradation);
 }
 
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            common::ThreadPool& pool, ExtractStats* stats) {
-  return extract(demands, ks, Bound::Upper, &pool, stats);
+                            common::ThreadPool& pool, ExtractStats* stats,
+                            const runtime::RunPolicy* policy,
+                            runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Upper, &pool, stats, policy, degradation);
 }
 
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            common::ThreadPool& pool, ExtractStats* stats) {
-  return extract(demands, ks, Bound::Lower, &pool, stats);
+                            common::ThreadPool& pool, ExtractStats* stats,
+                            const runtime::RunPolicy* policy,
+                            runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Lower, &pool, stats, policy, degradation);
 }
 
 namespace {
@@ -121,18 +174,48 @@ WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount 
 
 std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& traces,
                                        std::span<const std::int64_t> ks,
-                                       common::ThreadPool& pool) {
+                                       common::ThreadPool& pool,
+                                       const runtime::RunPolicy* policy,
+                                       runtime::DegradationReport* degradation) {
   WLC_TRACE_SPAN("extract.batch");
   WLC_COUNTER_ADD("extract.batch_traces", static_cast<std::int64_t>(traces.size()));
+  // The grid budget is applied once to the shared grid (recorded once);
+  // the per-trace policy keeps the token/deadline/byte budget but drops the
+  // already-satisfied grid axis so per-trace normalization cannot re-shed.
+  std::vector<std::int64_t> shared_ks(ks.begin(), ks.end());
+  runtime::RunPolicy per_trace;
+  const runtime::RunPolicy* pp = nullptr;
+  if (policy) {
+    shared_ks =
+        runtime::apply_grid_budget(std::move(shared_ks), policy, degradation, "batched");
+    per_trace = *policy;
+    per_trace.budget.max_grid_points = 0;
+    pp = &per_trace;
+  }
+  // Per-trace degradation lands in an indexed slot and is folded after the
+  // join, so the combined report is deterministic in trace order no matter
+  // how the pool schedules the tasks.
+  std::vector<runtime::DegradationReport> local(traces.size());
+  const auto check = [&] {
+    if (pp) pp->checkpoint("batched extraction");
+  };
   // Outer parallelism only: each task runs the serial per-trace extraction,
   // so every bundle is bit-identical to individual extract_upper/lower
   // calls regardless of how the pool schedules the traces.
-  return common::parallel_map(pool, traces, [&](const trace::DemandTrace& d) {
-    ExtractStats stats;
-    WorkloadCurve upper = extract_upper(d, ks, &stats);
-    WorkloadCurve lower = extract_lower(d, ks);
-    return CurveBundle{std::move(upper), std::move(lower), stats};
-  });
+  auto bundles = common::parallel_map(
+      pool, traces,
+      [&](const trace::DemandTrace& d) {
+        const auto idx = static_cast<std::size_t>(&d - traces.data());
+        auto* deg = degradation ? &local[idx] : nullptr;
+        ExtractStats stats;
+        WorkloadCurve upper = extract_upper(d, shared_ks, &stats, pp, deg);
+        WorkloadCurve lower = extract_lower(d, shared_ks, nullptr, pp, deg);
+        return CurveBundle{std::move(upper), std::move(lower), stats};
+      },
+      check);
+  if (degradation)
+    for (const auto& r : local) degradation->merge(r);
+  return bundles;
 }
 
 }  // namespace wlc::workload

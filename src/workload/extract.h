@@ -22,12 +22,22 @@
 // for the differential tests. extract_batch fans whole traces across the
 // pool (each trace extracted serially inside its task — again bit-identical
 // to individual serial calls).
+// Run-policy contract. Every extractor takes an optional
+// wlc::runtime::RunPolicy: checkpoints run between grid entries (and between
+// traces in the batched API), so a cancel/deadline trip aborts within one
+// window scan; the grid-point budget coarsens the k-grid (OnBudget::Degrade
+// — sound, merely less tight) or throws BudgetExceededError (Fail); the
+// resident-byte budget bounds the prefix-sum buffer, truncating the
+// analyzed window under Degrade with the certificate scope recorded in the
+// DegradationReport. A null policy reproduces the historical unbounded
+// behavior bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 #include "common/thread_pool.h"
+#include "runtime/runtime.h"
 #include "trace/traces.h"
 #include "workload/workload_curve.h"
 
@@ -49,20 +59,29 @@ struct ExtractStats {
 /// curve's exact range covers whole-trace windows). Serial reference
 /// implementation. `stats`, when given, reports grid clamping.
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            ExtractStats* stats = nullptr);
+                            ExtractStats* stats = nullptr,
+                            const runtime::RunPolicy* policy = nullptr,
+                            runtime::DegradationReport* degradation = nullptr);
 
 /// Exact γˡ analogue.
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            ExtractStats* stats = nullptr);
+                            ExtractStats* stats = nullptr,
+                            const runtime::RunPolicy* policy = nullptr,
+                            runtime::DegradationReport* degradation = nullptr);
 
 /// Parallel γᵘ: the k-grid is partitioned across `pool`. Bit-identical to
-/// the serial overload on every input.
+/// the serial overload on every input (checkpointed cancellation included —
+/// both paths poll between grid entries).
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            common::ThreadPool& pool, ExtractStats* stats = nullptr);
+                            common::ThreadPool& pool, ExtractStats* stats = nullptr,
+                            const runtime::RunPolicy* policy = nullptr,
+                            runtime::DegradationReport* degradation = nullptr);
 
 /// Parallel γˡ analogue.
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
-                            common::ThreadPool& pool, ExtractStats* stats = nullptr);
+                            common::ThreadPool& pool, ExtractStats* stats = nullptr,
+                            const runtime::RunPolicy* policy = nullptr,
+                            runtime::DegradationReport* degradation = nullptr);
 
 /// Convenience: dense extraction of every k in [1, k_max] (k_max clamped to
 /// the trace length) — exact but Θ(n·k_max); fine for short traces and tests.
@@ -79,8 +98,14 @@ struct CurveBundle {
 /// Batched extraction: fans `traces` across `pool`, one task per trace,
 /// each extracting γᵘ and γˡ on the shared grid `ks`. out[i] matches
 /// serial extract_upper/lower on traces[i] bit for bit; order preserved.
+/// Under a policy, the shared grid budget is applied once up front and the
+/// token/deadline is polled between traces and between grid entries;
+/// per-trace degradation (byte-budget truncation) folds into `degradation`
+/// in trace order.
 std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& traces,
                                        std::span<const std::int64_t> ks,
-                                       common::ThreadPool& pool);
+                                       common::ThreadPool& pool,
+                                       const runtime::RunPolicy* policy = nullptr,
+                                       runtime::DegradationReport* degradation = nullptr);
 
 }  // namespace wlc::workload

@@ -228,5 +228,135 @@ TEST(Cli, RejectsMalformedTrace) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, ParseErrorsNameTheInputFile) {
+  // The load path passes the trace path as ReadOptions::source_name, so a
+  // strict-mode rejection points at the file, not an anonymous stream.
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", fixture("corrupt_garbage.csv")}, out, err), 2);
+  EXPECT_NE(err.str().find("corrupt_garbage.csv"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("line 12"), std::string::npos) << err.str();
+}
+
+TEST(CliRuntime, KeyEqualsValueSyntaxWorks) {
+  const std::string path = write_demo_trace();
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path, "--dense=64", "--threads=2"}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("WCET"), std::string::npos);
+}
+
+TEST(CliRuntime, TimeoutAbortsWithExitSixAndReportsDeadline) {
+  const std::string path = write_demo_trace();
+  const std::string deg = ::testing::TempDir() + "wlc_cli_deg_timeout.json";
+  std::ostringstream out, err;
+  // 1 µs wall budget: the first checkpoint (command dispatch) trips before
+  // any ingestion, deterministically on any machine.
+  EXPECT_EQ(run({"report", path, "--timeout", "0.000001", "--on-budget", "degrade",
+                 "--degradation-out", deg},
+                out, err),
+            6)
+      << err.str();
+  EXPECT_NE(err.str().find("cancelled:"), std::string::npos);
+  std::ifstream f(deg);
+  ASSERT_TRUE(f.good());
+  std::stringstream json;
+  json << f.rdbuf();
+  EXPECT_NE(json.str().find("\"aborted\": \"deadline\""), std::string::npos) << json.str();
+  EXPECT_NE(json.str().find("\"degraded\": true"), std::string::npos);
+  std::remove(deg.c_str());
+}
+
+TEST(CliRuntime, TimeoutTripIsVisibleInMetricsSnapshot) {
+  const std::string path = write_demo_trace();
+  const std::string metrics = ::testing::TempDir() + "wlc_cli_runtime_metrics.json";
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path, "--timeout=0.000001", "--metrics-out", metrics}, out, err), 6);
+  std::ifstream f(metrics);
+  ASSERT_TRUE(f.good());
+  std::stringstream json;
+  json << f.rdbuf();
+  EXPECT_NE(json.str().find("runtime.deadline_trips"), std::string::npos) << json.str();
+  std::remove(metrics.c_str());
+}
+
+TEST(CliRuntime, GridBudgetFailExitsSeven) {
+  const std::string path = write_demo_trace();  // 200 events -> grid > 4 points
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path, "--max-grid", "4"}, out, err), 7) << err.str();
+  EXPECT_NE(err.str().find("budget exceeded"), std::string::npos);
+  EXPECT_NE(err.str().find("grid_points"), std::string::npos);
+}
+
+TEST(CliRuntime, GridBudgetDegradeSucceedsAndReports) {
+  const std::string path = write_demo_trace();
+  const std::string deg = ::testing::TempDir() + "wlc_cli_deg_grid.json";
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path, "--max-grid", "4", "--on-budget", "degrade",
+                 "--degradation-out", deg},
+                out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("degraded:"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("k-grid coarsened"), std::string::npos);
+  std::ifstream f(deg);
+  ASSERT_TRUE(f.good());
+  std::stringstream json;
+  json << f.rdbuf();
+  EXPECT_NE(json.str().find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.str().find("\"aborted\": \"\""), std::string::npos);  // completed, not aborted
+  std::remove(deg.c_str());
+}
+
+TEST(CliRuntime, RowBudgetFailAndDegrade) {
+  const std::string path = write_demo_trace();  // 200 data rows
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"curves", path, "--max-rows", "50"}, out, err), 7) << err.str();
+  EXPECT_NE(err.str().find("trace_rows"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run({"curves", path, "--max-rows=50", "--on-budget=degrade"}, out2, err2), 0)
+      << err2.str();
+  EXPECT_NE(out2.str().find("degraded:"), std::string::npos);
+  EXPECT_NE(out2.str().find("50 of 200 trace rows"), std::string::npos) << out2.str();
+}
+
+TEST(CliRuntime, UsageErrorsForBadRuntimeFlags) {
+  const std::string path = write_demo_trace();
+  for (const std::vector<std::string>& argv : std::vector<std::vector<std::string>>{
+           {"curves", path, "--timeout", "abc"},
+           {"curves", path, "--timeout", "0"},
+           {"curves", path, "--timeout", "-2s"},
+           {"curves", path, "--timeout", "2x"},
+           {"curves", path, "--max-grid", "0"},
+           {"curves", path, "--max-rows", "-5"},
+           {"curves", path, "--on-budget", "explode"},
+       }) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run(argv, out, err), 2) << argv.back() << ": " << err.str();
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+  }
+}
+
+TEST(CliRuntime, DegradeModeRejectedWhereNoDegradationPathExists) {
+  const std::string path = write_demo_trace();
+  for (const char* cmd : {"simulate", "size-buffer", "size-delay", "validate"}) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({cmd, path, "--on-budget=degrade"}, out, err), 2) << cmd;
+    // The diagnostic names both the flag and the offending subcommand.
+    EXPECT_NE(err.str().find("--on-budget=degrade"), std::string::npos) << cmd;
+    EXPECT_NE(err.str().find(cmd), std::string::npos) << cmd;
+    std::ostringstream out2, err2;
+    EXPECT_EQ(run({cmd, path, "--degradation-out", "/tmp/x.json"}, out2, err2), 2) << cmd;
+    EXPECT_NE(err2.str().find("--degradation-out"), std::string::npos) << cmd;
+  }
+}
+
+TEST(CliRuntime, BudgetFailOnNonDegradableSubcommandExitsSeven) {
+  // Fail-mode budgets are legal everywhere; only *degrade* needs a path.
+  const std::string path = write_demo_trace();
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"simulate", path, "--mhz", "100", "--max-rows", "10"}, out, err), 7)
+      << err.str();
+}
+
 }  // namespace
 }  // namespace wlc::cli

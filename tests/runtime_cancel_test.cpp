@@ -1,0 +1,205 @@
+// Cancellation under the parallel engine: a checkpoint tripping
+// mid-parallel_for must abort the run with wlc::CancelledError, leave the
+// pool fully usable, and preserve the determinism and first-error-wins
+// contracts. Trigger points are randomized but seeded, across thread counts
+// {1, 2, 7, hardware}; the suite runs under TSan in CI (label `runtime`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "runtime/runtime.h"
+#include "trace/kgrid.h"
+#include "trace/traces.h"
+#include "workload/extract.h"
+
+namespace wlc::runtime {
+namespace {
+
+std::vector<unsigned> thread_counts() {
+  return {1u, 2u, 7u, common::hardware_threads()};
+}
+
+/// The pool must be bit-identical to the serial loop *after* a cancelled
+/// run — the reusability oracle every test below ends with.
+void expect_pool_usable(common::ThreadPool& pool) {
+  const std::size_t n = 64;
+  std::vector<std::int64_t> parallel_out(n, 0), serial_out(n, 0);
+  common::parallel_for(pool, n, [&](std::size_t i) {
+    parallel_out[i] = static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i) + 7;
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    serial_out[i] = static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i) + 7;
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(RuntimeCancel, SeededMidRunCancelAbortsAndPoolSurvives) {
+  common::Rng rng(0xCA9CE1);
+  for (unsigned threads : thread_counts()) {
+    common::ThreadPool pool(threads);
+    for (int round = 0; round < 8; ++round) {
+      const std::size_t n = 500;
+      // Keep the trigger off the very last iteration so at least one
+      // checkpoint is guaranteed to run after the cancel on the serial path.
+      const std::size_t trigger = static_cast<std::size_t>(rng.uniform_int(0, n - 2));
+      CancelToken token = CancelToken::make();
+      RunPolicy policy;
+      policy.token = token;
+      std::atomic<std::int64_t> ran{0};
+      const auto body = [&](std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == trigger) token.cancel();
+      };
+      const auto check = [&] { policy.checkpoint("cancel test"); };
+      bool threw = false;
+      try {
+        common::parallel_for(pool, n, body, check);
+      } catch (const CancelledError& e) {
+        threw = true;
+        EXPECT_EQ(e.reason(), CancelledError::Reason::Token);
+      }
+      // Cancellation is cooperative: a chunk whose work was already done
+      // when the flag rose has no checkpoint left to observe it, so a full
+      // completion is a legal race outcome on multi-thread pools — but a
+      // partial run without an exception is not.
+      EXPECT_GE(ran.load(), 1);
+      EXPECT_LE(ran.load(), static_cast<std::int64_t>(n));
+      if (!threw) EXPECT_EQ(ran.load(), static_cast<std::int64_t>(n));
+      // On the inline (1-thread) path the checkpoint before the very next
+      // body must observe the cancel, deterministically.
+      if (threads == 1) EXPECT_TRUE(threw);
+      expect_pool_usable(pool);
+    }
+  }
+}
+
+TEST(RuntimeCancel, CancelBeforeStartRunsNoBodies) {
+  for (unsigned threads : thread_counts()) {
+    common::ThreadPool pool(threads);
+    CancelToken token = CancelToken::make();
+    token.cancel();
+    RunPolicy policy;
+    policy.token = token;
+    std::atomic<std::int64_t> ran{0};
+    EXPECT_THROW(common::parallel_for(
+                     pool, 100, [&](std::size_t) { ran.fetch_add(1); },
+                     [&] { policy.checkpoint("pre-cancelled"); }),
+                 CancelledError);
+    // The calling-thread checkpoint fires before anything is queued.
+    EXPECT_EQ(ran.load(), 0);
+    expect_pool_usable(pool);
+  }
+}
+
+TEST(RuntimeCancel, ExternalThreadCancelCompletesOrAbortsCleanly) {
+  common::ThreadPool pool(common::hardware_threads());
+  CancelToken token = CancelToken::make();
+  RunPolicy policy;
+  policy.token = token;
+  std::atomic<std::int64_t> ran{0};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    token.cancel();
+  });
+  bool cancelled = false;
+  try {
+    common::parallel_for(
+        pool, 20'000,
+        [&](std::size_t) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          // A little work so the canceller has a window to race into.
+          volatile std::int64_t sink = 0;
+          for (int j = 0; j < 50; ++j) sink += j;
+        },
+        [&] { policy.checkpoint("external cancel"); });
+  } catch (const CancelledError&) {
+    cancelled = true;
+  }
+  canceller.join();
+  if (!cancelled) EXPECT_EQ(ran.load(), 20'000);  // raced to completion: fine
+  expect_pool_usable(pool);
+}
+
+TEST(RuntimeCancel, DeadlineTripsCheckedParallelFor) {
+  common::ThreadPool pool(2);
+  RunPolicy policy;
+  policy.deadline = Deadline::after(std::chrono::nanoseconds(0));
+  EXPECT_THROW(common::parallel_for(
+                   pool, 100, [](std::size_t) {},
+                   [&] { policy.checkpoint("deadline test"); }),
+               CancelledError);
+  expect_pool_usable(pool);
+}
+
+TEST(RuntimeCancel, FirstErrorWinsStillHoldsUnderCheckedOverload) {
+  // An inert policy's checkpoint never throws, so a body error must surface
+  // exactly as in the unchecked engine: the lowest-indexed failure.
+  common::ThreadPool pool(7);
+  RunPolicy policy;  // unarmed
+  for (int round = 0; round < 4; ++round) {
+    try {
+      common::parallel_for(
+          pool, 300,
+          [&](std::size_t i) {
+            if (i >= 10) throw DomainError("boom at " + std::to_string(i));
+          },
+          [&] { policy.checkpoint("inert"); });
+      FAIL() << "expected DomainError";
+    } catch (const DomainError& e) {
+      // Chunks are contiguous and ascending, so the lowest failing index of
+      // the lowest failing chunk is always 10.
+      EXPECT_NE(std::string(e.what()).find("boom at 10"), std::string::npos);
+    }
+  }
+  expect_pool_usable(pool);
+}
+
+TEST(RuntimeCancel, CheckedParallelMapMatchesSerialWhenNotCancelled) {
+  common::ThreadPool pool(7);
+  RunPolicy policy;
+  policy.token = CancelToken::make();  // armed but never cancelled
+  std::vector<int> items(257);
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = static_cast<int>(i);
+  const auto mapped = common::parallel_map(
+      pool, items, [](int v) { return v * 3 + 1; },
+      [&] { policy.checkpoint("map"); });
+  ASSERT_EQ(mapped.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(mapped[i], static_cast<int>(i) * 3 + 1);
+}
+
+TEST(RuntimeCancel, CancelledExtractionLeavesPoolReusableBitIdentical) {
+  // End-to-end through workload::extract_upper: cancel mid-extraction, then
+  // re-run the same extraction on the same pool and compare against the
+  // serial oracle bit for bit.
+  common::Rng rng(77);
+  trace::DemandTrace d;
+  for (int i = 0; i < 600; ++i) d.push_back(rng.uniform_int(10, 5'000));
+  const auto ks = trace::make_kgrid({.max_k = 600, .dense_limit = 600, .growth = 1.5});
+
+  for (unsigned threads : thread_counts()) {
+    common::ThreadPool pool(threads);
+    CancelToken token = CancelToken::make();
+    RunPolicy policy;
+    policy.token = token;
+    token.cancel();
+    EXPECT_THROW(workload::extract_upper(d, ks, pool, nullptr, &policy), CancelledError);
+
+    const auto parallel_curve = workload::extract_upper(d, ks, pool);
+    const auto serial_curve = workload::extract_upper(d, ks);
+    ASSERT_EQ(parallel_curve.points().size(), serial_curve.points().size());
+    for (std::size_t i = 0; i < serial_curve.points().size(); ++i) {
+      EXPECT_EQ(parallel_curve.points()[i].first, serial_curve.points()[i].first);
+      EXPECT_EQ(parallel_curve.points()[i].second, serial_curve.points()[i].second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wlc::runtime

@@ -1,0 +1,407 @@
+// Unit and acceptance tests for wlc::runtime: token hierarchy, deadlines,
+// budget axes, and — the load-bearing property — that graceful degradation
+// is *soundness-preserving*: a budget-coarsened extraction still brackets
+// the true workload, verified against the full-grid curves with the
+// wlc::validate dominance checker and the eq. (9) sizing consequence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "rtc/sizing.h"
+#include "runtime/runtime.h"
+#include "trace/arrival_extract.h"
+#include "trace/io.h"
+#include "trace/kgrid.h"
+#include "trace/traces.h"
+#include "validate/validate.h"
+#include "workload/extract.h"
+
+namespace wlc::runtime {
+namespace {
+
+using std::chrono::hours;
+using std::chrono::nanoseconds;
+
+// ---- cancel token ----------------------------------------------------------
+
+TEST(CancelToken, UnarmedDefaultNeverCancels) {
+  CancelToken t;
+  EXPECT_FALSE(t.armed());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_THROW(t.cancel(), DomainError);
+  EXPECT_THROW(t.child(), DomainError);
+}
+
+TEST(CancelToken, RootCancelIsIdempotentAndObserved) {
+  CancelToken t = CancelToken::make();
+  EXPECT_TRUE(t.armed());
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  t.cancel();  // idempotent
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancelToken, CopiesShareState) {
+  CancelToken a = CancelToken::make();
+  CancelToken b = a;
+  b.cancel();
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(CancelToken, ChildObservesEveryAncestorButNotViceVersa) {
+  CancelToken root = CancelToken::make();
+  CancelToken mid = root.child();
+  CancelToken leaf = mid.child();
+  EXPECT_FALSE(leaf.cancelled());
+
+  leaf.cancel();  // cancelling a child never propagates up
+  EXPECT_TRUE(leaf.cancelled());
+  EXPECT_FALSE(mid.cancelled());
+  EXPECT_FALSE(root.cancelled());
+
+  CancelToken leaf2 = mid.child();
+  root.cancel();  // cancelling an ancestor reaches every descendant
+  EXPECT_TRUE(leaf2.cancelled());
+  EXPECT_TRUE(mid.cancelled());
+}
+
+// ---- deadline --------------------------------------------------------------
+
+TEST(Deadline, UnarmedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.armed());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, PastAndFuture) {
+  EXPECT_TRUE(Deadline::after(nanoseconds(0)).expired());
+  EXPECT_TRUE(Deadline::after(nanoseconds(-1)).expired());
+  const Deadline far = Deadline::after(hours(1));
+  EXPECT_TRUE(far.armed());
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_seconds(), 3000.0);
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+TEST(RunPolicy, DefaultPolicyIsInertAndCheap) {
+  RunPolicy p;
+  EXPECT_FALSE(p.interruptible());
+  EXPECT_TRUE(p.budget.unlimited());
+  EXPECT_NO_THROW(p.checkpoint("anything"));
+}
+
+TEST(RunPolicy, CheckpointThrowsOnCancelWithStageName) {
+  RunPolicy p;
+  p.token = CancelToken::make();
+  EXPECT_NO_THROW(p.checkpoint("stage-x"));
+  p.token.cancel();
+  try {
+    p.checkpoint("stage-x");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::Token);
+    EXPECT_STREQ(e.kind(), "CancelledError");
+    EXPECT_NE(e.detail().find("stage-x"), std::string::npos);
+  }
+}
+
+TEST(RunPolicy, CheckpointThrowsOnExpiredDeadline) {
+  RunPolicy p;
+  p.deadline = Deadline::after(nanoseconds(0));
+  try {
+    p.checkpoint("sweep");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelledError::Reason::Deadline);
+    EXPECT_NE(e.detail().find("sweep"), std::string::npos);
+  }
+}
+
+TEST(RunPolicy, CancelledErrorIsPartOfTheTaxonomy) {
+  // Catchable through both inheritance arms, like every wlc error.
+  RunPolicy p;
+  p.token = CancelToken::make();
+  p.token.cancel();
+  EXPECT_THROW(p.checkpoint("x"), Error);
+  EXPECT_THROW(p.checkpoint("x"), std::runtime_error);
+}
+
+// ---- grid coarsening -------------------------------------------------------
+
+TEST(CoarsenGrid, WithinBudgetUnchanged) {
+  const std::vector<std::int64_t> ks{1, 2, 3, 4, 5};
+  EXPECT_EQ(coarsen_grid(ks, 5), ks);
+  EXPECT_EQ(coarsen_grid(ks, 0), ks);  // 0 = unlimited
+}
+
+TEST(CoarsenGrid, KeepsEndpointsAndIsSubsequence) {
+  std::vector<std::int64_t> ks;
+  for (std::int64_t k = 1; k <= 100; ++k) ks.push_back(k);
+  for (std::int64_t m : {2, 3, 7, 12, 50, 99}) {
+    const auto c = coarsen_grid(ks, m);
+    ASSERT_GE(c.size(), 2u);
+    EXPECT_LE(static_cast<std::int64_t>(c.size()), m);
+    EXPECT_EQ(c.front(), 1);
+    EXPECT_EQ(c.back(), 100);
+    for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+    for (std::int64_t k : c)
+      EXPECT_TRUE(std::find(ks.begin(), ks.end(), k) != ks.end());
+  }
+}
+
+TEST(CoarsenGrid, FloorOfTwo) {
+  const std::vector<std::int64_t> ks{1, 5, 9, 12};
+  const auto c = coarsen_grid(ks, 1);  // clamped up to 2
+  EXPECT_EQ(c, (std::vector<std::int64_t>{1, 12}));
+}
+
+TEST(ApplyGridBudget, FailThrowsAndNamesTheAxis) {
+  RunPolicy p;
+  p.budget.max_grid_points = 3;
+  std::vector<std::int64_t> ks{1, 2, 3, 4, 5};
+  try {
+    apply_grid_budget(ks, &p, nullptr, "unit test");
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_STREQ(e.kind(), "BudgetExceededError");
+    EXPECT_EQ(e.axis(), "grid_points");
+    EXPECT_NE(e.detail().find("unit test"), std::string::npos);
+  }
+}
+
+TEST(ApplyGridBudget, DegradeCoarsensAndRecords) {
+  RunPolicy p;
+  p.budget.max_grid_points = 3;
+  p.on_budget = OnBudget::Degrade;
+  DegradationReport rep;
+  const auto c = apply_grid_budget({1, 2, 3, 4, 5, 6, 7, 8, 9}, &p, &rep, "unit test");
+  EXPECT_LE(c.size(), 3u);
+  EXPECT_EQ(c.front(), 1);
+  EXPECT_EQ(c.back(), 9);
+  EXPECT_TRUE(rep.degraded());
+  EXPECT_EQ(rep.grid_points_requested, 9);
+  EXPECT_EQ(rep.grid_points_used, static_cast<std::int64_t>(c.size()));
+  ASSERT_FALSE(rep.actions.empty());
+  EXPECT_NE(rep.actions.front().find("unit test"), std::string::npos);
+}
+
+TEST(ApplyGridBudget, NullPolicyOrWithinBudgetPassesThrough) {
+  DegradationReport rep;
+  EXPECT_EQ(apply_grid_budget({1, 2, 3}, nullptr, &rep, "x"),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  RunPolicy p;
+  p.budget.max_grid_points = 10;
+  EXPECT_EQ(apply_grid_budget({1, 2, 3}, &p, &rep, "x"),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_FALSE(rep.degraded());
+}
+
+// ---- degradation report ----------------------------------------------------
+
+TEST(DegradationReport, MergeSumsAndJsonIsWellFormed) {
+  DegradationReport a, b;
+  a.grid_points_requested = 10;
+  a.grid_points_used = 4;
+  a.note("first");
+  b.rows_requested = 100;
+  b.rows_used = 60;
+  b.note("second");
+  a.merge(b);
+  EXPECT_EQ(a.grid_points_requested, 10);
+  EXPECT_EQ(a.rows_requested, 100);
+  EXPECT_EQ(a.actions.size(), 2u);
+  EXPECT_TRUE(a.degraded());
+
+  const std::string j = a.to_json();
+  for (const char* key : {"\"degraded\": true", "\"aborted\"", "\"grid_points\"",
+                          "\"requested\": 10", "\"used\": 4", "\"rows\"", "\"events\"",
+                          "\"actions\"", "\"first\"", "\"second\""})
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << " in:\n" << j;
+
+  DegradationReport clean;
+  EXPECT_FALSE(clean.degraded());
+  EXPECT_EQ(clean.to_string(), "no degradation");
+  EXPECT_NE(clean.to_json().find("\"degraded\": false"), std::string::npos);
+}
+
+TEST(DegradationReport, AbortedAloneCountsAsDegraded) {
+  DegradationReport r;
+  r.aborted = "deadline";
+  EXPECT_TRUE(r.degraded());
+  EXPECT_NE(r.to_string().find("deadline"), std::string::npos);
+}
+
+// ---- row budget (trace ingestion) ------------------------------------------
+
+std::string csv_rows(int n) {
+  std::ostringstream os;
+  os << "time,type,demand\n";
+  for (int i = 0; i < n; ++i) os << 0.01 * i << ",0," << 100 + i << "\n";
+  return os.str();
+}
+
+TEST(RowBudget, FailThrowsWithSourceAndLine) {
+  RunPolicy p;
+  p.budget.max_trace_rows = 5;
+  trace::ReadOptions opts;
+  opts.source_name = "rows.csv";
+  opts.policy = &p;
+  std::istringstream is(csv_rows(20));
+  try {
+    trace::read_event_trace_csv(is, trace::ParsePolicy::Strict, nullptr, opts);
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_EQ(e.axis(), "trace_rows");
+    EXPECT_NE(e.detail().find("rows.csv"), std::string::npos);
+    EXPECT_NE(e.detail().find("line 7"), std::string::npos);  // header + 5 kept + 1
+  }
+}
+
+TEST(RowBudget, DegradeKeepsPrefixAndRecords) {
+  RunPolicy p;
+  p.budget.max_trace_rows = 5;
+  p.on_budget = OnBudget::Degrade;
+  DegradationReport rep;
+  trace::ReadOptions opts;
+  opts.policy = &p;
+  opts.degradation = &rep;
+  std::istringstream is(csv_rows(20));
+  trace::ParseReport pr;
+  const auto events = trace::read_event_trace_csv(is, trace::ParsePolicy::Strict, &pr, opts);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[4].demand, 104);  // the *first* five rows, in order
+  EXPECT_EQ(pr.rows_total, 20u);
+  EXPECT_EQ(pr.rows_kept, 5u);
+  EXPECT_EQ(rep.rows_requested, 20);
+  EXPECT_EQ(rep.rows_used, 5);
+  EXPECT_TRUE(rep.degraded());
+}
+
+TEST(RowBudget, CancelTripsInsideParseLoop) {
+  RunPolicy p;
+  p.token = CancelToken::make();
+  p.token.cancel();
+  trace::ReadOptions opts;
+  opts.policy = &p;
+  std::istringstream is(csv_rows(600));  // > one 256-line check stride
+  EXPECT_THROW(trace::read_event_trace_csv(is, trace::ParsePolicy::Strict, nullptr, opts),
+               CancelledError);
+}
+
+// ---- byte budget (extraction working set) ----------------------------------
+
+TEST(ByteBudget, FailThrowsOnTooSmallBudget) {
+  trace::DemandTrace d(1000, 7);
+  RunPolicy p;
+  p.budget.max_resident_bytes = 64;  // nowhere near (n+1)*8
+  try {
+    workload::extract_upper(d, std::vector<std::int64_t>{1, 10}, nullptr, &p);
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_EQ(e.axis(), "resident_bytes");
+  }
+}
+
+TEST(ByteBudget, DegradeTruncatesAnalyzedWindow) {
+  trace::DemandTrace d;
+  for (int i = 0; i < 1000; ++i) d.push_back(i < 500 ? 10 : 1000);  // heavy tail
+  RunPolicy p;
+  p.budget.max_resident_bytes = 101 * static_cast<std::int64_t>(sizeof(Cycles));
+  p.on_budget = OnBudget::Degrade;
+  DegradationReport rep;
+  const auto gu =
+      workload::extract_upper(d, std::vector<std::int64_t>{1, 10}, nullptr, &p, &rep);
+  // Only the first 100 events fit, all of demand 10 — the truncated
+  // certificate scope is visible in both the curve and the report.
+  EXPECT_EQ(gu.wcet(), 10);
+  EXPECT_EQ(rep.events_requested, 1000);
+  EXPECT_EQ(rep.events_analyzed, 100);
+  EXPECT_TRUE(rep.degraded());
+}
+
+// ---- acceptance: degradation is soundness-preserving -----------------------
+
+trace::DemandTrace seeded_demands(std::size_t n) {
+  common::Rng rng(0xD06F00D);
+  trace::DemandTrace d;
+  d.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d.push_back(rng.bernoulli(0.15) ? rng.uniform_int(4'000, 9'000) : rng.uniform_int(50, 800));
+  return d;
+}
+
+TEST(DegradationSoundness, CoarsenedCurvesBracketFullGridCurves) {
+  const std::size_t n = 400;
+  const trace::DemandTrace d = seeded_demands(n);
+  std::vector<std::int64_t> dense;
+  for (std::int64_t k = 1; k <= static_cast<std::int64_t>(n); ++k) dense.push_back(k);
+
+  const auto full_u = workload::extract_upper(d, dense);
+  const auto full_l = workload::extract_lower(d, dense);
+
+  RunPolicy p;
+  p.budget.max_grid_points = 12;
+  p.on_budget = OnBudget::Degrade;
+  DegradationReport rep;
+  const auto deg_u = workload::extract_upper(d, dense, nullptr, &p, &rep);
+  const auto deg_l = workload::extract_lower(d, dense, nullptr, &p, &rep);
+  ASSERT_TRUE(rep.degraded());
+  ASSERT_LE(deg_u.points().size(), 14u);  // origin + <=12 grid points (+ n kept)
+
+  // Pointwise dominance at every shared k: the degraded upper bound may
+  // only move up, the degraded lower bound only down.
+  for (std::int64_t k = 1; k <= static_cast<std::int64_t>(n); ++k) {
+    ASSERT_GE(deg_u.value(k), full_u.value(k)) << "upper bound weakened soundly at k=" << k;
+    ASSERT_LE(deg_l.value(k), full_l.value(k)) << "lower bound weakened soundly at k=" << k;
+  }
+
+  // The same statement through the validate dominance checker: a degraded
+  // upper curve must still dominate the exact lower curve and vice versa.
+  EXPECT_TRUE(validate::check_workload_pair(deg_u, full_l).ok());
+  EXPECT_TRUE(validate::check_workload_pair(full_u, deg_l).ok());
+  EXPECT_TRUE(validate::check_workload_pair(deg_u, deg_l).ok());
+
+  // Consequence for eq. (9): sizing with the degraded γᵘ can only ask for
+  // an equal-or-faster clock — conservative, never optimistic.
+  trace::TimestampTrace ts{0.0};
+  common::Rng rng(42);
+  for (std::size_t i = 1; i < n; ++i) ts.push_back(ts.back() + rng.uniform(1e-4, 2e-3));
+  const auto ks = trace::make_kgrid({.max_k = static_cast<std::int64_t>(n),
+                                     .dense_limit = 64,
+                                     .growth = 1.1});
+  const auto au = trace::extract_upper_arrival(ts, ks);
+  for (EventCount b : {0, 2, 8, 32, 128}) {
+    const Hertz f_full = rtc::min_frequency_workload(au, full_u, b);
+    const Hertz f_deg = rtc::min_frequency_workload(au, deg_u, b);
+    EXPECT_GE(f_deg, f_full) << "buffer " << b;
+  }
+}
+
+TEST(DegradationSoundness, DeterministicAcrossRepeats) {
+  const trace::DemandTrace d = seeded_demands(300);
+  std::vector<std::int64_t> dense;
+  for (std::int64_t k = 1; k <= 300; ++k) dense.push_back(k);
+  RunPolicy p;
+  p.budget.max_grid_points = 9;
+  p.on_budget = OnBudget::Degrade;
+  const auto a = workload::extract_upper(d, dense, nullptr, &p);
+  const auto b = workload::extract_upper(d, dense, nullptr, &p);
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    EXPECT_EQ(a.points()[i].first, b.points()[i].first);
+    EXPECT_EQ(a.points()[i].second, b.points()[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace wlc::runtime

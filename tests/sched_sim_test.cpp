@@ -186,6 +186,49 @@ TEST(SchedSim, CurveScheduleAcceptanceImpliesNoSimMisses) {
   EXPECT_GT(accepted, 0);  // the property must actually have been exercised
 }
 
+TEST(SchedSim, HorizonTruncationIsSurfacedNotSilentlyDropped) {
+  // Relative deadline 10 s, horizon 1.5 s: the t=0 job (15 s of work at this
+  // clock) and the t=1 job are both cut off with their absolute deadlines
+  // beyond the horizon. Their outcome is undecided — they must show up as
+  // unresolved, not as misses and not vanish.
+  const SimTask t{"slow", /*period=*/1.0, /*deadline=*/10.0,
+                  std::make_shared<FixedDemand>(1'500)};
+  const auto r = simulate_fixed_priority({t}, /*f=*/100.0, /*horizon=*/1.5);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.unresolved_jobs, 2);
+  EXPECT_EQ(r.total_misses(), 0);
+  EXPECT_EQ(r.tasks[0].jobs_released, 2);
+  EXPECT_EQ(r.tasks[0].jobs_completed, 0);
+}
+
+TEST(SchedSim, PassedDeadlineAtCutoffIsAMissNotUnresolved) {
+  // Same shape but the relative deadline (1 s) passes inside the horizon:
+  // the t=0 job is a genuine miss; only the t=1 job (abs deadline 2 s ≥
+  // horizon 1.5 s) is unresolved.
+  const SimTask t{"slow", /*period=*/1.0, /*deadline=*/1.0,
+                  std::make_shared<FixedDemand>(1'500)};
+  const auto r = simulate_fixed_priority({t}, /*f=*/100.0, /*horizon=*/1.5);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.unresolved_jobs, 1);
+  EXPECT_EQ(r.total_misses(), 1);
+}
+
+TEST(SchedSim, CompletedRunsAreNotTruncated) {
+  const auto r = simulate_fixed_priority(
+      {sim_task("solo", 1.0, std::make_shared<FixedDemand>(50))}, 100.0, 10.0);
+  EXPECT_FALSE(r.truncated());
+  EXPECT_EQ(r.unresolved_jobs, 0);
+}
+
+TEST(SchedSim, EdfTalliesUnresolvedJobsToo) {
+  const SimTask t{"slow", /*period=*/1.0, /*deadline=*/10.0,
+                  std::make_shared<FixedDemand>(1'500)};
+  const auto r = simulate_edf({t}, /*f=*/100.0, /*horizon=*/1.5);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.unresolved_jobs, 2);
+  EXPECT_EQ(r.total_misses(), 0);
+}
+
 TEST(SchedSim, ValidatesInput) {
   EXPECT_THROW(simulate_fixed_priority({}, 1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(simulate_fixed_priority({sim_task("x", 1.0, nullptr)}, 1.0, 1.0),

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.h"
@@ -244,6 +245,91 @@ TEST(ArrivalCurve, ValidatesConstruction) {
   EXPECT_EQ(ok.eval(2.0), 5);
   EXPECT_EQ(ok.eval(100.0), 5);
   EXPECT_DOUBLE_EQ(ok.long_run_rate(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Parse diagnostics locate the fault: every strict-mode rejection of the
+// corruption fixtures must name the source file and the 1-based input line.
+// All corrupt_* fixtures plant their bad row at input line 12.
+// ---------------------------------------------------------------------------
+
+std::string fixture_path(const std::string& name) {
+  return std::string(WLC_FIXTURE_DIR) + "/" + name;
+}
+
+template <typename ExceptionT>
+void expect_locates_fault(const std::string& name) {
+  std::ifstream f(fixture_path(name));
+  ASSERT_TRUE(f.good()) << name;
+  ReadOptions opts;
+  opts.source_name = name;
+  try {
+    read_event_trace_csv(f, ParsePolicy::Strict, nullptr, opts);
+    FAIL() << name << ": expected a strict-mode rejection";
+  } catch (const ExceptionT& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'" + name + "'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 12"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceDiagnostics, GarbageRowNamesFileAndLine) {
+  expect_locates_fault<ParseError>("corrupt_garbage.csv");
+}
+
+TEST(TraceDiagnostics, NegativeDemandNamesFileAndLine) {
+  expect_locates_fault<ParseError>("corrupt_negative.csv");
+}
+
+TEST(TraceDiagnostics, NonFiniteTimeNamesFileAndLine) {
+  expect_locates_fault<ParseError>("corrupt_nonfinite.csv");
+}
+
+TEST(TraceDiagnostics, UnorderedTimestampsNameFileAndLine) {
+  expect_locates_fault<ParseError>("corrupt_unordered.csv");
+}
+
+TEST(TraceDiagnostics, OverflowNamesFileAndLine) {
+  expect_locates_fault<OverflowError>("corrupt_overflow.csv");
+}
+
+TEST(TraceDiagnostics, ParseErrorCarriesStructuredLocation) {
+  std::ifstream f(fixture_path("corrupt_garbage.csv"));
+  ASSERT_TRUE(f.good());
+  ReadOptions opts;
+  opts.source_name = "corrupt_garbage.csv";
+  try {
+    read_event_trace_csv(f, ParsePolicy::Strict, nullptr, opts);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.input_line(), 12u);  // machine-readable, not just in the text
+  }
+}
+
+TEST(TraceDiagnostics, AnonymousStreamStillReportsLine) {
+  // Without a source_name the message has no quoted file, but the line
+  // number survives — callers reading from pipes still get a location.
+  std::istringstream bad("time,type,demand\n1.0,1,oops\n");
+  try {
+    read_event_trace_csv(bad, ParsePolicy::Strict, nullptr, ReadOptions{});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.input_line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceDiagnostics, LenientSamplesArePrefixedWithSource) {
+  std::ifstream f(fixture_path("corrupt_garbage.csv"));
+  ASSERT_TRUE(f.good());
+  ReadOptions opts;
+  opts.source_name = "corrupt_garbage.csv";
+  ParseReport rep;
+  const auto events = read_event_trace_csv(f, ParsePolicy::Lenient, &rep, opts);
+  EXPECT_FALSE(events.empty());
+  ASSERT_FALSE(rep.samples.empty());
+  EXPECT_NE(rep.samples.front().find("corrupt_garbage.csv:12:"), std::string::npos)
+      << rep.samples.front();
 }
 
 }  // namespace

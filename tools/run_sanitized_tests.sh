@@ -42,3 +42,29 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
+
+# Exit-code smoke for the runtime controls, under the same sanitizer: the
+# cancelled/timeout (6) and budget-exceeded (7) paths unwind through the
+# thread pool and the parse loop, exactly where a sanitizer would catch a
+# leak or race on the abort path. `|| rc=$?` keeps set -e from treating the
+# intentional non-zero exits as failures.
+cli="$build/tools/wlc_analyze"
+fixture="$repo/tests/fixtures/polling_clean.csv"
+if [[ -x "$cli" ]]; then
+  rc=0
+  "$cli" extract "$fixture" --timeout 0.000001 --on-budget=degrade \
+    --degradation-out "$build/deg-smoke.json" >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" -ne 6 ]]; then
+    echo "expected exit 6 from --timeout, got $rc" >&2
+    exit 1
+  fi
+  grep -q '"aborted": "deadline"' "$build/deg-smoke.json"
+
+  rc=0
+  "$cli" curves "$fixture" --max-grid 4 >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" -ne 7 ]]; then
+    echo "expected exit 7 from --max-grid under fail, got $rc" >&2
+    exit 1
+  fi
+  echo "runtime exit-code smoke passed (6 cancelled, 7 budget)"
+fi
