@@ -1,17 +1,27 @@
-// PERF — google-benchmark microbenchmarks of the curve-algebra substrate:
-// the O(n²) (min,+) operators, the convex fast path (DESIGN.md §5(3)), and
-// piecewise-linear evaluation.
+// PERF — google-benchmark microbenchmarks of the curve-algebra substrate.
+//
+// The headline comparison is the shape-aware engine's dispatch ladder on the
+// same operands: naive O(n²) oracle vs cache-blocked dense kernel vs shape
+// fast path vs memo-cache hit, at n ∈ {256, 1024, 4096} on convex/concave
+// inputs (every rung is bit-identical; only the route differs — see
+// docs/architecture.md, "Curve algebra & dispatch"). tools/run_benchmarks.sh
+// records these as BENCH_curve_ops.json. The PWL and sup-diff benches cover
+// the remaining hot evaluation paths.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "curve/discrete_curve.h"
+#include "curve/engine.h"
+#include "curve/op_cache.h"
 #include "curve/pwl_curve.h"
 
 namespace {
 
 using namespace wlc;
 using curve::DiscreteCurve;
+using curve::OpCache;
 using curve::PwlCurve;
+namespace engine = curve::engine;
 
 DiscreteCurve random_nondecreasing(std::size_t n, std::uint64_t seed) {
   common::Rng rng(seed);
@@ -31,16 +41,134 @@ DiscreteCurve random_convex(std::size_t n, std::uint64_t seed) {
   return DiscreteCurve(std::move(v), 1.0);
 }
 
+DiscreteCurve random_concave(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  double slope = static_cast<double>(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    slope -= rng.uniform(0.0, 0.5);
+    v.push_back(v.back() + slope);
+  }
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+void set_engine(bool fast_paths, bool use_cache) {
+  engine::Config cfg;
+  cfg.fast_paths = fast_paths;
+  cfg.use_cache = use_cache;
+  engine::set_config(cfg);
+  OpCache::global().set_capacity_bytes(OpCache::kDefaultCapacityBytes);
+  OpCache::global().clear();
+}
+
+// ---- dispatch ladder on convex (min,+) convolution -------------------------
+
+void BM_ConvexMinPlusConv_Naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_convex(n, 3);
+  const DiscreteCurve g = random_convex(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv_naive(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexMinPlusConv_Naive)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Complexity(benchmark::oNSquared);
+
+void BM_ConvexMinPlusConv_DenseTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_convex(n, 3);
+  const DiscreteCurve g = random_convex(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(engine::min_plus_conv_dense(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexMinPlusConv_DenseTiled)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Complexity(benchmark::oNSquared);
+
+void BM_ConvexMinPlusConv_FastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_convex(n, 3);
+  const DiscreteCurve g = random_convex(n, 4);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexMinPlusConv_FastPath)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Complexity(benchmark::oN);
+
+void BM_ConvexMinPlusConv_Cached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_convex(n, 3);
+  const DiscreteCurve g = random_convex(n, 4);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/true);
+  benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));  // warm the cache
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexMinPlusConv_Cached)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Complexity(benchmark::oN);
+
+// ---- dispatch ladder on concave (max,+) convolution ------------------------
+
+void BM_ConcaveMaxPlusConv_Naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_concave(n, 5);
+  const DiscreteCurve g = random_concave(n, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::max_plus_conv_naive(f, g));
+}
+BENCHMARK(BM_ConcaveMaxPlusConv_Naive)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ConcaveMaxPlusConv_FastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_concave(n, 5);
+  const DiscreteCurve g = random_concave(n, 6);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::max_plus_conv(f, g));
+}
+BENCHMARK(BM_ConcaveMaxPlusConv_FastPath)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ConcaveMaxPlusConv_Cached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_concave(n, 5);
+  const DiscreteCurve g = random_concave(n, 6);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/true);
+  benchmark::DoNotOptimize(DiscreteCurve::max_plus_conv(f, g));  // warm the cache
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::max_plus_conv(f, g));
+}
+BENCHMARK(BM_ConcaveMaxPlusConv_Cached)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---- binary-search deconvolution fast path ---------------------------------
+
+void BM_ConcaveConvexMinPlusDeconv_Naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_concave(n, 7);
+  const DiscreteCurve g = random_convex(n, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_deconv_naive(f, g));
+}
+BENCHMARK(BM_ConcaveConvexMinPlusDeconv_Naive)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ConcaveConvexMinPlusDeconv_FastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = random_concave(n, 7);
+  const DiscreteCurve g = random_convex(n, 8);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_deconv(f, g));
+}
+BENCHMARK(BM_ConcaveConvexMinPlusDeconv_FastPath)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---- general-shape operands (dense route through the public API) -----------
+
 void BM_MinPlusConv(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const DiscreteCurve f = random_nondecreasing(n, 1);
   const DiscreteCurve g = random_nondecreasing(n, 2);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
   for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MinPlusConv)->Range(64, 4096)->Complexity(benchmark::oNSquared);
 
 void BM_MinPlusConvConvexFastPath(benchmark::State& state) {
+  // The standalone convex kernel (increment merge), kept for comparison with
+  // the engine's index-tracked merge above.
   const auto n = static_cast<std::size_t>(state.range(0));
   const DiscreteCurve f = random_convex(n, 3);
   const DiscreteCurve g = random_convex(n, 4);
@@ -53,6 +181,7 @@ void BM_MinPlusDeconv(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const DiscreteCurve f = random_nondecreasing(n, 5);
   const DiscreteCurve g = random_nondecreasing(n, 6);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
   for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_deconv(f, g));
 }
 BENCHMARK(BM_MinPlusDeconv)->Range(64, 2048);

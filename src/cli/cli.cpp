@@ -14,7 +14,10 @@
 #include "common/error.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "curve/engine.h"
+#include "curve/op_cache.h"
 #include "obs/obs.h"
+#include "rtc/gpc.h"
 #include "rtc/sizing.h"
 #include "runtime/runtime.h"
 #include "sim/components.h"
@@ -95,7 +98,7 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
       o.flags[key.substr(0, eq)] = key.substr(eq + 1);
       continue;
     }
-    if (key == "strict" || key == "lenient") {  // boolean flags
+    if (key == "strict" || key == "lenient" || key == "no-fast-paths") {  // boolean flags
       o.flags.emplace(key, "1");
       continue;
     }
@@ -191,6 +194,31 @@ RuntimeControls runtime_controls(const Options& o) {
                        "', which has no degradation path (supported: extract, curves, report)");
   }
   return c;
+}
+
+/// Applies --curve-cache / --no-fast-paths to the process-global curve
+/// engine. Always re-applied from defaults, so in-process callers (the test
+/// suite) cannot leak one run's settings into the next; the cache contents
+/// themselves are harmless to share (entries are bit-identical to
+/// recomputation) but are cleared too, keeping runs deterministic. Cache
+/// residency counts against the --max-bytes budget like any other resident
+/// memory, so the budget clamps the capacity.
+void apply_curve_engine_flags(const Options& o, const RuntimeControls& rc) {
+  curve::engine::Config cfg;
+  cfg.fast_paths = o.flags.count("no-fast-paths") == 0;
+  cfg.use_cache = true;
+  curve::engine::set_config(cfg);
+  std::size_t capacity = curve::OpCache::kDefaultCapacityBytes;
+  if (const auto v = o.integer("curve-cache")) {
+    if (*v < 0)
+      throw UsageError("--curve-cache must be >= 0 bytes, got " + std::to_string(*v));
+    capacity = static_cast<std::size_t>(*v);
+  }
+  const std::int64_t max_bytes = rc.policy.budget.max_resident_bytes;
+  if (max_bytes > 0 && capacity > static_cast<std::size_t>(max_bytes))
+    capacity = static_cast<std::size_t>(max_bytes);
+  curve::OpCache::global().set_capacity_bytes(capacity);
+  curve::OpCache::global().clear();
 }
 
 struct LoadedTrace {
@@ -317,6 +345,49 @@ int cmd_size_buffer(const Options& o, const LoadedTrace& t, const RuntimeControl
   table.add_row({"WCET only (eq. 10)", common::fmt_f(fw / 1e6, 2)});
   table.print(out);
   out << "savings: " << common::fmt_pct(1.0 - fg / fw) << "\n";
+  return 0;
+}
+
+/// GPC bounds of the trace's task on a dedicated PE: the trace's arrival
+/// curves are converted to cycle demand through its own workload curves
+/// (Fig. 4) and pushed through one greedy-processing-component step against
+/// the constant-rate service --mhz. This is the curve-algebra-heavy
+/// subcommand: the convolutions route through the shape-aware engine, so
+/// --curve-cache / --no-fast-paths are observable here (results are
+/// bit-identical either way; only the timings move).
+int cmd_bounds(const Options& o, const LoadedTrace& t, std::ostream& out, std::ostream& err) {
+  const auto mhz = o.number("mhz");
+  if (!mhz || *mhz <= 0) {
+    err << "bounds needs --mhz <clock>\n";
+    return 2;
+  }
+  const double horizon = std::max(t.events.back().time, t.arr_u.last_breakpoint());
+  const std::size_t n = static_cast<std::size_t>(o.number("grid").value_or(512.0));
+  if (n < 2 || horizon <= 0.0) {
+    err << "bounds needs a trace with a positive time span and --grid >= 2\n";
+    return 2;
+  }
+  const double dt = horizon / static_cast<double>(n - 1);
+
+  // Event → cycle conversion on the grid (same rounding as rtc::mpa).
+  std::vector<double> up(n), lo(n), beta(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = dt * static_cast<double>(i);
+    up[i] = static_cast<double>(t.gamma_u.value(t.arr_u.eval(x)));
+    lo[i] = static_cast<double>(t.gamma_l.value(t.arr_l.eval(x)));
+    beta[i] = *mhz * 1e6 * x;
+  }
+  const rtc::StreamBounds demand{curve::DiscreteCurve(std::move(up), dt),
+                                 curve::DiscreteCurve(std::move(lo), dt)};
+  const curve::DiscreteCurve service(std::move(beta), dt);
+  const rtc::GpcResult r = rtc::analyze_gpc(demand, rtc::ResourceBounds{service, service});
+
+  common::Table table({"bound", "value"});
+  table.add_row({"backlog [cycles]", common::fmt_f(std::max(0.0, r.backlog), 1)});
+  table.add_row({"delay [ms]", common::fmt_f(r.delay * 1e3, 3)});
+  const double util = service[n - 1] > 0.0 ? demand.upper[n - 1] / service[n - 1] : 0.0;
+  table.add_row({"utilization (γᵘ/β over horizon)", common::fmt_pct(util)});
+  table.print(out);
   return 0;
 }
 
@@ -450,6 +521,7 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   // pre-cancelled token) trips deterministically here, not file-dependent
   // rows into ingestion.
   if (rc.active) rc.policy.checkpoint("command dispatch");
+  apply_curve_engine_flags(opts, rc);
   if (opts.command == "validate") return cmd_validate(opts, rc, out, err);
   const auto loaded = load(opts, rc, err);
   if (!loaded) return 2;
@@ -457,6 +529,7 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   if (opts.command == "report") return cmd_report(*loaded, out);
   if (opts.command == "size-buffer") return cmd_size_buffer(opts, *loaded, rc, out, err);
   if (opts.command == "size-delay") return cmd_size_delay(opts, *loaded, out, err);
+  if (opts.command == "bounds") return cmd_bounds(opts, *loaded, out, err);
   if (opts.command == "simulate") return cmd_simulate(opts, *loaded, out, err);
   err << "unknown command: " << opts.command << "\n" << usage();
   return 2;
@@ -519,6 +592,9 @@ std::string usage() {
          "               minimum clock so a FIFO of that size never overflows (eq. 9/10)\n"
          "  size-delay   <trace.csv> --deadline-ms <ms>\n"
          "               minimum clock meeting a per-event deadline\n"
+         "  bounds       <trace.csv> --mhz <clock> [--grid N]\n"
+         "               GPC backlog/delay bounds of the trace's task on a\n"
+         "               dedicated PE at that clock (curve algebra end to end)\n"
          "  simulate     <trace.csv> --mhz <clock> [--capacity <events>]\n"
          "               replay the trace through the FIFO + PE pipeline\n"
          "  validate     <trace.csv> [--strict | --lenient] [--dense N] [--growth G]\n"
@@ -529,6 +605,12 @@ std::string usage() {
          "               exit codes: 0 valid, 2 usage, 3 rejected input,\n"
          "               4 soundness violation, 5 valid but rows were dropped\n"
          "global flags (every command; --key value and --key=value both work):\n"
+         "  --curve-cache BYTES  capacity of the curve-operation memo cache\n"
+         "                       (default 16 MiB; 0 disables). results are\n"
+         "                       bit-identical with or without the cache\n"
+         "  --no-fast-paths      disable the shape-aware O(n) curve kernels;\n"
+         "                       every operation runs the dense kernel.\n"
+         "                       diagnostic only — results are bit-identical\n"
          "  --metrics-out FILE   write this run's metric snapshot as JSON\n"
          "  --trace-out FILE     record scoped spans and write Chrome\n"
          "                       trace-event JSON (open in chrome://tracing\n"

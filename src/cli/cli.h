@@ -20,12 +20,17 @@ namespace wlc::cli {
 ///   {"size-buffer", "trace.csv", "--buffer", "1620"}
 ///   {"size-delay",  "trace.csv", "--deadline-ms", "5"}
 ///   {"simulate",    "trace.csv", "--mhz", "350", "--capacity", "1620"}
+///   {"bounds",      "trace.csv", "--mhz", "50", "--grid", "512"}
 ///   {"validate",    "trace.csv", "--lenient"}
 /// Every command also accepts the global observability flags
 /// `--metrics-out FILE` (metric snapshot as JSON) and `--trace-out FILE`
 /// (Chrome trace-event JSON of the run's scoped spans); neither changes
 /// what is written to `out`. Flags may be spelled `--key value` or
 /// `--key=value`.
+/// Curve-engine controls (also global): `--curve-cache BYTES` sets the
+/// memo-cache capacity for curve operators (0 disables; clamped by
+/// `--max-bytes`) and `--no-fast-paths` forces the dense kernels; both are
+/// bit-identical to the defaults and exist for debugging and benchmarking.
 /// Runtime controls (also global): `--timeout D` bounds wall time,
 /// `--max-grid/--max-rows/--max-bytes N` bound work and memory, and
 /// `--on-budget {fail,degrade}` picks the reaction — fail aborts, degrade

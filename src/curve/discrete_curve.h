@@ -15,6 +15,8 @@
 // exactly the regime of the paper's case study.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/assert.h"
@@ -27,6 +29,14 @@ class DiscreteCurve {
  public:
   /// Takes ownership of samples; dt > 0, at least one sample.
   DiscreteCurve(std::vector<double> values, double dt);
+
+  // Copies/moves carry the shape/monotonicity caches along (they describe
+  // the sample values, which the copy shares). Explicit because the caches
+  // are atomics. A moved-from curve is valueless and must not be used.
+  DiscreteCurve(const DiscreteCurve& other);
+  DiscreteCurve(DiscreteCurve&& other) noexcept;
+  DiscreteCurve& operator=(const DiscreteCurve& other);
+  DiscreteCurve& operator=(DiscreteCurve&& other) noexcept;
 
   /// Samples a closed-form curve at 0, dt, ..., (n-1)·dt.
   static DiscreteCurve sample(const PwlCurve& c, double dt, std::size_t n);
@@ -60,24 +70,50 @@ class DiscreteCurve {
   DiscreteCurve with_origin(double y0) const;
 
   // ---- (min,+) / (max,+) algebra -------------------------------------------
+  //
+  // The four binary operators dispatch through the shape-aware engine
+  // (curve/engine.h): memo cache → exact O(n)/O(n log n) fast path when the
+  // operand shapes admit one → cache-blocked dense kernel. Results are
+  // bit-identical to the `*_naive` reference forms below, which keep the
+  // original O(n²) loops alive as the differential oracle.
 
-  /// (f ⊗ g)(i) = min_{0<=k<=i} f(i-k) + g(k).  O(n²). Result size =
+  /// (f ⊗ g)(i) = min_{0<=k<=i} f(i-k) + g(k). Result size =
   /// min(f.size, g.size) — beyond that the inf could pick split points
   /// outside either horizon.
   static DiscreteCurve min_plus_conv(const DiscreteCurve& f, const DiscreteCurve& g);
 
-  /// (f ⊘ g)(i) = max_{k>=0, i+k<f.size} f(i+k) - g(k).
+  /// (f ⊘ g)(i) = max_{k>=0, i+k<f.size, k<g.size} f(i+k) - g(k).
   /// Horizon caveat: true deconvolution takes sup over all k; restricting to
   /// the observed horizon yields a *lower* bound on the true sup at each i,
   /// which is the best statement a finite trace supports.
+  ///
+  /// Split-window convention: the window at position i holds
+  /// kmax(i) = min(g.size, f.size − i) shifts. Both operands are non-empty,
+  /// so kmax(i) ≥ 1 and the k = 0 term f(i) − g(0) is always admissible —
+  /// no position is ever left without a split. In particular a g shorter
+  /// than f only *shrinks* the windows (positions i ≥ f.size − g.size use
+  /// fewer than g.size shifts; the last position always uses exactly one),
+  /// it never empties them. The "inherit f" branch in the naive kernels
+  /// (result −∞/+∞ → copy f(i)) is therefore unreachable, defensive code
+  /// defining what an empty window *would* mean; tests pin both the
+  /// shrinking-window values and the k = 0 floor (tests/curve_engine_test).
   static DiscreteCurve min_plus_deconv(const DiscreteCurve& f, const DiscreteCurve& g);
 
   /// (f ⊗̄ g)(i) = max_{0<=k<=i} f(i-k) + g(k).
   static DiscreteCurve max_plus_conv(const DiscreteCurve& f, const DiscreteCurve& g);
 
-  /// (f ⊘̄ g)(i) = min_{k>=0, i+k<f.size} f(i+k) - g(k)  (infimum analogue;
-  /// same horizon caveat, yielding an *upper* bound on the true inf).
+  /// (f ⊘̄ g)(i) = min_{k>=0, i+k<f.size, k<g.size} f(i+k) - g(k)  (infimum
+  /// analogue; same horizon caveat, yielding an *upper* bound on the true
+  /// inf, and the same split-window convention as min_plus_deconv).
   static DiscreteCurve max_plus_deconv(const DiscreteCurve& f, const DiscreteCurve& g);
+
+  // Naive O(n²) reference kernels — the differential oracle the engine's
+  // fast paths and cache are pinned bit-identical against. Semantics are
+  // exactly the operators above; only the evaluation strategy differs.
+  static DiscreteCurve min_plus_conv_naive(const DiscreteCurve& f, const DiscreteCurve& g);
+  static DiscreteCurve min_plus_deconv_naive(const DiscreteCurve& f, const DiscreteCurve& g);
+  static DiscreteCurve max_plus_conv_naive(const DiscreteCurve& f, const DiscreteCurve& g);
+  static DiscreteCurve max_plus_deconv_naive(const DiscreteCurve& f, const DiscreteCurve& g);
 
   /// Fast (min,+) convolution for CONVEX f, g with f(0)=g(0)=0: the result's
   /// increment sequence is the ascending merge of the operands' increment
@@ -106,11 +142,32 @@ class DiscreteCurve {
   static double horizontal_deviation(const DiscreteCurve& f, const DiscreteCurve& g);
 
   // ---- shape tests -----------------------------------------------------------
+
+  /// Exact shape class of the sample sequence, most specific first:
+  /// Constant ⊂ Affine ⊂ (Convex ∩ Concave). Classified with tol = 0 on the
+  /// *rounded* increments v[i+1]−v[i] — the doubles the kernels actually
+  /// combine — so the engine's optimal-split arguments hold for the stored
+  /// values, not an idealized real-valued curve. Computed once per curve and
+  /// cached (thread-safe: racing initializers store the same byte).
+  enum class Shape : std::uint8_t {
+    Unknown = 0,  ///< cache sentinel, never returned
+    General,
+    Convex,   ///< increments non-decreasing (and not affine)
+    Concave,  ///< increments non-increasing (and not affine)
+    Affine,   ///< all increments equal (and not zero)
+    Constant, ///< all samples equal (single-sample curves included)
+  };
+  Shape shape() const;
+
   bool is_concave(double tol = 1e-9) const;
   bool is_convex(double tol = 1e-9) const;
+  /// tol == 0 uses the same per-curve cache as the inverse dispatch.
   bool is_non_decreasing(double tol = 0.0) const;
 
-  // ---- pseudo-inverses (monotone curves) -------------------------------------
+  // ---- pseudo-inverses -------------------------------------------------------
+  // O(log n) binary search when the curve is non-decreasing (checked once,
+  // cached), mirroring WorkloadCurve::inverse; linear scan otherwise with
+  // identical first-crossing semantics.
   /// min{ x on grid : f(x) >= y }; +inf if unreached within horizon.
   double inverse_lower(double y) const;
   /// max{ x on grid : f(x) <= y }; -1 if even f(0) > y, horizon if never exceeded.
@@ -119,6 +176,19 @@ class DiscreteCurve {
  private:
   std::vector<double> v_;
   double dt_;
+  mutable std::atomic<std::uint8_t> shape_cache_{0};     // Shape::Unknown
+  mutable std::atomic<std::uint8_t> monotone_cache_{0};  // 0 unknown, 1 yes, 2 no
 };
+
+/// Shape admits the convex fast paths (affine and constant curves are convex).
+constexpr bool shape_is_convex(DiscreteCurve::Shape s) {
+  return s == DiscreteCurve::Shape::Convex || s == DiscreteCurve::Shape::Affine ||
+         s == DiscreteCurve::Shape::Constant;
+}
+/// Shape admits the concave fast paths.
+constexpr bool shape_is_concave(DiscreteCurve::Shape s) {
+  return s == DiscreteCurve::Shape::Concave || s == DiscreteCurve::Shape::Affine ||
+         s == DiscreteCurve::Shape::Constant;
+}
 
 }  // namespace wlc::curve

@@ -1,12 +1,18 @@
 #include "rtc/gpc.h"
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::rtc {
 
 using curve::DiscreteCurve;
 
+// The six curve-algebra applications below all route through the shape-aware
+// engine (curve/engine.h): the zero curves built for the remaining-service
+// bounds are Constant, so βˡ'/βᵘ' always take an O(n) fast path, and chain /
+// fixed-priority analyses that revisit operand pairs hit the OpCache.
 GpcResult analyze_gpc(const StreamBounds& input, const ResourceBounds& resource) {
+  WLC_TRACE_SPAN("rtc.gpc");
   const DiscreteCurve& au = input.upper;
   const DiscreteCurve& al = input.lower;
   const DiscreteCurve& bu = resource.upper;

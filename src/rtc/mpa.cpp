@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "common/error.h"
+#include "obs/obs.h"
 #include "rtc/gpc.h"
 
 namespace wlc::rtc {
@@ -86,9 +88,15 @@ const SystemModel::TaskReport& SystemModel::Report::task(const std::string& name
   throw std::invalid_argument("unknown task: " + name);
 }
 
-SystemModel::Report SystemModel::analyze(double dt, TimeSec horizon) const {
+SystemModel::Report SystemModel::analyze(double dt, TimeSec horizon,
+                                         const runtime::RunPolicy* policy) const {
+  WLC_TRACE_SPAN("rtc.mpa.analyze");
   WLC_REQUIRE(dt > 0.0 && horizon > dt, "need a valid sampling grid");
   const auto n = static_cast<std::size_t>(std::floor(horizon / dt)) + 1;
+  if (policy && !policy->grid_within_budget(static_cast<std::int64_t>(n)))
+    throw BudgetExceededError("grid_points",
+                              "system analysis grid exceeds the grid budget",
+                              std::to_string(n) + " points");
 
   // Live resource service bounds (consumed top-down in priority order).
   std::map<std::string, ResourceBounds> service;
@@ -126,6 +134,7 @@ SystemModel::Report SystemModel::analyze(double dt, TimeSec horizon) const {
   std::map<std::string, std::string> parent;
   std::map<std::string, TimeSec> task_delay;
   for (const auto& task : tasks_) {
+    if (policy) policy->checkpoint("system analysis");
     const auto in = events.find(task.input);
     WLC_ASSERT(in != events.end());
     if (parent.count(task.input))  // consuming an upstream task's output

@@ -30,6 +30,7 @@
 #include "curve/discrete_curve.h"
 #include "curve/pwl_curve.h"
 #include "rtc/tdma.h"
+#include "runtime/runtime.h"
 #include "trace/arrival_curve.h"
 #include "workload/workload_curve.h"
 
@@ -77,8 +78,14 @@ class SystemModel {
   };
 
   /// Propagates bounds through every task. Tasks must form a forest (each
-  /// input is an external stream or an already-declared task).
-  Report analyze(double dt, TimeSec horizon) const;
+  /// input is an external stream or an already-declared task). The optional
+  /// RunPolicy is polled before each task's GPC step (one curve-algebra
+  /// bundle each), so cancellation/deadlines take effect at task
+  /// granularity; Budget::max_grid_points rejects grids the budget cannot
+  /// hold (there is no sound way to coarsen a declared system grid
+  /// mid-analysis, so degrade mode does not apply here).
+  Report analyze(double dt, TimeSec horizon,
+                 const runtime::RunPolicy* policy = nullptr) const;
 
  private:
   struct ResourceDecl {

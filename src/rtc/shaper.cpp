@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::rtc {
 
 ShaperResult analyze_shaper(const curve::DiscreteCurve& alpha_u,
                             const curve::DiscreteCurve& sigma) {
+  WLC_TRACE_SPAN("rtc.shaper");
   WLC_REQUIRE(sigma.is_non_decreasing(), "shaping curves must be non-decreasing");
   // The classical α' = α ⊗ σ holds in the zero-origin convention
   // (f(0) = 0); our closed-window curves carry their burst at Δ = 0, so zero

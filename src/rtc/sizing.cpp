@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::rtc {
 
@@ -115,10 +116,12 @@ TimeSec min_playout_delay(const trace::EmpiricalArrivalCurve& lower_arrivals, do
 std::vector<std::pair<EventCount, Hertz>> buffer_frequency_tradeoff(
     const trace::EmpiricalArrivalCurve& arrivals, const workload::WorkloadCurve& gamma_u,
     const std::vector<EventCount>& buffer_sizes, const runtime::RunPolicy* policy) {
+  WLC_TRACE_SPAN("rtc.sizing.tradeoff");
   std::vector<std::pair<EventCount, Hertz>> out;
   out.reserve(buffer_sizes.size());
   for (EventCount b : buffer_sizes)
     out.emplace_back(b, min_frequency_workload(arrivals, gamma_u, b, policy));
+  WLC_COUNTER_ADD("rtc.sizing_candidates", static_cast<std::int64_t>(buffer_sizes.size()));
   return out;
 }
 

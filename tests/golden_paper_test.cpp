@@ -1,0 +1,183 @@
+// Golden-number regression tests for the paper's case-study results.
+//
+// The experiment harnesses (bench/tab_fmin_sizing, bench/tab_rms_
+// schedulability) print the reproduced §3.1/§3.2 numbers but nothing checks
+// them automatically — a silent analysis regression would only show up to a
+// human reading the tables. These tests pin the headline numbers of the
+// deterministic pipeline (seeded trace generation, exact extraction, curve
+// algebra) to their captured values:
+//
+//   · F^γ_min ≈ 364.4 MHz vs F^w_min ≈ 744.3 MHz over the combined 14 clips
+//     (paper: ≈ 340 vs ≈ 710 MHz; our synthetic traces land in the same
+//     regime) with F^γ_min/F^w_min < 0.55 — the "over 50 % savings" claim.
+//   · The b = 1620 macroblock FIFO constraint: a clock at F^γ_min serves the
+//     eq. (8) demand floor, a 10 % slower clock does not.
+//   · The §3.1 RMS application: Lehoczky loads L (eq. 3) and L' (eq. 4) for
+//     the representative modal task set, the minimum schedulable clocks, and
+//     the paper's theorem L' <= L (eq. 5) across the whole sweep.
+//
+// Tolerances are one unit in the last printed digit of the harness tables —
+// tight enough to catch any change in extraction, grid, or curve algebra,
+// loose enough to survive benign refactors of print formatting.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "curve/discrete_curve.h"
+#include "mpeg/analyze.h"
+#include "mpeg/clip.h"
+#include "mpeg/trace_gen.h"
+#include "rtc/sizing.h"
+#include "sched/generators.h"
+#include "sched/response_time.h"
+#include "sched/rms.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc {
+namespace {
+
+/// The paper's stream setup, as in bench/experiment_common.h: 720×576 @
+/// 25 fps, 9.78 Mbit/s CBR, 48 frames per clip, analysis window 24 frames.
+mpeg::TraceConfig paper_config() {
+  mpeg::TraceConfig cfg;
+  cfg.frames = 48;
+  cfg.pe1_frequency = 150e6;
+  return cfg;
+}
+
+struct CombinedCurves {
+  workload::WorkloadCurve gamma_u;
+  trace::EmpiricalArrivalCurve arrivals;
+};
+
+/// Extracts and combines γᵘ/ᾱᵘ over all 14 library clips, once per process
+/// (the extraction is the expensive half of these tests).
+const CombinedCurves& combined_clips() {
+  static const CombinedCurves* combined = [] {
+    const mpeg::TraceConfig cfg = paper_config();
+    mpeg::AnalyzeOptions opt;  // dense_limit 512 / growth 1.01, the paper grid
+    opt.min_max_k = 24 * cfg.stream.mb_per_frame();
+    common::ThreadPool pool;
+    const auto clips = mpeg::analyze_clips(cfg, mpeg::clip_library(), opt, pool);
+    auto gu = clips.front().gamma_u;
+    auto arr = clips.front().alpha_u;
+    for (std::size_t i = 1; i < clips.size(); ++i) {
+      gu = workload::WorkloadCurve::combine(gu, clips[i].gamma_u);
+      arr = trace::EmpiricalArrivalCurve::combine(arr, clips[i].alpha_u);
+    }
+    return new CombinedCurves{std::move(gu), std::move(arr)};
+  }();
+  return *combined;
+}
+
+TEST(GoldenPaper, CombinedFminMatchesCapturedValuesAndSavingsClaim) {
+  const mpeg::TraceConfig cfg = paper_config();
+  // The paper's FIFO holds one frame of macroblocks: b = 45·36 = 1620.
+  const EventCount buffer = cfg.stream.mb_per_frame();
+  ASSERT_EQ(buffer, 1620);
+
+  const CombinedCurves& c = combined_clips();
+  const Hertz f_gamma = rtc::min_frequency_workload(c.arrivals, c.gamma_u, buffer);
+  const Hertz f_wcet = rtc::min_frequency_wcet(c.arrivals, c.gamma_u.wcet(), buffer);
+
+  EXPECT_NEAR(f_gamma / 1e6, 364.4, 0.1);
+  EXPECT_NEAR(f_wcet / 1e6, 744.3, 0.1);
+  // The §3.2 headline: the workload-curve clock is less than 55 % of the
+  // WCET-only clock ("over 50 % of savings" paper-side; ≈ 51 % here).
+  EXPECT_LT(f_gamma / f_wcet, 0.55);
+  EXPECT_NEAR(f_gamma / f_wcet, 0.4896, 0.002);
+}
+
+TEST(GoldenPaper, FminFrequencyServesTheBufferConstraintAndSlowerClocksDoNot) {
+  const mpeg::TraceConfig cfg = paper_config();
+  const EventCount buffer = cfg.stream.mb_per_frame();
+  const CombinedCurves& c = combined_clips();
+  const Hertz f_gamma = rtc::min_frequency_workload(c.arrivals, c.gamma_u, buffer);
+
+  // Affine service β(Δ) = F·Δ sampled over the clip duration (48 frames at
+  // 25 fps = 1.92 s). F^γ_min is the infimum over service rates meeting the
+  // eq. (8) floor, so a hair above passes and 10 % below must fail.
+  const double dt = 1e-3;
+  const std::size_t n = 2000;
+  const auto beta_at = [&](Hertz f) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = f * dt * static_cast<double>(i);
+    return curve::DiscreteCurve(std::move(v), dt);
+  };
+  EXPECT_TRUE(rtc::service_satisfies_buffer(beta_at(1.001 * f_gamma), c.arrivals, c.gamma_u,
+                                            buffer));
+  EXPECT_FALSE(rtc::service_satisfies_buffer(beta_at(0.90 * f_gamma), c.arrivals, c.gamma_u,
+                                             buffer));
+}
+
+// ---------------------------------------------------------------------------
+// §3.1 RMS application (bench/tab_rms_schedulability's representative set).
+// ---------------------------------------------------------------------------
+
+sched::PeriodicTask modal_task(std::string name, TimeSec period, std::vector<Cycles> pattern) {
+  const sched::CyclicDemand gen(std::move(pattern));
+  sched::PeriodicTask t{std::move(name), period, period, 0, gen.upper_curve(512)};
+  t.wcet = t.gamma_u->wcet();
+  return t;
+}
+
+sched::TaskSet paper_task_set() {
+  return sched::TaskSet{
+      modal_task("video", 0.040,
+                 {5200, 2100, 900, 900, 2100, 900, 900, 2100, 900, 900, 900, 900}),
+      modal_task("audio", 0.010, {300, 80, 80, 80}),
+      sched::PeriodicTask{"ctrl_fast", 0.005, 0.005, 60, std::nullopt},
+      sched::PeriodicTask{"ctrl_slow", 0.100, 0.100, 2500, std::nullopt},
+  };
+}
+
+TEST(GoldenPaper, RmsLoadsMatchCapturedValuesAtRepresentativeClocks) {
+  const sched::TaskSet ts = paper_task_set();
+
+  // At 160 kHz the WCET test rejects (L > 1) what the workload-curve test
+  // accepts (L' <= 1) — the schedulability gained by the characterization.
+  const auto classic_160 = sched::lehoczky_test(ts, 160e3, sched::DemandModel::WcetOnly);
+  const auto curve_160 = sched::lehoczky_test(ts, 160e3, sched::DemandModel::WorkloadCurve);
+  EXPECT_NEAR(classic_160.overall, 1.270, 2e-3);
+  EXPECT_NEAR(curve_160.overall, 0.972, 2e-3);
+  EXPECT_FALSE(classic_160.schedulable);
+  EXPECT_TRUE(curve_160.schedulable);
+
+  const auto classic_240 = sched::lehoczky_test(ts, 240e3, sched::DemandModel::WcetOnly);
+  const auto curve_240 = sched::lehoczky_test(ts, 240e3, sched::DemandModel::WorkloadCurve);
+  EXPECT_NEAR(classic_240.overall, 0.847, 2e-3);
+  EXPECT_NEAR(curve_240.overall, 0.648, 2e-3);
+  EXPECT_TRUE(classic_240.schedulable);
+  EXPECT_TRUE(curve_240.schedulable);
+}
+
+TEST(GoldenPaper, RmsMinimumSchedulableClocksMatchCapturedValues) {
+  const sched::TaskSet ts = paper_task_set();
+  const Hertz f_wcet = sched::min_schedulable_frequency(ts, sched::DemandModel::WcetOnly);
+  const Hertz f_curve = sched::min_schedulable_frequency(ts, sched::DemandModel::WorkloadCurve);
+  EXPECT_NEAR(f_wcet / 1e3, 203.3, 0.1);
+  EXPECT_NEAR(f_curve / 1e3, 155.5, 0.1);
+  // 23.5 % clock savings from the workload-curve refinement.
+  EXPECT_NEAR(1.0 - f_curve / f_wcet, 0.235, 0.002);
+}
+
+TEST(GoldenPaper, RmsCurveLoadNeverExceedsWcetLoad) {
+  // Eq. (5): L' <= L at every clock — the workload-curve test can only be
+  // more permissive, never less.
+  const sched::TaskSet ts = paper_task_set();
+  for (double f : {160e3, 200e3, 240e3, 280e3, 320e3, 400e3, 480e3}) {
+    const auto classic = sched::lehoczky_test(ts, f, sched::DemandModel::WcetOnly);
+    const auto curve = sched::lehoczky_test(ts, f, sched::DemandModel::WorkloadCurve);
+    EXPECT_LE(curve.overall, classic.overall + 1e-12) << "f=" << f;
+    if (classic.schedulable) {
+      EXPECT_TRUE(curve.schedulable) << "f=" << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wlc

@@ -4,6 +4,7 @@
 // of the model; the parameter grid supplies diversity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -226,6 +227,97 @@ TEST_P(AlgebraIdentities, DeconvThenConvBracketsOriginal) {
   const DC back = DC::min_plus_conv(d, g);
   // Only the first half is free of horizon truncation in the deconvolution.
   for (std::size_t i = 0; i < f.size() / 2; ++i) ASSERT_GE(back[i] + 1e-9, f[i]) << i;
+}
+
+TEST_P(AlgebraIdentities, OperatorsAreIsotone) {
+  // Isotonicity in the (min,+) dioid: raising an operand can only raise a
+  // convolution; deconvolution is monotone in f and antitone in g (the
+  // split/window sets coincide, so the inequalities transfer termwise).
+  common::Rng rng(GetParam() ^ 0xa1);
+  const auto f = random_curve(36, 10);
+  const auto g = random_curve(36, 11);
+  std::vector<double> bumped_f(f.values()), bumped_g(g.values());
+  for (auto& x : bumped_f) x += rng.uniform(0.0, 3.0);
+  for (auto& x : bumped_g) x += rng.uniform(0.0, 3.0);
+  const curve::DiscreteCurve f2(std::move(bumped_f), f.dt());
+  const curve::DiscreteCurve g2(std::move(bumped_g), g.dt());
+  using DC = curve::DiscreteCurve;
+
+  const DC c1 = DC::min_plus_conv(f, g);
+  const DC c2 = DC::min_plus_conv(f2, g);
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_LE(c1[i], c2[i] + 1e-12) << i;
+
+  const DC d1 = DC::min_plus_deconv(f, g);
+  const DC d2 = DC::min_plus_deconv(f2, g);
+  for (std::size_t i = 0; i < d1.size(); ++i) ASSERT_LE(d1[i], d2[i] + 1e-12) << i;
+
+  const DC e1 = DC::min_plus_deconv(f, g2);  // larger g subtracts more
+  for (std::size_t i = 0; i < e1.size(); ++i) ASSERT_LE(e1[i], d1[i] + 1e-12) << i;
+}
+
+TEST_P(AlgebraIdentities, DeconvolutionIsAdjointToConvolution) {
+  // The residuation (Galois) adjunction  f ⊘ g <= h  <=>  f <= h ⊗ g, as
+  // unit/counit laws plus both implication directions on witnesses built
+  // from the adjunction itself.
+  const auto f = random_curve(32, 12);
+  const auto g = random_curve(32, 13);
+  const auto h = random_curve(32, 14);
+  common::Rng rng(GetParam() ^ 0xb2);
+  using DC = curve::DiscreteCurve;
+
+  // Unit: f <= (f ⊘ g) ⊗ g. Every conv split k re-admits the deconv shift k,
+  // so the bound holds on the conv's whole domain, horizon truncation
+  // notwithstanding.
+  const DC unit = DC::min_plus_conv(DC::min_plus_deconv(f, g), g);
+  for (std::size_t i = 0; i < unit.size(); ++i) ASSERT_GE(unit[i] + 1e-12, f[i]) << i;
+
+  // Counit: (h ⊗ g) ⊘ g <= h.
+  const DC counit = DC::min_plus_deconv(DC::min_plus_conv(h, g), g);
+  for (std::size_t i = 0; i < counit.size(); ++i) ASSERT_LE(counit[i], h[i] + 1e-12) << i;
+
+  // Forward: pick h' >= f ⊘ g; then f <= h' ⊗ g must follow.
+  const DC d = DC::min_plus_deconv(f, g);
+  std::vector<double> hv(d.values());
+  for (auto& x : hv) x += rng.uniform(0.0, 2.0);
+  const DC h_above(std::move(hv), d.dt());
+  const DC back = DC::min_plus_conv(h_above, g);
+  for (std::size_t i = 0; i < back.size(); ++i) ASSERT_GE(back[i] + 1e-12, f[i]) << i;
+
+  // Reverse: pick f' <= h ⊗ g; then f' ⊘ g <= h must follow.
+  const DC hg = DC::min_plus_conv(h, g);
+  std::vector<double> fv(hg.values());
+  for (auto& x : fv) x -= rng.uniform(0.0, 2.0);
+  const DC f_below(std::move(fv), hg.dt());
+  const DC fwd = DC::min_plus_deconv(f_below, g);
+  for (std::size_t i = 0; i < fwd.size(); ++i) ASSERT_LE(fwd[i], h[i] + 1e-12) << i;
+}
+
+TEST_P(AlgebraIdentities, ShapeFastPathsAgreeWithNaiveKernels) {
+  // Spot check of the engine's bit-identity contract inside the property
+  // sweep (the exhaustive matrix lives in tests/curve_engine_test.cpp):
+  // convex and concave operands take the O(n) fast paths here.
+  common::Rng rng(GetParam() ^ 0xc3);
+  std::vector<double> inc(47);
+  for (auto& x : inc) x = static_cast<double>(rng.uniform_int(0, 64)) * 0x1.0p-4;
+  std::sort(inc.begin(), inc.end());
+  std::vector<double> cx{0.0}, cv{0.0};
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    cx.push_back(cx.back() + inc[i]);
+    cv.push_back(cv.back() + inc[inc.size() - 1 - i]);
+  }
+  const curve::DiscreteCurve convex(std::move(cx), 1.0);
+  const curve::DiscreteCurve concave(std::move(cv), 1.0);
+  using DC = curve::DiscreteCurve;
+
+  const DC a = DC::min_plus_conv(convex, convex);
+  const DC a_ref = DC::min_plus_conv_naive(convex, convex);
+  const DC b = DC::max_plus_conv(concave, concave);
+  const DC b_ref = DC::max_plus_conv_naive(concave, concave);
+  const DC c = DC::min_plus_deconv(concave, convex);
+  const DC c_ref = DC::min_plus_deconv_naive(concave, convex);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], a_ref[i]) << i;
+  for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], b_ref[i]) << i;
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], c_ref[i]) << i;
 }
 
 TEST_P(AlgebraIdentities, ClosureIsSubadditiveFixpoint) {
