@@ -10,7 +10,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
+#include <variant>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -20,6 +23,8 @@
 #include "rtc/gpc.h"
 #include "rtc/sizing.h"
 #include "runtime/runtime.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
 #include "trace/io.h"
@@ -76,14 +81,24 @@ struct Options {
 };
 
 std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream& err) {
-  if (argv.size() < 2) {
+  if (argv.empty()) {
     err << usage();
     return std::nullopt;
   }
   Options o;
   o.command = argv[0];
-  o.trace_path = argv[1];
-  for (std::size_t i = 2; i < argv.size(); ++i) {
+  // `serve` runs a daemon, not an analysis of one trace — it is the only
+  // subcommand without the trace positional.
+  std::size_t first_flag = 1;
+  if (o.command != "serve") {
+    if (argv.size() < 2) {
+      err << usage();
+      return std::nullopt;
+    }
+    o.trace_path = argv[1];
+    first_flag = 2;
+  }
+  for (std::size_t i = first_flag; i < argv.size(); ++i) {
     if (argv[i].rfind("--", 0) != 0) {
       err << "malformed flag: " << argv[i] << "\n" << usage();
       return std::nullopt;
@@ -98,7 +113,8 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
       o.flags[key.substr(0, eq)] = key.substr(eq + 1);
       continue;
     }
-    if (key == "strict" || key == "lenient" || key == "no-fast-paths") {  // boolean flags
+    if (key == "strict" || key == "lenient" || key == "no-fast-paths" ||
+        key == "keep-state") {  // boolean flags
       o.flags.emplace(key, "1");
       continue;
     }
@@ -297,16 +313,19 @@ std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostr
 }
 
 void write_curves(const LoadedTrace& t, const std::string& prefix, std::ostream& out) {
-  {
-    std::ofstream f(prefix + ".gamma.csv");
-    f << "k,gamma_l,gamma_u\n";
-    for (const auto& [k, v] : t.gamma_u.points())
-      f << k << ',' << t.gamma_l.value(k) << ',' << v << '\n';
-  }
-  {
-    std::ofstream f(prefix + ".arrival.csv");
-    trace::write_arrival_curve_csv(f, t.arr_u);
-  }
+  // Atomic (temp + fsync + rename): an interrupt or crash mid-write never
+  // leaves a torn half-CSV behind — the signal-handling contract (exit 6
+  // with whole files or no files) depends on this.
+  std::ostringstream gamma;
+  gamma << "k,gamma_l,gamma_u\n";
+  for (const auto& [k, v] : t.gamma_u.points())
+    gamma << k << ',' << t.gamma_l.value(k) << ',' << v << '\n';
+  std::ostringstream arrival;
+  trace::write_arrival_curve_csv(arrival, t.arr_u);
+  std::string werr;
+  if (!common::atomic_write_file(prefix + ".gamma.csv", gamma.str(), &werr) ||
+      !common::atomic_write_file(prefix + ".arrival.csv", arrival.str(), &werr))
+    throw DomainError("cannot write curve files under prefix '" + prefix + "': " + werr);
   out << "wrote " << prefix << ".gamma.csv and " << prefix << ".arrival.csv\n";
 }
 
@@ -516,12 +535,268 @@ int cmd_validate(const Options& o, RuntimeControls& rc, std::ostream& out, std::
   return kExitValid;
 }
 
+int cmd_serve(const Options& o, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
+  const auto listen = o.flags.find("listen");
+  if (listen == o.flags.end()) {
+    err << "serve needs --listen <unix:/path | host:port | :port>\n";
+    return 2;
+  }
+  serve::ServerConfig cfg;
+  cfg.listen = listen->second;
+  serve::SessionConfig& sc = cfg.sessions;
+  sc.state_dir = o.text("state-dir", "");
+  if (const auto v = o.integer("max-sessions")) {
+    if (*v < 1) throw UsageError("--max-sessions must be >= 1, got " + std::to_string(*v));
+    sc.limits.max_sessions = *v;
+  }
+  // The pool reuses the global budget spellings: under serve, --max-grid
+  // bounds the summed tracked grid points across live sessions and
+  // --max-bytes their estimated resident bytes.
+  sc.limits.max_grid_points = rc.policy.budget.max_grid_points;
+  sc.limits.max_resident_bytes = rc.policy.budget.max_resident_bytes;
+  const std::string admit = o.text("admit", "reject");
+  if (admit == "degrade")
+    sc.admission = serve::AdmissionPolicy::Degrade;
+  else if (admit == "queue")
+    sc.admission = serve::AdmissionPolicy::Queue;
+  else if (admit != "reject")
+    throw UsageError("--admit expects 'reject', 'degrade' or 'queue', got '" + admit + "'");
+  if (const auto it = o.flags.find("queue-timeout"); it != o.flags.end())
+    sc.queue_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(parse_duration_seconds(it->second, "queue-timeout") * 1e3));
+  if (const auto v = o.integer("snapshot-every")) {
+    if (*v < 0) throw UsageError("--snapshot-every must be >= 0, got " + std::to_string(*v));
+    sc.snapshot_every = *v;
+  }
+  if (const auto it = o.flags.find("snapshot-interval"); it != o.flags.end())
+    cfg.snapshot_interval = std::chrono::milliseconds(
+        static_cast<std::int64_t>(parse_duration_seconds(it->second, "snapshot-interval") * 1e3));
+
+  try {
+    serve::parse_address(cfg.listen);  // surface a bad spec as a usage error
+  } catch (const Error& e) {
+    throw UsageError("--listen: " + e.message());
+  }
+  serve::Server server(cfg, err);
+  server.start();
+  out << "serving on " << server.address().to_string() << "\n";
+  out.flush();
+  // A SIGTERM/SIGINT (routed into the policy token by main) or an expired
+  // --timeout stops the reactor, which drains: buffered requests answered,
+  // replies flushed, every live session snapshotted. That is the *intended*
+  // exit for a daemon, so it returns 0 — unlike the one-shot commands,
+  // where a signal aborts an analysis mid-flight and exits 6.
+  return server.run(rc.policy);
+}
+
+int cmd_serve_client(const Options& o, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
+  const std::string connect = o.text("connect", "");
+  if (connect.empty()) {
+    err << "serve-client needs --connect <unix:/path | host:port>\n";
+    return 2;
+  }
+  const std::string session = o.text("session", "");
+  if (!serve::valid_identifier(session)) {
+    err << "serve-client needs --session <id> ([A-Za-z0-9_.-], 1..128 chars, no leading dot)\n";
+    return 2;
+  }
+  const std::string tenant = o.text("tenant", "default");
+  if (!serve::valid_identifier(tenant)) {
+    err << "--tenant must match [A-Za-z0-9_.-], 1..128 chars, no leading dot\n";
+    return 2;
+  }
+  const std::int64_t chunk = o.integer("chunk").value_or(512);
+  if (chunk < 1) throw UsageError("--chunk must be >= 1, got " + std::to_string(chunk));
+  const std::int64_t throttle_ms = o.integer("throttle-ms").value_or(0);
+  double retry_secs = 0.0;
+  if (const auto it = o.flags.find("retry-for"); it != o.flags.end())
+    retry_secs = parse_duration_seconds(it->second, "retry-for");
+
+  std::ifstream file(o.trace_path);
+  if (!file) {
+    err << "cannot open trace file: " << o.trace_path << "\n";
+    return 2;
+  }
+  trace::ReadOptions ropts;
+  ropts.source_name = o.trace_path;
+  ropts.policy = rc.policy_or_null();
+  trace::EventTrace events;
+  try {
+    events = trace::read_event_trace_csv(file, trace::ParsePolicy::Strict, nullptr, ropts);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const BudgetExceededError&) {
+    throw;
+  } catch (const std::exception& e) {
+    err << "bad trace file: " << e.what() << "\n";
+    return 2;
+  }
+  if (events.empty()) {
+    err << "trace must be non-empty\n";
+    return 2;
+  }
+  const std::vector<Cycles> demands = trace::demands_of(events);
+  const auto n = static_cast<std::int64_t>(demands.size());
+  const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
+  const double growth = o.number("growth").value_or(1.02);
+  const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
+
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(retry_secs));
+  serve::Client client;
+
+  // Connect (or reconnect) and Open — which doubles as resume: the reply's
+  // events_seen is the stream position to continue from, which is what
+  // makes a crash-recovered analysis bit-identical to an uninterrupted
+  // one. Retries cover both an unreachable daemon and explicit
+  // backpressure, until the --retry-for window runs out.
+  serve::OpenReply open;
+  const auto connect_and_open = [&]() -> int {
+    for (;;) {
+      if (rc.active) rc.policy.checkpoint("serve-client connect");
+      std::int64_t wait_ms = 100;
+      if (client.connect(connect)) {
+        serve::Reply reply;
+        if (client.call(serve::OpenRequest{serve::kProtocolVersion, session, tenant, ks},
+                        &reply)) {
+          if (const auto* ok = std::get_if<serve::OpenReply>(&reply)) {
+            open = *ok;
+            return 0;
+          }
+          if (const auto* rej = std::get_if<serve::RejectReply>(&reply)) {
+            if (rej->retry_after_ms <= 0) {
+              err << "rejected (" << serve::to_string(rej->code) << "): " << rej->reason << "\n";
+              return 1;
+            }
+            err << "backpressure (" << serve::to_string(rej->code) << "): " << rej->reason
+                << ", retrying in " << rej->retry_after_ms << " ms\n";
+            wait_ms = rej->retry_after_ms;
+          } else if (const auto* e = std::get_if<serve::ErrReply>(&reply)) {
+            err << "daemon error: " << e->message << "\n";
+            return 1;
+          } else {
+            err << "unexpected reply to Open\n";
+            return 1;
+          }
+        }
+      }
+      if (std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms) >= give_up) {
+        err << "giving up on " << connect << ": "
+            << (client.error().empty() ? "backpressure persisted" : client.error()) << "\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+  };
+
+  if (const int rcode = connect_and_open(); rcode != 0) return rcode;
+  if (open.degraded)
+    out << "note: daemon coarsened the grid to fit its pool (" << open.ks_used.size() << " of "
+        << ks.size() << " points); bounds stay sound, only looser\n";
+  if (open.resumed && open.events_seen > 0)
+    out << "resumed session '" << session << "' at event " << open.events_seen << "\n";
+
+  auto pos = static_cast<std::size_t>(open.events_seen);
+  if (pos > demands.size()) {
+    err << "daemon has seen " << pos << " events but the trace has only " << demands.size()
+        << "; refusing to resume a different stream\n";
+    return 1;
+  }
+  while (pos < demands.size()) {
+    if (rc.active) rc.policy.checkpoint("serve-client push");
+    const std::size_t take = std::min(static_cast<std::size_t>(chunk), demands.size() - pos);
+    serve::PushRequest push;
+    push.session_id = session;
+    push.demands.assign(demands.begin() + static_cast<std::ptrdiff_t>(pos),
+                        demands.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    serve::Reply reply;
+    if (!client.call(push, &reply)) {
+      err << "connection lost (" << client.error() << "), resuming\n";
+      if (const int rcode = connect_and_open(); rcode != 0) return rcode;
+      pos = static_cast<std::size_t>(open.events_seen);
+      continue;
+    }
+    if (const auto* ok = std::get_if<serve::PushReply>(&reply)) {
+      pos = static_cast<std::size_t>(ok->events_seen);
+    } else if (const auto* rej = std::get_if<serve::RejectReply>(&reply)) {
+      err << "push rejected (" << serve::to_string(rej->code) << "): " << rej->reason << "\n";
+      return 1;
+    } else {
+      err << "unexpected reply to Push\n";
+      return 1;
+    }
+    if (throttle_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+  }
+
+  const auto call_resumed = [&](const serve::Request& req, serve::Reply* reply) -> bool {
+    if (client.call(req, reply)) return true;
+    if (connect_and_open() != 0) return false;
+    return client.call(req, reply);
+  };
+
+  serve::Reply reply;
+  if (!call_resumed(serve::QueryRequest{session}, &reply)) {
+    err << "query failed: " << client.error() << "\n";
+    return 1;
+  }
+  const auto* curves = std::get_if<serve::CurveReply>(&reply);
+  if (curves == nullptr) {
+    err << "unexpected reply to Query\n";
+    return 1;
+  }
+  common::Table table({"quantity", "value"});
+  table.add_row({"events accepted", common::fmt_i(curves->accepted)});
+  table.add_row({"events quarantined", common::fmt_i(curves->quarantined)});
+  table.add_row({"windows reset", common::fmt_i(curves->windows_reset)});
+  if (curves->ready && !curves->upper.empty()) {
+    // points() carry the (0, 0) origin; the WCET/BCET anchor is k = 1.
+    const auto at_k1 = [](const std::vector<std::pair<EventCount, Cycles>>& pts) -> Cycles {
+      for (const auto& [k, v] : pts)
+        if (k == 1) return v;
+      return 0;
+    };
+    table.add_row({"WCET = γᵘ(1) [cycles]", common::fmt_i(at_k1(curves->upper))});
+    table.add_row({"BCET = γˡ(1) [cycles]", common::fmt_i(at_k1(curves->lower))});
+    table.add_row({"grid points", common::fmt_i(static_cast<long long>(curves->upper.size()))});
+  }
+  table.print(out);
+  if (!curves->ready) out << "note: not enough events yet for the smallest window\n";
+  if (curves->saturated) out << "note: extractor saturated; bounds are clamped conservatively\n";
+
+  if (o.flags.count("out") && curves->ready) {
+    const std::string path = o.text("out", "serve") + ".gamma.csv";
+    std::ostringstream csv;
+    csv << "k,gamma_l,gamma_u\n";
+    for (std::size_t i = 0; i < curves->upper.size(); ++i) {
+      const Cycles lower_v = i < curves->lower.size() ? curves->lower[i].second : 0;
+      csv << curves->upper[i].first << ',' << lower_v << ',' << curves->upper[i].second << '\n';
+    }
+    std::string werr;
+    if (!common::atomic_write_file(path, csv.str(), &werr)) {
+      err << "cannot write " << path << ": " << werr << "\n";
+      return 2;
+    }
+    out << "wrote " << path << "\n";
+  }
+
+  const bool keep = o.flags.count("keep-state") > 0;
+  if (call_resumed(serve::CloseRequest{session, !keep}, &reply)) {
+    if (const auto* closed = std::get_if<serve::CloseReply>(&reply))
+      out << "closed session '" << session << "' after " << closed->events_seen << " events"
+          << (keep ? " (snapshot kept)" : "") << "\n";
+  }
+  return 0;
+}
+
 int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
   // First checkpoint before any work: an already-expired --timeout (or a
   // pre-cancelled token) trips deterministically here, not file-dependent
   // rows into ingestion.
   if (rc.active) rc.policy.checkpoint("command dispatch");
   apply_curve_engine_flags(opts, rc);
+  if (opts.command == "serve") return cmd_serve(opts, rc, out, err);
+  if (opts.command == "serve-client") return cmd_serve_client(opts, rc, out, err);
   if (opts.command == "validate") return cmd_validate(opts, rc, out, err);
   const auto loaded = load(opts, rc, err);
   if (!loaded) return 2;
@@ -540,20 +815,20 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
 /// stay byte-identical on the primary stream.
 int write_observability_outputs(const Options& o, std::ostream& err) {
   if (const auto it = o.flags.find("metrics-out"); it != o.flags.end()) {
-    std::ofstream f(it->second);
-    if (!f) {
-      err << "cannot open metrics output file: " << it->second << "\n";
+    std::string werr;
+    if (!common::atomic_write_file(it->second, obs::registry().snapshot().to_json(), &werr)) {
+      err << "cannot open metrics output file: " << it->second << " (" << werr << ")\n";
       return 2;
     }
-    f << obs::registry().snapshot().to_json();
   }
   if (const auto it = o.flags.find("trace-out"); it != o.flags.end()) {
-    std::ofstream f(it->second);
-    if (!f) {
-      err << "cannot open trace output file: " << it->second << "\n";
+    std::ostringstream buf;
+    obs::write_chrome_trace(buf);
+    std::string werr;
+    if (!common::atomic_write_file(it->second, buf.str(), &werr)) {
+      err << "cannot open trace output file: " << it->second << " (" << werr << ")\n";
       return 2;
     }
-    obs::write_chrome_trace(f);
   }
   return 0;
 }
@@ -564,12 +839,11 @@ int write_observability_outputs(const Options& o, std::ostream& err) {
 /// field says why the run stopped.
 int write_degradation_output(const RuntimeControls& rc, std::ostream& err) {
   if (!rc.degradation_out) return 0;
-  std::ofstream f(*rc.degradation_out);
-  if (!f) {
-    err << "cannot open degradation output file: " << *rc.degradation_out << "\n";
+  std::string werr;
+  if (!common::atomic_write_file(*rc.degradation_out, rc.degradation.to_json() + "\n", &werr)) {
+    err << "cannot open degradation output file: " << *rc.degradation_out << " (" << werr << ")\n";
     return 2;
   }
-  f << rc.degradation.to_json() << "\n";
   return 0;
 }
 
@@ -597,6 +871,23 @@ std::string usage() {
          "               dedicated PE at that clock (curve algebra end to end)\n"
          "  simulate     <trace.csv> --mhz <clock> [--capacity <events>]\n"
          "               replay the trace through the FIFO + PE pipeline\n"
+         "  serve        --listen <unix:/path | host:port | :port> [--state-dir DIR]\n"
+         "               [--max-sessions N] [--max-grid N] [--max-bytes N]\n"
+         "               [--admit reject|degrade|queue] [--queue-timeout D]\n"
+         "               [--snapshot-every N] [--snapshot-interval D] [--timeout D]\n"
+         "               run the analysis daemon: concurrent streaming sessions\n"
+         "               over TCP or a Unix socket, admission control on the\n"
+         "               session/grid/byte pool (reject = explicit backpressure,\n"
+         "               degrade = coarsen the grid soundly, queue = hold Opens\n"
+         "               until capacity or deadline), crash-safe snapshots in\n"
+         "               --state-dir, recovery on restart. SIGTERM/SIGINT drain\n"
+         "               gracefully (exit 0)\n"
+         "  serve-client <trace.csv> --connect ADDR --session ID [--tenant T]\n"
+         "               [--chunk N] [--throttle-ms N] [--retry-for D]\n"
+         "               [--dense N] [--growth G] [--out prefix] [--keep-state]\n"
+         "               stream the trace to a daemon and print the session's\n"
+         "               curves; reconnects and resumes (bit-identically) within\n"
+         "               --retry-for after daemon restarts or backpressure\n"
          "  validate     <trace.csv> [--strict | --lenient] [--dense N] [--growth G]\n"
          "               check the trace and its extracted curves against the\n"
          "               soundness invariants (monotone/additive curves, ordered\n"
@@ -632,11 +923,18 @@ std::string usage() {
          "                       (also written when a timeout aborts the run,\n"
          "                       with \"aborted\" naming the cause)\n"
          "exit codes: 0 ok, 1 error, 2 usage, 3-5 validate (above),\n"
-         "            6 cancelled/timeout, 7 budget exceeded under fail\n"
+         "            6 cancelled (--timeout expired or SIGINT/SIGTERM; outputs\n"
+         "              are atomic — whole files or no files, never torn),\n"
+         "            7 budget exceeded under fail\n"
          "trace format: CSV with header 'time,type,demand'\n";
 }
 
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  return run(argv, out, err, nullptr);
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err,
+        const runtime::CancelToken* interrupt) {
   const auto opts = parse(argv, err);
   if (!opts) return 2;
   // Span recording costs a clock read per span, so it is armed only when a
@@ -647,6 +945,15 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
   int rc;
   try {
     controls = runtime_controls(*opts);  // may throw UsageError; before tracing arms
+    if (interrupt != nullptr && interrupt->armed()) {
+      // SIGINT/SIGTERM (armed by main around this call) ride the same
+      // cooperative-cancel path as --timeout: checkpoints throw
+      // CancelledError, every output file is written atomically or not at
+      // all, and one-shot commands exit 6. The serve daemon instead treats
+      // the signal as its shutdown request and drains to exit 0.
+      controls.policy.token = interrupt->child();
+      controls.active = true;
+    }
     if (tracing) obs::set_tracing_enabled(true);
     rc = dispatch(*opts, controls, out, err);
   } catch (const UsageError& e) {

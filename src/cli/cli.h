@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace wlc::runtime {
+class CancelToken;
+}
+
 namespace wlc::cli {
 
 /// Runs one command. argv excludes the program name, e.g.
@@ -46,6 +50,17 @@ namespace wlc::cli {
 /// sound); any command returns 6 when cancelled (--timeout expired) and 7
 /// when a budget is exceeded under --on-budget=fail — see usage().
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+/// Same, with an external interrupt source. main() arms `interrupt` from
+/// SIGINT/SIGTERM handlers (CancelToken::cancel on an armed token is
+/// async-signal-safe); the command observes it through the same cooperative
+/// checkpoints as --timeout. One-shot commands abort with exit code 6 and
+/// every output file is written atomically (whole or absent, never torn);
+/// the `serve` daemon instead drains gracefully — snapshotting all live
+/// sessions — and exits 0. Pass nullptr (or use the overload above) for the
+/// uninterruptible behavior.
+int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err,
+        const runtime::CancelToken* interrupt);
 
 /// The usage text printed on bad invocations.
 std::string usage();

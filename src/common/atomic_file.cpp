@@ -1,0 +1,94 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wlc::common {
+
+namespace {
+
+void set_error(std::string* error, const std::string& step, const std::string& path) {
+  if (error != nullptr)
+    *error = step + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename that
+/// just happened inside it is durable. Some filesystems refuse O_RDONLY
+/// directory fsync; that is not a correctness problem for the atomicity
+/// guarantee (only for durability across power loss), so errors are ignored.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view bytes, std::string* error) {
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid();
+  const std::string tmp = tmp_name.str();
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create temp file", tmp);
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "cannot write temp file", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, "cannot fsync temp file", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "cannot close temp file", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "cannot rename temp file over", path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+bool read_file_bytes(const std::string& path, std::string* bytes, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    set_error(error, "cannot open", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) {
+    set_error(error, "cannot read", path);
+    return false;
+  }
+  *bytes = std::move(ss).str();
+  return true;
+}
+
+}  // namespace wlc::common

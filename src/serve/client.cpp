@@ -1,0 +1,67 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/wire.h"
+
+namespace wlc::serve {
+
+bool Client::connect(const std::string& spec) {
+  disconnect();
+  const Address addr = parse_address(spec);
+  fd_ = connect_socket(addr);
+  if (fd_ < 0) {
+    error_ = "connect " + addr.to_string() + ": " + std::strerror(errno);
+    return false;
+  }
+  error_.clear();
+  return true;
+}
+
+bool Client::call(const Request& req, Reply* reply) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  const std::string frame = encode_request(req);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    error_ = std::string("send failed: ") + std::strerror(errno);
+    disconnect();
+    return false;
+  }
+  unsigned char len_bytes[4];
+  if (!read_exact(fd_, reinterpret_cast<char*>(len_bytes), sizeof len_bytes)) {
+    error_ = "connection closed while waiting for reply";
+    disconnect();
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                            static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                            static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                            static_cast<std::uint32_t>(len_bytes[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    error_ = "oversized reply frame";
+    disconnect();
+    return false;
+  }
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact(fd_, payload.data(), payload.size())) {
+    error_ = "connection closed mid-reply";
+    disconnect();
+    return false;
+  }
+  *reply = decode_reply(payload);  // throws ParseError on garbage
+  return true;
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace wlc::serve

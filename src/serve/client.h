@@ -1,0 +1,42 @@
+// Blocking client for the serve protocol: one connection, strict
+// request/reply lockstep. Used by the `serve-client` CLI subcommand and the
+// in-process server tests. Reconnect/resume policy lives in the caller —
+// this class only speaks frames.
+#pragma once
+
+#include <string>
+
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace wlc::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { disconnect(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `spec` ("unix:/path", "host:port", ":port"). Returns false
+  /// (with the errno text in error()) on failure; throws wlc::DomainError
+  /// only on an unparsable spec.
+  bool connect(const std::string& spec);
+
+  /// Sends one request and blocks for its reply. Returns false on transport
+  /// failure (connection is closed; error() says why); throws
+  /// wlc::ParseError if the server's reply bytes do not decode.
+  bool call(const Request& req, Reply* reply);
+
+  void disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace wlc::serve

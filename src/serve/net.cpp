@@ -1,0 +1,159 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace wlc::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw DomainError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string Address::to_string() const {
+  if (is_unix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Address parse_address(const std::string& spec) {
+  Address a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.is_unix = true;
+    a.path = spec.substr(5);
+    WLC_REQUIRE(!a.path.empty(), "unix socket address needs a path after 'unix:'");
+    WLC_REQUIRE(a.path.size() < sizeof(sockaddr_un{}.sun_path),
+                "unix socket path too long for sockaddr_un");
+    return a;
+  }
+  const auto colon = spec.find_last_of(':');
+  WLC_REQUIRE(colon != std::string::npos,
+              "listen address must be 'unix:/path', 'host:port' or ':port'");
+  a.host = spec.substr(0, colon);
+  if (a.host.empty()) a.host = "127.0.0.1";
+  const std::string port_str = spec.substr(colon + 1);
+  unsigned port = 0;
+  const auto res = std::from_chars(port_str.data(), port_str.data() + port_str.size(), port);
+  WLC_REQUIRE(res.ec == std::errc{} && res.ptr == port_str.data() + port_str.size() &&
+                  port >= 1 && port <= 65535,
+              "port must be an integer in 1..65535");
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+int listen_socket(const Address& addr, int backlog) {
+  if (addr.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(addr.path.c_str());  // stale socket file from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      ::close(fd);
+      fail("bind '" + addr.path + "'");
+    }
+    if (::listen(fd, backlog) != 0) {
+      ::close(fd);
+      fail("listen '" + addr.path + "'");
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw DomainError("not an IPv4 address: '" + addr.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    fail("bind " + addr.to_string());
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    fail("listen " + addr.to_string());
+  }
+  return fd;
+}
+
+int connect_socket(const Address& addr) {
+  if (addr.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace wlc::serve

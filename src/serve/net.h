@@ -1,0 +1,43 @@
+// Minimal socket plumbing for the serve daemon and its client: address
+// parsing and blocking/non-blocking stream sockets over TCP (IPv4) or Unix
+// domain sockets. Everything POSIX, nothing exotic — the interesting
+// robustness lives above this layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wlc::serve {
+
+/// "unix:/path/sock" → Unix domain; "host:port" or ":port" → IPv4 TCP
+/// (empty host = 127.0.0.1). Throws wlc::DomainError on an unparsable spec.
+struct Address {
+  bool is_unix = false;
+  std::string path;           ///< unix socket path
+  std::string host;           ///< IPv4 dotted quad
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+};
+
+Address parse_address(const std::string& spec);
+
+/// Creates, binds and listens. Unix sockets unlink a stale file first.
+/// Returns the listening fd; throws wlc::DomainError with the errno text on
+/// failure.
+int listen_socket(const Address& addr, int backlog = 64);
+
+/// Blocking connect. Returns the fd, or -1 with errno set.
+int connect_socket(const Address& addr);
+
+/// Sets O_NONBLOCK.
+void set_nonblocking(int fd);
+
+/// Writes all of `data` to a blocking fd; returns false on error/EOF.
+bool write_all(int fd, const char* data, std::size_t size);
+
+/// Reads exactly `size` bytes from a blocking fd; returns false on
+/// error/EOF.
+bool read_exact(int fd, char* data, std::size_t size);
+
+}  // namespace wlc::serve

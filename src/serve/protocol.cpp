@@ -1,0 +1,285 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "serve/wire.h"
+
+namespace wlc::serve {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  Open = 1,
+  Push = 2,
+  Query = 3,
+  Close = 4,
+  Ping = 5,
+  OpenOk = 64,
+  PushOk = 65,
+  Curves = 66,
+  CloseOk = 67,
+  Pong = 68,
+  Rejected = 80,
+  Err = 81,
+};
+
+void write_points(Writer& w, const std::vector<std::pair<EventCount, Cycles>>& pts) {
+  w.u32(static_cast<std::uint32_t>(pts.size()));
+  for (const auto& [k, c] : pts) {
+    w.i64(k);
+    w.i64(c);
+  }
+}
+
+std::vector<std::pair<EventCount, Cycles>> read_points(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::uint64_t>(n) * 16 > r.remaining())
+    throw ParseError("reply corrupt: point list claims " + std::to_string(n) +
+                         " points but only " + std::to_string(r.remaining()) + " bytes remain",
+                     std::to_string(n), 0, 0, __FILE__, __LINE__);
+  std::vector<std::pair<EventCount, Cycles>> pts;
+  pts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const EventCount k = r.i64();
+    const Cycles c = r.i64();
+    pts.emplace_back(k, c);
+  }
+  return pts;
+}
+
+std::string frame(std::string payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.append(reinterpret_cast<const char*>(&len), 4);
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(RejectCode code) {
+  switch (code) {
+    case RejectCode::SessionLimit: return "session-limit";
+    case RejectCode::GridLimit: return "grid-limit";
+    case RejectCode::MemoryLimit: return "memory-limit";
+    case RejectCode::QueueTimeout: return "queue-timeout";
+    case RejectCode::UnknownSession: return "unknown-session";
+    case RejectCode::BadRequest: return "bad-request";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const Request& req) {
+  Writer w;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, OpenRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Open));
+          w.u32(r.protocol_version);
+          w.str(r.session_id);
+          w.str(r.tenant);
+          w.vec_i64(r.ks);
+        } else if constexpr (std::is_same_v<T, PushRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Push));
+          w.str(r.session_id);
+          w.vec_i64(r.demands);
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Query));
+          w.str(r.session_id);
+        } else if constexpr (std::is_same_v<T, CloseRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Close));
+          w.str(r.session_id);
+          w.u8(r.discard_snapshot ? 1 : 0);
+        } else {
+          static_assert(std::is_same_v<T, PingRequest>);
+          w.u8(static_cast<std::uint8_t>(MsgType::Ping));
+        }
+      },
+      req);
+  return frame(w.take());
+}
+
+std::string encode_reply(const Reply& rep) {
+  Writer w;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, OpenReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::OpenOk));
+          w.vec_i64(r.ks_used);
+          w.i64(r.events_seen);
+          w.u8(r.resumed ? 1 : 0);
+          w.u8(r.degraded ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, PushReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::PushOk));
+          w.i64(r.events_seen);
+          w.i64(r.quarantined);
+        } else if constexpr (std::is_same_v<T, CurveReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Curves));
+          w.u8(r.ready ? 1 : 0);
+          write_points(w, r.upper);
+          write_points(w, r.lower);
+          w.i64(r.accepted);
+          w.i64(r.quarantined);
+          w.i64(r.windows_reset);
+          w.u8(r.saturated ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, CloseReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::CloseOk));
+          w.i64(r.events_seen);
+        } else if constexpr (std::is_same_v<T, PongReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Pong));
+          w.i64(r.live_sessions);
+          w.i64(r.max_sessions);
+          w.i64(r.grid_leased);
+          w.i64(r.max_grid_points);
+          w.i64(r.bytes_leased);
+          w.i64(r.max_resident_bytes);
+          w.i64(r.queued_opens);
+          w.i64(r.recovered_sessions);
+        } else if constexpr (std::is_same_v<T, RejectReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Rejected));
+          w.u8(static_cast<std::uint8_t>(r.code));
+          w.str(r.reason);
+          w.i64(r.retry_after_ms);
+        } else {
+          static_assert(std::is_same_v<T, ErrReply>);
+          w.u8(static_cast<std::uint8_t>(MsgType::Err));
+          w.str(r.message);
+        }
+      },
+      rep);
+  return frame(w.take());
+}
+
+std::optional<std::string_view> try_extract_frame(std::string_view buffer,
+                                                  std::size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 4) return std::nullopt;
+  std::uint32_t len;
+  std::memcpy(&len, buffer.data(), 4);
+  if (len > kMaxFrameBytes)
+    throw ParseError("frame length " + std::to_string(len) + " exceeds the " +
+                         std::to_string(kMaxFrameBytes) + "-byte cap",
+                     std::to_string(len), 0, 0, __FILE__, __LINE__);
+  if (buffer.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  *consumed = 4 + static_cast<std::size_t>(len);
+  return buffer.substr(4, len);
+}
+
+Request decode_request(std::string_view payload) {
+  Reader r(payload, "request");
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::Open: {
+      OpenRequest q;
+      q.protocol_version = r.u32();
+      q.session_id = r.str();
+      q.tenant = r.str();
+      q.ks = r.vec_i64();
+      r.expect_done();
+      return q;
+    }
+    case MsgType::Push: {
+      PushRequest q;
+      q.session_id = r.str();
+      q.demands = r.vec_i64();
+      r.expect_done();
+      return q;
+    }
+    case MsgType::Query: {
+      QueryRequest q;
+      q.session_id = r.str();
+      r.expect_done();
+      return q;
+    }
+    case MsgType::Close: {
+      CloseRequest q;
+      q.session_id = r.str();
+      q.discard_snapshot = r.u8() != 0;
+      r.expect_done();
+      return q;
+    }
+    case MsgType::Ping: {
+      r.expect_done();
+      return PingRequest{};
+    }
+    default:
+      throw ParseError("unknown request type " + std::to_string(static_cast<unsigned>(type)),
+                       "", 0, 0, __FILE__, __LINE__);
+  }
+}
+
+Reply decode_reply(std::string_view payload) {
+  Reader r(payload, "reply");
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::OpenOk: {
+      OpenReply p;
+      p.ks_used = r.vec_i64();
+      p.events_seen = r.i64();
+      p.resumed = r.u8() != 0;
+      p.degraded = r.u8() != 0;
+      r.expect_done();
+      return p;
+    }
+    case MsgType::PushOk: {
+      PushReply p;
+      p.events_seen = r.i64();
+      p.quarantined = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::Curves: {
+      CurveReply p;
+      p.ready = r.u8() != 0;
+      p.upper = read_points(r);
+      p.lower = read_points(r);
+      p.accepted = r.i64();
+      p.quarantined = r.i64();
+      p.windows_reset = r.i64();
+      p.saturated = r.u8() != 0;
+      r.expect_done();
+      return p;
+    }
+    case MsgType::CloseOk: {
+      CloseReply p;
+      p.events_seen = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::Pong: {
+      PongReply p;
+      p.live_sessions = r.i64();
+      p.max_sessions = r.i64();
+      p.grid_leased = r.i64();
+      p.max_grid_points = r.i64();
+      p.bytes_leased = r.i64();
+      p.max_resident_bytes = r.i64();
+      p.queued_opens = r.i64();
+      p.recovered_sessions = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::Rejected: {
+      RejectReply p;
+      p.code = static_cast<RejectCode>(r.u8());
+      p.reason = r.str();
+      p.retry_after_ms = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::Err: {
+      ErrReply p;
+      p.message = r.str();
+      r.expect_done();
+      return p;
+    }
+    default:
+      throw ParseError("unknown reply type " + std::to_string(static_cast<unsigned>(type)), "",
+                       0, 0, __FILE__, __LINE__);
+  }
+}
+
+}  // namespace wlc::serve

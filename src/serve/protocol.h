@@ -1,0 +1,164 @@
+// Request/response protocol of the serve daemon.
+//
+// Transport framing is a u32 little-endian payload length followed by the
+// payload; the first payload byte is the message type. Frames are capped at
+// kMaxFrameBytes — a length prefix beyond the cap is a framing fault and the
+// connection is closed, so a corrupt or hostile peer cannot make the daemon
+// buffer unbounded garbage. Inside a frame, decoding uses the strict
+// bounds-checked wire.h Reader: malformed payloads throw wlc::ParseError
+// (answered with an Err reply), they never crash the daemon.
+//
+// Session lifecycle over the protocol:
+//
+//   Open {session_id, tenant, ks}
+//     → OpenOk {ks_used, events_seen, resumed, degraded}   admitted
+//     → Rejected {code, reason, retry_after_ms, ...}        backpressure
+//   Push {session_id, demands}    → PushOk {events_seen, quarantined}
+//   Query {session_id}            → Curves {ready, upper, lower, health}
+//   Close {session_id, discard}   → CloseOk {events_seen}
+//   Ping {}                       → Pong {pool usage & limits}
+//
+// Open doubles as resume: opening an id the daemon already knows (live, or
+// recovered from a snapshot) replies with the session's current
+// events_seen, and the client re-sends its demand stream from that position
+// — which makes the recovered analysis bit-identical to an uninterrupted
+// one (the CI soak job pins this end to end).
+//
+// Rejected is the *explicit backpressure* reply: it names the exhausted
+// axis, carries a retry hint, and is sent instead of silently stalling or
+// dropping the request. Under the Queue admission policy an Open may be
+// answered later (when capacity frees or its deadline passes); the
+// connection sees exactly one reply either way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlc::serve {
+
+/// Hard cap on one frame's payload. Push chunks must stay below it.
+inline constexpr std::size_t kMaxFrameBytes = 4u << 20;
+
+/// Protocol revision carried in every Open; bumped on incompatible change.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+// ---- requests ----
+
+struct OpenRequest {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string session_id;  ///< [A-Za-z0-9_.-]{1,128}; doubles as snapshot file stem
+  std::string tenant;      ///< same charset; namespaces the per-tenant metrics
+  std::vector<EventCount> ks;  ///< requested window-size grid
+};
+
+struct PushRequest {
+  std::string session_id;
+  std::vector<Cycles> demands;
+};
+
+struct QueryRequest {
+  std::string session_id;
+};
+
+struct CloseRequest {
+  std::string session_id;
+  bool discard_snapshot = true;  ///< false: leave the snapshot for a later restart
+};
+
+struct PingRequest {};
+
+using Request = std::variant<OpenRequest, PushRequest, QueryRequest, CloseRequest, PingRequest>;
+
+// ---- replies ----
+
+struct OpenReply {
+  std::vector<EventCount> ks_used;  ///< grid actually tracked (possibly coarsened)
+  /// Resume cursor: demands *consumed* (accepted + quarantined), i.e. the
+  /// stream position the client continues sending from.
+  EventCount events_seen = 0;
+  bool resumed = false;             ///< id was already known (live or recovered)
+  bool degraded = false;            ///< grid was coarsened to fit the pool
+};
+
+struct PushReply {
+  EventCount events_seen = 0;   ///< stream position (accepted + quarantined)
+  EventCount quarantined = 0;   ///< total invalid demands quarantined so far
+};
+
+struct CurveReply {
+  bool ready = false;  ///< false: smallest window not yet closed, points empty
+  std::vector<std::pair<EventCount, Cycles>> upper;
+  std::vector<std::pair<EventCount, Cycles>> lower;
+  EventCount accepted = 0;
+  EventCount quarantined = 0;
+  EventCount windows_reset = 0;
+  bool saturated = false;
+};
+
+struct CloseReply {
+  EventCount events_seen = 0;
+};
+
+struct PongReply {
+  std::int64_t live_sessions = 0;
+  std::int64_t max_sessions = 0;  ///< 0 = unlimited
+  std::int64_t grid_leased = 0;
+  std::int64_t max_grid_points = 0;
+  std::int64_t bytes_leased = 0;
+  std::int64_t max_resident_bytes = 0;
+  std::int64_t queued_opens = 0;
+  std::int64_t recovered_sessions = 0;
+};
+
+/// Which axis (or fault) caused a rejection.
+enum class RejectCode : std::uint8_t {
+  SessionLimit = 1,   ///< live-session axis of the pool exhausted
+  GridLimit = 2,      ///< grid-point axis exhausted (and degrading impossible)
+  MemoryLimit = 3,    ///< resident-byte axis exhausted
+  QueueTimeout = 4,   ///< queued Open's deadline passed before capacity freed
+  UnknownSession = 5, ///< Push/Query/Close for an id the daemon does not hold
+  BadRequest = 6,     ///< invalid session id / tenant / grid / version
+};
+
+const char* to_string(RejectCode code);
+
+/// Explicit backpressure: why, and when retrying might succeed.
+struct RejectReply {
+  RejectCode code = RejectCode::BadRequest;
+  std::string reason;
+  std::int64_t retry_after_ms = 0;  ///< 0 = retrying will not help
+};
+
+/// Protocol-level fault (undecodable payload on an intact frame).
+struct ErrReply {
+  std::string message;
+};
+
+using Reply =
+    std::variant<OpenReply, PushReply, CurveReply, CloseReply, PongReply, RejectReply, ErrReply>;
+
+// ---- framing ----
+
+/// Encodes payload (type byte + body) and prepends the u32 length.
+std::string encode_request(const Request& req);
+std::string encode_reply(const Reply& rep);
+
+/// Scans `buffer` for one complete frame. Returns the payload view and sets
+/// `consumed` to the bytes to drop from the front of the buffer; returns
+/// nullopt (consumed = 0) while the frame is still incomplete. Throws
+/// wlc::ParseError when the length prefix exceeds kMaxFrameBytes — the
+/// stream is unframeable from here on and the connection must be closed.
+std::optional<std::string_view> try_extract_frame(std::string_view buffer, std::size_t* consumed);
+
+/// Decodes one frame payload. Throws wlc::ParseError on malformed bytes.
+Request decode_request(std::string_view payload);
+Reply decode_reply(std::string_view payload);
+
+}  // namespace wlc::serve

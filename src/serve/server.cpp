@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "obs/obs.h"
+#include "serve/protocol.h"
+
+namespace wlc::serve {
+
+namespace {
+
+/// Stop reading a connection whose replies back up past this; TCP flow
+/// control then pushes back on the client until the buffer drains.
+constexpr std::size_t kOutputWatermark = 8u << 20;
+constexpr std::size_t kReadChunk = 64u << 10;
+
+struct Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  bool close_after_flush = false;
+  std::vector<std::uint64_t> queued_cookies;  ///< Opens parked in the admission queue
+};
+
+}  // namespace
+
+struct Server::Impl {
+  std::map<int, Connection> conns;
+  std::map<std::uint64_t, int> pending;  ///< queue cookie → connection fd
+  SessionManager::Clock::time_point last_snapshot;
+
+  void send(Connection& c, const Reply& reply) { c.out += encode_reply(reply); }
+
+  void handle_frame(SessionManager& sessions, Connection& c, std::string_view payload) {
+    Request req;
+    try {
+      req = decode_request(payload);
+    } catch (const wlc::Error& e) {
+      WLC_COUNTER_ADD("serve.protocol_errors", 1);
+      send(c, ErrReply{std::string("malformed request: ") + e.message()});
+      return;
+    }
+    if (const auto* open = std::get_if<OpenRequest>(&req)) {
+      auto outcome = sessions.open(*open, SessionManager::Clock::now());
+      if (outcome.kind == SessionManager::OpenOutcome::Kind::Queued) {
+        pending[outcome.cookie] = c.fd;
+        c.queued_cookies.push_back(outcome.cookie);
+      } else {
+        send(c, outcome.reply);
+      }
+    } else if (const auto* push = std::get_if<PushRequest>(&req)) {
+      send(c, sessions.push(*push));
+    } else if (const auto* query = std::get_if<QueryRequest>(&req)) {
+      send(c, sessions.query(*query));
+    } else if (const auto* close = std::get_if<CloseRequest>(&req)) {
+      send(c, sessions.close(*close));
+    } else {
+      send(c, sessions.stats());
+    }
+  }
+
+  /// Extracts and handles every complete frame buffered on `c`. Returns
+  /// false when the stream turned unframeable and the connection must go.
+  bool process_input(SessionManager& sessions, Connection& c) {
+    for (;;) {
+      std::size_t consumed = 0;
+      std::optional<std::string_view> payload;
+      try {
+        payload = try_extract_frame(c.in, &consumed);
+      } catch (const wlc::Error& e) {
+        WLC_COUNTER_ADD("serve.protocol_errors", 1);
+        send(c, ErrReply{std::string("unframeable stream: ") + e.message()});
+        c.close_after_flush = true;
+        return false;
+      }
+      if (!payload) return true;
+      handle_frame(sessions, c, *payload);
+      c.in.erase(0, consumed);
+    }
+  }
+
+  void route_queue_resolutions(SessionManager& sessions,
+                               const std::vector<SessionManager::QueueResolution>& resolved) {
+    for (const auto& r : resolved) {
+      const auto it = pending.find(r.cookie);
+      if (it == pending.end()) continue;  // connection died; manager was told
+      const auto conn_it = conns.find(it->second);
+      pending.erase(it);
+      if (conn_it != conns.end()) send(conn_it->second, r.reply);
+    }
+    (void)sessions;
+  }
+
+  void drop_connection(SessionManager& sessions, int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    for (std::uint64_t cookie : it->second.queued_cookies) {
+      sessions.cancel_queued(cookie);
+      pending.erase(cookie);
+    }
+    ::close(fd);
+    conns.erase(it);
+    WLC_COUNTER_ADD("serve.connections.closed", 1);
+  }
+};
+
+Server::Server(ServerConfig cfg, std::ostream& log)
+    : cfg_(std::move(cfg)),
+      addr_(parse_address(cfg_.listen)),
+      log_(log),
+      sessions_([&] {
+        SessionConfig sc = cfg_.sessions;
+        sc.log = &log;
+        return sc;
+      }()) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (addr_.is_unix) ::unlink(addr_.path.c_str());
+}
+
+void Server::start() {
+  listen_fd_ = listen_socket(addr_);
+  set_nonblocking(listen_fd_);
+  const std::size_t recovered = sessions_.recover();
+  log_ << "wlc_serve: listening on " << addr_.to_string();
+  if (!cfg_.sessions.state_dir.empty())
+    log_ << ", state dir '" << cfg_.sessions.state_dir << "' (" << recovered
+         << " sessions recovered)";
+  log_ << "\n";
+}
+
+int Server::run(const runtime::RunPolicy& policy) {
+  Impl impl;
+  impl.last_snapshot = SessionManager::Clock::now();
+
+  const auto stopping = [&] {
+    return policy.token.cancelled() || policy.deadline.expired();
+  };
+
+  while (!stopping()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& [fd, c] : impl.conns) {
+      short events = 0;
+      if (c.out.size() < kOutputWatermark && !c.close_after_flush) events |= POLLIN;
+      if (!c.out.empty()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), cfg_.poll_timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      log_ << "wlc_serve: poll failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+
+    // New connections.
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        Connection c;
+        c.fd = fd;
+        impl.conns.emplace(fd, std::move(c));
+        WLC_COUNTER_ADD("serve.connections.accepted", 1);
+      }
+    }
+
+    // I/O per connection. Collect fds to drop; mutating the map while the
+    // pollfd list still refers to it is asking for trouble.
+    std::vector<int> doomed;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      auto it = impl.conns.find(fd);
+      if (it == impl.conns.end()) continue;
+      Connection& c = it->second;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (c.out.empty() || (fds[i].revents & (POLLERR | POLLNVAL))) {
+          doomed.push_back(fd);
+          continue;
+        }
+      }
+      if (fds[i].revents & POLLIN) {
+        char buf[kReadChunk];
+        for (;;) {
+          const ssize_t got = ::read(fd, buf, sizeof buf);
+          if (got > 0) {
+            c.in.append(buf, static_cast<std::size_t>(got));
+            if (!impl.process_input(sessions_, c)) break;
+            if (c.in.size() >= kMaxFrameBytes) break;  // wait for drain
+            continue;
+          }
+          if (got == 0) {
+            // Peer closed its write side; serve out what is buffered.
+            impl.process_input(sessions_, c);
+            c.close_after_flush = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          doomed.push_back(fd);
+          break;
+        }
+      }
+      if (!c.out.empty()) {
+        const ssize_t sent = ::write(fd, c.out.data(), c.out.size());
+        if (sent > 0) c.out.erase(0, static_cast<std::size_t>(sent));
+        else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+          doomed.push_back(fd);
+      }
+      if (c.close_after_flush && c.out.empty()) doomed.push_back(fd);
+    }
+    for (int fd : doomed) impl.drop_connection(sessions_, fd);
+
+    const auto now = SessionManager::Clock::now();
+    impl.route_queue_resolutions(sessions_, sessions_.pump_queue(now));
+    if (cfg_.snapshot_interval.count() > 0 && now - impl.last_snapshot >= cfg_.snapshot_interval) {
+      sessions_.snapshot_all();
+      impl.last_snapshot = now;
+    }
+  }
+
+  // Graceful drain: no new reads or accepts; answer what is already
+  // buffered, fail the parked Opens explicitly, flush replies briefly,
+  // persist everything.
+  for (auto& [fd, c] : impl.conns) impl.process_input(sessions_, c);
+  for (auto& [cookie, fd] : impl.pending) {
+    const auto it = impl.conns.find(fd);
+    if (it != impl.conns.end())
+      impl.send(it->second,
+                RejectReply{RejectCode::QueueTimeout, "daemon draining for shutdown", 0});
+    sessions_.cancel_queued(cookie);
+  }
+  const auto flush_deadline =
+      SessionManager::Clock::now() + std::chrono::seconds(2);
+  for (bool outstanding = true;
+       outstanding && SessionManager::Clock::now() < flush_deadline;) {
+    outstanding = false;
+    for (auto& [fd, c] : impl.conns) {
+      if (c.out.empty()) continue;
+      const ssize_t sent = ::write(fd, c.out.data(), c.out.size());
+      if (sent > 0) c.out.erase(0, static_cast<std::size_t>(sent));
+      if (!c.out.empty()) outstanding = true;
+    }
+    if (outstanding) ::poll(nullptr, 0, 5);
+  }
+  sessions_.snapshot_all();
+  for (auto& [fd, c] : impl.conns) ::close(fd);
+  impl.conns.clear();
+  log_ << "wlc_serve: drained " << sessions_.live_sessions()
+       << " live sessions to snapshots, exiting\n";
+  return 0;
+}
+
+}  // namespace wlc::serve

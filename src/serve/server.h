@@ -1,0 +1,74 @@
+// The serve daemon's reactor: one thread, poll(2)-driven, multiplexing many
+// client connections over the length-prefixed protocol onto a
+// SessionManager.
+//
+// Robustness posture:
+//
+//  * Overload is answered, not absorbed. Admission rejections are explicit
+//    Rejected replies; per-connection input buffers are bounded by the
+//    frame cap and a connection whose *output* buffer backs up past a
+//    watermark simply stops being read until it drains (TCP backpressure
+//    reaches the client). Nothing queues unboundedly.
+//  * Partial failure is contained. A connection that sends an unframeable
+//    byte stream is closed (the framing is unrecoverable); a connection
+//    that frames a malformed payload gets an Err reply and lives on.
+//    Neither disturbs other sessions.
+//  * Process death is planned for. Sessions snapshot on a cadence (event
+//    count and wall-clock interval); a graceful stop (the CLI routes
+//    SIGTERM/SIGINT into the stop token) drains buffered requests,
+//    flushes replies, snapshots every live session and returns 0; a
+//    SIGKILL loses at most the events since the last snapshot, which the
+//    resume protocol re-sends (see protocol.h) — recovered analyses are
+//    bit-identical to uninterrupted ones.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+
+#include "runtime/runtime.h"
+#include "serve/net.h"
+#include "serve/session.h"
+
+namespace wlc::serve {
+
+struct ServerConfig {
+  std::string listen;        ///< "unix:/path", "host:port" or ":port"
+  SessionConfig sessions;    ///< pool limits, admission policy, state dir
+  std::chrono::milliseconds snapshot_interval{2000};  ///< timer-driven snapshot_all
+  int poll_timeout_ms = 50;  ///< reactor tick (stop-token poll granularity)
+};
+
+class Server {
+ public:
+  /// Parses cfg.listen (throws wlc::DomainError on a bad spec). Does not
+  /// touch the network yet.
+  explicit Server(ServerConfig cfg, std::ostream& log);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; recovers sessions from the state dir. Throws
+  /// wlc::DomainError on socket errors.
+  void start();
+
+  /// Runs the reactor until `policy`'s token is cancelled or its deadline
+  /// passes, then drains gracefully (see header comment). Returns 0 on a
+  /// clean drain. start() must have succeeded.
+  int run(const runtime::RunPolicy& policy);
+
+  const Address& address() const { return addr_; }
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  struct Impl;
+
+  ServerConfig cfg_;
+  Address addr_;
+  std::ostream& log_;
+  SessionManager sessions_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace wlc::serve

@@ -1,0 +1,167 @@
+// Session manager of the serve daemon: admission control over a global
+// budget pool, per-session online extraction, crash-safe snapshots, and
+// per-tenant observability.
+//
+// Admission control. Every session leases three resources from one pool —
+// a live-session slot, its grid points (the tracked window sizes), and an
+// estimate of its resident bytes (dominated by the max(k)-sized demand
+// ring). A lease is taken atomically at Open and returned at Close. When an
+// Open does not fit, the configured AdmissionPolicy decides, in the same
+// demand-aware spirit as runtime::RunPolicy's degradation:
+//
+//   Reject  — answer immediately with an explicit backpressure reply naming
+//             the exhausted axis (never a silent stall, never an OOM).
+//   Degrade — coarsen the requested grid (runtime::coarsen_grid: endpoints
+//             kept, so the k = 1 WCET anchor and the exact range survive)
+//             until it fits the grid axis. Coarsening only *loosens* the
+//             session's curves — every surviving k is still exact, and the
+//             curve objects interpolate conservatively between them — so
+//             an admitted-degraded session's bounds stay sound. Axes that
+//             coarsening cannot shrink (session slots, ring bytes) still
+//             reject.
+//   Queue   — hold the Open with a deadline; admit when capacity frees
+//             (pump_queue), reject with QueueTimeout when it passes. The
+//             connection gets exactly one reply either way.
+//
+// Snapshots. With a state_dir configured, sessions are persisted on admit,
+// every snapshot_every accepted events, on demand (snapshot_all — the
+// graceful-shutdown path), and at Close with discard = false. Writes are
+// atomic (common::atomic_write_file), loads are strict (serve/snapshot.h):
+// recover() resurrects every valid *.wlcs, quarantines corrupt ones by
+// renaming to *.corrupt, and never lets one bad file take the daemon down.
+//
+// Threading: the manager is single-threaded by design — the server's
+// reactor owns it. Nothing here is locked.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "workload/online_extract.h"
+
+namespace wlc::serve {
+
+/// Global pool ceilings; 0 on any axis = unlimited.
+struct PoolLimits {
+  std::int64_t max_sessions = 0;
+  std::int64_t max_grid_points = 0;
+  std::int64_t max_resident_bytes = 0;
+};
+
+enum class AdmissionPolicy { Reject, Degrade, Queue };
+
+struct SessionConfig {
+  PoolLimits limits;
+  AdmissionPolicy admission = AdmissionPolicy::Reject;
+  std::chrono::milliseconds queue_timeout{1000};
+  /// Snapshot cadence in accepted events per session; 0 disables the
+  /// event-count trigger (snapshot_all and Close still persist).
+  EventCount snapshot_every = 4096;
+  /// Directory for *.wlcs session snapshots; empty = no persistence.
+  std::string state_dir;
+  /// Diagnostics sink for snapshot/recovery I/O problems; may be null.
+  std::ostream* log = nullptr;
+};
+
+class SessionManager {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SessionManager(SessionConfig cfg);
+
+  /// Outcome of an Open: either an immediate reply, or Queued (the reply
+  /// arrives later through pump_queue, matched by cookie).
+  struct OpenOutcome {
+    enum class Kind { Replied, Queued } kind = Kind::Replied;
+    Reply reply;            ///< valid when kind == Replied
+    std::uint64_t cookie = 0;  ///< valid when kind == Queued
+  };
+
+  OpenOutcome open(const OpenRequest& req, Clock::time_point now);
+  Reply push(const PushRequest& req);
+  Reply query(const QueryRequest& req) const;
+  Reply close(const CloseRequest& req);
+  PongReply stats() const;
+
+  /// Admits queued Opens that now fit and expires those past their
+  /// deadline. Returns one resolution per settled entry.
+  struct QueueResolution {
+    std::uint64_t cookie = 0;
+    Reply reply;
+  };
+  std::vector<QueueResolution> pump_queue(Clock::time_point now);
+
+  /// Drops a queued Open whose connection went away.
+  void cancel_queued(std::uint64_t cookie);
+
+  /// Persists every dirty session (no-op without a state_dir). The
+  /// graceful-shutdown path; also called by the server on a timer.
+  void snapshot_all();
+
+  /// Loads every *.wlcs in state_dir into live sessions. Corrupt files are
+  /// renamed to *.corrupt and counted, never half-loaded. Returns the
+  /// number of sessions recovered.
+  std::size_t recover();
+
+  std::size_t live_sessions() const { return sessions_.size(); }
+  std::int64_t queued_opens() const { return static_cast<std::int64_t>(queue_.size()); }
+
+ private:
+  struct Session {
+    std::string id;
+    std::string tenant;
+    workload::OnlineWorkloadExtractor extractor;
+    std::vector<EventCount> ks_used;
+    std::int64_t grid_cost = 0;
+    std::int64_t bytes_cost = 0;
+    EventCount events_since_snapshot = 0;
+    bool dirty = false;
+    bool degraded = false;
+
+    explicit Session(workload::OnlineWorkloadExtractor ex) : extractor(std::move(ex)) {}
+  };
+
+  struct QueuedOpen {
+    std::uint64_t cookie = 0;
+    OpenRequest request;
+    Clock::time_point deadline;
+  };
+
+  /// Immediate admission attempt (no queueing). Fills `reply` on success
+  /// (Admit/Degrade) or failure (Reject); returns true when admitted.
+  bool try_admit(const OpenRequest& req, bool allow_degrade, Reply* reply);
+
+  Session* find(const std::string& id);
+  const Session* find(const std::string& id) const;
+  std::string snapshot_path(const std::string& id) const;
+  void snapshot_session(Session& s);
+  void tenant_count(const std::string& tenant, const char* what, std::int64_t delta);
+  void log_line(const std::string& line);
+
+  SessionConfig cfg_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::deque<QueuedOpen> queue_;
+  std::uint64_t next_cookie_ = 1;
+  std::int64_t grid_leased_ = 0;
+  std::int64_t bytes_leased_ = 0;
+  std::int64_t recovered_ = 0;
+};
+
+/// True iff `s` is a valid session id / tenant name: [A-Za-z0-9_.-],
+/// 1..128 chars, no leading dot (ids double as snapshot file stems).
+bool valid_identifier(const std::string& s);
+
+/// Resident-byte estimate of a session tracking `ks` (normalized grid):
+/// the demand ring (8 bytes per slot up to max k) plus the per-k
+/// accumulator rows plus fixed overhead.
+std::int64_t session_bytes_estimate(const std::vector<EventCount>& ks);
+
+}  // namespace wlc::serve

@@ -1,0 +1,143 @@
+#include "serve/snapshot.h"
+
+#include "common/atomic_file.h"
+#include "serve/wire.h"
+
+namespace wlc::serve {
+
+namespace {
+
+void write_wide_vec(Writer& w, const std::vector<workload::OnlineExtractorState::Wide>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& x : v) {
+    w.i64(x.hi);
+    w.u64(x.lo);
+  }
+}
+
+std::vector<workload::OnlineExtractorState::Wide> read_wide_vec(Reader& r) {
+  // One Wide is 16 bytes; Reader::vec primitives only know 1/8-byte
+  // elements, so do the pre-allocation count check by hand.
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::uint64_t>(n) * 16 > r.remaining())
+    throw ParseError("snapshot corrupt: wide vector claims " + std::to_string(n) +
+                         " elements but only " + std::to_string(r.remaining()) +
+                         " bytes remain",
+                     std::to_string(n), 0, 0, __FILE__, __LINE__);
+  std::vector<workload::OnlineExtractorState::Wide> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    workload::OnlineExtractorState::Wide x;
+    x.hi = r.i64();
+    x.lo = r.u64();
+    v.push_back(x);
+  }
+  return v;
+}
+
+std::string encode_payload(const SessionSnapshot& snap) {
+  Writer w;
+  w.str(snap.session_id);
+  w.str(snap.tenant);
+  const auto& e = snap.extractor;
+  w.vec_i64(e.ks);
+  write_wide_vec(w, e.window_sum);
+  write_wide_vec(w, e.max_sum);
+  write_wide_vec(w, e.min_sum);
+  w.vec_u8(e.window_seen);
+  w.vec_i64(e.ring);
+  w.u64(e.ring_pos);
+  w.i64(e.events);
+  w.i64(e.clean_run);
+  w.i64(e.quarantined);
+  w.i64(e.windows_reset);
+  return w.take();
+}
+
+SessionSnapshot decode_payload(std::string_view payload) {
+  Reader r(payload, "snapshot payload");
+  SessionSnapshot snap;
+  snap.session_id = r.str();
+  snap.tenant = r.str();
+  auto& e = snap.extractor;
+  e.ks = r.vec_i64();
+  e.window_sum = read_wide_vec(r);
+  e.max_sum = read_wide_vec(r);
+  e.min_sum = read_wide_vec(r);
+  e.window_seen = r.vec_u8();
+  e.ring = r.vec_i64();
+  e.ring_pos = r.u64();
+  e.events = r.i64();
+  e.clean_run = r.i64();
+  e.quarantined = r.i64();
+  e.windows_reset = r.i64();
+  r.expect_done();
+  // Semantic validation: the checksum above guards against random
+  // corruption, this guards against anything else (a forged or
+  // version-confused payload must not construct an unsound extractor).
+  // from_state throws wlc::DomainError; surface it as the snapshot
+  // rejection it is.
+  try {
+    (void)workload::OnlineWorkloadExtractor::from_state(e);
+  } catch (const DomainError& err) {
+    throw ParseError("snapshot state rejected: " + err.message(), err.offending(), 0, 0,
+                     __FILE__, __LINE__);
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::string encode_snapshot(const SessionSnapshot& snap) {
+  const std::string payload = encode_payload(snap);
+  Writer w;
+  for (char c : kSnapshotMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kSnapshotVersion);
+  w.u64(payload.size());
+  w.u32(crc32(payload));
+  std::string out = w.take();
+  out += payload;
+  return out;
+}
+
+SessionSnapshot decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < kSnapshotHeaderBytes)
+    throw ParseError("snapshot truncated: " + std::to_string(bytes.size()) +
+                         " bytes is shorter than the " +
+                         std::to_string(kSnapshotHeaderBytes) + "-byte header",
+                     "", 0, 0, __FILE__, __LINE__);
+  if (bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic)
+    throw ParseError("snapshot rejected: bad magic (not a wlc session snapshot)", "", 0, 0,
+                     __FILE__, __LINE__);
+  Reader header(bytes.substr(kSnapshotMagic.size(), 16), "snapshot header");
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion)
+    throw ParseError("snapshot version skew: file is version " + std::to_string(version) +
+                         ", this build reads version " + std::to_string(kSnapshotVersion),
+                     std::to_string(version), 0, 0, __FILE__, __LINE__);
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t checksum = header.u32();
+  const std::string_view payload = bytes.substr(kSnapshotHeaderBytes);
+  if (payload.size() != payload_size)
+    throw ParseError("snapshot corrupt: header says " + std::to_string(payload_size) +
+                         " payload bytes, file has " + std::to_string(payload.size()),
+                     "", 0, 0, __FILE__, __LINE__);
+  if (crc32(payload) != checksum)
+    throw ParseError("snapshot corrupt: payload checksum mismatch", "", 0, 0, __FILE__,
+                     __LINE__);
+  return decode_payload(payload);
+}
+
+bool write_snapshot_file(const std::string& path, const SessionSnapshot& snap,
+                         std::string* error) {
+  return common::atomic_write_file(path, encode_snapshot(snap), error);
+}
+
+bool read_snapshot_file(const std::string& path, SessionSnapshot* snap, std::string* error) {
+  std::string bytes;
+  if (!common::read_file_bytes(path, &bytes, error)) return false;
+  *snap = decode_snapshot(bytes);
+  return true;
+}
+
+}  // namespace wlc::serve

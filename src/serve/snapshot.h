@@ -1,0 +1,68 @@
+// Crash-safe session snapshots for the serve daemon.
+//
+// A snapshot captures one analysis session completely: its identity
+// (session id, tenant) and the full OnlineExtractorState, so a daemon
+// restarted after SIGKILL rebuilds the session bit-identically and the
+// client only re-sends demands from the snapshotted position onward.
+//
+// On-disk layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     8  magic "WLCSNAP\0"
+//        8     4  format version (currently 1)
+//       12     8  payload size in bytes
+//       20     4  CRC-32 of the payload bytes
+//       24     n  payload (wire.h encoding of SessionSnapshot)
+//
+// Validation on load is *strict by construction*: wrong magic, unknown
+// version, a size field disagreeing with the actual byte count, a checksum
+// mismatch, a truncated payload, an over-long length prefix inside the
+// payload, trailing bytes, or a structurally inconsistent extractor state
+// all throw wlc::ParseError. A corrupted snapshot can be refused; it can
+// never be half-loaded or provoke UB (fault-injection tests flip, truncate
+// and version-skew real snapshots to pin this).
+//
+// Files are written via common::atomic_write_file (temp + fsync + atomic
+// rename), so a crash mid-write leaves the previous snapshot intact; there
+// is no torn-file state to validate against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "workload/online_extract.h"
+
+namespace wlc::serve {
+
+inline constexpr std::string_view kSnapshotMagic{"WLCSNAP\0", 8};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 24;
+
+/// One persisted session.
+struct SessionSnapshot {
+  std::string session_id;
+  std::string tenant;
+  workload::OnlineExtractorState extractor;
+};
+
+/// Serializes header + payload into one byte string.
+std::string encode_snapshot(const SessionSnapshot& snap);
+
+/// Strictly validates and decodes bytes produced by encode_snapshot.
+/// Throws wlc::ParseError on any corruption (see header comment).
+SessionSnapshot decode_snapshot(std::string_view bytes);
+
+/// Writes `snap` to `path` atomically (temp + fsync + rename). Throws
+/// wlc::Error-derived exceptions never; returns false with `*error` filled
+/// on I/O failure.
+bool write_snapshot_file(const std::string& path, const SessionSnapshot& snap,
+                         std::string* error = nullptr);
+
+/// Reads and strictly validates a snapshot file. Throws wlc::ParseError on
+/// corruption; returns false with `*error` filled when the file cannot be
+/// read at all.
+bool read_snapshot_file(const std::string& path, SessionSnapshot* snap,
+                        std::string* error = nullptr);
+
+}  // namespace wlc::serve

@@ -23,6 +23,17 @@ Cycles clamp_to_cycles(__int128 v, bool& saturated) {
   return static_cast<Cycles>(v);
 }
 
+/// (hi, lo) halves ↔ __int128, the fixed wire layout of the accumulators.
+OnlineExtractorState::Wide to_wide(__int128 v) {
+  return {static_cast<std::int64_t>(v >> 64),
+          static_cast<std::uint64_t>(static_cast<unsigned __int128>(v))};
+}
+
+__int128 from_wide(OnlineExtractorState::Wide w) {
+  return (static_cast<__int128>(w.hi) << 64) |
+         static_cast<__int128>(static_cast<unsigned __int128>(w.lo));
+}
+
 }  // namespace
 
 OnlineWorkloadExtractor::OnlineWorkloadExtractor(std::vector<EventCount> ks) : ks_(std::move(ks)) {
@@ -111,6 +122,69 @@ WorkloadCurve OnlineWorkloadExtractor::upper() const {
     pts.emplace_back(ks_[i], clamp_to_cycles(running, saturated));
   }
   return WorkloadCurve(Bound::Upper, std::move(pts));
+}
+
+OnlineExtractorState OnlineWorkloadExtractor::export_state() const {
+  OnlineExtractorState s;
+  s.ks = ks_;
+  s.window_sum.reserve(ks_.size());
+  s.max_sum.reserve(ks_.size());
+  s.min_sum.reserve(ks_.size());
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    s.window_sum.push_back(to_wide(window_sum_[i]));
+    s.max_sum.push_back(to_wide(max_sum_[i]));
+    s.min_sum.push_back(to_wide(min_sum_[i]));
+  }
+  s.window_seen.assign(window_seen_.begin(), window_seen_.end());
+  s.ring = ring_;
+  s.ring_pos = ring_pos_;
+  s.events = events_;
+  s.clean_run = clean_run_;
+  s.quarantined = quarantined_;
+  s.windows_reset = windows_reset_;
+  return s;
+}
+
+OnlineWorkloadExtractor OnlineWorkloadExtractor::from_state(const OnlineExtractorState& s) {
+  const std::size_t n = s.ks.size();
+  WLC_REQUIRE(n >= 1, "extractor state has no window sizes");
+  WLC_REQUIRE(s.ks.front() == 1, "extractor state must track k = 1");
+  for (std::size_t i = 1; i < n; ++i)
+    WLC_REQUIRE(s.ks[i] > s.ks[i - 1], "extractor state window sizes must be strictly increasing");
+  WLC_REQUIRE(s.window_sum.size() == n && s.max_sum.size() == n && s.min_sum.size() == n &&
+                  s.window_seen.size() == n,
+              "extractor state per-window vectors disagree in size");
+  WLC_REQUIRE(s.ring.size() == static_cast<std::size_t>(s.ks.back()),
+              "extractor state ring size must equal the largest window");
+  WLC_REQUIRE(s.ring_pos < s.ring.size(), "extractor state ring position out of range");
+  WLC_REQUIRE(s.events >= 0 && s.clean_run >= 0 && s.quarantined >= 0 && s.windows_reset >= 0,
+              "extractor state counters must be non-negative");
+  WLC_REQUIRE(s.clean_run <= s.events, "extractor state clean run exceeds accepted events");
+  for (Cycles d : s.ring) WLC_REQUIRE(d >= 0, "extractor state ring holds a negative demand");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.window_seen[i])
+      WLC_REQUIRE(from_wide(s.max_sum[i]) >= from_wide(s.min_sum[i]),
+                  "extractor state extrema are inverted");
+  }
+
+  OnlineWorkloadExtractor e;
+  e.ks_ = s.ks;
+  e.window_sum_.reserve(n);
+  e.max_sum_.reserve(n);
+  e.min_sum_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    e.window_sum_.push_back(from_wide(s.window_sum[i]));
+    e.max_sum_.push_back(from_wide(s.max_sum[i]));
+    e.min_sum_.push_back(from_wide(s.min_sum[i]));
+  }
+  e.window_seen_.assign(s.window_seen.begin(), s.window_seen.end());
+  e.ring_ = s.ring;
+  e.ring_pos_ = static_cast<std::size_t>(s.ring_pos);
+  e.events_ = s.events;
+  e.clean_run_ = s.clean_run;
+  e.quarantined_ = s.quarantined;
+  e.windows_reset_ = s.windows_reset;
+  return e;
 }
 
 WorkloadCurve OnlineWorkloadExtractor::lower() const {

@@ -29,12 +29,40 @@
 //    `push` keeps the strict contract (throws wlc::DomainError).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
 #include "workload/workload_curve.h"
 
 namespace wlc::workload {
+
+/// Complete, serializable state of an OnlineWorkloadExtractor — the payload
+/// of a serve-daemon session snapshot. An extractor restored from the state
+/// exported at event t and then fed the same demands as the original from
+/// t onward reports bit-identical curves and health (pinned by tests): the
+/// state *is* the extractor, there is no hidden residue.
+///
+/// The 128-bit window accumulators are stored as explicit (hi, lo) halves so
+/// the struct has a fixed, portable wire layout independent of __int128.
+struct OnlineExtractorState {
+  struct Wide {
+    std::int64_t hi = 0;
+    std::uint64_t lo = 0;
+  };
+
+  std::vector<EventCount> ks;          ///< tracked window sizes, sorted, incl. 1
+  std::vector<Wide> window_sum;        ///< per-k running window sums
+  std::vector<Wide> max_sum;           ///< per-k extrema over closed windows
+  std::vector<Wide> min_sum;
+  std::vector<std::uint8_t> window_seen;  ///< per-k "some window closed" flags
+  std::vector<Cycles> ring;            ///< last max(ks) accepted demands
+  std::uint64_t ring_pos = 0;
+  EventCount events = 0;
+  EventCount clean_run = 0;
+  EventCount quarantined = 0;
+  EventCount windows_reset = 0;
+};
 
 /// Quarantine-with-counters health of an OnlineWorkloadExtractor — how much
 /// of the observed stream the reported curves actually certify.
@@ -78,8 +106,22 @@ class OnlineWorkloadExtractor {
   WorkloadCurve upper() const;
   WorkloadCurve lower() const;
 
+  /// Full internal state, suitable for crash-safe persistence. Restoring it
+  /// with from_state() yields an extractor bit-identical to this one.
+  OnlineExtractorState export_state() const;
+
+  /// Rebuilds an extractor from an exported state. The state is validated
+  /// structurally (consistent vector sizes, sorted window sizes, in-range
+  /// ring position, coherent counters); an inconsistent state — e.g. from a
+  /// corrupted or version-skewed snapshot that slipped past the outer
+  /// checksum — throws wlc::DomainError rather than constructing an
+  /// extractor that could report unsound bounds.
+  static OnlineWorkloadExtractor from_state(const OnlineExtractorState& state);
+
  private:
   using WideCycles = __int128;  ///< overflow-proof window accumulators
+
+  OnlineWorkloadExtractor() = default;  ///< for from_state only
 
   void accept(Cycles demand);
 

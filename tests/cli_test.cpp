@@ -358,5 +358,50 @@ TEST(CliRuntime, BudgetFailOnNonDegradableSubcommandExitsSeven) {
       << err.str();
 }
 
+TEST(CliServe, UsageErrors) {
+  {
+    std::ostringstream out, err;  // serve without --listen
+    EXPECT_EQ(run({"serve"}, out, err), 2);
+    EXPECT_NE(err.str().find("--listen"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;  // unparsable listen address
+    EXPECT_EQ(run({"serve", "--listen", "not-an-address"}, out, err), 2);
+  }
+  {
+    std::ostringstream out, err;  // unknown admission policy
+    EXPECT_EQ(run({"serve", "--listen", ":0", "--admit", "explode"}, out, err), 2);
+    EXPECT_NE(err.str().find("--admit"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;  // serve takes no trace positional
+    EXPECT_EQ(run({"serve", write_demo_trace(), "--listen", ":0"}, out, err), 2);
+  }
+  {
+    std::ostringstream out, err;  // serve-client needs --connect and --session
+    EXPECT_EQ(run({"serve-client", write_demo_trace()}, out, err), 2);
+    EXPECT_NE(err.str().find("--connect"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"serve-client", write_demo_trace(), "--connect", "unix:/tmp/x"},
+                  out, err), 2);
+    EXPECT_NE(err.str().find("--session"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;  // session ids double as snapshot file stems
+    EXPECT_EQ(run({"serve-client", write_demo_trace(), "--connect", "unix:/tmp/x",
+                   "--session", "../escape"},
+                  out, err), 2);
+  }
+}
+
+TEST(CliServe, UsageTextCoversServing) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({}, out, err), 2);
+  EXPECT_NE(err.str().find("serve"), std::string::npos);
+  EXPECT_NE(err.str().find("serve-client"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wlc::cli

@@ -13,6 +13,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "serve/snapshot.h"
 #include "trace/io.h"
 #include "trace/traces.h"
 #include "validate/fault_inject.h"
@@ -288,6 +289,40 @@ TEST(OnlineExtractorRobustness, LargerWindowsReportedOnlyAfterACleanRunCloses) {
   ex.try_push(5);
   EXPECT_EQ(ex.upper().max_k(), 3);
   EXPECT_EQ(ex.upper().value(3), 12);  // [3,4,5] — never [1,2,...] across the gap
+}
+
+// ---- serve snapshot bytes under the shared fuzz operators -------------------
+
+// The serve daemon's on-disk session snapshots get the same byte-level
+// treatment as CSV traces: every mutate_bytes edit (bit flip, overwrite,
+// insert, delete) either decodes to a state the extractor accepts or raises
+// wlc::ParseError — never a crash, never a half-loaded session. This is the
+// cross-format twin of ByteMutationsNeverCrashOrAdmitGarbage above;
+// serve_snapshot_test.cpp pins the per-field corruption taxonomy.
+TEST(FaultInject, SnapshotBytesUnderByteMutationsStayStrict) {
+  workload::OnlineWorkloadExtractor ex({1, 2, 6, 24});
+  common::Rng demand_rng(11);
+  for (int i = 0; i < 300; ++i)
+    ex.try_push(static_cast<Cycles>(demand_rng.uniform_int(0, 4000)));
+  const std::string clean =
+      serve::encode_snapshot({"fuzz-sess", "tenant", ex.export_state()});
+  ASSERT_NO_THROW(serve::decode_snapshot(clean));
+
+  common::Rng rng(1234);
+  int rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    const std::string bad = mutate_bytes(clean, rng);
+    try {
+      const serve::SessionSnapshot snap = serve::decode_snapshot(bad);
+      // Checksum collisions are possible in principle; whatever slips
+      // through must still satisfy the extractor's semantic validation.
+      workload::OnlineWorkloadExtractor::from_state(snap.extractor);
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  // The CRC + strict layout should catch essentially every edit.
+  EXPECT_GE(rejected, 390) << "snapshot decoding accepted too many corruptions";
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// Admission-control suite for the serve daemon's SessionManager: saturating
+// any pool axis yields an *explicit* backpressure reply (never a stall,
+// never an allocation), Degrade admission coarsens the grid soundly (the
+// degraded curves dominate the full-grid reference), Queue admission holds
+// Opens until capacity frees or the deadline passes, and an admitted
+// session's curves are bit-identical to the batch extractor on the same
+// demand stream — admission control never perturbs an admitted analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/session.h"
+#include "workload/extract.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::serve {
+namespace {
+
+using Clock = SessionManager::Clock;
+
+std::vector<Cycles> demo_demands(std::size_t n, std::uint64_t seed = 3) {
+  common::Rng rng(seed);
+  std::vector<Cycles> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<Cycles>(rng.uniform_int(1, 9000)));
+  return out;
+}
+
+OpenRequest open_req(const std::string& id, std::vector<EventCount> ks,
+                     const std::string& tenant = "t") {
+  OpenRequest req;
+  req.session_id = id;
+  req.tenant = tenant;
+  req.ks = std::move(ks);
+  return req;
+}
+
+std::vector<EventCount> dense_grid(EventCount max_k) {
+  std::vector<EventCount> ks;
+  for (EventCount k = 1; k <= max_k; ++k) ks.push_back(k);
+  return ks;
+}
+
+const RejectReply& expect_reject(const Reply& reply, RejectCode code) {
+  const auto* rej = std::get_if<RejectReply>(&reply);
+  EXPECT_NE(rej, nullptr) << "expected a rejection, got reply index " << reply.index();
+  if (rej == nullptr) {
+    static const RejectReply dummy;
+    return dummy;
+  }
+  EXPECT_EQ(rej->code, code) << rej->reason;
+  return *rej;
+}
+
+TEST(ServeAdmission, SessionAxisSaturationIsExplicitBackpressure) {
+  SessionConfig cfg;
+  cfg.limits.max_sessions = 2;
+  SessionManager mgr(cfg);
+  const auto now = Clock::now();
+
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("a", {1, 4}), now).reply));
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("b", {1, 4}), now).reply));
+  const auto outcome = mgr.open(open_req("c", {1, 4}), now);
+  ASSERT_EQ(outcome.kind, SessionManager::OpenOutcome::Kind::Replied);
+  const RejectReply& rej = expect_reject(outcome.reply, RejectCode::SessionLimit);
+  EXPECT_GT(rej.retry_after_ms, 0) << "capacity can free: retrying must be advertised";
+
+  // The admitted sessions are undisturbed by the rejection.
+  PushRequest push;
+  push.session_id = "a";
+  push.demands = {10, 20, 30, 40};
+  EXPECT_TRUE(std::holds_alternative<PushReply>(mgr.push(push)));
+  EXPECT_EQ(mgr.live_sessions(), 2u);
+}
+
+TEST(ServeAdmission, MemoryAxisRejectsEvenUnderDegrade) {
+  // Coarsening keeps the largest k (the ring size), so the byte axis cannot
+  // shrink — degrade admission must still reject, not loop or admit.
+  SessionConfig cfg;
+  cfg.admission = AdmissionPolicy::Degrade;
+  cfg.limits.max_resident_bytes = 1024;  // far below a 1<<16 ring
+  SessionManager mgr(cfg);
+  const auto outcome = mgr.open(open_req("big", {1, 1 << 16}), Clock::now());
+  expect_reject(outcome.reply, RejectCode::MemoryLimit);
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+}
+
+TEST(ServeAdmission, DegradeCoarsensGridSoundly) {
+  const auto demands = demo_demands(400);
+  const auto full_ks = dense_grid(64);
+
+  SessionConfig cfg;
+  cfg.admission = AdmissionPolicy::Degrade;
+  cfg.limits.max_grid_points = 16;
+  SessionManager mgr(cfg);
+  const auto outcome = mgr.open(open_req("d", full_ks), Clock::now());
+  const auto* ok = std::get_if<OpenReply>(&outcome.reply);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->degraded);
+  ASSERT_LE(static_cast<std::int64_t>(ok->ks_used.size()), 16);
+  // Endpoints survive coarsening: the k = 1 WCET anchor and the exact range.
+  EXPECT_EQ(ok->ks_used.front(), 1);
+  EXPECT_EQ(ok->ks_used.back(), 64);
+
+  PushRequest push;
+  push.session_id = "d";
+  push.demands = demands;
+  ASSERT_TRUE(std::holds_alternative<PushReply>(mgr.push(push)));
+  const Reply qr = mgr.query(QueryRequest{"d"});
+  const auto* curves = std::get_if<CurveReply>(&qr);
+  ASSERT_NE(curves, nullptr);
+  ASSERT_TRUE(curves->ready);
+
+  // Soundness of the degradation: the coarsened session's curves bracket
+  // the full-grid batch reference at *every* window size — degradation may
+  // loosen the bounds, never flip them.
+  const auto full_u = workload::extract_upper(demands, full_ks);
+  const auto full_l = workload::extract_lower(demands, full_ks);
+  const workload::WorkloadCurve deg_u(workload::Bound::Upper, curves->upper);
+  const workload::WorkloadCurve deg_l(workload::Bound::Lower, curves->lower);
+  for (EventCount k = 1; k <= 64; ++k) {
+    EXPECT_GE(deg_u.value(k), full_u.value(k)) << "upper bound flipped at k=" << k;
+    EXPECT_LE(deg_l.value(k), full_l.value(k)) << "lower bound flipped at k=" << k;
+  }
+  // And at the surviving grid points the values are *exact*, not loosened.
+  for (EventCount k : ok->ks_used) {
+    EXPECT_EQ(deg_u.value(k), full_u.value(k)) << "k=" << k;
+    EXPECT_EQ(deg_l.value(k), full_l.value(k)) << "k=" << k;
+  }
+}
+
+TEST(ServeAdmission, QueuePolicyAdmitsWhenCapacityFrees) {
+  SessionConfig cfg;
+  cfg.admission = AdmissionPolicy::Queue;
+  cfg.limits.max_sessions = 1;
+  cfg.queue_timeout = std::chrono::milliseconds(60'000);
+  SessionManager mgr(cfg);
+  auto now = Clock::now();
+
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("first", {1, 8}), now).reply));
+  const auto queued = mgr.open(open_req("second", {1, 8}), now);
+  ASSERT_EQ(queued.kind, SessionManager::OpenOutcome::Kind::Queued);
+  ASSERT_NE(queued.cookie, 0u);
+  EXPECT_EQ(mgr.queued_opens(), 1);
+
+  // Still saturated: pumping resolves nothing.
+  EXPECT_TRUE(mgr.pump_queue(now).empty());
+
+  // Capacity frees; the parked Open is admitted with its cookie.
+  ASSERT_TRUE(std::holds_alternative<CloseReply>(mgr.close(CloseRequest{"first", true})));
+  const auto resolved = mgr.pump_queue(now);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].cookie, queued.cookie);
+  EXPECT_TRUE(std::holds_alternative<OpenReply>(resolved[0].reply));
+  EXPECT_EQ(mgr.live_sessions(), 1u);
+  EXPECT_EQ(mgr.queued_opens(), 0);
+}
+
+TEST(ServeAdmission, QueueDeadlineExpiresToQueueTimeout) {
+  SessionConfig cfg;
+  cfg.admission = AdmissionPolicy::Queue;
+  cfg.limits.max_sessions = 1;
+  cfg.queue_timeout = std::chrono::milliseconds(50);
+  SessionManager mgr(cfg);
+  const auto now = Clock::now();
+
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("first", {1, 8}), now).reply));
+  const auto queued = mgr.open(open_req("late", {1, 8}), now);
+  ASSERT_EQ(queued.kind, SessionManager::OpenOutcome::Kind::Queued);
+
+  const auto resolved = mgr.pump_queue(now + std::chrono::milliseconds(51));
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].cookie, queued.cookie);
+  expect_reject(resolved[0].reply, RejectCode::QueueTimeout);
+  EXPECT_EQ(mgr.queued_opens(), 0);
+}
+
+TEST(ServeAdmission, CancelQueuedDropsTheParkedOpen) {
+  SessionConfig cfg;
+  cfg.admission = AdmissionPolicy::Queue;
+  cfg.limits.max_sessions = 1;
+  SessionManager mgr(cfg);
+  const auto now = Clock::now();
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("a", {1, 4}), now).reply));
+  const auto queued = mgr.open(open_req("gone", {1, 4}), now);
+  ASSERT_EQ(queued.kind, SessionManager::OpenOutcome::Kind::Queued);
+  mgr.cancel_queued(queued.cookie);
+  ASSERT_TRUE(std::holds_alternative<CloseReply>(mgr.close(CloseRequest{"a", true})));
+  EXPECT_TRUE(mgr.pump_queue(now).empty());
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+}
+
+TEST(ServeAdmission, UnknownSessionAndBadRequests) {
+  SessionManager mgr(SessionConfig{});
+  const auto now = Clock::now();
+  expect_reject(mgr.push(PushRequest{"ghost", {1}}), RejectCode::UnknownSession);
+  expect_reject(mgr.query(QueryRequest{"ghost"}), RejectCode::UnknownSession);
+  expect_reject(mgr.close(CloseRequest{"ghost", true}), RejectCode::UnknownSession);
+
+  expect_reject(mgr.open(open_req("bad id!", {1, 2}), now).reply, RejectCode::BadRequest);
+  expect_reject(mgr.open(open_req(".hidden", {1, 2}), now).reply, RejectCode::BadRequest);
+  expect_reject(mgr.open(open_req("ok", {}), now).reply, RejectCode::BadRequest);
+
+  OpenRequest skewed = open_req("ok", {1, 2});
+  skewed.protocol_version = kProtocolVersion + 1;
+  expect_reject(mgr.open(skewed, now).reply, RejectCode::BadRequest);
+
+  // Tenant mismatch on resume is a BadRequest, not a hijack.
+  ASSERT_TRUE(
+      std::holds_alternative<OpenReply>(mgr.open(open_req("mine", {1, 2}, "alice"), now).reply));
+  expect_reject(mgr.open(open_req("mine", {1, 2}, "bob"), now).reply, RejectCode::BadRequest);
+}
+
+TEST(ServeAdmission, AdmittedSessionIsBitIdenticalToBatchExtraction) {
+  const auto demands = demo_demands(600, 11);
+  // Includes the trace length, which the batch extractor appends to its
+  // grid anyway — so the two point lists are comparable verbatim.
+  const std::vector<EventCount> ks = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 600};
+
+  SessionConfig cfg;
+  cfg.limits.max_sessions = 4;
+  cfg.limits.max_grid_points = 64;
+  SessionManager mgr(cfg);
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(mgr.open(open_req("s", ks), Clock::now()).reply));
+
+  // Chunked pushes, as a streaming client would send them.
+  for (std::size_t pos = 0; pos < demands.size(); pos += 37) {
+    PushRequest push;
+    push.session_id = "s";
+    const std::size_t end = std::min(pos + 37, demands.size());
+    push.demands.assign(demands.begin() + static_cast<std::ptrdiff_t>(pos),
+                        demands.begin() + static_cast<std::ptrdiff_t>(end));
+    ASSERT_TRUE(std::holds_alternative<PushReply>(mgr.push(push)));
+  }
+  const Reply qr = mgr.query(QueryRequest{"s"});
+  const auto* curves = std::get_if<CurveReply>(&qr);
+  ASSERT_NE(curves, nullptr);
+  ASSERT_TRUE(curves->ready);
+
+  EXPECT_EQ(curves->upper, workload::extract_upper(demands, ks).points());
+  EXPECT_EQ(curves->lower, workload::extract_lower(demands, ks).points());
+}
+
+TEST(ServeAdmission, PoolStatsReportLeases) {
+  SessionConfig cfg;
+  cfg.limits.max_sessions = 3;
+  cfg.limits.max_grid_points = 100;
+  cfg.limits.max_resident_bytes = 10 << 20;
+  SessionManager mgr(cfg);
+  ASSERT_TRUE(
+      std::holds_alternative<OpenReply>(mgr.open(open_req("a", {1, 2, 4}), Clock::now()).reply));
+  const PongReply pong = mgr.stats();
+  EXPECT_EQ(pong.live_sessions, 1);
+  EXPECT_EQ(pong.max_sessions, 3);
+  EXPECT_GT(pong.grid_leased, 0);
+  EXPECT_EQ(pong.max_grid_points, 100);
+  EXPECT_GT(pong.bytes_leased, 0);
+  EXPECT_EQ(pong.max_resident_bytes, 10 << 20);
+
+  ASSERT_TRUE(std::holds_alternative<CloseReply>(mgr.close(CloseRequest{"a", true})));
+  const PongReply after = mgr.stats();
+  EXPECT_EQ(after.live_sessions, 0);
+  EXPECT_EQ(after.grid_leased, 0);
+  EXPECT_EQ(after.bytes_leased, 0);
+}
+
+TEST(ServeAdmission, ValidIdentifier) {
+  EXPECT_TRUE(valid_identifier("abc-123_X.z"));
+  EXPECT_FALSE(valid_identifier(""));
+  EXPECT_FALSE(valid_identifier(".dotfirst"));
+  EXPECT_FALSE(valid_identifier("has space"));
+  EXPECT_FALSE(valid_identifier("slash/y"));
+  EXPECT_FALSE(valid_identifier(std::string(129, 'a')));
+}
+
+}  // namespace
+}  // namespace wlc::serve

@@ -1,0 +1,193 @@
+// Wire-protocol suite: every request/reply round-trips exactly through
+// encode/decode; framing is incremental and bounded (oversize length
+// prefixes are a framing fault, partial frames wait); and no byte-level
+// corruption of a payload ever crashes the decoder — it throws
+// wlc::ParseError or yields a (harmless) well-formed message.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "serve/protocol.h"
+#include "serve/wire.h"
+
+namespace wlc::serve {
+namespace {
+
+std::string_view payload_of(const std::string& frame) {
+  return std::string_view(frame).substr(4);  // strip the u32 length prefix
+}
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  OpenRequest open;
+  open.session_id = "abc-123";
+  open.tenant = "t.x";
+  open.ks = {1, 2, 3, 10, 500};
+  const Request reqs[] = {
+      open,
+      PushRequest{"abc-123", {0, 5, 123456789, 7}},
+      QueryRequest{"abc-123"},
+      CloseRequest{"abc-123", false},
+      PingRequest{},
+  };
+  for (const Request& req : reqs) {
+    const std::string frame = encode_request(req);
+    const Request back = decode_request(payload_of(frame));
+    ASSERT_EQ(back.index(), req.index());
+    if (const auto* o = std::get_if<OpenRequest>(&back)) {
+      EXPECT_EQ(o->session_id, open.session_id);
+      EXPECT_EQ(o->tenant, open.tenant);
+      EXPECT_EQ(o->ks, open.ks);
+      EXPECT_EQ(o->protocol_version, kProtocolVersion);
+    }
+    if (const auto* p = std::get_if<PushRequest>(&back)) {
+      EXPECT_EQ(p->demands, (std::vector<Cycles>{0, 5, 123456789, 7}));
+    }
+    if (const auto* c = std::get_if<CloseRequest>(&back)) {
+      EXPECT_FALSE(c->discard_snapshot);
+    }
+  }
+}
+
+TEST(ServeProtocol, ReplyRoundTrips) {
+  OpenReply open;
+  open.ks_used = {1, 4, 9};
+  open.events_seen = 42;
+  open.resumed = true;
+  open.degraded = true;
+  CurveReply curve;
+  curve.ready = true;
+  curve.upper = {{1, 600}, {2, 1100}};
+  curve.lower = {{1, 480}, {2, 980}};
+  curve.accepted = 20;
+  curve.quarantined = 1;
+  curve.windows_reset = 1;
+  curve.saturated = false;
+  PongReply pong;
+  pong.live_sessions = 3;
+  pong.max_sessions = 8;
+  pong.bytes_leased = 1 << 20;
+  const Reply reps[] = {
+      open,
+      PushReply{21, 1},
+      curve,
+      CloseReply{20},
+      pong,
+      RejectReply{RejectCode::GridLimit, "grid pool exhausted", 250},
+      ErrReply{"malformed request"},
+  };
+  for (const Reply& rep : reps) {
+    const std::string frame = encode_reply(rep);
+    const Reply back = decode_reply(payload_of(frame));
+    ASSERT_EQ(back.index(), rep.index());
+    if (const auto* o = std::get_if<OpenReply>(&back)) {
+      EXPECT_EQ(o->ks_used, open.ks_used);
+      EXPECT_EQ(o->events_seen, 42);
+      EXPECT_TRUE(o->resumed);
+      EXPECT_TRUE(o->degraded);
+    }
+    if (const auto* c = std::get_if<CurveReply>(&back)) {
+      EXPECT_EQ(c->upper, curve.upper);
+      EXPECT_EQ(c->lower, curve.lower);
+      EXPECT_EQ(c->quarantined, 1);
+    }
+    if (const auto* r = std::get_if<RejectReply>(&back)) {
+      EXPECT_EQ(r->code, RejectCode::GridLimit);
+      EXPECT_EQ(r->reason, "grid pool exhausted");
+      EXPECT_EQ(r->retry_after_ms, 250);
+    }
+  }
+}
+
+TEST(ServeProtocol, FramingIsIncremental) {
+  const std::string f1 = encode_request(QueryRequest{"a"});
+  const std::string f2 = encode_request(PingRequest{});
+  const std::string stream = f1 + f2;
+
+  // Feeding byte by byte: no frame until f1 is complete, then exactly f1.
+  for (std::size_t len = 0; len < f1.size(); ++len) {
+    std::size_t consumed = 77;
+    const auto got = try_extract_frame(std::string_view(stream).substr(0, len), &consumed);
+    EXPECT_FALSE(got.has_value()) << "premature frame at " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+  std::size_t consumed = 0;
+  auto got = try_extract_frame(stream, &consumed);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(consumed, f1.size());
+  EXPECT_EQ(*got, payload_of(f1));
+  got = try_extract_frame(std::string_view(stream).substr(consumed), &consumed);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload_of(f2));
+}
+
+TEST(ServeProtocol, OversizeLengthPrefixIsFramingFault) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxFrameBytes + 1));
+  std::string bytes = w.take();
+  bytes += "xxxx";
+  std::size_t consumed = 0;
+  EXPECT_THROW(try_extract_frame(bytes, &consumed), ParseError);
+}
+
+TEST(ServeProtocol, EmptyAndUnknownTypePayloadsAreParseErrors) {
+  EXPECT_THROW(decode_request(""), ParseError);
+  EXPECT_THROW(decode_reply(""), ParseError);
+  const std::string unknown(1, '\x7f');
+  EXPECT_THROW(decode_request(unknown), ParseError);
+  EXPECT_THROW(decode_reply(unknown), ParseError);
+}
+
+TEST(ServeProtocol, LengthPrefixBeyondPayloadIsParseErrorNotAllocation) {
+  // A hostile vector count must be validated against the remaining bytes
+  // before any allocation: claim 2^29 demands in a 30-byte payload.
+  Writer w;
+  w.u8(2);  // MsgType::Push
+  w.str("s");
+  w.u32(1u << 29);  // demand count
+  w.i64(1);
+  EXPECT_THROW(decode_request(w.take()), ParseError);
+}
+
+TEST(ServeProtocol, PayloadFuzzNeverCrashes) {
+  OpenRequest open;
+  open.session_id = "fuzz";
+  open.tenant = "t";
+  open.ks = {1, 2, 8, 64};
+  const std::string frames[] = {
+      encode_request(open),
+      encode_request(PushRequest{"fuzz", {1, 2, 3, 4, 5, 6, 7, 8}}),
+      encode_reply(CurveReply{true, {{1, 5}}, {{1, 3}}, 9, 0, 0, false}),
+      encode_reply(RejectReply{RejectCode::MemoryLimit, "bytes", 100}),
+  };
+  common::Rng rng(4242);
+  for (int round = 0; round < 2000; ++round) {
+    std::string payload(payload_of(frames[round % 4]));
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+      payload[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    try {
+      if (round % 2 == 0)
+        decode_request(payload);
+      else
+        decode_reply(payload);
+    } catch (const ParseError&) {
+      // the expected outcome for most mutations
+    }
+  }
+}
+
+TEST(ServeProtocol, RejectCodeNames) {
+  EXPECT_STREQ(to_string(RejectCode::SessionLimit), "session-limit");
+  EXPECT_STREQ(to_string(RejectCode::QueueTimeout), "queue-timeout");
+  EXPECT_STREQ(to_string(RejectCode::BadRequest), "bad-request");
+}
+
+}  // namespace
+}  // namespace wlc::serve

@@ -1,0 +1,287 @@
+// End-to-end daemon suite over a real Unix socket: the poll reactor serves
+// concurrent connections, answers malformed payloads with Err (and survives
+// them), closes unframeable connections, and — the headline contract — a
+// graceful stop drains and snapshots every live session such that a
+// restarted daemon resumes the analysis bit-identically to an uninterrupted
+// one. (The SIGKILL variant of the same contract is pinned by the CI soak
+// job, tools/soak_serve.sh; in-process we stop via the cancel token.)
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/runtime.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "workload/extract.h"
+
+namespace wlc::serve {
+namespace {
+
+std::vector<Cycles> demo_demands(std::size_t n, std::uint64_t seed = 5) {
+  common::Rng rng(seed);
+  std::vector<Cycles> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<Cycles>(rng.uniform_int(0, 10000)));
+  return out;
+}
+
+/// One daemon on a fresh Unix socket in a temp dir, reactor on a thread.
+struct DaemonFixture {
+  std::filesystem::path dir;
+  std::string sock;
+  runtime::CancelToken stop = runtime::CancelToken::make();
+  std::ostringstream log;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  int run_result = -1;
+
+  explicit DaemonFixture(const std::string& name, SessionConfig sessions = {}) {
+    dir = std::filesystem::temp_directory_path() / ("wlc_srv_" + name + "_" +
+                                                    std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    sock = (dir / "s").string();
+    start(std::move(sessions));
+  }
+
+  void start(SessionConfig sessions) {
+    ServerConfig cfg;
+    cfg.listen = "unix:" + sock;
+    cfg.sessions = std::move(sessions);
+    cfg.poll_timeout_ms = 5;
+    cfg.snapshot_interval = std::chrono::milliseconds(0);  // only drain/cadence snapshots
+    stop = runtime::CancelToken::make();
+    server = std::make_unique<Server>(cfg, log);
+    server->start();
+    thread = std::thread([this] {
+      runtime::RunPolicy policy;
+      policy.token = stop.child();
+      run_result = server->run(policy);
+    });
+  }
+
+  /// Graceful stop: cancel, join, assert the drain returned 0.
+  void stop_and_join() {
+    if (!thread.joinable()) return;
+    stop.cancel();
+    thread.join();
+    EXPECT_EQ(run_result, 0) << log.str();
+    server.reset();
+  }
+
+  ~DaemonFixture() {
+    if (thread.joinable()) {
+      stop.cancel();
+      thread.join();
+    }
+    server.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+/// The listening socket exists before run() is entered, so connect directly.
+void connect_client(const DaemonFixture& d, Client* c) {
+  ASSERT_TRUE(c->connect("unix:" + d.sock)) << c->error();
+}
+
+OpenRequest open_req(const std::string& id, std::vector<EventCount> ks) {
+  OpenRequest req;
+  req.session_id = id;
+  req.tenant = "t";
+  req.ks = std::move(ks);
+  return req;
+}
+
+TEST(ServeServer, EndToEndSessionOverUnixSocket) {
+  DaemonFixture daemon("e2e");
+  Client client;
+  connect_client(daemon, &client);
+
+  Reply reply;
+  ASSERT_TRUE(client.call(PingRequest{}, &reply)) << client.error();
+  ASSERT_TRUE(std::holds_alternative<PongReply>(reply));
+  EXPECT_EQ(std::get<PongReply>(reply).live_sessions, 0);
+
+  const auto demands = demo_demands(300);
+  const std::vector<EventCount> ks = {1, 2, 4, 8, 16, 32, 300};
+  ASSERT_TRUE(client.call(open_req("e2e-s", ks), &reply)) << client.error();
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+  EXPECT_FALSE(std::get<OpenReply>(reply).resumed);
+
+  for (std::size_t pos = 0; pos < demands.size(); pos += 64) {
+    PushRequest push;
+    push.session_id = "e2e-s";
+    const std::size_t end = std::min(pos + 64, demands.size());
+    push.demands.assign(demands.begin() + static_cast<std::ptrdiff_t>(pos),
+                        demands.begin() + static_cast<std::ptrdiff_t>(end));
+    ASSERT_TRUE(client.call(push, &reply)) << client.error();
+    ASSERT_TRUE(std::holds_alternative<PushReply>(reply));
+  }
+  ASSERT_TRUE(client.call(QueryRequest{"e2e-s"}, &reply)) << client.error();
+  const auto* curves = std::get_if<CurveReply>(&reply);
+  ASSERT_NE(curves, nullptr);
+  ASSERT_TRUE(curves->ready);
+  EXPECT_EQ(curves->upper, workload::extract_upper(demands, ks).points());
+  EXPECT_EQ(curves->lower, workload::extract_lower(demands, ks).points());
+
+  ASSERT_TRUE(client.call(CloseRequest{"e2e-s", true}, &reply)) << client.error();
+  EXPECT_TRUE(std::holds_alternative<CloseReply>(reply));
+  daemon.stop_and_join();
+}
+
+TEST(ServeServer, ConcurrentConnectionsAreIsolated) {
+  DaemonFixture daemon("multi");
+  Client a, b;
+  connect_client(daemon, &a);
+  connect_client(daemon, &b);
+  Reply reply;
+  ASSERT_TRUE(a.call(open_req("sa", {1, 4}), &reply));
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+  ASSERT_TRUE(b.call(open_req("sb", {1, 4}), &reply));
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+
+  ASSERT_TRUE(a.call(PushRequest{"sa", {10, 20, 30}}, &reply));
+  EXPECT_EQ(std::get<PushReply>(reply).events_seen, 3);
+  ASSERT_TRUE(b.call(PushRequest{"sb", {7}}, &reply));
+  EXPECT_EQ(std::get<PushReply>(reply).events_seen, 1);
+
+  // One client vanishing mid-session never disturbs the other.
+  a.disconnect();
+  ASSERT_TRUE(b.call(QueryRequest{"sb"}, &reply));
+  EXPECT_TRUE(std::holds_alternative<CurveReply>(reply));
+  daemon.stop_and_join();
+}
+
+TEST(ServeServer, MalformedPayloadGetsErrAndConnectionSurvives) {
+  DaemonFixture daemon("err");
+  const int fd = connect_socket(parse_address("unix:" + daemon.sock));
+  ASSERT_GE(fd, 0);
+
+  // A well-framed frame whose payload is garbage: Err reply, connection lives.
+  const std::string garbage = "\xff\xfe\xfd\xfc";
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(garbage.size()));
+  std::string frame = w.take() + garbage;
+  ASSERT_TRUE(write_all(fd, frame.data(), frame.size()));
+  char len_bytes[4];
+  ASSERT_TRUE(read_exact(fd, len_bytes, 4));
+  std::uint32_t len = static_cast<unsigned char>(len_bytes[0]) |
+                      static_cast<unsigned char>(len_bytes[1]) << 8 |
+                      static_cast<unsigned char>(len_bytes[2]) << 16 |
+                      static_cast<unsigned char>(len_bytes[3]) << 24;
+  ASSERT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  ASSERT_TRUE(read_exact(fd, payload.data(), payload.size()));
+  EXPECT_TRUE(std::holds_alternative<ErrReply>(decode_reply(payload)));
+
+  // Same connection still answers valid requests.
+  const std::string ping = encode_request(PingRequest{});
+  ASSERT_TRUE(write_all(fd, ping.data(), ping.size()));
+  ASSERT_TRUE(read_exact(fd, len_bytes, 4));
+  len = static_cast<unsigned char>(len_bytes[0]) |
+        static_cast<unsigned char>(len_bytes[1]) << 8 |
+        static_cast<unsigned char>(len_bytes[2]) << 16 |
+        static_cast<unsigned char>(len_bytes[3]) << 24;
+  payload.assign(len, '\0');
+  ASSERT_TRUE(read_exact(fd, payload.data(), payload.size()));
+  EXPECT_TRUE(std::holds_alternative<PongReply>(decode_reply(payload)));
+  ::close(fd);
+  daemon.stop_and_join();
+}
+
+TEST(ServeServer, UnframeableStreamClosesOnlyThatConnection) {
+  DaemonFixture daemon("frame");
+  const int fd = connect_socket(parse_address("unix:" + daemon.sock));
+  ASSERT_GE(fd, 0);
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxFrameBytes + 7));  // hostile length prefix
+  const std::string bad = w.take();
+  ASSERT_TRUE(write_all(fd, bad.data(), bad.size()));
+  // The daemon answers Err, then closes: drain until EOF.
+  char buf[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+  }
+  ::close(fd);
+
+  // Other clients are unaffected.
+  Client ok;
+  connect_client(daemon, &ok);
+  Reply reply;
+  ASSERT_TRUE(ok.call(PingRequest{}, &reply)) << ok.error();
+  EXPECT_TRUE(std::holds_alternative<PongReply>(reply));
+  daemon.stop_and_join();
+}
+
+TEST(ServeServer, GracefulDrainSnapshotsAndRestartResumesBitIdentically) {
+  const auto demands = demo_demands(400, 77);
+  const std::vector<EventCount> ks = {1, 2, 4, 8, 16, 64, 400};
+  const std::size_t cut = 173;
+
+  const auto state_dir = std::filesystem::temp_directory_path() /
+                         ("wlc_srv_recover_state_" + std::to_string(::getpid()));
+  SessionConfig with_state;
+  with_state.snapshot_every = 0;  // only the drain persists — pins the drain path
+  with_state.state_dir = state_dir.string();
+  DaemonFixture daemon("recover", with_state);
+  {
+    Client client;
+  connect_client(daemon, &client);
+    Reply reply;
+    ASSERT_TRUE(client.call(open_req("recov", ks), &reply)) << client.error();
+    ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+    PushRequest push;
+    push.session_id = "recov";
+    push.demands.assign(demands.begin(), demands.begin() + static_cast<std::ptrdiff_t>(cut));
+    ASSERT_TRUE(client.call(push, &reply)) << client.error();
+    EXPECT_EQ(std::get<PushReply>(reply).events_seen, static_cast<EventCount>(cut));
+  }
+  // Graceful stop: the drain must persist the live session.
+  daemon.stop_and_join();
+  ASSERT_TRUE(std::filesystem::exists(state_dir / "recov.wlcs")) << daemon.log.str();
+
+  // Restart on the same state dir; Open doubles as resume.
+  daemon.start(with_state);
+  Client client;
+  connect_client(daemon, &client);
+  Reply reply;
+  ASSERT_TRUE(client.call(open_req("recov", ks), &reply)) << client.error();
+  const auto* resumed = std::get_if<OpenReply>(&reply);
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_TRUE(resumed->resumed);
+  ASSERT_EQ(resumed->events_seen, static_cast<EventCount>(cut));
+
+  PushRequest rest;
+  rest.session_id = "recov";
+  rest.demands.assign(demands.begin() + static_cast<std::ptrdiff_t>(cut), demands.end());
+  ASSERT_TRUE(client.call(rest, &reply)) << client.error();
+  ASSERT_TRUE(client.call(QueryRequest{"recov"}, &reply)) << client.error();
+  const auto* curves = std::get_if<CurveReply>(&reply);
+  ASSERT_NE(curves, nullptr);
+  ASSERT_TRUE(curves->ready);
+
+  // Bit-identical to the uninterrupted batch reference.
+  EXPECT_EQ(curves->upper, workload::extract_upper(demands, ks).points());
+  EXPECT_EQ(curves->lower, workload::extract_lower(demands, ks).points());
+  daemon.stop_and_join();
+  std::error_code ec;
+  std::filesystem::remove_all(state_dir, ec);
+}
+
+}  // namespace
+}  // namespace wlc::serve

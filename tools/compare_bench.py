@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files (e.g. BENCH_extraction.json from
+tools/run_benchmarks.sh) and flag regressions.
+
+Benchmarks are matched by name; times are normalized to nanoseconds before
+comparison, so the two files may use different time units. A benchmark is a
+regression when its candidate time exceeds the baseline by more than
+--threshold (relative, default 0.10 = 10 %). Exit status: 0 when no
+regression (or --no-fail), 1 when at least one benchmark regressed, 2 on
+malformed input.
+
+Host provenance matters: the wlc_env envelope and google-benchmark context
+carry num_cpus/CPU info, and the comparison prints a loud warning when they
+differ — cross-host timing diffs are noise, which is also why the CI step
+that runs this is non-blocking (continue-on-error).
+
+Usage: tools/compare_bench.py baseline.json candidate.json
+           [--threshold 0.10] [--metric real_time|cpu_time] [--no-fail]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read benchmark JSON '{path}': {e}")
+    if "benchmarks" not in data:
+        sys.exit(f"error: '{path}' has no 'benchmarks' array "
+                 "(not a google-benchmark JSON file?)")
+    return data
+
+
+def times_ns(data: dict, metric: str) -> dict[str, float]:
+    """Map benchmark name -> time in ns. Aggregate runs (repetitions) keep
+    only the mean; raw runs are used as-is."""
+    out: dict[str, float] = {}
+    for b in data["benchmarks"]:
+        name = b.get("name", "")
+        run_type = b.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if b.get("aggregate_name") != "mean":
+                continue
+            name = b.get("run_name", name)
+        if metric not in b:
+            continue
+        unit = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"error: unknown time_unit '{b.get('time_unit')}' "
+                     f"in benchmark '{name}'")
+        out[name] = float(b[metric]) * unit
+    return out
+
+
+def host_id(data: dict) -> str:
+    ctx = data.get("context", {})
+    env = data.get("wlc_env", {})
+    cpus = ctx.get("num_cpus", env.get("num_cpus", "?"))
+    mhz = ctx.get("mhz_per_cpu", "?")
+    return f"num_cpus={cpus} mhz_per_cpu={mhz}"
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative slowdown that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--metric", choices=("real_time", "cpu_time"),
+                    default="real_time")
+    ap.add_argument("--no-fail", action="store_true",
+                    help="always exit 0 (report-only mode)")
+    args = ap.parse_args()
+    if args.threshold < 0:
+        ap.error("--threshold must be >= 0")
+
+    base_data = load(args.baseline)
+    cand_data = load(args.candidate)
+    base = times_ns(base_data, args.metric)
+    cand = times_ns(cand_data, args.metric)
+
+    base_host, cand_host = host_id(base_data), host_id(cand_data)
+    if base_host != cand_host:
+        print(f"WARNING: host mismatch — baseline [{base_host}] vs "
+              f"candidate [{cand_host}]; timing diffs may be noise",
+              file=sys.stderr)
+
+    common = sorted(set(base) & set(cand))
+    added = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))
+
+    regressions = []
+    width = max((len(n) for n in common), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'candidate':>10}  delta")
+    for name in common:
+        b, c = base[name], cand[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  improved"
+        print(f"{name:<{width}}  {fmt_ns(b):>10}  {fmt_ns(c):>10}  "
+              f"{delta:+7.1%}{marker}")
+
+    for name in added:
+        print(f"{name:<{width}}  {'—':>10}  {fmt_ns(cand[name]):>10}  new")
+    for name in removed:
+        print(f"{name:<{width}}  {fmt_ns(base[name]):>10}  {'—':>10}  removed")
+    if not common:
+        print("warning: no common benchmarks between the two files",
+              file=sys.stderr)
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} on {args.metric}; worst: "
+              f"{worst[0]} ({worst[1]:+.1%})", file=sys.stderr)
+        return 0 if args.no_fail else 1
+    print(f"\nno regressions beyond {args.threshold:.0%} on {args.metric} "
+          f"({len(common)} compared, {len(added)} new, {len(removed)} removed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

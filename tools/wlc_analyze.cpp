@@ -1,12 +1,38 @@
 // Thin entry point of the wlc_analyze command-line tool; all logic is in
-// src/cli (testable without spawning processes).
+// src/cli (testable without spawning processes). The only responsibility
+// kept here is signal routing: SIGINT/SIGTERM flip the process-wide cancel
+// token, and the command unwinds cooperatively — one-shot analyses exit 6
+// with atomically-written (never torn) outputs, the serve daemon drains and
+// snapshots its sessions before exiting 0.
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+// The token outlives every handler invocation and cancel() on an armed
+// token is async-signal-safe (one relaxed atomic store, no allocation), so
+// this is the entire handler.
+wlc::runtime::CancelToken g_interrupt = wlc::runtime::CancelToken::make();
+
+extern "C" void on_signal(int) { g_interrupt.cancel(); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  // Writing to a client that vanished must be an EPIPE errno (handled per
+  // connection by the serve reactor), not process death.
+  signal(SIGPIPE, SIG_IGN);
+
   std::vector<std::string> args(argv + 1, argv + argc);
-  return wlc::cli::run(args, std::cout, std::cerr);
+  return wlc::cli::run(args, std::cout, std::cerr, &g_interrupt);
 }
