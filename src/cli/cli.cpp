@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -27,6 +28,7 @@
 #include "serve/server.h"
 #include "sim/components.h"
 #include "trace/arrival_extract.h"
+#include "trace/columnar.h"
 #include "trace/io.h"
 #include "trace/kgrid.h"
 #include "validate/validate.h"
@@ -198,16 +200,17 @@ RuntimeControls runtime_controls(const Options& o) {
   // extraction pipeline; for the other subcommands a budget can only mean
   // fail-fast, so asking them to degrade is a contradiction we reject
   // rather than silently treat as fail.
-  const bool has_degradation_path =
-      o.command == "extract" || o.command == "curves" || o.command == "report";
+  const bool has_degradation_path = o.command == "extract" || o.command == "curves" ||
+                                    o.command == "report" || o.command == "convert-trace";
   if (!has_degradation_path) {
     if (c.policy.on_budget == runtime::OnBudget::Degrade)
       throw UsageError("--on-budget=degrade is not supported by subcommand '" + o.command +
-                       "', which has no degradation path (supported: extract, curves, report); "
-                       "use --on-budget=fail or drop the flag");
+                       "', which has no degradation path (supported: extract, curves, report, "
+                       "convert-trace); use --on-budget=fail or drop the flag");
     if (c.degradation_out)
       throw UsageError("--degradation-out is not supported by subcommand '" + o.command +
-                       "', which has no degradation path (supported: extract, curves, report)");
+                       "', which has no degradation path (supported: extract, curves, report, "
+                       "convert-trace)");
   }
   return c;
 }
@@ -237,7 +240,42 @@ void apply_curve_engine_flags(const Options& o, const RuntimeControls& rc) {
   curve::OpCache::global().clear();
 }
 
+/// --no-fast-paths forces the per-k oracle scans in extraction too, not just
+/// the dense curve kernels — one flag, every fast path off. Results are
+/// bit-identical either way (the rmq suite pins it); the flag exists so a
+/// surprising number can be re-derived with only the reference kernels in
+/// the loop.
+common::GapEngine gap_engine(const Options& o) {
+  return o.flags.count("no-fast-paths") ? common::GapEngine::Oracle : common::GapEngine::Auto;
+}
+
+/// Reads the trace at `path` in whichever format it is: files opening with
+/// the WLCCOL magic go through the mapped columnar decoder, everything else
+/// through strict CSV. Budgets/cancellation in `ropts` apply to both.
+/// Returns false (with the message already printed) when the file cannot be
+/// opened; parse faults and budget/cancel trips propagate as exceptions.
+bool read_trace_any_format(const std::string& path, const trace::ReadOptions& ropts,
+                           trace::EventTrace* events, std::ostream& err) {
+  if (trace::sniff_columnar(path)) {
+    *events = trace::read_columnar_trace(path, ropts);
+    return true;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    err << "cannot open trace file: " << path << "\n";
+    return false;
+  }
+  *events = trace::read_event_trace_csv(file, trace::ParsePolicy::Strict, nullptr, ropts);
+  return true;
+}
+
 struct LoadedTrace {
+  std::size_t rows = 0;   ///< events analyzed (after any row budget)
+  double duration = 0.0;  ///< last event timestamp [s]
+  /// Row-level records, materialized only when the command needs them (the
+  /// simulator replays individual events); the analysis commands work from
+  /// the extracted curves plus rows/duration, which lets the columnar path
+  /// feed extraction straight from the mapped columns with no AoS copy.
   trace::EventTrace events;
   workload::WorkloadCurve gamma_u;
   workload::WorkloadCurve gamma_l;
@@ -259,21 +297,27 @@ unsigned requested_threads(const Options& o) {
   return static_cast<unsigned>(v);
 }
 
-std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostream& err) {
+std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostream& err,
+                                bool need_events = false) {
   WLC_TRACE_SPAN("cli.load");
-  std::ifstream file(o.trace_path);
-  if (!file) {
-    err << "cannot open trace file: " << o.trace_path << "\n";
-    return std::nullopt;
-  }
   const runtime::RunPolicy* pol = rc.policy_or_null();
   trace::ReadOptions ropts;
   ropts.source_name = o.trace_path;  // parse faults name the file, not "a stream"
   ropts.policy = pol;
   ropts.degradation = rc.degradation_or_null();
   trace::EventTrace events;
+  trace::DemandTrace demands;
+  trace::TimestampTrace ts;
   try {
-    events = trace::read_event_trace_csv(file, trace::ParsePolicy::Strict, nullptr, ropts);
+    if (!need_events && trace::sniff_columnar(o.trace_path)) {
+      // Analysis commands read the two extraction columns straight from the
+      // mapping — no AoS event vector, no per-row copies.
+      trace::read_columnar_columns(o.trace_path, ropts, &demands, &ts);
+    } else {
+      if (!read_trace_any_format(o.trace_path, ropts, &events, err)) return std::nullopt;
+      demands = trace::demands_of(events);
+      ts = trace::timestamps_of(events);
+    }
   } catch (const CancelledError&) {
     throw;  // exit 6, handled in run()
   } catch (const BudgetExceededError&) {
@@ -282,11 +326,11 @@ std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostr
     err << "bad trace file: " << e.what() << "\n";
     return std::nullopt;
   }
-  if (events.empty() || !trace::is_time_ordered(events)) {
+  if (ts.empty() || !std::is_sorted(ts.begin(), ts.end())) {
     err << "trace must be non-empty and time-ordered\n";
     return std::nullopt;
   }
-  const auto n = static_cast<std::int64_t>(events.size());
+  const auto n = static_cast<std::int64_t>(ts.size());
   const auto dense = static_cast<std::int64_t>(o.number("dense").value_or(512.0));
   const double growth = o.number("growth").value_or(1.02);
   auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
@@ -304,12 +348,16 @@ std::optional<LoadedTrace> load(const Options& o, RuntimeControls& rc, std::ostr
   common::ThreadPool pool(requested_threads(o));
   workload::ExtractStats stats;
   auto* deg = rc.degradation_or_null();
-  return LoadedTrace{events,
-                     workload::extract_upper(trace::demands_of(events), ks, pool, &stats, ip, deg),
-                     workload::extract_lower(trace::demands_of(events), ks, pool, nullptr, ip, deg),
-                     trace::extract_upper_arrival(trace::timestamps_of(events), ks, pool, ip),
-                     trace::extract_lower_arrival(trace::timestamps_of(events), ks, pool, ip),
-                     stats};
+  const common::GapEngine eng = gap_engine(o);
+  return LoadedTrace{
+      static_cast<std::size_t>(n),
+      ts.back(),
+      std::move(events),
+      workload::extract_upper(demands, ks, pool, &stats, ip, deg, eng),
+      workload::extract_lower(demands, ks, pool, nullptr, ip, deg, eng),
+      trace::extract_upper_arrival(ts, ks, pool, ip, eng),
+      trace::extract_lower_arrival(ts, ks, pool, ip, eng),
+      stats};
 }
 
 void write_curves(const LoadedTrace& t, const std::string& prefix, std::ostream& out) {
@@ -331,8 +379,8 @@ void write_curves(const LoadedTrace& t, const std::string& prefix, std::ostream&
 
 int cmd_curves(const Options& o, const LoadedTrace& t, std::ostream& out) {
   common::Table table({"quantity", "value"});
-  table.add_row({"events", common::fmt_i(static_cast<long long>(t.events.size()))});
-  table.add_row({"duration [s]", common::fmt_f(t.events.back().time, 6)});
+  table.add_row({"events", common::fmt_i(static_cast<long long>(t.rows))});
+  table.add_row({"duration [s]", common::fmt_f(t.duration, 6)});
   table.add_row({"WCET = γᵘ(1) [cycles]", common::fmt_i(t.gamma_u.wcet())});
   table.add_row({"BCET = γˡ(1) [cycles]", common::fmt_i(t.gamma_l.bcet())});
   table.add_row({"long-run demand [cycles/event]", common::fmt_f(t.gamma_u.long_run_demand(), 1)});
@@ -380,7 +428,7 @@ int cmd_bounds(const Options& o, const LoadedTrace& t, std::ostream& out, std::o
     err << "bounds needs --mhz <clock>\n";
     return 2;
   }
-  const double horizon = std::max(t.events.back().time, t.arr_u.last_breakpoint());
+  const double horizon = std::max(t.duration, t.arr_u.last_breakpoint());
   const std::size_t n = static_cast<std::size_t>(o.number("grid").value_or(512.0));
   if (n < 2 || horizon <= 0.0) {
     err << "bounds needs a trace with a positive time span and --grid >= 2\n";
@@ -423,7 +471,7 @@ int cmd_size_delay(const Options& o, const LoadedTrace& t, std::ostream& out, st
 }
 
 int cmd_report(const LoadedTrace& t, std::ostream& out) {
-  out << "pipeline ran: " << t.events.size()
+  out << "pipeline ran: " << t.rows
       << " events ingested, curves + arrival bounds extracted\n"
          "metric snapshot of this run (JSON via --metrics-out):\n";
   obs::registry().snapshot().print(out);
@@ -465,18 +513,32 @@ int cmd_validate(const Options& o, RuntimeControls& rc, std::ostream& out, std::
   const auto policy =
       o.flags.count("lenient") ? trace::ParsePolicy::Lenient : trace::ParsePolicy::Strict;
 
-  std::ifstream file(o.trace_path);
-  if (!file) {
-    err << "cannot open trace file: " << o.trace_path << "\n";
-    return 2;
-  }
   trace::ReadOptions ropts;
   ropts.source_name = o.trace_path;
   ropts.policy = rc.policy_or_null();
   trace::ParseReport report;
   trace::EventTrace events;
+  const bool columnar = trace::sniff_columnar(o.trace_path);
+  if (columnar && policy == trace::ParsePolicy::Lenient) {
+    // The columnar checksum covers the whole payload, so damage cannot be
+    // attributed to (and shed as) single rows — there is nothing lenient
+    // mode could keep.
+    err << "validate: --lenient does not apply to columnar traces (whole-file checksum); "
+           "convert to CSV first to salvage rows\n";
+    return 2;
+  }
   try {
-    events = trace::read_event_trace_csv(file, policy, &report, ropts);
+    if (columnar) {
+      events = trace::read_columnar_trace(o.trace_path, ropts);
+      report.rows_total = report.rows_kept = events.size();
+    } else {
+      std::ifstream file(o.trace_path);
+      if (!file) {
+        err << "cannot open trace file: " << o.trace_path << "\n";
+        return 2;
+      }
+      events = trace::read_event_trace_csv(file, policy, &report, ropts);
+    }
   } catch (const CancelledError&) {
     throw;
   } catch (const BudgetExceededError&) {
@@ -497,10 +559,13 @@ int cmd_validate(const Options& o, RuntimeControls& rc, std::ostream& out, std::
     const double growth = o.number("growth").value_or(1.02);
     const auto ks = trace::make_kgrid({.max_k = n, .dense_limit = dense, .growth = growth});
     const runtime::RunPolicy* pol = rc.policy_or_null();
-    const auto gu = workload::extract_upper(trace::demands_of(events), ks, nullptr, pol);
-    const auto gl = workload::extract_lower(trace::demands_of(events), ks, nullptr, pol);
-    const auto au = trace::extract_upper_arrival(trace::timestamps_of(events), ks, pol);
-    const auto al = trace::extract_lower_arrival(trace::timestamps_of(events), ks, pol);
+    const common::GapEngine eng = gap_engine(o);
+    const auto demands = trace::demands_of(events);
+    const auto ts = trace::timestamps_of(events);
+    const auto gu = workload::extract_upper(demands, ks, nullptr, pol, nullptr, eng);
+    const auto gl = workload::extract_lower(demands, ks, nullptr, pol, nullptr, eng);
+    const auto au = trace::extract_upper_arrival(ts, ks, pol, eng);
+    const auto al = trace::extract_lower_arrival(ts, ks, pol, eng);
     vr.merge(validate::check_workload_curve(gu));
     vr.merge(validate::check_workload_curve(gl));
     vr.merge(validate::check_workload_pair(gu, gl));
@@ -533,6 +598,54 @@ int cmd_validate(const Options& o, RuntimeControls& rc, std::ostream& out, std::
   }
   out << "trace is well-formed and extracted curves are sound\n";
   return kExitValid;
+}
+
+/// `convert-trace <in> --out <file>`: converts between the CSV and WLCCOL
+/// columnar representations, direction decided by sniffing the input's
+/// magic. Both writes are atomic; the CSV side uses max_digits10 formatting,
+/// so columnar → CSV → columnar reproduces the payload bit for bit (the
+/// fault-injection suite pins the round-trip). Reading honors the usual
+/// runtime controls — under --max-rows with --on-budget=degrade the
+/// conversion keeps the budgeted prefix and reports what was shed.
+int cmd_convert_trace(const Options& o, RuntimeControls& rc, std::ostream& out,
+                      std::ostream& err) {
+  const auto it = o.flags.find("out");
+  if (it == o.flags.end()) {
+    err << "convert-trace needs --out <file>\n";
+    return 2;
+  }
+  trace::ReadOptions ropts;
+  ropts.source_name = o.trace_path;
+  ropts.policy = rc.policy_or_null();
+  ropts.degradation = rc.degradation_or_null();
+  const bool from_columnar = trace::sniff_columnar(o.trace_path);
+  trace::EventTrace events;
+  try {
+    if (!read_trace_any_format(o.trace_path, ropts, &events, err)) return 2;
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const BudgetExceededError&) {
+    throw;
+  } catch (const std::exception& e) {
+    err << "bad trace file: " << e.what() << "\n";
+    return 2;
+  }
+  std::string werr;
+  if (from_columnar) {
+    std::ostringstream csv;
+    trace::write_event_trace_csv(csv, events);
+    if (!common::atomic_write_file(it->second, csv.str(), &werr)) {
+      err << "cannot write " << it->second << ": " << werr << "\n";
+      return 1;
+    }
+  } else if (!trace::write_columnar_file(it->second, events, &werr)) {
+    err << "cannot write " << it->second << ": " << werr << "\n";
+    return 1;
+  }
+  out << "converted " << events.size() << " rows "
+      << (from_columnar ? "columnar -> csv" : "csv -> columnar") << ", wrote " << it->second
+      << "\n";
+  return 0;
 }
 
 int cmd_serve(const Options& o, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
@@ -612,17 +725,12 @@ int cmd_serve_client(const Options& o, RuntimeControls& rc, std::ostream& out, s
   if (const auto it = o.flags.find("retry-for"); it != o.flags.end())
     retry_secs = parse_duration_seconds(it->second, "retry-for");
 
-  std::ifstream file(o.trace_path);
-  if (!file) {
-    err << "cannot open trace file: " << o.trace_path << "\n";
-    return 2;
-  }
   trace::ReadOptions ropts;
   ropts.source_name = o.trace_path;
   ropts.policy = rc.policy_or_null();
   trace::EventTrace events;
   try {
-    events = trace::read_event_trace_csv(file, trace::ParsePolicy::Strict, nullptr, ropts);
+    if (!read_trace_any_format(o.trace_path, ropts, &events, err)) return 2;
   } catch (const CancelledError&) {
     throw;
   } catch (const BudgetExceededError&) {
@@ -798,7 +906,10 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   if (opts.command == "serve") return cmd_serve(opts, rc, out, err);
   if (opts.command == "serve-client") return cmd_serve_client(opts, rc, out, err);
   if (opts.command == "validate") return cmd_validate(opts, rc, out, err);
-  const auto loaded = load(opts, rc, err);
+  if (opts.command == "convert-trace") return cmd_convert_trace(opts, rc, out, err);
+  // Only the simulator replays row-level events; every other command works
+  // from the extracted curves, so columnar traces skip the AoS copy.
+  const auto loaded = load(opts, rc, err, opts.command == "simulate");
   if (!loaded) return 2;
   if (opts.command == "curves" || opts.command == "extract") return cmd_curves(opts, *loaded, out);
   if (opts.command == "report") return cmd_report(*loaded, out);
@@ -888,6 +999,13 @@ std::string usage() {
          "               stream the trace to a daemon and print the session's\n"
          "               curves; reconnects and resumes (bit-identically) within\n"
          "               --retry-for after daemon restarts or backpressure\n"
+         "  convert-trace <trace> --out FILE\n"
+         "               convert between the CSV and WLCCOL columnar binary\n"
+         "               trace formats (direction decided by sniffing the\n"
+         "               input's magic). the columnar format is checksummed,\n"
+         "               memory-mapped on read, and loads without parsing —\n"
+         "               convert once, analyze many times. the write is\n"
+         "               atomic; the round-trip is lossless\n"
          "  validate     <trace.csv> [--strict | --lenient] [--dense N] [--growth G]\n"
          "               check the trace and its extracted curves against the\n"
          "               soundness invariants (monotone/additive curves, ordered\n"
@@ -899,8 +1017,10 @@ std::string usage() {
          "  --curve-cache BYTES  capacity of the curve-operation memo cache\n"
          "                       (default 16 MiB; 0 disables). results are\n"
          "                       bit-identical with or without the cache\n"
-         "  --no-fast-paths      disable the shape-aware O(n) curve kernels;\n"
-         "                       every operation runs the dense kernel.\n"
+         "  --no-fast-paths      disable the shape-aware O(n) curve kernels\n"
+         "                       (dense kernel everywhere) and the shared\n"
+         "                       sliding-window extraction index (per-k\n"
+         "                       oracle scans instead).\n"
          "                       diagnostic only — results are bit-identical\n"
          "  --metrics-out FILE   write this run's metric snapshot as JSON\n"
          "  --trace-out FILE     record scoped spans and write Chrome\n"
@@ -916,9 +1036,9 @@ std::string usage() {
          "                       with exit code 7. 'degrade': shed work instead\n"
          "                       (coarser grid / truncated trace) and report\n"
          "                       what was shed; bounds stay sound for the\n"
-         "                       analyzed subset. only extract/curves/report\n"
-         "                       have a degradation path; elsewhere degrade\n"
-         "                       mode is a usage error\n"
+         "                       analyzed subset. only extract/curves/report/\n"
+         "                       convert-trace have a degradation path;\n"
+         "                       elsewhere degrade mode is a usage error\n"
          "  --degradation-out FILE  write the degradation report as JSON\n"
          "                       (also written when a timeout aborts the run,\n"
          "                       with \"aborted\" naming the cause)\n"
@@ -926,7 +1046,9 @@ std::string usage() {
          "            6 cancelled (--timeout expired or SIGINT/SIGTERM; outputs\n"
          "              are atomic — whole files or no files, never torn),\n"
          "            7 budget exceeded under fail\n"
-         "trace format: CSV with header 'time,type,demand'\n";
+         "trace format: CSV with header 'time,type,demand', or the WLCCOL\n"
+         "              columnar binary (see convert-trace). every command\n"
+         "              sniffs the magic and accepts either transparently\n";
 }
 
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {

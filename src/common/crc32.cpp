@@ -1,0 +1,54 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace wlc::common {
+
+namespace {
+
+using Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Tables make_tables() {
+  Tables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[0][i] = c;
+  }
+  for (std::size_t s = 1; s < 8; ++s)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const Tables t = make_tables();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  // The eight-byte fold loads two u32 words and assumes their byte order
+  // matches the table derivation, which holds on little-endian hosts only.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, sizeof lo);
+      std::memcpy(&hi, p + 4, sizeof hi);
+      lo ^= c;
+      c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; --n, ++p)
+    c = t[0][(c ^ static_cast<std::uint8_t>(*p)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace wlc::common

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// checksum shared by the serve snapshot format and the columnar trace
+// format. One implementation, one polynomial: bytes checksummed by either
+// subsystem verify under the other's reader.
+//
+// The kernel is slice-by-8: eight derived lookup tables let the hot loop
+// fold eight input bytes per iteration instead of one, which matters for
+// the columnar path (a 2M-row trace checksums ~40 MB per open). On a
+// big-endian host the kernel falls back to the plain byte-at-a-time table
+// loop — same polynomial, same result, just slower.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wlc::common {
+
+/// CRC-32 of `bytes`. Matches zlib's crc32() for the same input.
+std::uint32_t crc32(std::string_view bytes);
+
+}  // namespace wlc::common

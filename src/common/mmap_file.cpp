@@ -1,0 +1,77 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace wlc::common {
+
+namespace {
+
+void set_error(std::string* error, const std::string& path, const char* what) {
+  if (error) *error = "cannot map " + path + ": " + what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+bool MappedFile::open(const std::string& path, MappedFile* out, std::string* error) {
+  out->reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, path, "open");
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, path, "fstat");
+    ::close(fd);
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    if (error) *error = "cannot map " + path + ": not a regular file";
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {  // valid empty mapping; mmap(len=0) would be EINVAL
+    ::close(fd);
+    return true;
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (p == MAP_FAILED) {
+    set_error(error, path, "mmap");
+    return false;
+  }
+  ::madvise(p, size, MADV_SEQUENTIAL);
+  out->data_ = p;
+  out->size_ = size;
+  return true;
+}
+
+}  // namespace wlc::common

@@ -1,0 +1,52 @@
+// Read-only memory-mapped files.
+//
+// The columnar trace reader serves 2M+-row traces without copying them into
+// process memory: the file is mapped once and the typed column spans point
+// straight into the page cache. This wrapper owns exactly that mapping —
+// move-only RAII, released on destruction.
+//
+// Failure is reported, not thrown: open() returns false with a
+// human-readable reason, because callers differ on what a missing file
+// means (the CLI prints and exits 2, format sniffing just falls back to
+// CSV). An empty file yields a valid zero-length view without calling
+// mmap(2) — mapping zero bytes is an EINVAL on POSIX.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace wlc::common {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only into `*out` (replacing any previous mapping).
+  /// Returns false and fills `*error` (when given) on any failure; `*out`
+  /// is left unmapped in that case.
+  static bool open(const std::string& path, MappedFile* out, std::string* error = nullptr);
+
+  std::size_t size() const { return size_; }
+
+  /// The mapped bytes. Valid until this object is destroyed or reassigned.
+  std::string_view view() const {
+    return data_ == nullptr ? std::string_view{}
+                            : std::string_view(static_cast<const char*>(data_), size_);
+  }
+
+  const void* data() const { return data_; }
+
+ private:
+  void reset() noexcept;
+
+  void* data_ = nullptr;  ///< null for an unmapped object or an empty file
+  std::size_t size_ = 0;
+};
+
+}  // namespace wlc::common

@@ -198,6 +198,15 @@ struct RunPolicy {
   bool grid_within_budget(std::int64_t points) const {
     return budget.max_grid_points <= 0 || points <= budget.max_grid_points;
   }
+
+  /// True when a working set of `bytes` fits max_resident_bytes. Extraction
+  /// uses this twice: once for the mandatory prefix-sum buffer (exceeding
+  /// it degrades or fails, see extract.h) and once for the shared index's
+  /// optional auxiliary memory (exceeding that merely steers engine choice
+  /// to the streaming kernel — identical output, never an error).
+  bool bytes_within_budget(std::int64_t bytes) const {
+    return budget.max_resident_bytes <= 0 || bytes <= budget.max_resident_bytes;
+  }
 };
 
 /// Uniformly subsamples a sorted k-grid down to at most max(2, max_points)

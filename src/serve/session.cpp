@@ -244,7 +244,7 @@ Reply SessionManager::push(const PushRequest& req) {
   Session* s = find(req.session_id);
   if (s == nullptr)
     return reject(RejectCode::UnknownSession, "no session '" + req.session_id + "'", 0);
-  for (Cycles d : req.demands) s->extractor.try_push(d);
+  s->extractor.try_push_all(req.demands);
   const auto n = static_cast<std::int64_t>(req.demands.size());
   s->dirty = true;
   s->events_since_snapshot += n;

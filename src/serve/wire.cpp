@@ -1,29 +1,9 @@
 #include "serve/wire.h"
 
-#include <array>
+#include "common/crc32.h"
 
 namespace wlc::serve {
 
-namespace {
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> t{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    t[i] = c;
-  }
-  return t;
-}
-
-}  // namespace
-
-std::uint32_t crc32(std::string_view bytes) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (char ch : bytes)
-    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+std::uint32_t crc32(std::string_view bytes) { return common::crc32(bytes); }
 
 }  // namespace wlc::serve

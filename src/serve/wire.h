@@ -24,6 +24,9 @@
 namespace wlc::serve {
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `bytes`.
+/// Delegates to common::crc32 — the same checksum the columnar trace format
+/// uses, so snapshot bytes written before the extraction-engine refactor
+/// verify unchanged.
 std::uint32_t crc32(std::string_view bytes);
 
 /// Append-only encoder. All scalars little-endian.

@@ -1,7 +1,9 @@
 #include "trace/arrival_extract.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <numeric>
 
 #include "common/assert.h"
 #include "obs/obs.h"
@@ -28,9 +30,10 @@ std::vector<std::int64_t> normalized_grid(std::span<const std::int64_t> ks, std:
   return out;
 }
 
-/// One k's span extremum, scanned in ascending window order. Serial and
-/// parallel paths share this exact loop, so the floating-point reduction
-/// order — and therefore the result, bit for bit — cannot differ.
+/// One k's span extremum, scanned in ascending window order — the retained
+/// oracle kernel. Serial and parallel oracle paths share this exact loop,
+/// and the fast engines reduce the same candidate set in order-independent
+/// reductions, so the result — bit for bit — cannot differ.
 TimeSec scan_minspan(const TimestampTrace& ts, std::int64_t n, std::int64_t k) {
   TimeSec best = std::numeric_limits<TimeSec>::infinity();
   for (std::int64_t i = 0; i + k <= n; ++i)
@@ -48,41 +51,83 @@ TimeSec scan_maxspan(const TimestampTrace& ts, std::int64_t n, std::int64_t k) {
 enum class Span { Min, Max };
 
 std::vector<TimeSec> spans(const TimestampTrace& ts, std::span<const std::int64_t> ks, Span which,
-                           common::ThreadPool* pool, const runtime::RunPolicy* policy) {
+                           common::ThreadPool* pool, const runtime::RunPolicy* policy,
+                           common::GapEngine engine) {
   WLC_TRACE_SPAN(which == Span::Min ? "arrival.minspans" : "arrival.maxspans");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   WLC_COUNTER_ADD("arrival.grid_entries", static_cast<std::int64_t>(ks.size()));
-  std::vector<TimeSec> out(ks.size());
-  const auto eval_entry = [&](std::size_t i) {
-    const std::int64_t k = ks[i];
+  for (std::int64_t k : ks)
     WLC_REQUIRE(k >= 1 && k <= n, "span window must fit in the trace");
-    WLC_COUNTER_ADD("arrival.windows_scanned", n - k + 1);
-    out[i] = which == Span::Min ? scan_minspan(ts, n, k) : scan_maxspan(ts, n, k);
-  };
-  // Same poll cadence in both paths: before every grid entry's scan.
+  std::vector<TimeSec> out(ks.size());
+  // Same poll cadence in all engines and both threading paths: before every
+  // grid entry's scan (plus intra-build polls in the fast engines).
   const auto check = [&] {
     if (policy) policy->checkpoint("arrival extraction");
   };
-  if (pool) {
-    common::parallel_for(*pool, ks.size(), eval_entry, check);
-  } else {
-    for (std::size_t i = 0; i < ks.size(); ++i) {
+  const std::function<void()> checkpoint = check;
+  const auto run_entries = [&](auto&& eval_entry) {
+    if (pool) {
+      common::parallel_for(*pool, ks.size(), eval_entry, check);
+    } else {
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        check();
+        eval_entry(i);
+      }
+    }
+  };
+  switch (common::choose_gap_engine<TimeSec>(engine, n,
+                                             policy ? policy->budget.max_resident_bytes : 0)) {
+    case common::GapEngine::Streaming: {
+      WLC_COUNTER_ADD("arrival.engine.streaming", 1);
       check();
-      eval_entry(i);
+      std::vector<std::int64_t> shifts(ks.size());
+      for (std::size_t i = 0; i < ks.size(); ++i) shifts[i] = ks[i] - 1;
+      std::vector<TimeSec> mx(ks.size());
+      std::vector<TimeSec> mn(ks.size());
+      common::streaming_gaps<TimeSec>(ts, shifts, mx, mn, &checkpoint);
+      std::int64_t windows = 0;
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        windows += n - ks[i] + 1;
+        out[i] = which == Span::Min ? mn[i] : mx[i];
+      }
+      WLC_COUNTER_ADD("arrival.windows_scanned", windows);
+      break;
+    }
+    case common::GapEngine::SharedIndex: {
+      WLC_COUNTER_ADD("arrival.engine.shared_index", 1);
+      const common::SlidingExtrema<TimeSec> index(ts, &checkpoint);
+      std::vector<std::int64_t> scanned(ks.size(), 0);
+      run_entries([&](std::size_t i) {
+        out[i] = which == Span::Min ? index.min_gap(ks[i] - 1, &scanned[i])
+                                    : index.max_gap(ks[i] - 1, &scanned[i]);
+      });
+      WLC_COUNTER_ADD("arrival.windows_scanned",
+                      std::accumulate(scanned.begin(), scanned.end(), std::int64_t{0}));
+      break;
+    }
+    default: {
+      WLC_COUNTER_ADD("arrival.engine.oracle", 1);
+      run_entries([&](std::size_t i) {
+        const std::int64_t k = ks[i];
+        WLC_COUNTER_ADD("arrival.windows_scanned", n - k + 1);
+        out[i] = which == Span::Min ? scan_minspan(ts, n, k) : scan_maxspan(ts, n, k);
+      });
+      break;
     }
   }
   return out;
 }
 
 EmpiricalArrivalCurve upper_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                                    common::ThreadPool* pool, const runtime::RunPolicy* policy) {
+                                    common::ThreadPool* pool, const runtime::RunPolicy* policy,
+                                    common::GapEngine engine) {
   if (policy) policy->checkpoint("arrival extraction");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
   std::vector<std::int64_t> grid = normalized_grid(ks, n);
   if (grid.empty() || grid.back() != n) grid.push_back(n);  // sound top step
-  const std::vector<TimeSec> m = spans(ts, grid, Span::Min, pool, policy);
+  const std::vector<TimeSec> m = spans(ts, grid, Span::Min, pool, policy, engine);
 
   // On [m(k_i), m(k_{i+1})) at most k_{i+1}-1 events fit (αᵘ(Δ) >= k iff
   // minspan(k) <= Δ); the final step is exactly the trace length.
@@ -103,7 +148,8 @@ EmpiricalArrivalCurve upper_arrival(const TimestampTrace& ts, std::span<const st
 }
 
 EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                                    common::ThreadPool* pool, const runtime::RunPolicy* policy) {
+                                    common::ThreadPool* pool, const runtime::RunPolicy* policy,
+                                    common::GapEngine engine) {
   if (policy) policy->checkpoint("arrival extraction");
   require_ordered(ts);
   const auto n = static_cast<std::int64_t>(ts.size());
@@ -117,7 +163,7 @@ EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const st
     for (std::int64_t k : grid)
       if (k + 1 <= n) kplus.push_back(k + 1);
     std::vector<std::int64_t> kept(grid.begin(), grid.begin() + static_cast<std::ptrdiff_t>(kplus.size()));
-    const std::vector<TimeSec> span_vals = spans(ts, kplus, Span::Max, pool, policy);
+    const std::vector<TimeSec> span_vals = spans(ts, kplus, Span::Max, pool, policy, engine);
     for (std::size_t i = 0; i < kplus.size(); ++i) {
       const TimeSec x = span_vals[i];
       const EventCount value = kept[i];
@@ -139,49 +185,65 @@ EmpiricalArrivalCurve lower_arrival(const TimestampTrace& ts, std::span<const st
 }  // namespace
 
 std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              const runtime::RunPolicy* policy) {
-  return spans(ts, ks, Span::Min, nullptr, policy);
+                              const runtime::RunPolicy* policy, common::GapEngine engine) {
+  return spans(ts, ks, Span::Min, nullptr, policy, engine);
 }
 
 std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              const runtime::RunPolicy* policy) {
-  return spans(ts, ks, Span::Max, nullptr, policy);
+                              const runtime::RunPolicy* policy, common::GapEngine engine) {
+  return spans(ts, ks, Span::Max, nullptr, policy, engine);
 }
 
 std::vector<TimeSec> minspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool, const runtime::RunPolicy* policy) {
-  return spans(ts, ks, Span::Min, &pool, policy);
+                              common::ThreadPool& pool, const runtime::RunPolicy* policy,
+                              common::GapEngine engine) {
+  return spans(ts, ks, Span::Min, &pool, policy, engine);
 }
 
 std::vector<TimeSec> maxspans(const TimestampTrace& ts, std::span<const std::int64_t> ks,
-                              common::ThreadPool& pool, const runtime::RunPolicy* policy) {
-  return spans(ts, ks, Span::Max, &pool, policy);
+                              common::ThreadPool& pool, const runtime::RunPolicy* policy,
+                              common::GapEngine engine) {
+  return spans(ts, ks, Span::Max, &pool, policy, engine);
+}
+
+std::vector<TimeSec> minspans_oracle(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                                     const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Min, nullptr, policy, common::GapEngine::Oracle);
+}
+
+std::vector<TimeSec> maxspans_oracle(const TimestampTrace& ts, std::span<const std::int64_t> ks,
+                                     const runtime::RunPolicy* policy) {
+  return spans(ts, ks, Span::Max, nullptr, policy, common::GapEngine::Oracle);
 }
 
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            const runtime::RunPolicy* policy) {
-  return upper_arrival(ts, ks, nullptr, policy);
+                                            const runtime::RunPolicy* policy,
+                                            common::GapEngine engine) {
+  return upper_arrival(ts, ks, nullptr, policy, engine);
 }
 
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
-                                            const runtime::RunPolicy* policy) {
-  return lower_arrival(ts, ks, nullptr, policy);
+                                            const runtime::RunPolicy* policy,
+                                            common::GapEngine engine) {
+  return lower_arrival(ts, ks, nullptr, policy, engine);
 }
 
 EmpiricalArrivalCurve extract_upper_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
                                             common::ThreadPool& pool,
-                                            const runtime::RunPolicy* policy) {
-  return upper_arrival(ts, ks, &pool, policy);
+                                            const runtime::RunPolicy* policy,
+                                            common::GapEngine engine) {
+  return upper_arrival(ts, ks, &pool, policy, engine);
 }
 
 EmpiricalArrivalCurve extract_lower_arrival(const TimestampTrace& ts,
                                             std::span<const std::int64_t> ks,
                                             common::ThreadPool& pool,
-                                            const runtime::RunPolicy* policy) {
-  return lower_arrival(ts, ks, &pool, policy);
+                                            const runtime::RunPolicy* policy,
+                                            common::GapEngine engine) {
+  return lower_arrival(ts, ks, &pool, policy, engine);
 }
 
 EventCount max_events_in_window(const TimestampTrace& ts, TimeSec delta) {

@@ -1,0 +1,256 @@
+#include "trace/columnar.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace wlc::trace {
+
+namespace {
+
+/// Little-endian scalar append/fetch. The fetches go through memcpy so the
+/// decoder is alignment-safe on any byte buffer (the fuzz matrix runs it
+/// over arbitrarily sliced strings under UBSan); on little-endian hosts the
+/// compiler lowers each to a plain load.
+static_assert(std::endian::native == std::endian::little,
+              "the columnar trace format is little-endian on disk and this "
+              "reader assumes a little-endian host");
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(std::string_view bytes, std::size_t offset) {
+  T v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(T));
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& name, const std::string& message,
+                       std::string offending = "") {
+  throw ParseError((name.empty() ? "columnar trace" : name) + ": " + message,
+                   std::move(offending), 0, 0, __FILE__, __LINE__);
+}
+
+/// Structural + checksum + semantic validation; returns the row count.
+/// Every fault names the byte offset it was detected at, so a corruption
+/// report points into the file, not just at it.
+std::uint64_t validate(std::string_view bytes, const std::string& name) {
+  if (bytes.size() < kColumnarHeaderBytes)
+    fail(name, "truncated header at offset " + std::to_string(bytes.size()) +
+                   ": the header needs " + std::to_string(kColumnarHeaderBytes) + " bytes");
+  if (bytes.substr(0, kColumnarMagic.size()) != kColumnarMagic)
+    fail(name, "bad magic at offset 0 (not a WLCCOL columnar trace)");
+  const auto version = get<std::uint32_t>(bytes, 8);
+  if (version != kColumnarVersion)
+    fail(name,
+         "unsupported version " + std::to_string(version) + " at offset 8 (this reader knows " +
+             std::to_string(kColumnarVersion) + ")",
+         std::to_string(version));
+  const auto rows = get<std::uint64_t>(bytes, 16);
+  // Exact-size check before anything touches the payload: it subsumes both
+  // truncation (too short) and trailing garbage (too long), and a hostile
+  // row count can neither over-allocate nor drive reads past the buffer.
+  // Guard the multiply: rows is attacker-controlled.
+  const std::uint64_t payload = bytes.size() - kColumnarHeaderBytes;
+  if (rows > payload / kColumnarRowBytes || rows * kColumnarRowBytes != payload)
+    fail(name,
+         "size mismatch at offset 16: " + std::to_string(rows) + " rows require " +
+             std::to_string(kColumnarHeaderBytes) + "+" + std::to_string(kColumnarRowBytes) +
+             "*rows bytes, file has " + std::to_string(bytes.size()),
+         std::to_string(rows));
+  const auto want_crc = get<std::uint32_t>(bytes, 12);
+  const auto got_crc = common::crc32(bytes.substr(kColumnarHeaderBytes));
+  if (want_crc != got_crc)
+    fail(name, "payload checksum mismatch at offset 12: header says " +
+                   std::to_string(want_crc) + ", payload hashes to " + std::to_string(got_crc));
+  // Semantic validation behind the checksum, mirroring strict CSV
+  // ingestion: finite non-decreasing times, non-negative demands.
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const std::size_t off = kColumnarHeaderBytes + r * sizeof(double);
+    const auto t = get<double>(bytes, off);
+    if (!std::isfinite(t))
+      fail(name, "non-finite time in row " + std::to_string(r + 1) + " at offset " +
+                     std::to_string(off));
+    if (t < prev)
+      fail(name, "timestamps decrease in row " + std::to_string(r + 1) + " at offset " +
+                     std::to_string(off));
+    prev = t;
+  }
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const std::size_t off = kColumnarHeaderBytes + rows * sizeof(double) + r * sizeof(Cycles);
+    const auto d = get<Cycles>(bytes, off);
+    if (d < 0)
+      fail(name,
+           "negative demand in row " + std::to_string(r + 1) + " at offset " +
+               std::to_string(off),
+           std::to_string(d));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string encode_columnar(const EventTrace& events) {
+  const auto n = static_cast<std::uint64_t>(events.size());
+  std::string out;
+  out.reserve(kColumnarHeaderBytes + events.size() * kColumnarRowBytes);
+  out.append(kColumnarMagic);
+  put<std::uint32_t>(out, kColumnarVersion);
+  put<std::uint32_t>(out, 0);  // CRC patched below, once the payload exists
+  put<std::uint64_t>(out, n);
+  for (const auto& e : events) put<double>(out, e.time);
+  for (const auto& e : events) put<std::int64_t>(out, e.demand);
+  for (const auto& e : events) put<std::int32_t>(out, static_cast<std::int32_t>(e.type));
+  const std::uint32_t crc =
+      common::crc32(std::string_view(out).substr(kColumnarHeaderBytes));
+  std::memcpy(out.data() + 12, &crc, sizeof crc);
+  return out;
+}
+
+EventTrace decode_columnar(std::string_view bytes, const std::string& source_name) {
+  WLC_TRACE_SPAN("trace.decode_columnar");
+  const std::uint64_t rows = validate(bytes, source_name);
+  EventTrace events(static_cast<std::size_t>(rows));
+  const std::size_t times = kColumnarHeaderBytes;
+  const std::size_t demands = times + rows * sizeof(double);
+  const std::size_t types = demands + rows * sizeof(Cycles);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    events[r].time = get<double>(bytes, times + r * sizeof(double));
+    events[r].demand = get<Cycles>(bytes, demands + r * sizeof(Cycles));
+    events[r].type = get<std::int32_t>(bytes, types + r * sizeof(std::int32_t));
+  }
+  WLC_COUNTER_ADD("trace.columnar_rows_read", static_cast<std::int64_t>(rows));
+  return events;
+}
+
+bool write_columnar_file(const std::string& path, const EventTrace& events,
+                         std::string* error) {
+  return common::atomic_write_file(path, encode_columnar(events), error);
+}
+
+bool sniff_columnar(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char head[8] = {};
+  in.read(head, sizeof head);
+  return in.gcount() == static_cast<std::streamsize>(kColumnarMagic.size()) &&
+         std::string_view(head, sizeof head) == kColumnarMagic;
+}
+
+ColumnarTraceView ColumnarTraceView::open(const std::string& path) {
+  WLC_TRACE_SPAN("trace.columnar_open");
+  ColumnarTraceView view;
+  std::string error;
+  if (!common::MappedFile::open(path, &view.map_, &error))
+    throw DomainError("cannot open columnar trace", error, __FILE__, __LINE__);
+  view.rows_ = static_cast<std::size_t>(validate(view.map_.view(), path));
+  WLC_COUNTER_ADD("trace.columnar_rows_read", static_cast<std::int64_t>(view.rows_));
+  return view;
+}
+
+std::span<const TimeSec> ColumnarTraceView::times() const {
+  // The mapping base is page-aligned and the time column starts at offset
+  // 24, so the reinterpreted pointers below are correctly aligned for every
+  // column (see the layout table in the header).
+  const char* base = map_.view().data();
+  return {reinterpret_cast<const TimeSec*>(base + kColumnarHeaderBytes), rows_};
+}
+
+std::span<const Cycles> ColumnarTraceView::demands() const {
+  const char* base = map_.view().data();
+  return {reinterpret_cast<const Cycles*>(base + kColumnarHeaderBytes + rows_ * sizeof(TimeSec)),
+          rows_};
+}
+
+std::span<const std::int32_t> ColumnarTraceView::types() const {
+  const char* base = map_.view().data();
+  return {reinterpret_cast<const std::int32_t*>(base + kColumnarHeaderBytes +
+                                                rows_ * (sizeof(TimeSec) + sizeof(Cycles))),
+          rows_};
+}
+
+EventTrace ColumnarTraceView::to_events(std::size_t max_rows) const {
+  const std::size_t n = std::min(rows_, max_rows);
+  EventTrace events(n);
+  const auto t = times();
+  const auto d = demands();
+  const auto y = types();
+  for (std::size_t r = 0; r < n; ++r) events[r] = {t[r], y[r], d[r]};
+  return events;
+}
+
+namespace {
+
+/// Row budget, mirroring read_event_trace_csv: Fail throws at the first
+/// row past the budget, Degrade keeps the leading rows and records the
+/// kept/seen split (the surviving prefix is still a well-formed trace —
+/// times stay ordered under truncation). Returns the rows to keep.
+std::size_t budgeted_rows(std::size_t rows, const ReadOptions& options, const std::string& name) {
+  std::size_t keep = rows;
+  const auto* policy = options.policy;
+  if (policy && policy->budget.max_trace_rows > 0 &&
+      static_cast<std::int64_t>(rows) > policy->budget.max_trace_rows) {
+    if (policy->on_budget == runtime::OnBudget::Fail)
+      throw BudgetExceededError("trace_rows",
+                                name + " has " + std::to_string(rows) +
+                                    " rows but the budget allows " +
+                                    std::to_string(policy->budget.max_trace_rows),
+                                std::to_string(rows), __FILE__, __LINE__);
+    keep = static_cast<std::size_t>(policy->budget.max_trace_rows);
+    WLC_COUNTER_ADD("runtime.degradations", 1);
+    WLC_COUNTER_ADD("runtime.shed_rows", static_cast<std::int64_t>(rows - keep));
+    if (options.degradation) {
+      options.degradation->rows_requested += static_cast<std::int64_t>(rows);
+      options.degradation->rows_used += static_cast<std::int64_t>(keep);
+      options.degradation->note("row budget kept the first " + std::to_string(keep) + " of " +
+                                std::to_string(rows) + " rows of " + name +
+                                " (bounds certify the analyzed prefix only)");
+    }
+  }
+  return keep;
+}
+
+}  // namespace
+
+EventTrace read_columnar_trace(const std::string& path, const ReadOptions& options) {
+  const std::string& name = options.source_name.empty() ? path : options.source_name;
+  if (options.policy) options.policy->checkpoint("columnar trace ingestion");
+  ColumnarTraceView view = ColumnarTraceView::open(path);
+  const std::size_t keep = budgeted_rows(view.rows(), options, name);
+  if (options.policy) options.policy->checkpoint("columnar trace ingestion");
+  return view.to_events(keep);
+}
+
+std::size_t read_columnar_columns(const std::string& path, const ReadOptions& options,
+                                  DemandTrace* demands, TimestampTrace* times) {
+  const std::string& name = options.source_name.empty() ? path : options.source_name;
+  if (options.policy) options.policy->checkpoint("columnar trace ingestion");
+  ColumnarTraceView view = ColumnarTraceView::open(path);
+  const std::size_t keep = budgeted_rows(view.rows(), options, name);
+  if (options.policy) options.policy->checkpoint("columnar trace ingestion");
+  if (demands) {
+    const auto d = view.demands();
+    demands->assign(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  if (times) {
+    const auto t = view.times();
+    times->assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  return keep;
+}
+
+}  // namespace wlc::trace

@@ -1,0 +1,115 @@
+// trace::columnar — the memory-mapped binary trace format ("WLCCOL").
+//
+// CSV is the interchange format; it is also why a 2M-row trace costs
+// seconds before extraction even starts. The columnar format stores the
+// same three columns as packed little-endian arrays so a reader maps the
+// file and hands out typed spans with zero copies and zero parsing:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//        0     8  magic "WLCCOL\0\0"
+//        8     4  u32 version (currently 1)
+//       12     4  u32 CRC-32 (IEEE, common::crc32) of the payload bytes
+//       16     8  u64 row count n
+//       24    8n  time column,   f64[n]  (seconds)
+//    24+8n    8n  demand column, i64[n]  (cycles)
+//   24+16n    4n  type column,   i32[n]
+//
+// The file size must equal 24 + 20n exactly — a shorter file is truncation,
+// a longer one is trailing garbage, both faults. The column order keeps the
+// f64/i64 columns 8-byte aligned and the i32 column 4-byte aligned at any
+// page-aligned mapping base.
+//
+// Decoding follows the serve-snapshot strict-decode discipline: magic,
+// version, exact size and checksum are verified before any payload byte is
+// interpreted, then the payload is validated semantically (finite
+// non-decreasing times, non-negative demands — the same invariants strict
+// CSV ingestion enforces, so every trace one reader accepts the other
+// would). Every violation throws wlc::ParseError naming the source file and
+// the byte offset (and row, for payload faults); hostile input can
+// over-allocate nothing and read nothing out of bounds. The
+// fault-injection suite drives truncation at every length, single-bit
+// flips over header and payload, version skew and trailing bytes against
+// this decoder under ASan/UBSan.
+//
+// `wlc_analyze convert-trace` converts between the CSV and columnar
+// representations; every trace-reading command sniffs the magic and accepts
+// either format transparently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/mmap_file.h"
+#include "trace/io.h"
+#include "trace/traces.h"
+
+namespace wlc::trace {
+
+inline constexpr std::string_view kColumnarMagic{"WLCCOL\0\0", 8};
+inline constexpr std::uint32_t kColumnarVersion = 1;
+inline constexpr std::size_t kColumnarHeaderBytes = 24;
+inline constexpr std::size_t kColumnarRowBytes = 20;  ///< f64 + i64 + i32
+
+/// Serializes `events` into the columnar byte layout above.
+std::string encode_columnar(const EventTrace& events);
+
+/// Strict decode of `bytes`; `source_name` prefixes fault positions (like
+/// ReadOptions::source_name for CSV). Throws wlc::ParseError on any
+/// structural or semantic violation, never exhibits UB on hostile input.
+EventTrace decode_columnar(std::string_view bytes, const std::string& source_name = "");
+
+/// Atomically writes `events` to `path` in columnar form
+/// (common::atomic_write_file — a crashed writer never leaves a torn file).
+/// Returns false with a reason in `*error` on I/O failure.
+bool write_columnar_file(const std::string& path, const EventTrace& events,
+                         std::string* error = nullptr);
+
+/// True when `path` is a readable regular file starting with the WLCCOL
+/// magic — the format sniff the CLI uses to accept CSV and columnar traces
+/// through the same flag. Never throws; unreadable means "not columnar".
+bool sniff_columnar(const std::string& path);
+
+/// Zero-copy reader: maps the file and validates it (structure, checksum,
+/// semantics) once; the column accessors then point straight into the
+/// mapping. The view owns the mapping — spans are valid for its lifetime.
+class ColumnarTraceView {
+ public:
+  /// Maps and validates `path`. Throws wlc::ParseError on any violation
+  /// (prefixed with the path) and wlc::DomainError when the file cannot be
+  /// mapped at all.
+  static ColumnarTraceView open(const std::string& path);
+
+  std::size_t rows() const { return rows_; }
+  std::span<const TimeSec> times() const;
+  std::span<const Cycles> demands() const;
+  std::span<const std::int32_t> types() const;
+
+  /// Materializes the first `max_rows` rows (default: all) as EventRecords.
+  EventTrace to_events(std::size_t max_rows = static_cast<std::size_t>(-1)) const;
+
+ private:
+  common::MappedFile map_;
+  std::size_t rows_ = 0;
+};
+
+/// Reads a columnar trace file under the same ingestion controls as
+/// read_event_trace_csv: the row budget keeps the first max_trace_rows rows
+/// under OnBudget::Degrade (recording the kept/seen split) or throws under
+/// Fail, and the cancel token/deadline is polled during materialization.
+/// The columnar format has no lenient mode — a corrupt file is rejected
+/// whole (the checksum cannot attribute damage to single rows), so
+/// ParsePolicy does not appear here.
+EventTrace read_columnar_trace(const std::string& path, const ReadOptions& options = {});
+
+/// Column-direct variant of read_columnar_trace for the analysis pipeline:
+/// fills the demand and timestamp columns straight from the mapping —
+/// skipping the AoS event materialization entirely — under the exact same
+/// validation, row budget and cancellation behaviour. Returns the number of
+/// rows kept. Either output may be null when that column is not needed.
+std::size_t read_columnar_columns(const std::string& path, const ReadOptions& options,
+                                  DemandTrace* demands, TimestampTrace* times);
+
+}  // namespace wlc::trace

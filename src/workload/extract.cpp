@@ -1,6 +1,7 @@
 #include "workload/extract.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <numeric>
 
@@ -28,12 +29,15 @@ std::vector<Cycles> prefix_sums(const trace::DemandTrace& d, std::size_t n) {
 /// values; the breakpoint buffer is bounded by the grid budget). Under
 /// Degrade the analyzed window shrinks to the longest prefix that fits —
 /// the curves then certify that prefix only, which the report states.
+/// (The shared index's auxiliary memory is NOT part of this contract: when
+/// it would not also fit, Auto falls back to the streaming kernel instead
+/// of shedding more events — identical output, see choose_engine.)
 EventCount apply_byte_budget(EventCount n, const runtime::RunPolicy* policy,
                              runtime::DegradationReport* degradation) {
-  if (!policy || policy->budget.max_resident_bytes <= 0) return n;
+  if (!policy) return n;
   const std::int64_t need = (static_cast<std::int64_t>(n) + 1) *
                             static_cast<std::int64_t>(sizeof(Cycles));
-  if (need <= policy->budget.max_resident_bytes) return n;
+  if (policy->bytes_within_budget(need)) return n;
   const EventCount fit =
       policy->budget.max_resident_bytes / static_cast<std::int64_t>(sizeof(Cycles)) - 1;
   if (policy->on_budget == runtime::OnBudget::Fail || fit < 1)
@@ -74,9 +78,10 @@ NormalizedGrid normalized_grid(std::span<const std::int64_t> ks, EventCount n) {
   return g;
 }
 
-/// One grid entry's sliding-window extremum. The scan order (j ascending)
-/// is the unit of determinism: serial and parallel paths both run this
-/// exact loop per k, so their results cannot differ.
+/// One grid entry's sliding-window extremum — the retained oracle kernel.
+/// The scan order (j ascending) is the unit of determinism: serial and
+/// parallel oracle paths both run this exact loop per k, and the fast
+/// engines reduce the same candidate set, so results cannot differ.
 Cycles scan_window(const std::vector<Cycles>& p, EventCount n, EventCount k, Bound bound) {
   Cycles best = bound == Bound::Upper ? std::numeric_limits<Cycles>::min()
                                       : std::numeric_limits<Cycles>::max();
@@ -90,7 +95,7 @@ Cycles scan_window(const std::vector<Cycles>& p, EventCount n, EventCount k, Bou
 WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                       Bound bound, common::ThreadPool* pool, ExtractStats* stats,
                       const runtime::RunPolicy* policy,
-                      runtime::DegradationReport* degradation) {
+                      runtime::DegradationReport* degradation, common::GapEngine engine) {
   WLC_TRACE_SPAN(bound == Bound::Upper ? "extract.upper" : "extract.lower");
   if (policy) policy->checkpoint("workload extraction");
   WLC_REQUIRE(!demands.empty(), "demand trace must be non-empty");
@@ -105,22 +110,61 @@ WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::in
   if (stats) stats->clamped_ks = grid.clamped;
   std::vector<WorkloadCurve::Point> pts(grid.ks.size() + 1);
   pts[0] = {0, 0};
-  const auto eval_entry = [&](std::size_t gi) {
-    const EventCount k = grid.ks[gi];
-    WLC_COUNTER_ADD("extract.windows_scanned", n - k + 1);
-    pts[gi + 1] = {k, scan_window(p, n, k, bound)};
-  };
-  // Both paths poll with the same cadence (before every grid entry), so a
-  // cancelled run aborts within one window scan regardless of threading.
+  // All engines poll with at least the oracle's cadence (before every grid
+  // entry; the index build and the streaming pass add polls every few
+  // thousand values), so a cancelled run aborts within one bounded chunk
+  // regardless of threading or engine.
   const auto check = [&] {
     if (policy) policy->checkpoint("workload extraction");
   };
-  if (pool) {
-    common::parallel_for(*pool, grid.ks.size(), eval_entry, check);
-  } else {
-    for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) {
+  const std::function<void()> checkpoint = check;
+  const auto run_entries = [&](auto&& eval_entry) {
+    if (pool) {
+      common::parallel_for(*pool, grid.ks.size(), eval_entry, check);
+    } else {
+      for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) {
+        check();
+        eval_entry(gi);
+      }
+    }
+  };
+  switch (common::choose_gap_engine<Cycles>(
+      engine, n + 1, policy ? policy->budget.max_resident_bytes : 0)) {
+    case common::GapEngine::Streaming: {
+      WLC_COUNTER_ADD("extract.engine.streaming", 1);
       check();
-      eval_entry(gi);
+      std::vector<Cycles> mx(grid.ks.size());
+      std::vector<Cycles> mn(grid.ks.size());
+      common::streaming_gaps<Cycles>(p, grid.ks, mx, mn, &checkpoint);
+      std::int64_t windows = 0;
+      for (std::size_t gi = 0; gi < grid.ks.size(); ++gi) {
+        windows += n - grid.ks[gi] + 1;
+        pts[gi + 1] = {grid.ks[gi], bound == Bound::Upper ? mx[gi] : mn[gi]};
+      }
+      WLC_COUNTER_ADD("extract.windows_scanned", windows);
+      break;
+    }
+    case common::GapEngine::SharedIndex: {
+      WLC_COUNTER_ADD("extract.engine.shared_index", 1);
+      const common::SlidingExtrema<Cycles> index(p, &checkpoint);
+      std::vector<std::int64_t> scanned(grid.ks.size(), 0);
+      run_entries([&](std::size_t gi) {
+        const EventCount k = grid.ks[gi];
+        pts[gi + 1] = {k, bound == Bound::Upper ? index.max_gap(k, &scanned[gi])
+                                                : index.min_gap(k, &scanned[gi])};
+      });
+      WLC_COUNTER_ADD("extract.windows_scanned",
+                      std::accumulate(scanned.begin(), scanned.end(), std::int64_t{0}));
+      break;
+    }
+    default: {
+      WLC_COUNTER_ADD("extract.engine.oracle", 1);
+      run_entries([&](std::size_t gi) {
+        const EventCount k = grid.ks[gi];
+        WLC_COUNTER_ADD("extract.windows_scanned", n - k + 1);
+        pts[gi + 1] = {k, scan_window(p, n, k, bound)};
+      });
+      break;
     }
   }
   return WorkloadCurve(bound, std::move(pts));
@@ -130,28 +174,44 @@ WorkloadCurve extract(const trace::DemandTrace& demands, std::span<const std::in
 
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             ExtractStats* stats, const runtime::RunPolicy* policy,
-                            runtime::DegradationReport* degradation) {
-  return extract(demands, ks, Bound::Upper, nullptr, stats, policy, degradation);
+                            runtime::DegradationReport* degradation, common::GapEngine engine) {
+  return extract(demands, ks, Bound::Upper, nullptr, stats, policy, degradation, engine);
 }
 
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             ExtractStats* stats, const runtime::RunPolicy* policy,
-                            runtime::DegradationReport* degradation) {
-  return extract(demands, ks, Bound::Lower, nullptr, stats, policy, degradation);
+                            runtime::DegradationReport* degradation, common::GapEngine engine) {
+  return extract(demands, ks, Bound::Lower, nullptr, stats, policy, degradation, engine);
 }
 
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             common::ThreadPool& pool, ExtractStats* stats,
                             const runtime::RunPolicy* policy,
-                            runtime::DegradationReport* degradation) {
-  return extract(demands, ks, Bound::Upper, &pool, stats, policy, degradation);
+                            runtime::DegradationReport* degradation, common::GapEngine engine) {
+  return extract(demands, ks, Bound::Upper, &pool, stats, policy, degradation, engine);
 }
 
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             common::ThreadPool& pool, ExtractStats* stats,
                             const runtime::RunPolicy* policy,
-                            runtime::DegradationReport* degradation) {
-  return extract(demands, ks, Bound::Lower, &pool, stats, policy, degradation);
+                            runtime::DegradationReport* degradation, common::GapEngine engine) {
+  return extract(demands, ks, Bound::Lower, &pool, stats, policy, degradation, engine);
+}
+
+WorkloadCurve extract_upper_oracle(const trace::DemandTrace& demands,
+                                   std::span<const std::int64_t> ks, ExtractStats* stats,
+                                   const runtime::RunPolicy* policy,
+                                   runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Upper, nullptr, stats, policy, degradation,
+                 common::GapEngine::Oracle);
+}
+
+WorkloadCurve extract_lower_oracle(const trace::DemandTrace& demands,
+                                   std::span<const std::int64_t> ks, ExtractStats* stats,
+                                   const runtime::RunPolicy* policy,
+                                   runtime::DegradationReport* degradation) {
+  return extract(demands, ks, Bound::Lower, nullptr, stats, policy, degradation,
+                 common::GapEngine::Oracle);
 }
 
 namespace {
@@ -176,7 +236,8 @@ std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& tr
                                        std::span<const std::int64_t> ks,
                                        common::ThreadPool& pool,
                                        const runtime::RunPolicy* policy,
-                                       runtime::DegradationReport* degradation) {
+                                       runtime::DegradationReport* degradation,
+                                       common::GapEngine engine) {
   WLC_TRACE_SPAN("extract.batch");
   WLC_COUNTER_ADD("extract.batch_traces", static_cast<std::int64_t>(traces.size()));
   // The grid budget is applied once to the shared grid (recorded once);
@@ -208,8 +269,8 @@ std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& tr
         const auto idx = static_cast<std::size_t>(&d - traces.data());
         auto* deg = degradation ? &local[idx] : nullptr;
         ExtractStats stats;
-        WorkloadCurve upper = extract_upper(d, shared_ks, &stats, pp, deg);
-        WorkloadCurve lower = extract_lower(d, shared_ks, nullptr, pp, deg);
+        WorkloadCurve upper = extract_upper(d, shared_ks, &stats, pp, deg, engine);
+        WorkloadCurve lower = extract_lower(d, shared_ks, nullptr, pp, deg, engine);
         return CurveBundle{std::move(upper), std::move(lower), stats};
       },
       check);

@@ -6,36 +6,53 @@
 //
 //   γᵘ(k) = max_j Σ_{i=j}^{j+k-1} d_i ,   γˡ(k) = min_j Σ d_i .
 //
-// Both are computed exactly for every k on a KGrid (O(n) per grid entry via
-// prefix sums); the WorkloadCurve object interpolates conservatively between
-// grid entries, so the result is a guaranteed bound for the analyzed trace at
-// every k. As the paper notes, such curves certify the analyzed trace (class
-// of traces) only — for hard real-time guarantees construct curves
-// analytically (see polling.h, type_bounds.h).
+// Both are computed exactly for every k on a KGrid; the WorkloadCurve object
+// interpolates conservatively between grid entries, so the result is a
+// guaranteed bound for the analyzed trace at every k. As the paper notes,
+// such curves certify the analyzed trace (class of traces) only — for hard
+// real-time guarantees construct curves analytically (see polling.h,
+// type_bounds.h).
 //
-// Parallel engine. Each grid entry's window scan is independent given the
-// shared prefix-sum array, so the overloads taking a common::ThreadPool
-// partition the k-grid across workers; each k is still scanned j = 0..n-k in
-// ascending order by a single thread and results land in grid-indexed slots,
-// so parallel output is bit-identical to the serial path. The pool-less
-// functions remain the plain serial loops and serve as the reference oracle
-// for the differential tests. extract_batch fans whole traces across the
-// pool (each trace extracted serially inside its task — again bit-identical
-// to individual serial calls).
+// Engines. The historical hot path rescans the prefix sums once per grid
+// entry — O(n·|grid|). Those per-k scans are retained verbatim as the
+// *_oracle kernels below; the default path now builds one shared
+// common::SlidingExtrema index over the (contiguous, SIMD-friendly) prefix
+// sums and answers every grid entry from it by block-bound pruning, with a
+// single-pass streaming kernel as the budget-bounded fallback when the byte
+// budget admits the prefix array but not the index's auxiliary memory.
+// Every engine is bit-identical to the oracle on every input — same
+// differential discipline the curve engine established — pinned by the
+// rmq-labelled test suite across shapes × grids × threads × budgets. The
+// trailing GapEngine parameter is a test/benchmark hook; leave it Auto.
+//
+// Parallel engine. Each grid entry's query/scan is independent given the
+// shared prefix-sum array (and index), so the overloads taking a
+// common::ThreadPool partition the k-grid across workers; results land in
+// grid-indexed slots and every per-entry reduction runs in a single thread
+// in ascending-j order, so parallel output is bit-identical to the serial
+// path. extract_batch fans whole traces across the pool (each trace
+// extracted serially inside its task — again bit-identical to individual
+// serial calls).
+//
 // Run-policy contract. Every extractor takes an optional
-// wlc::runtime::RunPolicy: checkpoints run between grid entries (and between
-// traces in the batched API), so a cancel/deadline trip aborts within one
-// window scan; the grid-point budget coarsens the k-grid (OnBudget::Degrade
-// — sound, merely less tight) or throws BudgetExceededError (Fail); the
-// resident-byte budget bounds the prefix-sum buffer, truncating the
-// analyzed window under Degrade with the certificate scope recorded in the
-// DegradationReport. A null policy reproduces the historical unbounded
-// behavior bit for bit.
+// wlc::runtime::RunPolicy: checkpoints run between grid entries, every few
+// thousand blocks inside an index build, and every few thousand events
+// inside a streaming pass (and between traces in the batched API), so a
+// cancel/deadline trip aborts within one bounded chunk; the grid-point
+// budget coarsens the k-grid (OnBudget::Degrade — sound, merely less tight)
+// or throws BudgetExceededError (Fail); the resident-byte budget bounds the
+// prefix-sum buffer exactly as before — truncating the analyzed window
+// under Degrade with the certificate scope recorded in the
+// DegradationReport — and additionally steers Auto away from the index when
+// its auxiliary memory would not fit (the streaming fallback, identical
+// output, never an error). A null policy reproduces the historical
+// unbounded behavior bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+#include "common/rmq.h"
 #include "common/thread_pool.h"
 #include "runtime/runtime.h"
 #include "trace/traces.h"
@@ -56,18 +73,20 @@ struct ExtractStats {
 
 /// Exact γᵘ restricted to windows of `demands`, on window sizes `ks`
 /// (each clamped to the trace length; the trace length is appended so the
-/// curve's exact range covers whole-trace windows). Serial reference
-/// implementation. `stats`, when given, reports grid clamping.
+/// curve's exact range covers whole-trace windows). Serial entry point.
+/// `stats`, when given, reports grid clamping.
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             ExtractStats* stats = nullptr,
                             const runtime::RunPolicy* policy = nullptr,
-                            runtime::DegradationReport* degradation = nullptr);
+                            runtime::DegradationReport* degradation = nullptr,
+                            common::GapEngine engine = common::GapEngine::Auto);
 
 /// Exact γˡ analogue.
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             ExtractStats* stats = nullptr,
                             const runtime::RunPolicy* policy = nullptr,
-                            runtime::DegradationReport* degradation = nullptr);
+                            runtime::DegradationReport* degradation = nullptr,
+                            common::GapEngine engine = common::GapEngine::Auto);
 
 /// Parallel γᵘ: the k-grid is partitioned across `pool`. Bit-identical to
 /// the serial overload on every input (checkpointed cancellation included —
@@ -75,16 +94,34 @@ WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const s
 WorkloadCurve extract_upper(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             common::ThreadPool& pool, ExtractStats* stats = nullptr,
                             const runtime::RunPolicy* policy = nullptr,
-                            runtime::DegradationReport* degradation = nullptr);
+                            runtime::DegradationReport* degradation = nullptr,
+                            common::GapEngine engine = common::GapEngine::Auto);
 
 /// Parallel γˡ analogue.
 WorkloadCurve extract_lower(const trace::DemandTrace& demands, std::span<const std::int64_t> ks,
                             common::ThreadPool& pool, ExtractStats* stats = nullptr,
                             const runtime::RunPolicy* policy = nullptr,
-                            runtime::DegradationReport* degradation = nullptr);
+                            runtime::DegradationReport* degradation = nullptr,
+                            common::GapEngine engine = common::GapEngine::Auto);
+
+/// The retained O(n·|grid|) reference kernels: the plain per-k scans,
+/// regardless of what Auto would pick. The rmq differential suite pins
+/// every fast engine to these bit for bit; they also serve as the
+/// before-side of BENCH_extraction.json.
+WorkloadCurve extract_upper_oracle(const trace::DemandTrace& demands,
+                                   std::span<const std::int64_t> ks,
+                                   ExtractStats* stats = nullptr,
+                                   const runtime::RunPolicy* policy = nullptr,
+                                   runtime::DegradationReport* degradation = nullptr);
+WorkloadCurve extract_lower_oracle(const trace::DemandTrace& demands,
+                                   std::span<const std::int64_t> ks,
+                                   ExtractStats* stats = nullptr,
+                                   const runtime::RunPolicy* policy = nullptr,
+                                   runtime::DegradationReport* degradation = nullptr);
 
 /// Convenience: dense extraction of every k in [1, k_max] (k_max clamped to
-/// the trace length) — exact but Θ(n·k_max); fine for short traces and tests.
+/// the trace length) — exact; the dense grid is where the shared index pays
+/// off most.
 WorkloadCurve extract_upper_dense(const trace::DemandTrace& demands, EventCount k_max);
 WorkloadCurve extract_lower_dense(const trace::DemandTrace& demands, EventCount k_max);
 
@@ -106,6 +143,7 @@ std::vector<CurveBundle> extract_batch(const std::vector<trace::DemandTrace>& tr
                                        std::span<const std::int64_t> ks,
                                        common::ThreadPool& pool,
                                        const runtime::RunPolicy* policy = nullptr,
-                                       runtime::DegradationReport* degradation = nullptr);
+                                       runtime::DegradationReport* degradation = nullptr,
+                                       common::GapEngine engine = common::GapEngine::Auto);
 
 }  // namespace wlc::workload

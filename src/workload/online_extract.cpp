@@ -70,6 +70,17 @@ bool OnlineWorkloadExtractor::try_push(Cycles demand) {
   return true;
 }
 
+EventCount OnlineWorkloadExtractor::try_push_all(std::span<const Cycles> demands) {
+  EventCount accepted = 0;
+  for (Cycles d : demands)
+    if (try_push(d)) ++accepted;
+  return accepted;
+}
+
+void OnlineWorkloadExtractor::push_all(std::span<const Cycles> demands) {
+  for (Cycles d : demands) push(d);
+}
+
 void OnlineWorkloadExtractor::accept(Cycles demand) {
   ++events_;
   ++clean_run_;

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -89,6 +90,17 @@ class OnlineWorkloadExtractor {
   /// quarantined (health().quarantined increments, in-flight windows
   /// restart) and false is returned; otherwise behaves like push().
   bool try_push(Cycles demand);
+
+  /// Batch observation, exactly equivalent to try_push in stream order on
+  /// every element (bit-identical state afterwards); returns how many were
+  /// accepted (the rest were quarantined). The serve daemon feeds whole
+  /// Push-request batches through this — one call per frame instead of one
+  /// per demand.
+  EventCount try_push_all(std::span<const Cycles> demands);
+
+  /// Strict batch observation: push() on every element in order. Throws on
+  /// the first negative demand with the preceding elements already applied.
+  void push_all(std::span<const Cycles> demands);
 
   /// Accepted activations (quarantined ones excluded).
   EventCount events_seen() const { return events_; }

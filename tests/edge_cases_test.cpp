@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 
+#include "common/error.h"
+#include "common/rmq.h"
 #include "curve/discrete_curve.h"
 #include "curve/pwl_curve.h"
 #include "mpeg/model.h"
@@ -14,6 +16,9 @@
 #include "sched/rms.h"
 #include "sched/simulator.h"
 #include "trace/arrival_curve.h"
+#include "trace/arrival_extract.h"
+#include "trace/traces.h"
+#include "workload/extract.h"
 #include "workload/workload_curve.h"
 
 namespace wlc {
@@ -139,6 +144,52 @@ TEST(MpegEdge, GopWithM2AndDeterministicScenes) {
     ASSERT_EQ(f1[f].scene_cut, f2[f].scene_cut) << f;
     ASSERT_EQ(f1[f].mbs[10].bits, f2[f].mbs[10].bits) << f;
   }
+}
+
+TEST(ExtractionEdge, EmptyTraceRefusedByOracleAndFastPathsAlike) {
+  // An empty demand trace (e.g. every row quarantined upstream) must get
+  // the same structured refusal from the per-k oracle and from the shared
+  // sliding-window index / streaming engines — degenerate inputs are not
+  // allowed to pick a different contract per engine.
+  const trace::DemandTrace empty;
+  const std::vector<std::int64_t> ks{1};
+  EXPECT_THROW(workload::extract_upper_oracle(empty, ks), wlc::Error);
+  EXPECT_THROW(workload::extract_lower_oracle(empty, ks), wlc::Error);
+  for (common::GapEngine eng :
+       {common::GapEngine::SharedIndex, common::GapEngine::Streaming}) {
+    EXPECT_THROW(workload::extract_upper(empty, ks, nullptr, nullptr, nullptr, eng), wlc::Error);
+    EXPECT_THROW(workload::extract_lower(empty, ks, nullptr, nullptr, nullptr, eng), wlc::Error);
+  }
+  const trace::TimestampTrace no_ts;
+  EXPECT_THROW(trace::minspans_oracle(no_ts, ks), wlc::Error);
+  for (common::GapEngine eng :
+       {common::GapEngine::SharedIndex, common::GapEngine::Streaming})
+    EXPECT_THROW(trace::minspans(no_ts, ks, nullptr, eng), wlc::Error);
+}
+
+TEST(ExtractionEdge, DuplicateTimestampsYieldZeroSpansOnBothPaths) {
+  // Batch arrivals: several events sharing one timestamp are legal, and the
+  // tightest k-event span is exactly 0.0 for every k inside a batch. The
+  // fast engines must reproduce the oracle bit for bit here — zero-width
+  // gaps are where a sloppy bound or a reordered float reduction would show.
+  trace::TimestampTrace ts;
+  for (int batch = 0; batch < 40; ++batch)
+    for (int i = 0; i < 5; ++i) ts.push_back(static_cast<double>(batch) * 1e-3);
+  std::vector<std::int64_t> ks;
+  for (std::int64_t k = 1; k <= static_cast<std::int64_t>(ts.size()); k += 7) ks.push_back(k);
+  const auto ref_min = trace::minspans_oracle(ts, ks);
+  const auto ref_max = trace::maxspans_oracle(ts, ks);
+  EXPECT_EQ(ref_min[0], 0.0);  // five events share every timestamp
+  for (common::GapEngine eng :
+       {common::GapEngine::SharedIndex, common::GapEngine::Streaming}) {
+    EXPECT_EQ(trace::minspans(ts, ks, nullptr, eng), ref_min);
+    EXPECT_EQ(trace::maxspans(ts, ks, nullptr, eng), ref_max);
+  }
+  // Same through the arrival-curve layer: the curves carry the spans.
+  const auto up_ref = trace::extract_upper_arrival(ts, ks, nullptr, common::GapEngine::Oracle);
+  const auto up_fast =
+      trace::extract_upper_arrival(ts, ks, nullptr, common::GapEngine::SharedIndex);
+  EXPECT_EQ(up_ref.points(), up_fast.points());
 }
 
 TEST(MpegEdge, InvalidStreamParamsThrow) {
