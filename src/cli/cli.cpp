@@ -20,6 +20,7 @@
 #include "common/thread_pool.h"
 #include "curve/engine.h"
 #include "curve/op_cache.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "rtc/gpc.h"
 #include "rtc/sizing.h"
@@ -89,10 +90,10 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
   }
   Options o;
   o.command = argv[0];
-  // `serve` runs a daemon, not an analysis of one trace — it is the only
-  // subcommand without the trace positional.
+  // `serve` runs a daemon and `stats` interrogates one — neither analyzes a
+  // trace, so they are the subcommands without the trace positional.
   std::size_t first_flag = 1;
-  if (o.command != "serve") {
+  if (o.command != "serve" && o.command != "stats") {
     if (argv.size() < 2) {
       err << usage();
       return std::nullopt;
@@ -116,7 +117,7 @@ std::optional<Options> parse(const std::vector<std::string>& argv, std::ostream&
       continue;
     }
     if (key == "strict" || key == "lenient" || key == "no-fast-paths" ||
-        key == "keep-state") {  // boolean flags
+        key == "keep-state" || key == "watchdog-abort") {  // boolean flags
       o.flags.emplace(key, "1");
       continue;
     }
@@ -684,6 +685,26 @@ int cmd_serve(const Options& o, RuntimeControls& rc, std::ostream& out, std::ost
   if (const auto it = o.flags.find("snapshot-interval"); it != o.flags.end())
     cfg.snapshot_interval = std::chrono::milliseconds(
         static_cast<std::int64_t>(parse_duration_seconds(it->second, "snapshot-interval") * 1e3));
+  cfg.request_log.path = o.text("request-log", "");
+  if (const auto v = o.number("slow-ms")) {
+    if (*v < 0) throw UsageError("--slow-ms must be >= 0, got " + o.flags.at("slow-ms"));
+    cfg.request_log.slow_us = static_cast<std::int64_t>(*v * 1e3);
+  }
+  if (const auto v = o.integer("request-log-max-bytes")) {
+    if (*v < 0)
+      throw UsageError("--request-log-max-bytes must be >= 0 (0 = never rotate), got " +
+                       std::to_string(*v));
+    cfg.request_log.max_bytes = *v;
+  }
+  if (const auto v = o.number("watchdog-ms")) {
+    if (*v <= 0) throw UsageError("--watchdog-ms must be > 0, got " + o.flags.at("watchdog-ms"));
+    cfg.watchdog = std::chrono::milliseconds(static_cast<std::int64_t>(*v));
+  }
+  if (o.flags.count("watchdog-abort") > 0) {
+    if (cfg.watchdog.count() == 0)
+      throw UsageError("--watchdog-abort requires --watchdog-ms <threshold>");
+    cfg.watchdog_abort = true;
+  }
 
   try {
     serve::parse_address(cfg.listen);  // surface a bad spec as a usage error
@@ -897,6 +918,91 @@ int cmd_serve_client(const Options& o, RuntimeControls& rc, std::ostream& out, s
   return 0;
 }
 
+/// `stats --connect ADDR [--format table|json|prom]`: one Stats frame to a
+/// live daemon, rendered three ways. `json` prints the versioned document
+/// verbatim (uptime, pool, sessions, tenants, metrics); `table` and `prom`
+/// decode the embedded metrics snapshot — through the same tolerant decoder
+/// external scrapers would use, so a schema drift fails loudly here (exit 2)
+/// instead of silently in a dashboard.
+int cmd_stats(const Options& o, std::ostream& out, std::ostream& err) {
+  const std::string connect = o.text("connect", "");
+  if (connect.empty()) {
+    err << "stats needs --connect <unix:/path | host:port>\n";
+    return 2;
+  }
+  const std::string format = o.text("format", "table");
+  if (format != "table" && format != "json" && format != "prom")
+    throw UsageError("--format expects 'table', 'json' or 'prom', got '" + format + "'");
+
+  serve::Client client;
+  if (!client.connect(connect)) {
+    err << "cannot connect to " << connect << ": " << client.error() << "\n";
+    return 1;
+  }
+  serve::Reply reply;
+  if (!client.call(serve::StatsRequest{}, &reply)) {
+    err << "stats request failed: " << client.error() << "\n";
+    return 1;
+  }
+  const auto* stats = std::get_if<serve::StatsReply>(&reply);
+  if (stats == nullptr) {
+    if (const auto* e = std::get_if<serve::ErrReply>(&reply))
+      err << "daemon error: " << e->message << "\n";
+    else
+      err << "unexpected reply to Stats\n";
+    return 1;
+  }
+  if (format == "json") {
+    out << stats->json;
+    return 0;
+  }
+  try {
+    const obs::MetricsSnapshot snap = obs::decode_metrics_json(stats->json);
+    if (format == "prom")
+      out << obs::to_prometheus(snap);
+    else
+      snap.print(out);
+  } catch (const obs::SchemaMismatchError& e) {
+    err << "stats: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "stats: daemon sent an undecodable document: " << e.detail() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+/// `report` also accepts a metrics JSON document where the trace positional
+/// goes — a --metrics-out file or a captured `stats --format json` reply —
+/// and pretty-prints it without running any pipeline. Sniffed by the leading
+/// '{': neither the CSV header nor the WLCCOL magic can start that way.
+/// Returns nullopt when the file is not JSON (the trace path proceeds).
+std::optional<int> cmd_report_metrics_json(const Options& o, std::ostream& out,
+                                           std::ostream& err) {
+  std::ifstream file(o.trace_path, std::ios::binary);
+  if (!file) return std::nullopt;  // load() reports the open failure uniformly
+  int first = file.peek();
+  while (first == ' ' || first == '\n' || first == '\r' || first == '\t') {
+    file.get();
+    first = file.peek();
+  }
+  if (first != '{') return std::nullopt;
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  try {
+    const obs::MetricsSnapshot snap = obs::decode_metrics_json(buf.str());
+    out << "metric snapshot decoded from " << o.trace_path << ":\n";
+    snap.print(out);
+    return 0;
+  } catch (const obs::SchemaMismatchError& e) {
+    err << "report: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "report: " << e.detail() << "\n";
+    return 2;
+  }
+}
+
 int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::ostream& err) {
   // First checkpoint before any work: an already-expired --timeout (or a
   // pre-cancelled token) trips deterministically here, not file-dependent
@@ -905,8 +1011,12 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   apply_curve_engine_flags(opts, rc);
   if (opts.command == "serve") return cmd_serve(opts, rc, out, err);
   if (opts.command == "serve-client") return cmd_serve_client(opts, rc, out, err);
+  if (opts.command == "stats") return cmd_stats(opts, out, err);
   if (opts.command == "validate") return cmd_validate(opts, rc, out, err);
   if (opts.command == "convert-trace") return cmd_convert_trace(opts, rc, out, err);
+  if (opts.command == "report") {
+    if (const auto rcode = cmd_report_metrics_json(opts, out, err)) return *rcode;
+  }
   // Only the simulator replays row-level events; every other command works
   // from the extracted curves, so columnar traces skip the AoS copy.
   const auto loaded = load(opts, rc, err, opts.command == "simulate");
@@ -969,10 +1079,14 @@ std::string usage() {
          "               (default: hardware concurrency); output is\n"
          "               bit-identical at every thread count\n"
          "  curves       alias of extract (kept for compatibility)\n"
-         "  report       <trace.csv> [extract flags]\n"
+         "  report       <trace.csv | metrics.json> [extract flags]\n"
          "               run the extraction pipeline, then pretty-print the\n"
          "               run's metric snapshot (counters, gauges, latency\n"
-         "               histograms) instead of the curve summary\n"
+         "               histograms with p50/p90/p99) instead of the curve\n"
+         "               summary. given a metrics JSON file instead of a\n"
+         "               trace (a --metrics-out file or a captured\n"
+         "               'stats --format json' reply), pretty-prints it\n"
+         "               directly; a schema_version mismatch exits 2\n"
          "  size-buffer  <trace.csv> --buffer <events>\n"
          "               minimum clock so a FIFO of that size never overflows (eq. 9/10)\n"
          "  size-delay   <trace.csv> --deadline-ms <ms>\n"
@@ -986,13 +1100,33 @@ std::string usage() {
          "               [--max-sessions N] [--max-grid N] [--max-bytes N]\n"
          "               [--admit reject|degrade|queue] [--queue-timeout D]\n"
          "               [--snapshot-every N] [--snapshot-interval D] [--timeout D]\n"
+         "               [--request-log FILE] [--slow-ms N] [--request-log-max-bytes N]\n"
+         "               [--watchdog-ms N] [--watchdog-abort]\n"
          "               run the analysis daemon: concurrent streaming sessions\n"
          "               over TCP or a Unix socket, admission control on the\n"
          "               session/grid/byte pool (reject = explicit backpressure,\n"
          "               degrade = coarsen the grid soundly, queue = hold Opens\n"
          "               until capacity or deadline), crash-safe snapshots in\n"
          "               --state-dir, recovery on restart. SIGTERM/SIGINT drain\n"
-         "               gracefully (exit 0)\n"
+         "               gracefully (exit 0).\n"
+         "               --request-log appends one JSONL record per handled\n"
+         "               frame (tenant, opcode, bytes, latency µs, admission\n"
+         "               outcome); --slow-ms keeps only records at or above\n"
+         "               that latency; the log rotates once to FILE.1 past\n"
+         "               --request-log-max-bytes (default 64 MiB, 0 = never).\n"
+         "               --watchdog-ms arms a monitor thread that counts any\n"
+         "               reactor stall longer than N ms under\n"
+         "               serve.reactor.stall, naming the frame in flight;\n"
+         "               --watchdog-abort escalates detection to abort() for\n"
+         "               a debuggable core\n"
+         "  stats        --connect <unix:/path | host:port> [--format table|json|prom]\n"
+         "               ask a live daemon for its stats document: uptime,\n"
+         "               pool occupancy, per-session and per-tenant state and\n"
+         "               the full metric snapshot (with p50/p90/p99 latency\n"
+         "               quantiles). 'table' pretty-prints the metrics,\n"
+         "               'json' prints the versioned document verbatim,\n"
+         "               'prom' emits Prometheus text exposition. a\n"
+         "               schema_version mismatch exits 2\n"
          "  serve-client <trace.csv> --connect ADDR --session ID [--tenant T]\n"
          "               [--chunk N] [--throttle-ms N] [--retry-for D]\n"
          "               [--dense N] [--growth G] [--out prefix] [--keep-state]\n"

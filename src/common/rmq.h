@@ -88,6 +88,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/obs.h"
 
 namespace wlc::common {
 
@@ -275,6 +276,10 @@ class SlidingExtrema {
       scanned += std::min(b * kBlockSize + kBlockSize, nj) - b * kBlockSize;
     }
     if (windows_scanned) *windows_scanned += scanned;
+    // Aggregate pruning-effectiveness signal: how much of the trace each
+    // index query actually touched, visible in report/stats next to the
+    // per-run extract.windows_scanned.
+    WLC_COUNTER_ADD("rmq.windows_scanned", scanned);
     return best;
   }
 
@@ -295,13 +300,27 @@ template <typename T>
 GapEngine choose_gap_engine(GapEngine requested, std::int64_t values,
                             std::int64_t max_resident_bytes,
                             std::int64_t crossover = 4096) {
-  if (requested != GapEngine::Auto) return requested;
-  if (values < crossover) return GapEngine::Oracle;
-  if (max_resident_bytes > 0 &&
-      values * static_cast<std::int64_t>(sizeof(T)) + SlidingExtrema<T>::index_bytes(values) >
-          max_resident_bytes)
-    return GapEngine::Streaming;
-  return GapEngine::SharedIndex;
+  GapEngine chosen = requested;
+  if (requested == GapEngine::Auto) {
+    if (values < crossover) {
+      chosen = GapEngine::Oracle;
+    } else if (max_resident_bytes > 0 &&
+               values * static_cast<std::int64_t>(sizeof(T)) +
+                       SlidingExtrema<T>::index_bytes(values) >
+                   max_resident_bytes) {
+      chosen = GapEngine::Streaming;
+    } else {
+      chosen = GapEngine::SharedIndex;
+    }
+  }
+  // Selection counters (requested or auto-resolved alike): which kernel the
+  // extraction stack is actually running with, live in report/stats.
+  switch (chosen) {
+    case GapEngine::Oracle: WLC_COUNTER_ADD("rmq.engine.oracle", 1); break;
+    case GapEngine::Streaming: WLC_COUNTER_ADD("rmq.engine.streaming", 1); break;
+    default: WLC_COUNTER_ADD("rmq.engine.shared", 1); break;
+  }
+  return chosen;
 }
 
 /// The budget-bounded streaming kernel: folds every (j, j+shift) gap for
@@ -320,8 +339,12 @@ void streaming_gaps(std::span<const T> values, std::span<const std::int64_t> shi
   const auto n = static_cast<std::int64_t>(values.size());
   WLC_REQUIRE(max_out.size() == shifts.size() && min_out.size() == shifts.size(),
               "streaming_gaps output spans must match the shift grid");
-  for (const std::int64_t s : shifts)
+  std::int64_t total_windows = 0;
+  for (const std::int64_t s : shifts) {
     WLC_REQUIRE(s >= 0 && s < n, "gap shift must satisfy 0 <= shift < size()");
+    total_windows += n - s;
+  }
+  WLC_COUNTER_ADD("rmq.windows_scanned", total_windows);
   std::vector<bool> seeded(shifts.size(), false);
   for (std::int64_t m = 0; m < n; ++m) {
     if (checkpoint && *checkpoint && (m & 0x1FFF) == 0) (*checkpoint)();

@@ -1,0 +1,391 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace wlc::obs {
+
+std::string SchemaMismatchError::describe(int found, int expected) {
+  std::ostringstream os;
+  os << "metrics snapshot schema_version " << found << " is not readable by this build"
+     << " (expected " << expected << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+/// map dots (and anything else outside the set) to underscores, with a
+/// "wlc_" prefix providing the namespace and a safe leading character.
+std::string prom_name(const std::string& name) {
+  std::string out = "wlc_";
+  out.reserve(name.size() + 4);
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& c : snap.counters) {
+    const std::string n = prom_name(c.name) + "_total";
+    os << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prom_name(g.name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << g.value << "\n";
+    os << "# TYPE " << n << "_max gauge\n" << n << "_max " << g.max << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prom_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.counts.size() ? h.counts[i] : 0;
+      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant JSON decode.
+
+namespace {
+
+/// Minimal owning JSON document node. Object member order is preserved but
+/// lookups are by key; duplicate keys keep the first occurrence.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Recursive-descent JSON parser, strict on syntax (a malformed document is
+/// a ParseError with line/column), liberal on nothing — tolerance lives in
+/// the decode layer above, not here.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError("invalid metrics JSON: " + why, "", line, col);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (pos_ >= text_.size() || text_[pos_] != ch)
+      fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("invalid literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      JsonValue member = parse_value();
+      if (v.find(key) == nullptr) v.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // Metric names are ASCII; encode anything else as UTF-8 so the
+          // round trip stays lossless for the characters we do emit.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("invalid number");
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t as_i64(const JsonValue& v) { return static_cast<std::int64_t>(v.number); }
+
+std::int64_t member_i64(const JsonValue& obj, std::string_view key, std::int64_t fallback) {
+  const JsonValue* m = obj.find(key);
+  return (m != nullptr && m->type == JsonValue::Type::Number) ? as_i64(*m) : fallback;
+}
+
+std::vector<std::int64_t> member_i64_array(const JsonValue& obj, std::string_view key) {
+  std::vector<std::int64_t> out;
+  const JsonValue* m = obj.find(key);
+  if (m == nullptr || m->type != JsonValue::Type::Array) return out;
+  out.reserve(m->array.size());
+  for (const JsonValue& e : m->array)
+    out.push_back(e.type == JsonValue::Type::Number ? as_i64(e) : 0);
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot decode_metrics_json(std::string_view json) {
+  JsonParser parser(json);
+  const JsonValue doc = parser.parse_document();
+  if (doc.type != JsonValue::Type::Object)
+    throw ParseError("metrics document is not a JSON object");
+
+  // A stats document nests the snapshot under "metrics"; a plain
+  // --metrics-out document *is* the snapshot. Check the envelope's
+  // schema_version first — a mismatched envelope must not be misread either.
+  const JsonValue* root = &doc;
+  const JsonValue* ver = doc.find("schema_version");
+  if (ver != nullptr && ver->type == JsonValue::Type::Number &&
+      as_i64(*ver) != MetricsSnapshot::kSchemaVersion)
+    throw SchemaMismatchError(static_cast<int>(as_i64(*ver)), MetricsSnapshot::kSchemaVersion);
+  if (const JsonValue* nested = doc.find("metrics");
+      nested != nullptr && nested->type == JsonValue::Type::Object) {
+    root = nested;
+    if (const JsonValue* nver = nested->find("schema_version");
+        nver != nullptr && nver->type == JsonValue::Type::Number &&
+        as_i64(*nver) != MetricsSnapshot::kSchemaVersion)
+      throw SchemaMismatchError(static_cast<int>(as_i64(*nver)),
+                                MetricsSnapshot::kSchemaVersion);
+  }
+
+  const JsonValue* counters = root->find("counters");
+  const JsonValue* gauges = root->find("gauges");
+  const JsonValue* histograms = root->find("histograms");
+  const auto is_object = [](const JsonValue* v) {
+    return v != nullptr && v->type == JsonValue::Type::Object;
+  };
+  if (!is_object(counters) && !is_object(gauges) && !is_object(histograms))
+    throw ParseError(
+        "document carries none of counters/gauges/histograms — not a metrics snapshot");
+
+  MetricsSnapshot snap;
+  if (is_object(counters)) {
+    for (const auto& [name, v] : counters->object) {
+      if (v.type != JsonValue::Type::Number) continue;
+      snap.counters.push_back({name, as_i64(v)});
+    }
+  }
+  if (is_object(gauges)) {
+    for (const auto& [name, v] : gauges->object) {
+      if (v.type != JsonValue::Type::Object) continue;
+      snap.gauges.push_back({name, member_i64(v, "value", 0), member_i64(v, "max", 0)});
+    }
+  }
+  if (is_object(histograms)) {
+    for (const auto& [name, v] : histograms->object) {
+      if (v.type != JsonValue::Type::Object) continue;
+      MetricsSnapshot::HistogramRow row;
+      row.name = name;
+      row.bounds = member_i64_array(v, "bounds");
+      row.counts = member_i64_array(v, "counts");
+      row.count = member_i64(v, "count", 0);
+      row.sum = member_i64(v, "sum", 0);
+      row.min = member_i64(v, "min", 0);
+      row.max = member_i64(v, "max", 0);
+      if (const JsonValue* ex = v.find("exemplar");
+          ex != nullptr && ex->type == JsonValue::Type::Object) {
+        row.exemplar_bucket = member_i64(*ex, "bucket", -1);
+        row.exemplar_span = static_cast<std::uint64_t>(member_i64(*ex, "span_id", 0));
+      }
+      snap.histograms.push_back(std::move(row));
+    }
+  }
+  return snap;
+}
+
+}  // namespace wlc::obs

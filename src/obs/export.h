@@ -1,0 +1,68 @@
+// Exporters and importers for MetricsSnapshot.
+//
+// to_prometheus() renders the classic Prometheus text exposition format
+// (version 0.0.4): dotted metric names become underscore-separated with a
+// "wlc_" prefix, counters gain the conventional "_total" suffix, gauges
+// export value and high-watermark, and histograms export cumulative
+// le-buckets plus _sum/_count — exactly what a scrape sidecar or pushgateway
+// expects, so `wlc_analyze stats --format prom` is directly scrapeable.
+//
+// decode_metrics_json() is the inverse of MetricsSnapshot::to_json(), with
+// two deliberate liberties:
+//
+//   - Tolerant field handling: unknown keys are skipped (a newer daemon may
+//     add fields; an older reader must not choke on them), and optional
+//     fields (p50/p99, exemplar) may be absent.
+//   - Envelope detection: both the plain snapshot document written by
+//     --metrics-out and the live-daemon stats document (which nests the
+//     snapshot under a top-level "metrics" key) are accepted.
+//
+// Failure modes are distinguishable on purpose: malformed JSON throws
+// wlc::ParseError, while a well-formed document declaring an incompatible
+// "schema_version" throws SchemaMismatchError — the CLI maps the latter to
+// exit 2 with a message naming both versions instead of a generic parse
+// failure.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace wlc::obs {
+
+/// A well-formed metrics document whose schema_version this build cannot
+/// read. found == 0 means the field was missing entirely (pre-versioning
+/// producer).
+class SchemaMismatchError : public std::runtime_error, public Error {
+ public:
+  SchemaMismatchError(int found, int expected, const char* file = "", int line = 0)
+      : std::runtime_error(format_what("SchemaMismatchError", describe(found, expected), "",
+                                       file, line)),
+        Error(describe(found, expected), "", file, line),
+        found_(found),
+        expected_(expected) {}
+
+  const char* kind() const noexcept override { return "SchemaMismatchError"; }
+  int found() const noexcept { return found_; }
+  int expected() const noexcept { return expected_; }
+
+ private:
+  static std::string describe(int found, int expected);
+
+  int found_;
+  int expected_;
+};
+
+/// Prometheus text exposition (0.0.4) of a snapshot. Every sample line is
+/// prefixed "wlc_" and dots in instrument names become underscores.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Parses a snapshot back out of its JSON form (either the plain
+/// --metrics-out document or a stats document carrying the snapshot under
+/// "metrics"). Throws wlc::ParseError on malformed JSON or a non-snapshot
+/// document, SchemaMismatchError on an incompatible schema_version.
+MetricsSnapshot decode_metrics_json(std::string_view json);
+
+}  // namespace wlc::obs

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "obs/span.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -70,6 +72,12 @@ struct HistogramImpl {
   std::string name;
   std::size_t id = 0;
   std::vector<std::int64_t> bounds;
+  // Exemplar slot: the slowest bucket observed so far and the span id active
+  // at the last sample that landed there. Process-wide (not sharded): an
+  // exemplar is a pointer to one interesting event, not an aggregate, so a
+  // benign last-writer-wins race between threads is acceptable.
+  std::atomic<std::int64_t> exemplar_bucket{-1};
+  std::atomic<std::uint64_t> exemplar_span{0};
   std::vector<std::pair<ThreadState*, std::unique_ptr<HistCell>>> cells;
   // Folded shards of exited threads:
   std::vector<std::int64_t> retired_buckets;
@@ -198,6 +206,13 @@ void Histogram::observe(std::int64_t value) {
   cell.sum.fetch_add(value, std::memory_order_relaxed);
   bump_min(cell.min, value);
   bump_max(cell.max, value);
+  // Exemplar: keep the span id of the last sample in the slowest bucket seen
+  // so far. >= (not >) so repeated samples in the top bucket refresh the id.
+  const auto b = static_cast<std::int64_t>(bucket);
+  if (b >= impl_->exemplar_bucket.load(std::memory_order_relaxed)) {
+    impl_->exemplar_bucket.store(b, std::memory_order_relaxed);
+    impl_->exemplar_span.store(current_span_id(), std::memory_order_relaxed);
+  }
 }
 
 Registry::Registry() : impl_(&detail::impl()) {}
@@ -275,6 +290,8 @@ MetricsSnapshot Registry::snapshot() const {
     }
     row.min = row.count > 0 ? mn : 0;
     row.max = row.count > 0 ? mx : 0;
+    row.exemplar_bucket = h->exemplar_bucket.load(std::memory_order_relaxed);
+    row.exemplar_span = h->exemplar_span.load(std::memory_order_relaxed);
     snap.histograms.push_back(std::move(row));
   }
   return snap;
@@ -295,6 +312,8 @@ void Registry::reset_for_testing() {
     h->retired_count = h->retired_sum = 0;
     h->retired_min = kMinInit;
     h->retired_max = kMaxInit;
+    h->exemplar_bucket.store(-1, std::memory_order_relaxed);
+    h->exemplar_span.store(0, std::memory_order_relaxed);
     for (auto& [owner, cell] : h->cells) {
       for (auto& b : cell->buckets) b.store(0, std::memory_order_relaxed);
       cell->count.store(0, std::memory_order_relaxed);
@@ -345,11 +364,47 @@ void json_int_array(std::ostringstream& os, const std::vector<std::int64_t>& v) 
   os << ']';
 }
 
+/// Shortest round-trippable decimal for a double ("%.17g" is exact but ugly;
+/// quantiles are estimates, so 10 significant digits is plenty and stable).
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
 }  // namespace
+
+double MetricsSnapshot::HistogramRow::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the target sample along the sorted-sample axis.
+  const double target = q * static_cast<double>(count);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t c = counts[i];
+    if (c == 0) continue;
+    const std::int64_t prev = cum;
+    cum += c;
+    if (static_cast<double>(cum) < target) continue;
+    // The rank lands in bucket i. Bucket i spans (bounds[i-1], bounds[i]];
+    // the first bucket starts at 0 and the overflow bucket ends at the
+    // observed max — interpolate linearly inside that span.
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = i < bounds.size() ? static_cast<double>(bounds[i])
+                                           : static_cast<double>(max);
+    const double frac = static_cast<double>(target - static_cast<double>(prev)) /
+                        static_cast<double>(c);
+    const double est = lower + (upper - lower) * frac;
+    // Clamp with the exact observed extrema so quantile(0) == min and
+    // quantile(1) == max regardless of bucket edges.
+    return std::clamp(est, static_cast<double>(min), static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
 
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"counters\": {";
+  os << "{\n  \"schema_version\": " << kSchemaVersion << ",\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i)
     os << (i ? "," : "") << "\n    \"" << json_escape(counters[i].name)
        << "\": " << counters[i].value;
@@ -365,7 +420,14 @@ std::string MetricsSnapshot::to_json() const {
     os << ", \"counts\": ";
     json_int_array(os, h.counts);
     os << ", \"count\": " << h.count << ", \"sum\": " << h.sum << ", \"min\": " << h.min
-       << ", \"max\": " << h.max << "}";
+       << ", \"max\": " << h.max;
+    if (h.count > 0)
+      os << ", \"p50\": " << json_double(h.quantile(0.50)) << ", \"p90\": "
+         << json_double(h.quantile(0.90)) << ", \"p99\": " << json_double(h.quantile(0.99));
+    if (h.exemplar_bucket >= 0)
+      os << ", \"exemplar\": {\"bucket\": " << h.exemplar_bucket << ", \"span_id\": "
+         << h.exemplar_span << "}";
+    os << "}";
   }
   os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
   return os.str();
@@ -388,7 +450,9 @@ void MetricsSnapshot::print(std::ostream& os) const {
   for (const auto& r : histograms) {
     os << "  " << pad(r.name) << "count " << r.count << ", sum " << r.sum;
     if (r.count > 0)
-      os << ", mean " << (r.sum / r.count) << ", min " << r.min << ", max " << r.max;
+      os << ", mean " << (r.sum / r.count) << ", min " << r.min << ", p50 "
+         << json_double(r.quantile(0.50)) << ", p90 " << json_double(r.quantile(0.90))
+         << ", p99 " << json_double(r.quantile(0.99)) << ", max " << r.max;
     os << "\n";
   }
 }

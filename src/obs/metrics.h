@@ -110,14 +110,33 @@ struct MetricsSnapshot {
     std::int64_t sum = 0;
     std::int64_t min = 0;  ///< 0 when count == 0
     std::int64_t max = 0;  ///< 0 when count == 0
+    /// Exemplar: the slowest bucket any sample has landed in so far, and the
+    /// trace span id (obs::current_span_id) active at the last such sample.
+    /// Links a latency outlier straight to its Chrome-trace span. -1 / 0
+    /// when no sample (or no span) has been seen.
+    std::int64_t exemplar_bucket = -1;
+    std::uint64_t exemplar_span = 0;
+
+    /// Interpolated quantile estimate, q in [0, 1]. Finds the bucket where
+    /// the cumulative count crosses q*count and interpolates linearly inside
+    /// it; the first bucket's lower edge is 0, the overflow bucket's upper
+    /// edge is the observed max. The result is clamped to [min, max], so
+    /// quantile(0) == min and quantile(1) == max exactly. Returns 0 when the
+    /// histogram is empty.
+    double quantile(double q) const;
   };
+
+  /// Version of the JSON document layout; bumped on incompatible changes so
+  /// decoders (report/stats) can reject rather than misread.
+  static constexpr int kSchemaVersion = 1;
 
   std::vector<CounterRow> counters;
   std::vector<GaugeRow> gauges;
   std::vector<HistogramRow> histograms;
 
-  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
-  /// {...}} — stable key order (name-sorted), parseable by json.tool.
+  /// One JSON object: {"schema_version": N, "counters": {...}, "gauges":
+  /// {...}, "histograms": {...}} — stable key order (name-sorted),
+  /// parseable by json.tool.
   std::string to_json() const;
 
   /// Human-readable aligned table (what `wlc_analyze report` prints).

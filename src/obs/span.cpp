@@ -17,6 +17,8 @@ namespace {
 constexpr std::size_t kRingCapacity = 16384;  ///< spans per thread
 
 std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local std::uint64_t t_current_span_id = 0;
 
 std::int64_t now_ns() {
   // Epoch fixed at the first clock use so all timestamps are small positive
@@ -31,6 +33,7 @@ struct SpanEvent {
   const char* name;
   std::int64_t ts_ns;
   std::int64_t dur_ns;
+  std::uint64_t id;
 };
 
 /// One thread's span ring. `mu` is per-ring and virtually uncontended: only
@@ -126,7 +129,7 @@ void write_event(std::ostream& os, bool& first, std::uint32_t tid, const SpanEve
   write_us(os, e.ts_ns);
   os << ",\"dur\":";
   write_us(os, e.dur_ns);
-  os << ",\"pid\":1,\"tid\":" << tid << "}";
+  os << ",\"pid\":1,\"tid\":" << tid << ",\"args\":{\"span_id\":" << e.id << "}}";
 }
 
 void write_thread_meta(std::ostream& os, bool& first, std::uint32_t tid) {
@@ -144,13 +147,27 @@ bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
 std::int64_t now_us() { return now_ns() / 1000; }
 
 ScopedSpan::ScopedSpan(const char* name)
-    : name_(name), begin_ns_(0), active_(g_tracing.load(std::memory_order_relaxed)) {
-  if (active_) begin_ns_ = now_ns();
+    : name_(name),
+      begin_ns_(0),
+      id_(0),
+      prev_id_(0),
+      active_(g_tracing.load(std::memory_order_relaxed)) {
+  if (active_) {
+    begin_ns_ = now_ns();
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    prev_id_ = t_current_span_id;
+    t_current_span_id = id_;
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (active_) this_ring().record({name_, begin_ns_, now_ns() - begin_ns_});
+  if (active_) {
+    t_current_span_id = prev_id_;
+    this_ring().record({name_, begin_ns_, now_ns() - begin_ns_, id_});
+  }
 }
+
+std::uint64_t current_span_id() { return t_current_span_id; }
 
 void write_chrome_trace(std::ostream& os) {
   TracerState& t = tracer();

@@ -33,9 +33,17 @@ bool tracing_enabled();
 /// all observability timestamps are on one axis.
 std::int64_t now_us();
 
+/// Id of the innermost span active on the current thread, 0 if none (or
+/// tracing is off). Span ids are process-unique and appear in the Chrome
+/// trace as args.span_id, so a histogram exemplar carrying this id points
+/// straight at its span in the trace file.
+std::uint64_t current_span_id();
+
 /// RAII span: records [construction, destruction) on the current thread
 /// when tracing is enabled. Use through WLC_TRACE_SPAN (obs.h) so the whole
-/// statement compiles out under WLC_OBS_DISABLE.
+/// statement compiles out under WLC_OBS_DISABLE. Each active span draws a
+/// process-unique id and installs itself as current_span_id() for its
+/// extent (restoring the enclosing span's id on destruction).
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -47,6 +55,8 @@ class ScopedSpan {
  private:
   const char* name_;
   std::int64_t begin_ns_;
+  std::uint64_t id_;
+  std::uint64_t prev_id_;
   bool active_;
 };
 

@@ -14,11 +14,13 @@ enum class MsgType : std::uint8_t {
   Query = 3,
   Close = 4,
   Ping = 5,
+  Stats = 6,
   OpenOk = 64,
   PushOk = 65,
   Curves = 66,
   CloseOk = 67,
   Pong = 68,
+  StatsOk = 69,
   Rejected = 80,
   Err = 81,
 };
@@ -92,9 +94,11 @@ std::string encode_request(const Request& req) {
           w.u8(static_cast<std::uint8_t>(MsgType::Close));
           w.str(r.session_id);
           w.u8(r.discard_snapshot ? 1 : 0);
-        } else {
-          static_assert(std::is_same_v<T, PingRequest>);
+        } else if constexpr (std::is_same_v<T, PingRequest>) {
           w.u8(static_cast<std::uint8_t>(MsgType::Ping));
+        } else {
+          static_assert(std::is_same_v<T, StatsRequest>);
+          w.u8(static_cast<std::uint8_t>(MsgType::Stats));
         }
       },
       req);
@@ -138,6 +142,9 @@ std::string encode_reply(const Reply& rep) {
           w.i64(r.max_resident_bytes);
           w.i64(r.queued_opens);
           w.i64(r.recovered_sessions);
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::StatsOk));
+          w.str(r.json);
         } else if constexpr (std::is_same_v<T, RejectReply>) {
           w.u8(static_cast<std::uint8_t>(MsgType::Rejected));
           w.u8(static_cast<std::uint8_t>(r.code));
@@ -205,6 +212,10 @@ Request decode_request(std::string_view payload) {
       r.expect_done();
       return PingRequest{};
     }
+    case MsgType::Stats: {
+      r.expect_done();
+      return StatsRequest{};
+    }
     default:
       throw ParseError("unknown request type " + std::to_string(static_cast<unsigned>(type)),
                        "", 0, 0, __FILE__, __LINE__);
@@ -259,6 +270,12 @@ Reply decode_reply(std::string_view payload) {
       p.max_resident_bytes = r.i64();
       p.queued_opens = r.i64();
       p.recovered_sessions = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::StatsOk: {
+      StatsReply p;
+      p.json = r.str();
       r.expect_done();
       return p;
     }

@@ -17,6 +17,15 @@
 //   Query {session_id}            → Curves {ready, upper, lower, health}
 //   Close {session_id, discard}   → CloseOk {events_seen}
 //   Ping {}                       → Pong {pool usage & limits}
+//   Stats {}                      → StatsReply {versioned JSON document}
+//
+// Stats is the live-introspection frame: the reply carries one JSON
+// document ({"schema_version": 1, "uptime_s", "pool", "sessions",
+// "tenants", "metrics"}) — per-session state, pool axis occupancy and the
+// full metrics snapshot with interpolated latency quantiles. JSON rather
+// than wire structs on purpose: the document grows additively without a
+// protocol-version bump, and obs::decode_metrics_json() gives tooling a
+// tolerant, schema-checked reader.
 //
 // Open doubles as resume: opening an id the daemon already knows (live, or
 // recovered from a snapshot) replies with the session's current
@@ -74,7 +83,10 @@ struct CloseRequest {
 
 struct PingRequest {};
 
-using Request = std::variant<OpenRequest, PushRequest, QueryRequest, CloseRequest, PingRequest>;
+struct StatsRequest {};
+
+using Request = std::variant<OpenRequest, PushRequest, QueryRequest, CloseRequest, PingRequest,
+                             StatsRequest>;
 
 // ---- replies ----
 
@@ -136,13 +148,20 @@ struct RejectReply {
   std::int64_t retry_after_ms = 0;  ///< 0 = retrying will not help
 };
 
+/// Live-introspection snapshot: one JSON document (see the Stats note in
+/// the header comment). Framed as an opaque string so the document can grow
+/// without touching the wire format.
+struct StatsReply {
+  std::string json;
+};
+
 /// Protocol-level fault (undecodable payload on an intact frame).
 struct ErrReply {
   std::string message;
 };
 
-using Reply =
-    std::variant<OpenReply, PushReply, CurveReply, CloseReply, PongReply, RejectReply, ErrReply>;
+using Reply = std::variant<OpenReply, PushReply, CurveReply, CloseReply, PongReply, StatsReply,
+                           RejectReply, ErrReply>;
 
 // ---- framing ----
 

@@ -1,0 +1,74 @@
+// Structured request log of the serve reactor: one JSONL record per handled
+// frame — who (tenant, session), what (opcode, payload bytes), how it went
+// (admission outcome, degradation) and how long it took (latency µs).
+//
+// Write discipline. Records are built fully in memory (newline included)
+// and appended with a single write(2) on an O_APPEND descriptor. A record
+// therefore either reaches the file whole or not at all under kill -9 — the
+// soak harness asserts exactly that (last line absent or valid JSON). This
+// is the append-side analogue of common::atomic_write_file's
+// temp+fsync+rename discipline: that one makes whole *files* atomic, this
+// makes individual *records* atomic on a file that must survive the writer.
+//
+// Rotation. When a record would push the file past max_bytes, the current
+// file is renamed to "<path>.1" (replacing any previous rotation) and a
+// fresh file is opened — bounded disk, and the tail of history survives one
+// rotation for post-mortems.
+//
+// Threshold mode. slow_us > 0 keeps only records at or above the threshold
+// — the "log only outliers" soak configuration, cheap enough to leave on in
+// production.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace wlc::serve {
+
+struct RequestLogConfig {
+  std::string path;                        ///< empty = logging disabled
+  std::int64_t slow_us = 0;                ///< 0 = every frame; else latency floor
+  std::int64_t max_bytes = 64ll << 20;     ///< rotate to <path>.1 past this size
+};
+
+class RequestLog {
+ public:
+  RequestLog() = default;
+  /// Opens (creating if needed) cfg.path for appending. I/O problems are
+  /// reported to `diag` (may be null) and disable the log — a broken log
+  /// never takes the daemon down.
+  RequestLog(RequestLogConfig cfg, std::ostream* diag);
+  ~RequestLog();
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  bool enabled() const { return fd_ >= 0; }
+
+  struct Record {
+    std::int64_t ts_us = 0;       ///< wall clock, microseconds since the epoch
+    std::string session;          ///< empty for Ping/Stats and undecodable frames
+    std::string tenant;           ///< empty when unknown
+    const char* opcode = "";      ///< "open", "push", ..., "invalid"
+    std::int64_t bytes = 0;       ///< frame payload size
+    std::int64_t latency_us = 0;  ///< decode + handle, microseconds
+    std::string outcome;          ///< "ok", "queued", "rejected:<code>", "err"
+    bool degraded = false;        ///< admission coarsened the grid
+  };
+
+  /// Appends one record (subject to the slow_us threshold). One write(2)
+  /// per record; never throws.
+  void append(const Record& rec);
+
+ private:
+  void rotate();
+  void report(const std::string& what);
+
+  RequestLogConfig cfg_;
+  std::ostream* diag_ = nullptr;
+  int fd_ = -1;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace wlc::serve

@@ -4,11 +4,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.h"
@@ -31,41 +39,271 @@ struct Connection {
   std::vector<std::uint64_t> queued_cookies;  ///< Opens parked in the admission queue
 };
 
+const char* opcode_of(const Request& req) {
+  return std::visit(
+      [](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, OpenRequest>) return "open";
+        else if constexpr (std::is_same_v<T, PushRequest>) return "push";
+        else if constexpr (std::is_same_v<T, QueryRequest>) return "query";
+        else if constexpr (std::is_same_v<T, CloseRequest>) return "close";
+        else if constexpr (std::is_same_v<T, PingRequest>) return "ping";
+        else return "stats";
+      },
+      req);
+}
+
+std::string session_of(const Request& req) {
+  if (const auto* open = std::get_if<OpenRequest>(&req)) return open->session_id;
+  if (const auto* push = std::get_if<PushRequest>(&req)) return push->session_id;
+  if (const auto* query = std::get_if<QueryRequest>(&req)) return query->session_id;
+  if (const auto* close = std::get_if<CloseRequest>(&req)) return close->session_id;
+  return {};
+}
+
+/// Admission outcome label for the request log ("ok" / "rejected:<axis>").
+std::string outcome_of(const Reply& reply) {
+  if (const auto* rej = std::get_if<RejectReply>(&reply))
+    return std::string("rejected:") + to_string(rej->code);
+  if (std::holds_alternative<ErrReply>(reply)) return "err";
+  return "ok";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monitor thread detecting a stalled reactor: the reactor stamps
+/// heartbeat_us every poll iteration; a heartbeat older than the threshold
+/// means some callback (or a pathological frame) is holding the loop. Each
+/// stalled iteration is counted once (deduped on the heartbeat value), with
+/// the offending activity — "opcode=push session=x" — in the log line.
+struct Watchdog {
+  std::atomic<std::int64_t> heartbeat_us{0};
+  std::atomic<bool> stop{false};
+  std::mutex mu;  ///< guards activity and the shared log stream
+  std::condition_variable cv;
+  std::string activity;
+  std::thread monitor;
+
+  void set_activity(const char* opcode, const std::string& session) {
+    std::lock_guard<std::mutex> lock(mu);
+    activity = std::string("opcode=") + opcode;
+    if (!session.empty()) activity += " session=" + session;
+  }
+
+  void clear_activity() {
+    std::lock_guard<std::mutex> lock(mu);
+    activity.clear();
+  }
+
+  void start(std::chrono::milliseconds threshold, bool abort_on_stall, std::ostream& log) {
+    heartbeat_us.store(obs::now_us(), std::memory_order_relaxed);
+    monitor = std::thread([this, threshold, abort_on_stall, &log] {
+      const std::int64_t threshold_us = threshold.count() * 1000;
+      const auto interval =
+          std::max<std::chrono::milliseconds>(threshold / 4, std::chrono::milliseconds(1));
+      std::int64_t last_counted = -1;
+      std::unique_lock<std::mutex> lock(mu);
+      while (!stop.load(std::memory_order_relaxed)) {
+        cv.wait_for(lock, interval);
+        if (stop.load(std::memory_order_relaxed)) break;
+        const std::int64_t hb = heartbeat_us.load(std::memory_order_relaxed);
+        const std::int64_t age_us = obs::now_us() - hb;
+        if (age_us < threshold_us || hb == last_counted) continue;
+        last_counted = hb;
+        WLC_COUNTER_ADD("serve.reactor.stall", 1);
+        log << "wlc_serve: watchdog: reactor stalled " << age_us / 1000 << " ms ("
+            << (activity.empty() ? "idle/io, no frame in flight" : activity) << ")\n"
+            << std::flush;
+        if (abort_on_stall) std::abort();
+      }
+    });
+  }
+
+  void join() {
+    if (!monitor.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop.store(true, std::memory_order_relaxed);
+    }
+    cv.notify_all();
+    monitor.join();
+  }
+};
+
 }  // namespace
 
 struct Server::Impl {
+  Server& srv;
+  RequestLog reqlog;
+  Watchdog watchdog;
   std::map<int, Connection> conns;
   std::map<std::uint64_t, int> pending;  ///< queue cookie → connection fd
   SessionManager::Clock::time_point last_snapshot;
 
+  explicit Impl(Server& server)
+      : srv(server), reqlog(server.cfg_.request_log, &server.log_) {}
+
   void send(Connection& c, const Reply& reply) { c.out += encode_reply(reply); }
 
+  /// The versioned live-introspection document a Stats frame answers with.
+  /// The metrics snapshot (with its quantiles and exemplars) is embedded
+  /// verbatim under "metrics"; everything else is reactor/session state the
+  /// registry does not know.
+  std::string build_stats_json() const {
+    const PongReply pool = srv.sessions_.stats();
+    const auto rows = srv.sessions_.describe_sessions();
+    const auto uptime_s = std::chrono::duration_cast<std::chrono::seconds>(
+                              std::chrono::steady_clock::now() - srv.started_at_)
+                              .count();
+
+    // Per-tenant rollup over live sessions (the cumulative per-tenant
+    // counters live in metrics as serve.tenant.*).
+    struct Tally {
+      std::int64_t sessions = 0;
+      std::int64_t events_seen = 0;
+      std::int64_t quarantined = 0;
+      std::int64_t grid_points = 0;
+      std::int64_t bytes_cost = 0;
+    };
+    std::map<std::string, Tally> tenants;
+    for (const auto& r : rows) {
+      Tally& t = tenants[r.tenant];
+      ++t.sessions;
+      t.events_seen += r.events_seen;
+      t.quarantined += r.quarantined;
+      t.grid_points += r.grid_points;
+      t.bytes_cost += r.bytes_cost;
+    }
+
+    std::ostringstream os;
+    os << "{\n  \"schema_version\": " << obs::MetricsSnapshot::kSchemaVersion << ",\n";
+    os << "  \"uptime_s\": " << uptime_s << ",\n";
+    os << "  \"pool\": {\"live_sessions\": " << pool.live_sessions
+       << ", \"max_sessions\": " << pool.max_sessions
+       << ", \"grid_leased\": " << pool.grid_leased
+       << ", \"max_grid_points\": " << pool.max_grid_points
+       << ", \"bytes_leased\": " << pool.bytes_leased
+       << ", \"max_resident_bytes\": " << pool.max_resident_bytes
+       << ", \"queued_opens\": " << pool.queued_opens
+       << ", \"recovered_sessions\": " << pool.recovered_sessions << "},\n";
+    os << "  \"sessions\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      os << (i ? "," : "") << "\n    {\"id\": \"" << json_escape(r.id) << "\", \"tenant\": \""
+         << json_escape(r.tenant) << "\", \"grid_points\": " << r.grid_points
+         << ", \"bytes_cost\": " << r.bytes_cost << ", \"events_seen\": " << r.events_seen
+         << ", \"quarantined\": " << r.quarantined
+         << ", \"ready\": " << (r.ready ? "true" : "false")
+         << ", \"degraded\": " << (r.degraded ? "true" : "false")
+         << ", \"dirty\": " << (r.dirty ? "true" : "false") << "}";
+    }
+    os << (rows.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"tenants\": {";
+    bool first = true;
+    for (const auto& [tenant, t] : tenants) {
+      os << (first ? "" : ",") << "\n    \"" << json_escape(tenant)
+         << "\": {\"sessions\": " << t.sessions << ", \"events_seen\": " << t.events_seen
+         << ", \"quarantined\": " << t.quarantined << ", \"grid_points\": " << t.grid_points
+         << ", \"bytes_cost\": " << t.bytes_cost << "}";
+      first = false;
+    }
+    os << (tenants.empty() ? "" : "\n  ") << "},\n";
+    std::string metrics = obs::registry().snapshot().to_json();
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    os << "  \"metrics\": " << metrics << "\n}\n";
+    return os.str();
+  }
+
   void handle_frame(SessionManager& sessions, Connection& c, std::string_view payload) {
+    const std::int64_t t0 = obs::now_us();
+    RequestLog::Record rec;
+    rec.bytes = static_cast<std::int64_t>(payload.size());
+
     Request req;
     try {
       req = decode_request(payload);
     } catch (const wlc::Error& e) {
       WLC_COUNTER_ADD("serve.protocol_errors", 1);
       send(c, ErrReply{std::string("malformed request: ") + e.message()});
+      rec.opcode = "invalid";
+      rec.outcome = "err";
+      finish_record(rec, t0);
       return;
     }
+
+    rec.opcode = opcode_of(req);
+    rec.session = session_of(req);
+    watchdog.set_activity(rec.opcode, rec.session);
+    if (srv.cfg_.test_frame_hook) srv.cfg_.test_frame_hook(req);
+
     if (const auto* open = std::get_if<OpenRequest>(&req)) {
+      rec.tenant = open->tenant;
       auto outcome = sessions.open(*open, SessionManager::Clock::now());
       if (outcome.kind == SessionManager::OpenOutcome::Kind::Queued) {
         pending[outcome.cookie] = c.fd;
         c.queued_cookies.push_back(outcome.cookie);
+        rec.outcome = "queued";
       } else {
+        if (const auto* ok = std::get_if<OpenReply>(&outcome.reply))
+          rec.degraded = ok->degraded;
+        rec.outcome = outcome_of(outcome.reply);
         send(c, outcome.reply);
       }
-    } else if (const auto* push = std::get_if<PushRequest>(&req)) {
-      send(c, sessions.push(*push));
-    } else if (const auto* query = std::get_if<QueryRequest>(&req)) {
-      send(c, sessions.query(*query));
-    } else if (const auto* close = std::get_if<CloseRequest>(&req)) {
-      send(c, sessions.close(*close));
     } else {
-      send(c, sessions.stats());
+      if (!rec.session.empty()) rec.tenant = sessions.tenant_of(rec.session);
+      Reply reply;
+      if (const auto* push = std::get_if<PushRequest>(&req)) {
+        reply = sessions.push(*push);
+      } else if (const auto* query = std::get_if<QueryRequest>(&req)) {
+        reply = sessions.query(*query);
+      } else if (const auto* close = std::get_if<CloseRequest>(&req)) {
+        reply = sessions.close(*close);
+      } else if (std::holds_alternative<StatsRequest>(req)) {
+        reply = StatsReply{build_stats_json()};
+      } else {
+        reply = sessions.stats();
+      }
+      rec.outcome = outcome_of(reply);
+      send(c, reply);
     }
+
+    watchdog.clear_activity();
+    finish_record(rec, t0);
+  }
+
+  void finish_record(RequestLog::Record& rec, std::int64_t t0) {
+    rec.latency_us = obs::now_us() - t0;
+    WLC_HISTOGRAM_OBSERVE("serve.frame_us", rec.latency_us);
+    if (!reqlog.enabled()) return;
+    rec.ts_us = wall_clock_us();
+    reqlog.append(rec);
   }
 
   /// Extracts and handles every complete frame buffered on `c`. Returns
@@ -131,6 +369,7 @@ Server::~Server() {
 void Server::start() {
   listen_fd_ = listen_socket(addr_);
   set_nonblocking(listen_fd_);
+  started_at_ = std::chrono::steady_clock::now();
   const std::size_t recovered = sessions_.recover();
   log_ << "wlc_serve: listening on " << addr_.to_string();
   if (!cfg_.sessions.state_dir.empty())
@@ -140,14 +379,27 @@ void Server::start() {
 }
 
 int Server::run(const runtime::RunPolicy& policy) {
-  Impl impl;
+  Impl impl(*this);
   impl.last_snapshot = SessionManager::Clock::now();
+
+  // With a watchdog armed, the poll timeout must stay well under the stall
+  // threshold or an idle reactor's blocking poll would read as a stall.
+  int poll_timeout_ms = cfg_.poll_timeout_ms;
+  if (cfg_.watchdog.count() > 0) {
+    poll_timeout_ms =
+        std::min<int>(poll_timeout_ms, std::max<int>(1, static_cast<int>(cfg_.watchdog.count() / 2)));
+    impl.watchdog.start(cfg_.watchdog, cfg_.watchdog_abort, log_);
+  }
 
   const auto stopping = [&] {
     return policy.token.cancelled() || policy.deadline.expired();
   };
 
   while (!stopping()) {
+    const std::int64_t hb = obs::now_us();
+    impl.watchdog.heartbeat_us.store(hb, std::memory_order_relaxed);
+    WLC_GAUGE_SET("serve.reactor.heartbeat_us", hb);
+
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     for (auto& [fd, c] : impl.conns) {
@@ -156,8 +408,9 @@ int Server::run(const runtime::RunPolicy& policy) {
       if (!c.out.empty()) events |= POLLOUT;
       fds.push_back({fd, events, 0});
     }
-    const int n = ::poll(fds.data(), fds.size(), cfg_.poll_timeout_ms);
+    const int n = ::poll(fds.data(), fds.size(), poll_timeout_ms);
     if (n < 0 && errno != EINTR) {
+      std::lock_guard<std::mutex> lock(impl.watchdog.mu);
       log_ << "wlc_serve: poll failed: " << std::strerror(errno) << "\n";
       break;
     }
@@ -228,6 +481,9 @@ int Server::run(const runtime::RunPolicy& policy) {
       impl.last_snapshot = now;
     }
   }
+
+  // The monitor must not read the drain below as one long stall.
+  impl.watchdog.join();
 
   // Graceful drain: no new reads or accepts; answer what is already
   // buffered, fail the parked Opens explicitly, flush replies briefly,

@@ -20,14 +20,24 @@
 //    SIGKILL loses at most the events since the last snapshot, which the
 //    resume protocol re-sends (see protocol.h) — recovered analyses are
 //    bit-identical to uninterrupted ones.
+//  * The reactor is observable while it runs. A Stats frame answers with a
+//    versioned JSON document (uptime, pool occupancy, per-session state,
+//    per-tenant rollups, full metrics snapshot with latency quantiles); a
+//    --request-log writes one torn-proof JSONL record per handled frame;
+//    and a watchdog thread detects a stalled callback (a heartbeat gauge is
+//    stamped every poll iteration), counts it under serve.reactor.stall
+//    naming the offending session, and can optionally SIGABRT for a
+//    debuggable core in soak runs.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "runtime/runtime.h"
 #include "serve/net.h"
+#include "serve/request_log.h"
 #include "serve/session.h"
 
 namespace wlc::serve {
@@ -37,6 +47,17 @@ struct ServerConfig {
   SessionConfig sessions;    ///< pool limits, admission policy, state dir
   std::chrono::milliseconds snapshot_interval{2000};  ///< timer-driven snapshot_all
   int poll_timeout_ms = 50;  ///< reactor tick (stop-token poll granularity)
+  RequestLogConfig request_log;  ///< per-frame JSONL log; path empty = off
+  /// Watchdog threshold: a frame callback (or anything else holding the
+  /// reactor) running longer than this is counted as a stall. 0 disables
+  /// the monitor thread entirely.
+  std::chrono::milliseconds watchdog{0};
+  /// Stall response escalation: abort() on detection for a debuggable core
+  /// (soak runs). Off by default — production counts and carries on.
+  bool watchdog_abort = false;
+  /// Test-only: invoked with every decoded request before dispatch, on the
+  /// reactor thread. The watchdog tests inject a sleep here.
+  std::function<void(const Request&)> test_frame_hook;
 };
 
 class Server {
@@ -69,6 +90,7 @@ class Server {
   std::ostream& log_;
   SessionManager sessions_;
   int listen_fd_ = -1;
+  std::chrono::steady_clock::time_point started_at_{};  ///< set by start(); uptime origin
 };
 
 }  // namespace wlc::serve

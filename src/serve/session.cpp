@@ -313,6 +313,33 @@ PongReply SessionManager::stats() const {
   return p;
 }
 
+std::vector<SessionManager::SessionInfo> SessionManager::describe_sessions() const {
+  std::vector<SessionInfo> rows;
+  rows.reserve(sessions_.size());
+  // sessions_ is an ordered map, so the rows come out id-sorted — the Stats
+  // document is stable across polls of an unchanged daemon.
+  for (const auto& [id, s] : sessions_) {
+    SessionInfo row;
+    row.id = id;
+    row.tenant = s->tenant;
+    row.grid_points = s->grid_cost;
+    row.bytes_cost = s->bytes_cost;
+    const auto health = s->extractor.health();
+    row.events_seen = s->extractor.events_seen() + health.quarantined;
+    row.quarantined = health.quarantined;
+    row.ready = s->extractor.ready();
+    row.degraded = s->degraded;
+    row.dirty = s->dirty;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string SessionManager::tenant_of(const std::string& session_id) const {
+  const Session* s = find(session_id);
+  return s != nullptr ? s->tenant : std::string();
+}
+
 std::vector<SessionManager::QueueResolution> SessionManager::pump_queue(Clock::time_point now) {
   std::vector<QueueResolution> resolved;
   // Strict FIFO: once the head does not fit, later entries only get their

@@ -114,6 +114,24 @@ class SessionManager {
   std::size_t live_sessions() const { return sessions_.size(); }
   std::int64_t queued_opens() const { return static_cast<std::int64_t>(queue_.size()); }
 
+  /// One row per live session — what the Stats introspection frame reports.
+  struct SessionInfo {
+    std::string id;
+    std::string tenant;
+    std::int64_t grid_points = 0;   ///< tracked window sizes (pool grid cost)
+    std::int64_t bytes_cost = 0;    ///< resident-byte lease
+    EventCount events_seen = 0;     ///< stream position (accepted + quarantined)
+    EventCount quarantined = 0;
+    bool ready = false;             ///< smallest window has closed
+    bool degraded = false;          ///< grid was coarsened at admission
+    bool dirty = false;             ///< events accepted since the last snapshot
+  };
+  std::vector<SessionInfo> describe_sessions() const;
+
+  /// Tenant of a live session, empty when the id is unknown. Request-log
+  /// enrichment for frames that carry only a session id.
+  std::string tenant_of(const std::string& session_id) const;
+
  private:
   struct Session {
     std::string id;

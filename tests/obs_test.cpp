@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 
 namespace wlc::obs {
@@ -89,6 +91,80 @@ TEST(ObsHistogram, BucketsBoundsAndStats) {
   EXPECT_EQ(row.max, 500);
 }
 
+TEST(ObsHistogram, QuantileInterpolationGolden) {
+  // Hand-computed linear interpolation: bucket i spans (bounds[i-1],
+  // bounds[i]], the target rank is q*count, and the estimate interpolates
+  // inside the crossing bucket.
+  registry().reset_for_testing();
+  const std::int64_t bounds[] = {10, 100};
+  Histogram h = registry().histogram("test.quant", bounds);
+  for (std::int64_t v : {2, 4, 6, 8, 10}) h.observe(v);        // bucket 0
+  for (std::int64_t v : {20, 40, 60, 80, 100}) h.observe(v);   // bucket 1
+  const MetricsSnapshot snap = registry().snapshot();
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& r) { return r.name == "test.quant"; });
+  ASSERT_NE(it, snap.histograms.end());
+  // p50: rank 5 falls exactly at the end of bucket 0 → its upper edge.
+  EXPECT_DOUBLE_EQ(it->quantile(0.50), 10.0);
+  // p90: rank 9 is 4/5 into bucket 1 → 10 + 0.8 * (100 - 10) = 82.
+  EXPECT_DOUBLE_EQ(it->quantile(0.90), 82.0);
+  // The extremes clamp to the observed min/max, not to bucket edges.
+  EXPECT_DOUBLE_EQ(it->quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(it->quantile(1.0), 100.0);
+}
+
+TEST(ObsHistogram, QuantileOverflowBucketInterpolatesToObservedMax) {
+  registry().reset_for_testing();
+  const std::int64_t bounds[] = {10};
+  Histogram h = registry().histogram("test.quant_over", bounds);
+  h.observe(5);
+  h.observe(500);  // overflow bucket: spans (10, observed max]
+  const MetricsSnapshot snap = registry().snapshot();
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& r) { return r.name == "test.quant_over"; });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_DOUBLE_EQ(it->quantile(1.0), 500.0);
+  // Rank 1.5 is halfway into the overflow bucket: 10 + 0.5 * (500 - 10).
+  EXPECT_DOUBLE_EQ(it->quantile(0.75), 255.0);
+  // Empty histograms answer 0 rather than poisoning downstream math.
+  EXPECT_DOUBLE_EQ(MetricsSnapshot::HistogramRow{}.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, ExemplarTracksSlowestBucketAndItsSpan) {
+  registry().reset_for_testing();
+  clear_trace_for_testing();
+  set_tracing_enabled(true);
+  const std::int64_t bounds[] = {10, 100};
+  Histogram h = registry().histogram("test.exemplar", bounds);
+  {
+    WLC_TRACE_SPAN("test.slow_path");
+    h.observe(500);  // overflow bucket, inside the span
+  }
+  const MetricsSnapshot first = registry().snapshot();
+  const auto row = [](const MetricsSnapshot& s) {
+    return *std::find_if(s.histograms.begin(), s.histograms.end(),
+                         [](const auto& r) { return r.name == "test.exemplar"; });
+  };
+  const auto r1 = row(first);
+  EXPECT_EQ(r1.exemplar_bucket, 2);  // the overflow bucket
+  EXPECT_NE(r1.exemplar_span, 0u);
+  // A faster sample never displaces the slowest-bucket exemplar...
+  h.observe(3);
+  const auto r2 = row(registry().snapshot());
+  EXPECT_EQ(r2.exemplar_bucket, 2);
+  EXPECT_EQ(r2.exemplar_span, r1.exemplar_span);
+  // ...but another sample in the same slowest bucket refreshes the span.
+  {
+    WLC_TRACE_SPAN("test.slow_path_again");
+    h.observe(900);
+  }
+  const auto r3 = row(registry().snapshot());
+  EXPECT_EQ(r3.exemplar_bucket, 2);
+  EXPECT_NE(r3.exemplar_span, r1.exemplar_span);
+  set_tracing_enabled(false);
+  clear_trace_for_testing();
+}
+
 TEST(ObsHistogram, ExactUnderConcurrentObservation) {
   registry().reset_for_testing();
   Histogram h = registry().histogram("test.mt_hist", default_latency_bounds_us());
@@ -105,6 +181,127 @@ TEST(ObsHistogram, ExactUnderConcurrentObservation) {
                                [](const auto& r) { return r.name == "test.mt_hist"; });
   ASSERT_NE(it, snap.histograms.end());
   EXPECT_EQ(it->count, std::int64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsHistogram, SnapshotQuantilesAreSafeUnderConcurrentObservation) {
+  // Snapshot-and-read while writers hammer observe(): quantile() works on
+  // the snapshot copy, so every read must be race-free (the TSan CI lane
+  // pins this) and internally consistent (count == Σ counts).
+  registry().reset_for_testing();
+  Histogram h = registry().histogram("test.live_quant", default_latency_bounds_us());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t)
+    writers.emplace_back([&h, &stop] {
+      std::int64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.observe(v % 1000);
+        ++v;
+      }
+    });
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = registry().snapshot();
+    const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                                 [](const auto& r) { return r.name == "test.live_quant"; });
+    ASSERT_NE(it, snap.histograms.end());
+    std::int64_t total = 0;
+    for (const std::int64_t c : it->counts) total += c;
+    EXPECT_EQ(total, it->count);
+    const double p50 = it->quantile(0.50);
+    const double p99 = it->quantile(0.99);
+    EXPECT_LE(p50, p99);
+    if (it->count > 0) {
+      EXPECT_GE(p50, static_cast<double>(it->min));
+      EXPECT_LE(p99, static_cast<double>(it->max));
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// --- Exporters: Prometheus text exposition and the JSON decoder ----------
+
+TEST(ObsExport, PrometheusTextExposition) {
+  registry().reset_for_testing();
+  registry().counter("requests.served").add(7);
+  Gauge g = registry().gauge("pool.depth");
+  g.set(9);
+  g.set(4);
+  const std::int64_t bounds[] = {10, 100};
+  Histogram h = registry().histogram("frame.us", bounds);
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+  const std::string prom = to_prometheus(registry().snapshot());
+
+  EXPECT_NE(prom.find("# TYPE wlc_requests_served_total counter\n"
+                      "wlc_requests_served_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wlc_pool_depth 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("wlc_pool_depth_max 9\n"), std::string::npos);
+  // Cumulative le-buckets, the +Inf bucket equal to the total count, and
+  // the conventional _sum/_count pair.
+  EXPECT_NE(prom.find("wlc_frame_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("wlc_frame_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("wlc_frame_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("wlc_frame_us_sum 555\n"), std::string::npos);
+  EXPECT_NE(prom.find("wlc_frame_us_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonRoundTripsThroughDecoder) {
+  registry().reset_for_testing();
+  registry().counter("a.count").add(11);
+  registry().gauge("b.gauge").set(-3);
+  const std::int64_t bounds[] = {10, 100};
+  Histogram h = registry().histogram("c.hist", bounds);
+  for (std::int64_t v : {2, 4, 6, 8, 10, 20, 40, 60, 80, 100}) h.observe(v);
+  const MetricsSnapshot orig = registry().snapshot();
+
+  const MetricsSnapshot decoded = decode_metrics_json(orig.to_json());
+  ASSERT_EQ(decoded.counters.size(), orig.counters.size());
+  EXPECT_EQ(decoded.counters[0].name, "a.count");
+  EXPECT_EQ(decoded.counters[0].value, 11);
+  ASSERT_EQ(decoded.gauges.size(), orig.gauges.size());
+  EXPECT_EQ(decoded.gauges[0].value, -3);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  const auto& row = decoded.histograms[0];
+  EXPECT_EQ(row.bounds, orig.histograms[0].bounds);
+  EXPECT_EQ(row.counts, orig.histograms[0].counts);
+  EXPECT_EQ(row.count, orig.histograms[0].count);
+  EXPECT_EQ(row.sum, orig.histograms[0].sum);
+  EXPECT_EQ(row.min, orig.histograms[0].min);
+  EXPECT_EQ(row.max, orig.histograms[0].max);
+  // Quantiles recompute identically from the decoded buckets.
+  EXPECT_DOUBLE_EQ(row.quantile(0.90), orig.histograms[0].quantile(0.90));
+}
+
+TEST(ObsExport, DecoderAcceptsStatsEnvelopeAndUnknownFields) {
+  registry().reset_for_testing();
+  registry().counter("x.y").add(5);
+  const std::string doc = "{\"schema_version\": 1, \"uptime_s\": 12, \"pool\": {\"live\": 0},\n"
+                          "\"future_field\": [1, {\"nested\": true}],\n"
+                          "\"metrics\": " + registry().snapshot().to_json() + "}";
+  const MetricsSnapshot snap = decode_metrics_json(doc);
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "x.y");
+  EXPECT_EQ(snap.counters[0].value, 5);
+}
+
+TEST(ObsExport, SchemaMismatchIsADistinctError) {
+  const std::string doc =
+      "{\"schema_version\": 99, \"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
+  try {
+    decode_metrics_json(doc);
+    FAIL() << "expected SchemaMismatchError";
+  } catch (const SchemaMismatchError& e) {
+    EXPECT_EQ(e.found(), 99);
+    EXPECT_EQ(e.expected(), MetricsSnapshot::kSchemaVersion);
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+  }
+  // Malformed JSON is a ParseError, not a schema problem.
+  EXPECT_THROW(decode_metrics_json("{\"counters\": {"), ParseError);
+  // Well-formed JSON that is not a metrics document at all.
+  EXPECT_THROW(decode_metrics_json("{\"schema_version\": 1}"), ParseError);
 }
 
 TEST(ObsPool, InstrumentationCountsTasksAndDrainsQueue) {
@@ -283,6 +480,43 @@ TEST(ObsCli, ReportPrintsMetricSnapshot) {
   EXPECT_NE(s.find("histograms:"), std::string::npos);
   EXPECT_NE(s.find("extract.windows_scanned"), std::string::npos);
   EXPECT_NE(s.find("pool.tasks"), std::string::npos);
+}
+
+TEST(ObsCli, ReportAcceptsMetricsJsonInPlaceOfATrace) {
+  registry().reset_for_testing();
+  registry().counter("offline.count").add(42);
+  const std::string path = ::testing::TempDir() + "wlc_obs_report_in.json";
+  {
+    std::ofstream f(path);
+    f << registry().snapshot().to_json();
+  }
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"report", path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("metric snapshot decoded from"), std::string::npos);
+  EXPECT_NE(out.str().find("offline.count"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsCli, ReportOnMismatchedSchemaVersionExitsTwo) {
+  const std::string path = ::testing::TempDir() + "wlc_obs_report_bad.json";
+  {
+    std::ofstream f(path);
+    f << "{\"schema_version\": 99, \"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run({"report", path}, out, err), 2);
+  EXPECT_NE(err.str().find("schema_version 99"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsCli, StatsNeedsConnectAndAKnownFormat) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::run({"stats"}, out, err), 2);  // no trace positional required
+  EXPECT_NE(err.str().find("--connect"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli::run({"stats", "--connect", "unix:/nowhere", "--format", "xml"}, out2, err2), 2);
+  EXPECT_NE(err2.str().find("--format"), std::string::npos);
 }
 
 TEST(ObsCli, UnwritableObsOutputPathIsAUsageError) {

@@ -32,6 +32,7 @@ TEST(ServeProtocol, RequestRoundTrips) {
       QueryRequest{"abc-123"},
       CloseRequest{"abc-123", false},
       PingRequest{},
+      StatsRequest{},
   };
   for (const Request& req : reqs) {
     const std::string frame = encode_request(req);
@@ -76,6 +77,7 @@ TEST(ServeProtocol, ReplyRoundTrips) {
       curve,
       CloseReply{20},
       pong,
+      StatsReply{"{\"schema_version\": 1, \"uptime_s\": 3}\n"},
       RejectReply{RejectCode::GridLimit, "grid pool exhausted", 250},
       ErrReply{"malformed request"},
   };
@@ -93,6 +95,9 @@ TEST(ServeProtocol, ReplyRoundTrips) {
       EXPECT_EQ(c->upper, curve.upper);
       EXPECT_EQ(c->lower, curve.lower);
       EXPECT_EQ(c->quarantined, 1);
+    }
+    if (const auto* s = std::get_if<StatsReply>(&back)) {
+      EXPECT_EQ(s->json, "{\"schema_version\": 1, \"uptime_s\": 3}\n");
     }
     if (const auto* r = std::get_if<RejectReply>(&back)) {
       EXPECT_EQ(r->code, RejectCode::GridLimit);

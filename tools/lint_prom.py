@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition format (version 0.0.4) from stdin or a
+file. The container has no promtool, so CI validates `wlc_analyze stats
+--format prom` with this instead.
+
+Checks, per https://prometheus.io/docs/instrumenting/exposition_formats/:
+
+  - line grammar: `# TYPE`/`# HELP` comments, sample lines
+    `name[{labels}] value [timestamp]`, metric names matching
+    [a-zA-Z_:][a-zA-Z0-9_:]*
+  - every sample belongs to the most recent TYPE-declared family (exact
+    name, or the _bucket/_sum/_count series of a histogram family); no
+    family is TYPE-declared twice
+  - counter samples are non-negative and finite
+  - histogram families carry a le="+Inf" bucket, bucket counts are
+    cumulative (non-decreasing in le order), and the +Inf bucket equals
+    the family's _count sample
+
+Exit status: 0 clean, 1 violations (each printed to stderr), 2 usage/IO.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|histogram|summary|untyped)$")
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) .*$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(\{{[^{{}}]*\}})? (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)"
+    r"( -?[0-9]+)?$"
+)
+_LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [exposition.txt] (default: stdin)", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        try:
+            with open(sys.argv[1], "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    errors: list[str] = []
+    families: dict[str, str] = {}  # family name -> type
+    # histogram family -> [(le, count)], and its _count sample value
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    hist_counts: dict[str, float] = {}
+    samples = 0
+
+    def family_of(name: str) -> str | None:
+        if name in families:
+            return name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if families.get(base) == "histogram":
+                    return base
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if m := _TYPE_RE.match(line):
+                name, kind = m.group(1), m.group(2)
+                if name in families:
+                    errors.append(f"line {lineno}: duplicate TYPE for '{name}'")
+                families[name] = kind
+            elif not _HELP_RE.match(line) and line.startswith(("# TYPE", "# HELP")):
+                errors.append(f"line {lineno}: malformed TYPE/HELP comment: {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        samples += 1
+        name, label_blob, raw_value = m.group(1), m.group(2), m.group(3)
+        value = parse_value(raw_value)
+        fam = family_of(name)
+        if fam is None:
+            errors.append(f"line {lineno}: sample '{name}' has no preceding TYPE declaration")
+            continue
+        kind = families[fam]
+        labels = dict(_LABELS_RE.findall(label_blob or ""))
+        if kind == "counter" and not (value >= 0 and math.isfinite(value)):
+            errors.append(f"line {lineno}: counter '{name}' has value {raw_value}")
+        if kind == "histogram" and name == fam + "_bucket":
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"line {lineno}: bucket of '{fam}' is missing its le label")
+                continue
+            try:
+                buckets.setdefault(fam, []).append((parse_value(le), value))
+            except ValueError:
+                errors.append(f"line {lineno}: bucket of '{fam}' has bad le={le!r}")
+        if kind == "histogram" and name == fam + "_count":
+            hist_counts[fam] = value
+
+    for fam, kind in families.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(fam, [])
+        if not any(math.isinf(le) and le > 0 for le, _ in series):
+            errors.append(f"histogram '{fam}' has no le=\"+Inf\" bucket")
+            continue
+        in_order = sorted(series, key=lambda p: p[0])
+        if in_order != series:
+            errors.append(f"histogram '{fam}' buckets are not in increasing le order")
+        last = -math.inf
+        for le, count in in_order:
+            if count < last:
+                errors.append(
+                    f"histogram '{fam}' buckets are not cumulative at le={le}"
+                )
+                break
+            last = count
+        inf_count = in_order[-1][1]
+        if fam in hist_counts and inf_count != hist_counts[fam]:
+            errors.append(
+                f"histogram '{fam}': +Inf bucket {inf_count} != _count {hist_counts[fam]}"
+            )
+        elif fam not in hist_counts:
+            errors.append(f"histogram '{fam}' is missing its _count sample")
+
+    if samples == 0:
+        errors.append("no samples found (empty exposition?)")
+    for e in errors:
+        print(f"lint_prom: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"lint_prom: OK — {samples} samples across {len(families)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

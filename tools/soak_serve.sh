@@ -65,6 +65,7 @@ PY
 start_daemon() {
   "$bin" serve --listen "unix:$sock" --state-dir "$state" \
     --max-sessions 16 --snapshot-every 256 --snapshot-interval 1 \
+    --request-log "$work/requests.jsonl" --watchdog-ms 5000 \
     >>"$work/daemon.log" 2>&1 &
   daemon_pid=$!
   for _ in $(seq 1 100); do
@@ -84,6 +85,26 @@ run_clients() {  # $1 = output prefix tag, $2 = throttle-ms
       >"$work/$1-$i.log" 2>&1 &
     client_pids+=($!)
   done
+}
+
+# The request log's torn-write contract: one write(2) per record on an
+# O_APPEND fd means a kill -9 may truncate the *stream* but never a *line* —
+# the file must end in a newline and every line must be complete JSON.
+check_request_log() {
+  [[ -f "$work/requests.jsonl" ]] || return 0
+  python3 - "$work/requests.jsonl" <<'PY'
+import json, sys
+data = open(sys.argv[1], "rb").read()
+if data and not data.endswith(b"\n"):
+    sys.exit(f"torn request-log tail (no final newline): {data[-80:]!r}")
+for i, line in enumerate(data.splitlines(), 1):
+    if not line:
+        continue
+    try:
+        json.loads(line)
+    except ValueError:
+        sys.exit(f"torn request-log record at line {i}: {line[:120]!r}")
+PY
 }
 
 wait_clients() {  # $1 = tag
@@ -125,6 +146,8 @@ for round in $(seq 1 "$rounds"); do
   echo "== round $round: kill -9 daemon ($daemon_pid)"
   kill -9 "$daemon_pid"
   wait "$daemon_pid" 2>/dev/null || true
+  check_request_log \
+    || { echo "FAIL: request log torn by kill -9 (round $round)" >&2; exit 1; }
   sleep 0.3  # clients notice the dead socket and enter their retry window
   start_daemon
   grep -q "recovered" "$work/daemon.log" \
@@ -142,4 +165,8 @@ done
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "final graceful drain exited non-zero" >&2; exit 1; }
 daemon_pid=""
-echo "PASS: $rounds kill -9 rounds, 3 concurrent clients, curves bit-identical to batch and clean runs"
+check_request_log \
+  || { echo "FAIL: request log torn after final drain" >&2; exit 1; }
+[[ -s "$work/requests.jsonl" ]] \
+  || { echo "FAIL: request log is empty after the soak" >&2; exit 1; }
+echo "PASS: $rounds kill -9 rounds, 3 concurrent clients, curves bit-identical to batch and clean runs, request log whole-line JSONL throughout"
