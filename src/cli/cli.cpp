@@ -16,6 +16,7 @@
 
 #include "common/atomic_file.h"
 #include "common/error.h"
+#include "common/faultfs.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "curve/engine.h"
@@ -705,11 +706,19 @@ int cmd_serve(const Options& o, RuntimeControls& rc, std::ostream& out, std::ost
       throw UsageError("--watchdog-abort requires --watchdog-ms <threshold>");
     cfg.watchdog_abort = true;
   }
+  cfg.drain_to = o.text("drain-to", "");
 
   try {
     serve::parse_address(cfg.listen);  // surface a bad spec as a usage error
   } catch (const Error& e) {
     throw UsageError("--listen: " + e.message());
+  }
+  if (!cfg.drain_to.empty()) {
+    try {
+      serve::parse_address(cfg.drain_to);
+    } catch (const Error& e) {
+      throw UsageError("--drain-to: " + e.message());
+    }
   }
   serve::Server server(cfg, err);
   server.start();
@@ -745,6 +754,14 @@ int cmd_serve_client(const Options& o, RuntimeControls& rc, std::ostream& out, s
   double retry_secs = 0.0;
   if (const auto it = o.flags.find("retry-for"); it != o.flags.end())
     retry_secs = parse_duration_seconds(it->second, "retry-for");
+  serve::RetryPolicy rpolicy;
+  if (const auto v = o.integer("retry-budget")) {
+    if (*v < 0)
+      throw UsageError("--retry-budget must be >= 0 (0 = unlimited), got " + std::to_string(*v));
+    rpolicy.budget = static_cast<int>(*v);
+  }
+  if (const auto v = o.integer("retry-seed"))
+    rpolicy.seed = static_cast<std::uint64_t>(*v);
 
   trace::ReadOptions ropts;
   ropts.source_name = o.trace_path;
@@ -773,49 +790,77 @@ int cmd_serve_client(const Options& o, RuntimeControls& rc, std::ostream& out, s
   const auto give_up = std::chrono::steady_clock::now() +
                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                            std::chrono::duration<double>(retry_secs));
-  serve::Client client;
+  // --connect takes a comma-separated failover list; each reconnect sweep
+  // tries every address (preferred first) with decorrelated-jitter backoff
+  // between sweeps, bounded by --retry-budget sweeps and the --retry-for
+  // deadline.
+  const std::vector<std::string> addresses = serve::split_address_list(connect);
+  if (addresses.empty()) {
+    err << "serve-client needs --connect <unix:/path | host:port>[,addr...]\n";
+    return 2;
+  }
+  std::optional<serve::FailoverClient> client_slot;
+  try {
+    client_slot.emplace(addresses, rpolicy);
+  } catch (const Error& e) {
+    throw UsageError("--connect: " + e.message());
+  }
+  serve::FailoverClient& client = *client_slot;
 
   // Connect (or reconnect) and Open — which doubles as resume: the reply's
   // events_seen is the stream position to continue from, which is what
   // makes a crash-recovered analysis bit-identical to an uninterrupted
-  // one. Retries cover both an unreachable daemon and explicit
-  // backpressure, until the --retry-for window runs out.
+  // one. Retries cover an unreachable daemon, explicit backpressure, and a
+  // Redirect from a draining daemon (re-aim the list and try the named
+  // peer), until the --retry-for window or --retry-budget runs out.
   serve::OpenReply open;
   const auto connect_and_open = [&]() -> int {
     for (;;) {
       if (rc.active) rc.policy.checkpoint("serve-client connect");
-      std::int64_t wait_ms = 100;
-      if (client.connect(connect)) {
-        serve::Reply reply;
-        if (client.call(serve::OpenRequest{serve::kProtocolVersion, session, tenant, ks},
-                        &reply)) {
-          if (const auto* ok = std::get_if<serve::OpenReply>(&reply)) {
-            open = *ok;
-            return 0;
-          }
-          if (const auto* rej = std::get_if<serve::RejectReply>(&reply)) {
-            if (rej->retry_after_ms <= 0) {
-              err << "rejected (" << serve::to_string(rej->code) << "): " << rej->reason << "\n";
-              return 1;
-            }
-            err << "backpressure (" << serve::to_string(rej->code) << "): " << rej->reason
-                << ", retrying in " << rej->retry_after_ms << " ms\n";
-            wait_ms = rej->retry_after_ms;
-          } else if (const auto* e = std::get_if<serve::ErrReply>(&reply)) {
-            err << "daemon error: " << e->message << "\n";
-            return 1;
-          } else {
-            err << "unexpected reply to Open\n";
-            return 1;
-          }
-        }
-      }
-      if (std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms) >= give_up) {
-        err << "giving up on " << connect << ": "
-            << (client.error().empty() ? "backpressure persisted" : client.error()) << "\n";
+      if (!client.connected() && !client.connect_until(give_up)) {
+        err << "giving up on " << connect << ": " << client.error() << "\n";
         return 1;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      serve::Reply reply;
+      if (client.call(serve::OpenRequest{serve::kProtocolVersion, session, tenant, ks}, &reply)) {
+        if (const auto* ok = std::get_if<serve::OpenReply>(&reply)) {
+          open = *ok;
+          return 0;
+        }
+        if (const auto* redirect = std::get_if<serve::RedirectReply>(&reply)) {
+          err << "redirected to " << redirect->address << " (" << redirect->reason << ")\n";
+          try {
+            client.follow_redirect(redirect->address);
+          } catch (const Error& e) {
+            err << "refusing redirect to '" << redirect->address << "': " << e.message() << "\n";
+            return 1;
+          }
+          continue;  // connect_until now tries the redirect target first
+        }
+        if (const auto* rej = std::get_if<serve::RejectReply>(&reply)) {
+          if (rej->retry_after_ms <= 0) {
+            err << "rejected (" << serve::to_string(rej->code) << "): " << rej->reason << "\n";
+            return 1;
+          }
+          err << "backpressure (" << serve::to_string(rej->code) << "): " << rej->reason
+              << ", retrying in " << rej->retry_after_ms << " ms\n";
+          const auto wait = std::chrono::milliseconds(rej->retry_after_ms);
+          if (std::chrono::steady_clock::now() + wait >= give_up) {
+            err << "giving up on " << connect << ": backpressure persisted\n";
+            return 1;
+          }
+          std::this_thread::sleep_for(wait);
+          continue;
+        }
+        if (const auto* e = std::get_if<serve::ErrReply>(&reply)) {
+          err << "daemon error: " << e->message << "\n";
+          return 1;
+        }
+        err << "unexpected reply to Open\n";
+        return 1;
+      }
+      // Transport failure: the connection was dropped; loop to reconnect
+      // (connect_until enforces the deadline and budget).
     }
   };
 
@@ -1009,6 +1054,17 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   // rows into ingestion.
   if (rc.active) rc.policy.checkpoint("command dispatch");
   apply_curve_engine_flags(opts, rc);
+  // Chaos knob: arm the seeded syscall fault plan before any I/O happens.
+  // The CLI validates loudly (exit 2 on a bad grammar or a plan given to a
+  // WLC_FAULT_DISABLE build) where the WLC_FAULT_SPEC env path, meant for
+  // wrapping arbitrary binaries, ignores malformed specs silently.
+  if (const auto it = opts.flags.find("fault-spec"); it != opts.flags.end()) {
+    try {
+      common::faultfs::install_spec(it->second);
+    } catch (const Error& e) {
+      throw UsageError("--fault-spec: " + e.message());
+    }
+  }
   if (opts.command == "serve") return cmd_serve(opts, rc, out, err);
   if (opts.command == "serve-client") return cmd_serve_client(opts, rc, out, err);
   if (opts.command == "stats") return cmd_stats(opts, out, err);
@@ -1101,7 +1157,7 @@ std::string usage() {
          "               [--admit reject|degrade|queue] [--queue-timeout D]\n"
          "               [--snapshot-every N] [--snapshot-interval D] [--timeout D]\n"
          "               [--request-log FILE] [--slow-ms N] [--request-log-max-bytes N]\n"
-         "               [--watchdog-ms N] [--watchdog-abort]\n"
+         "               [--watchdog-ms N] [--watchdog-abort] [--drain-to ADDR]\n"
          "               run the analysis daemon: concurrent streaming sessions\n"
          "               over TCP or a Unix socket, admission control on the\n"
          "               session/grid/byte pool (reject = explicit backpressure,\n"
@@ -1118,7 +1174,12 @@ std::string usage() {
          "               reactor stall longer than N ms under\n"
          "               serve.reactor.stall, naming the frame in flight;\n"
          "               --watchdog-abort escalates detection to abort() for\n"
-         "               a debuggable core\n"
+         "               a debuggable core.\n"
+         "               --drain-to names a peer daemon: the graceful drain\n"
+         "               hands live sessions to it (Migrate frames, cursor-\n"
+         "               exact) and parked Opens get a Redirect instead of a\n"
+         "               queue-timeout rejection; a failed hand-off falls\n"
+         "               back to the disk snapshot\n"
          "  stats        --connect <unix:/path | host:port> [--format table|json|prom]\n"
          "               ask a live daemon for its stats document: uptime,\n"
          "               pool occupancy, per-session and per-tenant state and\n"
@@ -1127,12 +1188,19 @@ std::string usage() {
          "               'json' prints the versioned document verbatim,\n"
          "               'prom' emits Prometheus text exposition. a\n"
          "               schema_version mismatch exits 2\n"
-         "  serve-client <trace.csv> --connect ADDR --session ID [--tenant T]\n"
-         "               [--chunk N] [--throttle-ms N] [--retry-for D]\n"
+         "  serve-client <trace.csv> --connect ADDR[,ADDR...] --session ID\n"
+         "               [--tenant T] [--chunk N] [--throttle-ms N] [--retry-for D]\n"
+         "               [--retry-budget N] [--retry-seed N]\n"
          "               [--dense N] [--growth G] [--out prefix] [--keep-state]\n"
          "               stream the trace to a daemon and print the session's\n"
          "               curves; reconnects and resumes (bit-identically) within\n"
-         "               --retry-for after daemon restarts or backpressure\n"
+         "               --retry-for after daemon restarts or backpressure.\n"
+         "               --connect accepts a comma-separated failover list:\n"
+         "               reconnect sweeps try every address with decorrelated-\n"
+         "               jitter backoff between sweeps (seeded by --retry-seed),\n"
+         "               give up after --retry-budget failed sweeps (0 =\n"
+         "               deadline-only), and follow a draining daemon's\n"
+         "               Redirect to the peer holding the migrated session\n"
          "  convert-trace <trace> --out FILE\n"
          "               convert between the CSV and WLCCOL columnar binary\n"
          "               trace formats (direction decided by sniffing the\n"
@@ -1156,6 +1224,13 @@ std::string usage() {
          "                       sliding-window extraction index (per-k\n"
          "                       oracle scans instead).\n"
          "                       diagnostic only — results are bit-identical\n"
+         "  --fault-spec SPEC    arm deterministic syscall fault injection\n"
+         "                       (chaos testing), e.g. 'seed=42;read:eintr,p=0.2;\n"
+         "                       fsync:enospc,count=1'. ops: read write open\n"
+         "                       accept fsync; kinds: eintr short enospc emfile\n"
+         "                       delay. also honored as WLC_FAULT_SPEC in the\n"
+         "                       environment. usage error if the build compiled\n"
+         "                       it out (WLC_FAULT_DISABLE)\n"
          "  --metrics-out FILE   write this run's metric snapshot as JSON\n"
          "  --trace-out FILE     record scoped spans and write Chrome\n"
          "                       trace-event JSON (open in chrome://tracing\n"

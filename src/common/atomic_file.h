@@ -25,8 +25,11 @@ namespace wlc::common {
 /// failure returns false, fills `*error` (when non-null) with a
 /// human-readable reason including the failing step and errno text, removes
 /// the temp file and leaves any previous `path` content untouched.
+/// `*errno_out` (when non-null) receives the failing step's errno (0 on
+/// success) so callers can react to specific conditions — the serve daemon
+/// degrades a session to in-memory-only on ENOSPC instead of dying.
 bool atomic_write_file(const std::string& path, std::string_view bytes,
-                       std::string* error = nullptr);
+                       std::string* error = nullptr, int* errno_out = nullptr);
 
 /// Reads a whole file into a byte string. Returns false (with `*error`
 /// filled when non-null) if the file cannot be opened or read.

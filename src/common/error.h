@@ -1,6 +1,6 @@
 // Structured error taxonomy for the whole library.
 //
-// Every failure a caller can meaningfully react to is one of six kinds:
+// Every failure a caller can meaningfully react to is one of seven kinds:
 //
 //   ParseError          — malformed external input (trace files, CSV rows);
 //                         carries the input line/column when known.
@@ -22,6 +22,9 @@
 //                         rows, resident bytes) would be exceeded and the
 //                         policy forbids degrading; carries the axis name
 //                         and the requested-vs-allowed amounts.
+//   DiskFullError       — ENOSPC/EDQUOT while persisting state; the serve
+//                         daemon reacts by degrading the session to
+//                         in-memory-only instead of dying.
 //
 // Each concrete type also derives from the std exception the library
 // historically threw (std::invalid_argument / std::logic_error /
@@ -165,6 +168,21 @@ class CancelledError : public std::runtime_error, public Error {
 
  private:
   Reason reason_;
+};
+
+/// The filesystem ran out of space (ENOSPC/EDQUOT) while persisting state.
+/// This is the one I/O failure with a sound degraded mode: the serve daemon
+/// catches it during session snapshots and downgrades the session to
+/// in-memory-only (bounds stay exact, only crash-durability is lost) rather
+/// than dying; one-shot commands surface it with the target path attached.
+class DiskFullError : public std::runtime_error, public Error {
+ public:
+  explicit DiskFullError(std::string message, std::string offending = "", const char* file = "",
+                         int line = 0)
+      : std::runtime_error(format_what("DiskFullError", message, offending, file, line)),
+        Error(std::move(message), std::move(offending), file, line) {}
+
+  const char* kind() const noexcept override { return "DiskFullError"; }
 };
 
 /// A wlc::runtime::Budget axis would be exceeded and the RunPolicy says

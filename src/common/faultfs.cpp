@@ -1,0 +1,365 @@
+#include "common/faultfs.h"
+
+#ifndef WLC_FAULT_DISABLE
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+
+namespace wlc::common::faultfs {
+
+namespace {
+
+enum class Op { Read, Write, Open, Accept, Fsync };
+enum class Kind { Eintr, Short, Enospc, Emfile, Delay };
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Read: return "read";
+    case Op::Write: return "write";
+    case Op::Open: return "open";
+    case Op::Accept: return "accept";
+    case Op::Fsync: return "fsync";
+  }
+  return "?";
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::Eintr: return "eintr";
+    case Kind::Short: return "short";
+    case Kind::Enospc: return "enospc";
+    case Kind::Emfile: return "emfile";
+    case Kind::Delay: return "delay";
+  }
+  return "?";
+}
+
+bool kind_valid_for(Op op, Kind kind) {
+  switch (kind) {
+    case Kind::Eintr: return true;
+    case Kind::Delay: return true;
+    case Kind::Short: return op == Op::Read || op == Op::Write;
+    case Kind::Enospc: return op == Op::Write || op == Op::Open || op == Op::Fsync;
+    case Kind::Emfile: return op == Op::Open || op == Op::Accept;
+  }
+  return false;
+}
+
+struct Rule {
+  Op op;
+  Kind kind;
+  double p = 1.0;
+  std::uint64_t after = 0;                 // skip the first N matching calls
+  std::uint64_t count = ~std::uint64_t{0}; // fire at most N times
+  std::uint64_t delay_ms = 1;
+  // Mutable bookkeeping (under Plan::mu):
+  std::uint64_t calls = 0;
+  std::uint64_t fired = 0;
+};
+
+struct Plan {
+  std::uint64_t seed = 0;
+  std::string spec;
+  std::vector<Rule> rules;
+  Rng rng{0};
+  std::uint64_t injected = 0;
+  std::mutex mu;
+};
+
+/// What a wrapper should do for one call. `kind` empty (nullopt encoded as
+/// fire=false) means passthrough.
+struct Decision {
+  bool fire = false;
+  Kind kind = Kind::Eintr;
+  std::size_t short_len = 0;  // for Kind::Short: truncated length to pass on
+  std::uint64_t delay_ms = 0;
+};
+
+std::mutex g_install_mu;
+std::shared_ptr<Plan> g_plan;         // guarded by g_install_mu for writes
+std::atomic<bool> g_armed{false};     // fast-path flag mirroring g_plan
+std::atomic<bool> g_env_checked{false};
+
+std::shared_ptr<Plan> current_plan() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  return g_plan;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw DomainError("bad fault spec (" + why + ")", spec);
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& text) {
+  std::uint64_t value = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size())
+    bad_spec(spec, "not an unsigned integer: '" + text + "'");
+  return value;
+}
+
+std::shared_ptr<Plan> parse_spec(const std::string& spec) {
+  auto plan = std::make_shared<Plan>();
+  plan->spec = spec;
+  std::stringstream clauses(spec);
+  std::string clause;
+  while (std::getline(clauses, clause, ';')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      plan->seed = parse_u64(spec, clause.substr(5));
+      continue;
+    }
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos)
+      bad_spec(spec, "clause is neither 'seed=N' nor 'op:kind[,...]': '" + clause + "'");
+    Rule rule;
+    const std::string op_str = clause.substr(0, colon);
+    if (op_str == "read") rule.op = Op::Read;
+    else if (op_str == "write") rule.op = Op::Write;
+    else if (op_str == "open") rule.op = Op::Open;
+    else if (op_str == "accept") rule.op = Op::Accept;
+    else if (op_str == "fsync") rule.op = Op::Fsync;
+    else bad_spec(spec, "unknown op '" + op_str + "'");
+
+    std::stringstream parts(clause.substr(colon + 1));
+    std::string part;
+    bool first = true;
+    while (std::getline(parts, part, ',')) {
+      if (first) {
+        first = false;
+        if (part == "eintr") rule.kind = Kind::Eintr;
+        else if (part == "short") rule.kind = Kind::Short;
+        else if (part == "enospc") rule.kind = Kind::Enospc;
+        else if (part == "emfile") rule.kind = Kind::Emfile;
+        else if (part == "delay") rule.kind = Kind::Delay;
+        else bad_spec(spec, "unknown fault kind '" + part + "'");
+        continue;
+      }
+      const auto eq = part.find('=');
+      if (eq == std::string::npos) bad_spec(spec, "parameter without '=': '" + part + "'");
+      const std::string key = part.substr(0, eq);
+      const std::string value = part.substr(eq + 1);
+      if (key == "p") {
+        char* end = nullptr;
+        rule.p = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size() || rule.p < 0.0 || rule.p > 1.0)
+          bad_spec(spec, "p must be a probability in [0,1]: '" + value + "'");
+      } else if (key == "after") {
+        rule.after = parse_u64(spec, value);
+      } else if (key == "count") {
+        rule.count = parse_u64(spec, value);
+      } else if (key == "ms") {
+        rule.delay_ms = parse_u64(spec, value);
+      } else {
+        bad_spec(spec, "unknown parameter '" + key + "'");
+      }
+    }
+    if (first) bad_spec(spec, "op '" + op_str + "' has no fault kind");
+    if (!kind_valid_for(rule.op, rule.kind))
+      bad_spec(spec, std::string(kind_name(rule.kind)) + " cannot be injected into " +
+                         op_name(rule.op) + "()");
+    plan->rules.push_back(rule);
+  }
+  if (plan->rules.empty()) return nullptr;  // e.g. "seed=7" alone: nothing to do
+  plan->rng = Rng(plan->seed);
+  return plan;
+}
+
+void install_plan(std::shared_ptr<Plan> plan) {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  g_plan = std::move(plan);
+  g_env_checked.store(true, std::memory_order_release);
+  g_armed.store(g_plan != nullptr, std::memory_order_release);
+}
+
+/// First wrapper call in a process with WLC_FAULT_SPEC set arms the plan
+/// from the environment, so any binary linking wlc_common (daemon, client,
+/// test runners) honors the variable without CLI plumbing. An explicit
+/// install_spec() call beats the environment.
+void maybe_arm_from_env() {
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  const char* env = ::getenv("WLC_FAULT_SPEC");
+  if (env != nullptr && *env != '\0') {
+    // A malformed env spec must not crash arbitrary binaries from a
+    // constructor-like path; ignore it here (the CLI validates loudly).
+    try {
+      g_plan = parse_spec(env);
+    } catch (const DomainError&) {
+      g_plan = nullptr;
+    }
+  }
+  g_env_checked.store(true, std::memory_order_release);
+  g_armed.store(g_plan != nullptr, std::memory_order_release);
+}
+
+void count_injection(Op op) {
+  WLC_COUNTER_ADD("fault.injected", 1);
+  switch (op) {
+    case Op::Read: WLC_COUNTER_ADD("fault.injected.read", 1); break;
+    case Op::Write: WLC_COUNTER_ADD("fault.injected.write", 1); break;
+    case Op::Open: WLC_COUNTER_ADD("fault.injected.open", 1); break;
+    case Op::Accept: WLC_COUNTER_ADD("fault.injected.accept", 1); break;
+    case Op::Fsync: WLC_COUNTER_ADD("fault.injected.fsync", 1); break;
+  }
+}
+
+/// Evaluates the armed plan for one `op` call of length `len` (0 for ops
+/// without a length). First rule that fires wins.
+Decision decide(Op op, std::size_t len) {
+  maybe_arm_from_env();
+  if (!g_armed.load(std::memory_order_acquire)) return {};
+  const std::shared_ptr<Plan> plan = current_plan();
+  if (!plan) return {};
+  std::lock_guard<std::mutex> lock(plan->mu);
+  for (Rule& rule : plan->rules) {
+    if (rule.op != op) continue;
+    rule.calls += 1;
+    if (rule.calls <= rule.after) continue;
+    if (rule.fired >= rule.count) continue;
+    if (rule.p < 1.0 && plan->rng.uniform() >= rule.p) continue;
+    rule.fired += 1;
+    plan->injected += 1;
+    Decision d;
+    d.fire = true;
+    d.kind = rule.kind;
+    d.delay_ms = rule.delay_ms;
+    if (rule.kind == Kind::Short && len > 1)
+      d.short_len = 1 + static_cast<std::size_t>(plan->rng() % (len - 1));
+    else
+      d.short_len = len;
+    count_injection(op);
+    return d;
+  }
+  return {};
+}
+
+void sleep_ms(std::uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+void install_spec(const std::string& spec) {
+  if (spec.empty()) {
+    install_plan(nullptr);
+    return;
+  }
+  install_plan(parse_spec(spec));
+}
+
+void disarm() noexcept { install_plan(nullptr); }
+
+bool armed() noexcept {
+  maybe_arm_from_env();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+std::string describe() {
+  const std::shared_ptr<Plan> plan = current_plan();
+  if (!plan) return "";
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(plan->mu);
+  out << "fault plan seed=" << plan->seed;
+  for (const Rule& rule : plan->rules) {
+    out << " " << op_name(rule.op) << ":" << kind_name(rule.kind) << "(p=" << rule.p
+        << ",fired=" << rule.fired << "/" << rule.calls << ")";
+  }
+  return out.str();
+}
+
+std::uint64_t injected_total() noexcept {
+  const std::shared_ptr<Plan> plan = current_plan();
+  if (!plan) return 0;
+  std::lock_guard<std::mutex> lock(plan->mu);
+  return plan->injected;
+}
+
+ssize_t read(int fd, void* buf, std::size_t count) noexcept {
+  const Decision d = decide(Op::Read, count);
+  if (d.fire) {
+    switch (d.kind) {
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::Short: return ::read(fd, buf, d.short_len);
+      case Kind::Delay: sleep_ms(d.delay_ms); break;
+      default: break;
+    }
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) noexcept {
+  const Decision d = decide(Op::Write, count);
+  if (d.fire) {
+    switch (d.kind) {
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::Enospc: errno = ENOSPC; return -1;
+      case Kind::Short: return ::write(fd, buf, d.short_len);
+      case Kind::Delay: sleep_ms(d.delay_ms); break;
+      default: break;
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+int open(const char* path, int flags, unsigned mode) noexcept {
+  const Decision d = decide(Op::Open, 0);
+  if (d.fire) {
+    switch (d.kind) {
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::Enospc: errno = ENOSPC; return -1;
+      case Kind::Emfile: errno = EMFILE; return -1;
+      case Kind::Delay: sleep_ms(d.delay_ms); break;
+      default: break;
+    }
+  }
+  return ::open(path, flags, static_cast<mode_t>(mode));
+}
+
+int accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) noexcept {
+  const Decision d = decide(Op::Accept, 0);
+  if (d.fire) {
+    switch (d.kind) {
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::Emfile: errno = EMFILE; return -1;
+      case Kind::Delay: sleep_ms(d.delay_ms); break;
+      default: break;
+    }
+  }
+  return ::accept(sockfd, addr, addrlen);
+}
+
+int fsync(int fd) noexcept {
+  const Decision d = decide(Op::Fsync, 0);
+  if (d.fire) {
+    switch (d.kind) {
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::Enospc: errno = ENOSPC; return -1;
+      case Kind::Delay: sleep_ms(d.delay_ms); break;
+      default: break;
+    }
+  }
+  return ::fsync(fd);
+}
+
+}  // namespace wlc::common::faultfs
+
+#endif  // WLC_FAULT_DISABLE

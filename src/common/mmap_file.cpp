@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/faultfs.h"
+
 namespace wlc::common {
 
 namespace {
@@ -41,7 +43,10 @@ void MappedFile::reset() noexcept {
 
 bool MappedFile::open(const std::string& path, MappedFile* out, std::string* error) {
   out->reset();
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  int fd = -1;
+  do {
+    fd = faultfs::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     set_error(error, path, "open");
     return false;

@@ -2,9 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
+#include "common/assert.h"
 #include "serve/wire.h"
 
 namespace wlc::serve {
@@ -63,5 +66,98 @@ void Client::disconnect() {
     fd_ = -1;
   }
 }
+
+std::vector<std::string> split_address_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) out.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+FailoverClient::FailoverClient(std::vector<std::string> addresses, RetryPolicy policy)
+    : addresses_(std::move(addresses)), policy_(policy), rng_(policy.seed) {
+  WLC_REQUIRE(!addresses_.empty(), "failover client needs at least one address");
+  for (const std::string& a : addresses_) parse_address(a);  // fail fast on a bad spec
+}
+
+std::chrono::milliseconds FailoverClient::next_backoff() {
+  // Decorrelated jitter (the AWS architecture-blog variant): each wait is
+  // uniform in [base, 3 * previous], clamped to cap. Compared with plain
+  // exponential-with-jitter it decorrelates clients that failed at the same
+  // instant (a daemon death synchronizes everyone) while still growing
+  // geometrically in expectation.
+  const auto base = policy_.base.count();
+  const auto prev = prev_wait_.count() > 0 ? prev_wait_.count() : base;
+  const auto hi = std::max(base, 3 * prev);
+  const auto span = hi - base;
+  const auto wait =
+      span > 0 ? base + static_cast<std::int64_t>(rng_() % static_cast<std::uint64_t>(span + 1))
+               : base;
+  prev_wait_ = std::min(std::chrono::milliseconds(wait), policy_.cap);
+  return prev_wait_;
+}
+
+bool FailoverClient::connect_until(std::chrono::steady_clock::time_point give_up) {
+  using std::chrono::steady_clock;
+  for (;;) {
+    // One sweep: every address once, preferred one first.
+    for (std::size_t i = 0; i < addresses_.size(); ++i) {
+      const std::size_t idx = (cursor_ + i) % addresses_.size();
+      if (client_.connect(addresses_[idx])) {
+        cursor_ = idx;
+        failed_sweeps_ = 0;
+        prev_wait_ = std::chrono::milliseconds(0);
+        error_.clear();
+        return true;
+      }
+      error_ = client_.error();
+    }
+    ++failed_sweeps_;
+    if (policy_.budget > 0 && failed_sweeps_ >= policy_.budget) {
+      error_ = "retry budget exhausted after " + std::to_string(failed_sweeps_) +
+               " failed sweeps of " + std::to_string(addresses_.size()) +
+               " address(es); last error: " + error_;
+      return false;
+    }
+    const auto wait = next_backoff();
+    if (steady_clock::now() + wait >= give_up) {
+      error_ = "retry deadline reached; last error: " + error_;
+      return false;
+    }
+    std::this_thread::sleep_for(wait);
+  }
+}
+
+bool FailoverClient::call(const Request& req, Reply* reply) {
+  if (!client_.call(req, reply)) {
+    error_ = client_.error();
+    return false;
+  }
+  return true;
+}
+
+void FailoverClient::follow_redirect(const std::string& address) {
+  parse_address(address);  // refuse to chase a garbage redirect
+  client_.disconnect();
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if (addresses_[i] == address) {
+      cursor_ = i;
+      failed_sweeps_ = 0;
+      prev_wait_ = std::chrono::milliseconds(0);
+      return;
+    }
+  }
+  addresses_.insert(addresses_.begin(), address);
+  cursor_ = 0;
+  failed_sweeps_ = 0;
+  prev_wait_ = std::chrono::milliseconds(0);
+}
+
+void FailoverClient::disconnect() { client_.disconnect(); }
 
 }  // namespace wlc::serve

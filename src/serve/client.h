@@ -2,10 +2,23 @@
 // request/reply lockstep. Used by the `serve-client` CLI subcommand and the
 // in-process server tests. Reconnect/resume policy lives in the caller —
 // this class only speaks frames.
+//
+// FailoverClient layers the resilience policy on top: a peer-address
+// failover list (tried round-robin), exponential backoff with decorrelated
+// jitter between reconnect sweeps, a retry budget bounding consecutive
+// transport failures, and redirect-following — a Redirect reply from a
+// draining daemon moves the named peer to the front of the list so the next
+// reconnect lands where the session migrated to. The jitter is seeded
+// common::Rng, so a given (seed, failure sequence) produces an identical
+// wait schedule — chaos-soak runs are replayable.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
 
@@ -37,6 +50,74 @@ class Client {
  private:
   int fd_ = -1;
   std::string error_;
+};
+
+/// Reconnect policy knobs for FailoverClient.
+struct RetryPolicy {
+  /// First wait after a failure; also the floor of every jittered wait.
+  std::chrono::milliseconds base{100};
+  /// Ceiling on any single wait.
+  std::chrono::milliseconds cap{5000};
+  /// Consecutive failed connection sweeps (one sweep = every address tried
+  /// once) tolerated before connect_until gives up. 0 = unlimited, bounded
+  /// only by the caller's deadline.
+  int budget = 0;
+  /// Seed of the decorrelated-jitter schedule (deterministic per seed).
+  std::uint64_t seed = 0x5eedull;
+};
+
+/// Splits "addr1,addr2,..." into a failover list (empty parts dropped).
+std::vector<std::string> split_address_list(const std::string& spec);
+
+class FailoverClient {
+ public:
+  /// `addresses` must be non-empty; order is preference order (throws
+  /// wlc::DomainError when empty).
+  FailoverClient(std::vector<std::string> addresses, RetryPolicy policy);
+
+  /// Blocks until connected to some address, the retry budget is exhausted,
+  /// or `give_up` passes. Each sweep tries every address once (starting
+  /// from the most recently preferred one); between sweeps it sleeps the
+  /// decorrelated-jitter backoff: wait = min(cap, uniform(base, 3 * prev)).
+  /// Returns true when connected; error() explains a false.
+  bool connect_until(std::chrono::steady_clock::time_point give_up);
+
+  /// One request/reply exchange on the current connection. On transport
+  /// failure the connection is dropped (connected() turns false) and the
+  /// caller decides whether to connect_until again and resume. A Redirect
+  /// reply is surfaced like any other — callers pass it to follow_redirect
+  /// to re-aim the failover list before reconnecting.
+  bool call(const Request& req, Reply* reply);
+
+  /// Moves `address` to the front of the failover list (inserting it if
+  /// new) and drops the current connection so the next connect_until tries
+  /// the redirect target first. Resets the backoff schedule — a redirect is
+  /// fresh information, not another failure.
+  void follow_redirect(const std::string& address);
+
+  void disconnect();
+  bool connected() const { return client_.connected(); }
+  const std::string& error() const { return error_; }
+  /// Address of the current (or last attempted) connection.
+  const std::string& current_address() const { return addresses_[cursor_]; }
+  const std::vector<std::string>& addresses() const { return addresses_; }
+  /// Consecutive failed sweeps since the last successful connect.
+  int failed_sweeps() const { return failed_sweeps_; }
+  /// The wait the next inter-sweep backoff would use — exposed so tests can
+  /// pin the jitter schedule without sleeping.
+  std::chrono::milliseconds peek_backoff() const { return prev_wait_; }
+
+ private:
+  std::chrono::milliseconds next_backoff();
+
+  std::vector<std::string> addresses_;
+  RetryPolicy policy_;
+  Client client_;
+  common::Rng rng_;
+  std::string error_;
+  std::size_t cursor_ = 0;             ///< index of the preferred address
+  int failed_sweeps_ = 0;
+  std::chrono::milliseconds prev_wait_{0};
 };
 
 }  // namespace wlc::serve

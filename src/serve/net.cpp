@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/assert.h"
+#include "common/faultfs.h"
 
 namespace wlc::serve {
 
@@ -131,7 +132,7 @@ void set_nonblocking(int fd) {
 bool write_all(int fd, const char* data, std::size_t size) {
   std::size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
+    const ssize_t n = common::faultfs::write(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -145,7 +146,7 @@ bool write_all(int fd, const char* data, std::size_t size) {
 bool read_exact(int fd, char* data, std::size_t size) {
   std::size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::read(fd, data + done, size - done);
+    const ssize_t n = common::faultfs::read(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -15,14 +15,17 @@ enum class MsgType : std::uint8_t {
   Close = 4,
   Ping = 5,
   Stats = 6,
+  Migrate = 7,
   OpenOk = 64,
   PushOk = 65,
   Curves = 66,
   CloseOk = 67,
   Pong = 68,
   StatsOk = 69,
+  MigrateOk = 70,
   Rejected = 80,
   Err = 81,
+  Redirect = 82,
 };
 
 void write_points(Writer& w, const std::vector<std::pair<EventCount, Cycles>>& pts) {
@@ -96,9 +99,12 @@ std::string encode_request(const Request& req) {
           w.u8(r.discard_snapshot ? 1 : 0);
         } else if constexpr (std::is_same_v<T, PingRequest>) {
           w.u8(static_cast<std::uint8_t>(MsgType::Ping));
-        } else {
-          static_assert(std::is_same_v<T, StatsRequest>);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
           w.u8(static_cast<std::uint8_t>(MsgType::Stats));
+        } else {
+          static_assert(std::is_same_v<T, MigrateRequest>);
+          w.u8(static_cast<std::uint8_t>(MsgType::Migrate));
+          w.str(r.snapshot);
         }
       },
       req);
@@ -150,10 +156,17 @@ std::string encode_reply(const Reply& rep) {
           w.u8(static_cast<std::uint8_t>(r.code));
           w.str(r.reason);
           w.i64(r.retry_after_ms);
-        } else {
-          static_assert(std::is_same_v<T, ErrReply>);
+        } else if constexpr (std::is_same_v<T, ErrReply>) {
           w.u8(static_cast<std::uint8_t>(MsgType::Err));
           w.str(r.message);
+        } else if constexpr (std::is_same_v<T, MigrateOkReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::MigrateOk));
+          w.i64(r.events_seen);
+        } else {
+          static_assert(std::is_same_v<T, RedirectReply>);
+          w.u8(static_cast<std::uint8_t>(MsgType::Redirect));
+          w.str(r.address);
+          w.str(r.reason);
         }
       },
       rep);
@@ -215,6 +228,12 @@ Request decode_request(std::string_view payload) {
     case MsgType::Stats: {
       r.expect_done();
       return StatsRequest{};
+    }
+    case MsgType::Migrate: {
+      MigrateRequest q;
+      q.snapshot = r.str();
+      r.expect_done();
+      return q;
     }
     default:
       throw ParseError("unknown request type " + std::to_string(static_cast<unsigned>(type)),
@@ -290,6 +309,19 @@ Reply decode_reply(std::string_view payload) {
     case MsgType::Err: {
       ErrReply p;
       p.message = r.str();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::MigrateOk: {
+      MigrateOkReply p;
+      p.events_seen = r.i64();
+      r.expect_done();
+      return p;
+    }
+    case MsgType::Redirect: {
+      RedirectReply p;
+      p.address = r.str();
+      p.reason = r.str();
       r.expect_done();
       return p;
     }

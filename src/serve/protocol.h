@@ -18,6 +18,19 @@
 //   Close {session_id, discard}   → CloseOk {events_seen}
 //   Ping {}                       → Pong {pool usage & limits}
 //   Stats {}                      → StatsReply {versioned JSON document}
+//   Migrate {snapshot}            → MigrateOk {events_seen}   peer accepted
+//     → Rejected / Err                                        peer refused
+//
+// Migrate is daemon-to-daemon: a draining daemon started with
+// `--drain-to <addr>` hands each live session's snapshot bytes (the exact
+// versioned+CRC blob it would have written to disk) to the peer, which
+// installs it like a crash recovery — same strict decode, same pool lease
+// discipline — and persists it into its own state dir before replying.
+// After a successful hand-off the origin forgets the session; clients that
+// were parked or arrive mid-drain get a Redirect reply naming the peer, and
+// resume there cursor-exact, so a migrated analysis is bit-identical to an
+// unmigrated one. Snapshots larger than kMaxFrameBytes cannot be framed;
+// the origin falls back to leaving the snapshot on disk (logged).
 //
 // Stats is the live-introspection frame: the reply carries one JSON
 // document ({"schema_version": 1, "uptime_s", "pool", "sessions",
@@ -85,8 +98,16 @@ struct PingRequest {};
 
 struct StatsRequest {};
 
+/// Daemon-to-daemon session hand-off: the payload is the session's complete
+/// snapshot blob (serve/snapshot.h format — magic, version, CRC, state),
+/// identical to the bytes a crash recovery would read from disk. The session
+/// id, tenant and cursor all travel inside the blob.
+struct MigrateRequest {
+  std::string snapshot;
+};
+
 using Request = std::variant<OpenRequest, PushRequest, QueryRequest, CloseRequest, PingRequest,
-                             StatsRequest>;
+                             StatsRequest, MigrateRequest>;
 
 // ---- replies ----
 
@@ -160,8 +181,23 @@ struct ErrReply {
   std::string message;
 };
 
+/// Peer accepted a Migrate: the session is installed and persisted on the
+/// receiving daemon; `events_seen` echoes its resume cursor so the origin
+/// can sanity-check the hand-off before forgetting the session.
+struct MigrateOkReply {
+  EventCount events_seen = 0;
+};
+
+/// The daemon is draining to a peer: retry this request against `address`.
+/// Sent to clients whose Open was parked or arrived mid-drain when
+/// --drain-to is configured (without it they get a QueueTimeout Rejected).
+struct RedirectReply {
+  std::string address;
+  std::string reason;
+};
+
 using Reply = std::variant<OpenReply, PushReply, CurveReply, CloseReply, PongReply, StatsReply,
-                           RejectReply, ErrReply>;
+                           RejectReply, ErrReply, MigrateOkReply, RedirectReply>;
 
 // ---- framing ----
 

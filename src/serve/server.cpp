@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -19,7 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/faultfs.h"
 #include "obs/obs.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 
 namespace wlc::serve {
@@ -48,6 +51,7 @@ const char* opcode_of(const Request& req) {
         else if constexpr (std::is_same_v<T, QueryRequest>) return "query";
         else if constexpr (std::is_same_v<T, CloseRequest>) return "close";
         else if constexpr (std::is_same_v<T, PingRequest>) return "ping";
+        else if constexpr (std::is_same_v<T, MigrateRequest>) return "migrate";
         else return "stats";
       },
       req);
@@ -167,8 +171,24 @@ struct Server::Impl {
   std::map<std::uint64_t, int> pending;  ///< queue cookie → connection fd
   SessionManager::Clock::time_point last_snapshot;
 
+  /// EMFILE insurance: one fd held open from the start so that when the
+  /// process hits its descriptor limit there is still one to momentarily
+  /// release — accept the pending connection, close it (shed), reacquire.
+  /// Without this the kernel keeps the connection in the backlog and the
+  /// listen fd stays readable: poll() returns instantly, forever — a 100%
+  /// CPU spin that also starves every live session.
+  int reserve_fd = -1;
+  int accept_backoff_ms = 0;  ///< doubles per consecutive shed, 0 = none
+  SessionManager::Clock::time_point accept_retry_at{};
+
   explicit Impl(Server& server)
-      : srv(server), reqlog(server.cfg_.request_log, &server.log_) {}
+      : srv(server), reqlog(server.cfg_.request_log, &server.log_) {
+    reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  }
+
+  ~Impl() {
+    if (reserve_fd >= 0) ::close(reserve_fd);
+  }
 
   void send(Connection& c, const Reply& reply) { c.out += encode_reply(reply); }
 
@@ -287,6 +307,8 @@ struct Server::Impl {
         reply = sessions.close(*close);
       } else if (std::holds_alternative<StatsRequest>(req)) {
         reply = StatsReply{build_stats_json()};
+      } else if (const auto* migrate = std::get_if<MigrateRequest>(&req)) {
+        reply = sessions.migrate_in(*migrate);
       } else {
         reply = sessions.stats();
       }
@@ -349,6 +371,56 @@ struct Server::Impl {
     conns.erase(it);
     WLC_COUNTER_ADD("serve.connections.closed", 1);
   }
+
+  /// Drain-time hand-off: offers every live session to the --drain-to peer
+  /// as a Migrate frame and forgets the ones it acknowledges. Any failure —
+  /// peer unreachable, snapshot too large to frame, refusal — leaves that
+  /// session live, so the caller's snapshot_all() persists it to disk as
+  /// before; migration can only improve on the disk-snapshot baseline,
+  /// never lose a session. Returns the number handed off.
+  std::size_t migrate_out(SessionManager& sessions, const std::string& peer) {
+    const std::vector<std::string> ids = sessions.session_ids();
+    if (ids.empty()) return 0;
+    Client client;
+    if (!client.connect(peer)) {
+      srv.log_ << "wlc_serve: drain-to peer " << peer << " unreachable (" << client.error()
+               << "); draining to disk snapshots instead\n";
+      return 0;
+    }
+    std::size_t migrated = 0;
+    for (const std::string& id : ids) {
+      std::string bytes;
+      if (!sessions.export_session_snapshot(id, &bytes)) continue;
+      // encode_request adds the type byte and the blob's length prefix on
+      // top of the snapshot; a payload beyond the frame cap is unframeable.
+      if (bytes.size() + 5 > kMaxFrameBytes) {
+        WLC_COUNTER_ADD("serve.migrate.too_large", 1);
+        srv.log_ << "wlc_serve: session '" << id << "' snapshot (" << bytes.size()
+                 << " bytes) exceeds the frame cap; keeping its disk snapshot\n";
+        continue;
+      }
+      Reply reply;
+      try {
+        if (!client.call(MigrateRequest{std::move(bytes)}, &reply)) {
+          srv.log_ << "wlc_serve: hand-off of session '" << id << "' failed ("
+                   << client.error() << "); remaining sessions drain to disk\n";
+          break;
+        }
+      } catch (const wlc::Error& e) {
+        srv.log_ << "wlc_serve: undecodable reply from drain-to peer for session '" << id
+                 << "' (" << e.message() << "); remaining sessions drain to disk\n";
+        break;
+      }
+      if (std::holds_alternative<MigrateOkReply>(reply)) {
+        sessions.drop_migrated(id);
+        ++migrated;
+      } else {
+        srv.log_ << "wlc_serve: drain-to peer refused session '" << id << "' ("
+                 << outcome_of(reply) << "); keeping its disk snapshot\n";
+      }
+    }
+    return migrated;
+  }
 };
 
 Server::Server(ServerConfig cfg, std::ostream& log)
@@ -401,7 +473,11 @@ int Server::run(const runtime::RunPolicy& policy) {
     WLC_GAUGE_SET("serve.reactor.heartbeat_us", hb);
 
     std::vector<pollfd> fds;
-    fds.push_back({listen_fd_, POLLIN, 0});
+    // During an EMFILE backoff window the listen fd is not polled for
+    // readability at all — otherwise the still-backlogged connection would
+    // make every poll() return instantly (the spin this satellite removes).
+    const bool accept_paused = SessionManager::Clock::now() < impl.accept_retry_at;
+    fds.push_back({listen_fd_, static_cast<short>(accept_paused ? 0 : POLLIN), 0});
     for (auto& [fd, c] : impl.conns) {
       short events = 0;
       if (c.out.size() < kOutputWatermark && !c.close_after_flush) events |= POLLIN;
@@ -418,13 +494,43 @@ int Server::run(const runtime::RunPolicy& policy) {
     // New connections.
     if (fds[0].revents & POLLIN) {
       for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        set_nonblocking(fd);
-        Connection c;
-        c.fd = fd;
-        impl.conns.emplace(fd, std::move(c));
-        WLC_COUNTER_ADD("serve.connections.accepted", 1);
+        const int fd = common::faultfs::accept(listen_fd_, nullptr, nullptr);
+        if (fd >= 0) {
+          impl.accept_backoff_ms = 0;
+          set_nonblocking(fd);
+          Connection c;
+          c.fd = fd;
+          impl.conns.emplace(fd, std::move(c));
+          WLC_COUNTER_ADD("serve.connections.accepted", 1);
+          continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Descriptor exhaustion. Accept-close-shed via the reserve fd:
+          // the backlogged peer gets a clean close instead of hanging and
+          // the listen fd stops reporting readable; then back off so an fd
+          // storm cannot monopolize the reactor over live sessions.
+          const int saved_errno = errno;
+          if (impl.reserve_fd >= 0) {
+            ::close(impl.reserve_fd);
+            impl.reserve_fd = -1;
+            const int shed = ::accept(listen_fd_, nullptr, nullptr);
+            if (shed >= 0) ::close(shed);
+            impl.reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          }
+          WLC_COUNTER_ADD("serve.accept.shed", 1);
+          const bool first = impl.accept_backoff_ms == 0;
+          impl.accept_backoff_ms =
+              first ? 10 : std::min(impl.accept_backoff_ms * 2, 500);
+          impl.accept_retry_at = SessionManager::Clock::now() +
+                                 std::chrono::milliseconds(impl.accept_backoff_ms);
+          if (first) {
+            std::lock_guard<std::mutex> lock(impl.watchdog.mu);
+            log_ << "wlc_serve: accept: " << std::strerror(saved_errno)
+                 << "; shedding new connections with backoff\n";
+          }
+        }
+        break;
       }
     }
 
@@ -445,7 +551,7 @@ int Server::run(const runtime::RunPolicy& policy) {
       if (fds[i].revents & POLLIN) {
         char buf[kReadChunk];
         for (;;) {
-          const ssize_t got = ::read(fd, buf, sizeof buf);
+          const ssize_t got = common::faultfs::read(fd, buf, sizeof buf);
           if (got > 0) {
             c.in.append(buf, static_cast<std::size_t>(got));
             if (!impl.process_input(sessions_, c)) break;
@@ -465,7 +571,7 @@ int Server::run(const runtime::RunPolicy& policy) {
         }
       }
       if (!c.out.empty()) {
-        const ssize_t sent = ::write(fd, c.out.data(), c.out.size());
+        const ssize_t sent = common::faultfs::write(fd, c.out.data(), c.out.size());
         if (sent > 0) c.out.erase(0, static_cast<std::size_t>(sent));
         else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
           doomed.push_back(fd);
@@ -491,9 +597,13 @@ int Server::run(const runtime::RunPolicy& policy) {
   for (auto& [fd, c] : impl.conns) impl.process_input(sessions_, c);
   for (auto& [cookie, fd] : impl.pending) {
     const auto it = impl.conns.find(fd);
-    if (it != impl.conns.end())
-      impl.send(it->second,
-                RejectReply{RejectCode::QueueTimeout, "daemon draining for shutdown", 0});
+    if (it != impl.conns.end()) {
+      if (!cfg_.drain_to.empty())
+        impl.send(it->second, RedirectReply{cfg_.drain_to, "daemon draining to peer"});
+      else
+        impl.send(it->second,
+                  RejectReply{RejectCode::QueueTimeout, "daemon draining for shutdown", 0});
+    }
     sessions_.cancel_queued(cookie);
   }
   const auto flush_deadline =
@@ -503,17 +613,32 @@ int Server::run(const runtime::RunPolicy& policy) {
     outstanding = false;
     for (auto& [fd, c] : impl.conns) {
       if (c.out.empty()) continue;
-      const ssize_t sent = ::write(fd, c.out.data(), c.out.size());
+      const ssize_t sent = common::faultfs::write(fd, c.out.data(), c.out.size());
       if (sent > 0) c.out.erase(0, static_cast<std::size_t>(sent));
       if (!c.out.empty()) outstanding = true;
     }
     if (outstanding) ::poll(nullptr, 0, 5);
   }
+  std::size_t migrated = 0;
+  if (!cfg_.drain_to.empty()) migrated = impl.migrate_out(sessions_, cfg_.drain_to);
   sessions_.snapshot_all();
   for (auto& [fd, c] : impl.conns) ::close(fd);
   impl.conns.clear();
-  log_ << "wlc_serve: drained " << sessions_.live_sessions()
-       << " live sessions to snapshots, exiting\n";
+  log_ << "wlc_serve: drained " << sessions_.live_sessions() << " live sessions to snapshots";
+  if (!cfg_.drain_to.empty())
+    log_ << ", " << migrated << " migrated to " << cfg_.drain_to;
+  log_ << ", exiting\n";
+  // Drain sentinel: the last request-log record of a graceful shutdown.
+  // tools/soak_serve.sh waits for this line instead of sleeping — once it
+  // appears, every migration and snapshot above has completed and the log
+  // fd has absorbed the final write (one write(2) per record).
+  if (impl.reqlog.enabled()) {
+    RequestLog::Record rec;
+    rec.ts_us = wall_clock_us();
+    rec.opcode = "drain";
+    rec.outcome = "complete";
+    impl.reqlog.append(rec);
+  }
   return 0;
 }
 

@@ -45,6 +45,13 @@ namespace wlc::serve {
 struct ServerConfig {
   std::string listen;        ///< "unix:/path", "host:port" or ":port"
   SessionConfig sessions;    ///< pool limits, admission policy, state dir
+  /// Peer address to hand live sessions to during the graceful drain
+  /// (Migrate frames over the normal protocol). Empty = drain to disk
+  /// snapshots only. With a peer configured, parked Opens are answered
+  /// with a Redirect naming it instead of a QueueTimeout rejection, and a
+  /// session whose hand-off fails (peer down, snapshot over the frame cap)
+  /// falls back to its disk snapshot.
+  std::string drain_to;
   std::chrono::milliseconds snapshot_interval{2000};  ///< timer-driven snapshot_all
   int poll_timeout_ms = 50;  ///< reactor tick (stop-token poll granularity)
   RequestLogConfig request_log;  ///< per-frame JSONL log; path empty = off

@@ -1,11 +1,13 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <ostream>
 
+#include "common/error.h"
 #include "obs/obs.h"
 #include "runtime/runtime.h"
 #include "serve/snapshot.h"
@@ -250,7 +252,7 @@ Reply SessionManager::push(const PushRequest& req) {
   s->events_since_snapshot += n;
   WLC_COUNTER_ADD("serve.events.pushed", n);
   tenant_count(s->tenant, "events", n);
-  if (!cfg_.state_dir.empty() && cfg_.snapshot_every > 0 &&
+  if (!cfg_.state_dir.empty() && cfg_.snapshot_every > 0 && !s->memory_only &&
       s->events_since_snapshot >= cfg_.snapshot_every)
     snapshot_session(*s);
   const auto health = s->extractor.health();
@@ -330,6 +332,7 @@ std::vector<SessionManager::SessionInfo> SessionManager::describe_sessions() con
     row.ready = s->extractor.ready();
     row.degraded = s->degraded;
     row.dirty = s->dirty;
+    row.memory_only = s->memory_only;
     rows.push_back(std::move(row));
   }
   return rows;
@@ -338,6 +341,93 @@ std::vector<SessionManager::SessionInfo> SessionManager::describe_sessions() con
 std::string SessionManager::tenant_of(const std::string& session_id) const {
   const Session* s = find(session_id);
   return s != nullptr ? s->tenant : std::string();
+}
+
+Reply SessionManager::migrate_in(const MigrateRequest& req) {
+  SessionSnapshot snap;
+  std::unique_ptr<Session> session;
+  try {
+    // Same strict path as crash recovery: decode validates magic, version,
+    // CRC, payload structure and extractor-state consistency.
+    snap = decode_snapshot(req.snapshot);
+    session =
+        std::make_unique<Session>(workload::OnlineWorkloadExtractor::from_state(snap.extractor));
+  } catch (const wlc::Error& e) {
+    WLC_COUNTER_ADD("serve.migrate.refused", 1);
+    log_line("migrate refused: snapshot rejected (" + std::string(e.kind()) +
+             "): " + e.message());
+    return ErrReply{"migrate refused: snapshot rejected (" + std::string(e.kind()) +
+                    "): " + e.message()};
+  }
+  if (!valid_identifier(snap.session_id) || !valid_identifier(snap.tenant)) {
+    WLC_COUNTER_ADD("serve.migrate.refused", 1);
+    return reject(RejectCode::BadRequest, "migrate refused: invalid session id or tenant", 0);
+  }
+  if (find(snap.session_id) != nullptr) {
+    WLC_COUNTER_ADD("serve.migrate.refused", 1);
+    return reject(RejectCode::BadRequest,
+                  "migrate refused: session '" + snap.session_id + "' is already live here", 0);
+  }
+  session->id = snap.session_id;
+  session->tenant = snap.tenant;
+  session->ks_used = snap.extractor.ks;
+  session->grid_cost = static_cast<std::int64_t>(session->ks_used.size());
+  session->bytes_cost = session_bytes_estimate(session->ks_used);
+  // Like recovery: the session was already admitted (by the origin daemon),
+  // so it re-leases unconditionally rather than being re-subjected to this
+  // pool's admission — dropping an accepted session's guarantees mid-flight
+  // would be worse than a transient overcommit.
+  grid_leased_ += session->grid_cost;
+  bytes_leased_ += session->bytes_cost;
+  Session& ref = *session;
+  sessions_[ref.id] = std::move(session);
+  tenant_count(ref.tenant, "migrated_in", 1);
+  WLC_COUNTER_ADD("serve.sessions.migrated_in", 1);
+  WLC_GAUGE_SET("serve.sessions.live", static_cast<std::int64_t>(sessions_.size()));
+  WLC_GAUGE_SET("serve.pool.grid_leased", grid_leased_);
+  WLC_GAUGE_SET("serve.pool.bytes_leased", bytes_leased_);
+  // Persist before acknowledging: once the origin sees MigrateOk it deletes
+  // its copy, so this daemon must be able to survive its own crash from
+  // here on. A disk-full receiver still accepts (memory-only degrade).
+  if (!cfg_.state_dir.empty()) snapshot_session(ref);
+  log_line("session '" + ref.id + "' migrated in (cursor " +
+           std::to_string(ref.extractor.events_seen() + ref.extractor.health().quarantined) +
+           ")");
+  MigrateOkReply ok;
+  ok.events_seen = ref.extractor.events_seen() + ref.extractor.health().quarantined;
+  return ok;
+}
+
+std::vector<std::string> SessionManager::session_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+bool SessionManager::export_session_snapshot(const std::string& id, std::string* bytes) const {
+  const Session* s = find(id);
+  if (s == nullptr) return false;
+  SessionSnapshot snap;
+  snap.session_id = s->id;
+  snap.tenant = s->tenant;
+  snap.extractor = s->extractor.export_state();
+  *bytes = encode_snapshot(snap);
+  return true;
+}
+
+void SessionManager::drop_migrated(const std::string& id) {
+  Session* s = find(id);
+  if (s == nullptr) return;
+  if (!cfg_.state_dir.empty()) std::remove(snapshot_path(id).c_str());
+  grid_leased_ -= s->grid_cost;
+  bytes_leased_ -= s->bytes_cost;
+  tenant_count(s->tenant, "migrated_out", 1);
+  sessions_.erase(id);
+  WLC_COUNTER_ADD("serve.sessions.migrated_out", 1);
+  WLC_GAUGE_SET("serve.sessions.live", static_cast<std::int64_t>(sessions_.size()));
+  WLC_GAUGE_SET("serve.pool.grid_leased", grid_leased_);
+  WLC_GAUGE_SET("serve.pool.bytes_leased", bytes_leased_);
 }
 
 std::vector<SessionManager::QueueResolution> SessionManager::pump_queue(Clock::time_point now) {
@@ -385,9 +475,24 @@ void SessionManager::snapshot_session(Session& s) {
   snap.tenant = s.tenant;
   snap.extractor = s.extractor.export_state();
   std::string error;
-  if (!write_snapshot_file(snapshot_path(s.id), snap, &error)) {
+  int write_errno = 0;
+  if (!write_snapshot_file(snapshot_path(s.id), snap, &error, &write_errno)) {
     WLC_COUNTER_ADD("serve.snapshots.failed", 1);
-    log_line("snapshot of session '" + s.id + "' failed: " + error);
+    if (write_errno == ENOSPC || write_errno == EDQUOT) {
+      // Disk full is the one I/O failure with a sound degraded mode:
+      // suspend this session's cadence snapshots (analysis stays exact,
+      // only crash-durability is lost) instead of hammering a full disk —
+      // snapshot_all and Close keep retrying, and success re-arms.
+      WLC_COUNTER_ADD("serve.snapshots.disk_full", 1);
+      if (!s.memory_only) {
+        s.memory_only = true;
+        WLC_COUNTER_ADD("serve.sessions.memory_only", 1);
+        const DiskFullError e("session degraded to in-memory-only: " + error, s.id);
+        log_line(std::string(e.kind()) + ": " + e.message());
+      }
+    } else {
+      log_line("snapshot of session '" + s.id + "' failed: " + error);
+    }
     return;
   }
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -397,6 +502,10 @@ void SessionManager::snapshot_session(Session& s) {
   WLC_HISTOGRAM_OBSERVE("serve.snapshot_us", us);
   s.events_since_snapshot = 0;
   s.dirty = false;
+  if (s.memory_only) {
+    s.memory_only = false;
+    log_line("session '" + s.id + "' snapshots re-enabled (disk has space again)");
+  }
 }
 
 void SessionManager::snapshot_all() {

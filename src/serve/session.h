@@ -91,6 +91,27 @@ class SessionManager {
   Reply close(const CloseRequest& req);
   PongReply stats() const;
 
+  /// Installs a session handed over by a draining peer (Migrate frame). The
+  /// snapshot bytes get the same strict decode as crash recovery; a corrupt
+  /// blob is refused with an Err reply, a duplicate or invalid id with a
+  /// Rejected, and an accepted session leases unconditionally (like
+  /// recover()), is persisted into this daemon's state dir immediately, and
+  /// is answered with MigrateOk{resume cursor}.
+  Reply migrate_in(const MigrateRequest& req);
+
+  /// Ids of all live sessions (id-sorted) — the drain loop's work list.
+  std::vector<std::string> session_ids() const;
+
+  /// Encodes one live session into migration/snapshot bytes. Returns false
+  /// when the id is unknown.
+  bool export_session_snapshot(const std::string& id, std::string* bytes) const;
+
+  /// Forgets a session whose hand-off a peer acknowledged: releases its
+  /// leases and removes the local snapshot file. The peer owns it now —
+  /// leaving the local .wlcs behind would resurrect a stale duplicate on
+  /// the next restart.
+  void drop_migrated(const std::string& id);
+
   /// Admits queued Opens that now fit and expires those past their
   /// deadline. Returns one resolution per settled entry.
   struct QueueResolution {
@@ -125,6 +146,7 @@ class SessionManager {
     bool ready = false;             ///< smallest window has closed
     bool degraded = false;          ///< grid was coarsened at admission
     bool dirty = false;             ///< events accepted since the last snapshot
+    bool memory_only = false;       ///< snapshots suspended after DiskFullError
   };
   std::vector<SessionInfo> describe_sessions() const;
 
@@ -143,6 +165,11 @@ class SessionManager {
     EventCount events_since_snapshot = 0;
     bool dirty = false;
     bool degraded = false;
+    /// Set on ENOSPC during a snapshot (DiskFullError): cadence snapshots
+    /// are suspended for this session — analysis stays exact, only
+    /// crash-durability is lost — and retried at snapshot_all/Close, which
+    /// clears the flag when the disk has space again.
+    bool memory_only = false;
 
     explicit Session(workload::OnlineWorkloadExtractor ex) : extractor(std::move(ex)) {}
   };

@@ -129,8 +129,8 @@ SessionSnapshot decode_snapshot(std::string_view bytes) {
 }
 
 bool write_snapshot_file(const std::string& path, const SessionSnapshot& snap,
-                         std::string* error) {
-  return common::atomic_write_file(path, encode_snapshot(snap), error);
+                         std::string* error, int* errno_out) {
+  return common::atomic_write_file(path, encode_snapshot(snap), error, errno_out);
 }
 
 bool read_snapshot_file(const std::string& path, SessionSnapshot* snap, std::string* error) {

@@ -55,9 +55,11 @@ SessionSnapshot decode_snapshot(std::string_view bytes);
 
 /// Writes `snap` to `path` atomically (temp + fsync + rename). Throws
 /// wlc::Error-derived exceptions never; returns false with `*error` filled
-/// on I/O failure.
+/// on I/O failure. `*errno_out` (when non-null) receives the failing
+/// step's errno — the daemon keys its ENOSPC → in-memory-only degradation
+/// off it.
 bool write_snapshot_file(const std::string& path, const SessionSnapshot& snap,
-                         std::string* error = nullptr);
+                         std::string* error = nullptr, int* errno_out = nullptr);
 
 /// Reads and strictly validates a snapshot file. Throws wlc::ParseError on
 /// corruption; returns false with `*error` filled when the file cannot be

@@ -33,6 +33,7 @@ TEST(ServeProtocol, RequestRoundTrips) {
       CloseRequest{"abc-123", false},
       PingRequest{},
       StatsRequest{},
+      MigrateRequest{std::string("\x00\x01snapshot-bytes\xff are opaque here", 33)},
   };
   for (const Request& req : reqs) {
     const std::string frame = encode_request(req);
@@ -49,6 +50,11 @@ TEST(ServeProtocol, RequestRoundTrips) {
     }
     if (const auto* c = std::get_if<CloseRequest>(&back)) {
       EXPECT_FALSE(c->discard_snapshot);
+    }
+    if (const auto* m = std::get_if<MigrateRequest>(&back)) {
+      // The snapshot blob is opaque binary; embedded NUL and high bytes
+      // must survive the string codec untouched.
+      EXPECT_EQ(m->snapshot, std::string("\x00\x01snapshot-bytes\xff are opaque here", 33));
     }
   }
 }
@@ -80,6 +86,8 @@ TEST(ServeProtocol, ReplyRoundTrips) {
       StatsReply{"{\"schema_version\": 1, \"uptime_s\": 3}\n"},
       RejectReply{RejectCode::GridLimit, "grid pool exhausted", 250},
       ErrReply{"malformed request"},
+      MigrateOkReply{123456},
+      RedirectReply{"unix:/tmp/peer.sock", "daemon draining to peer"},
   };
   for (const Reply& rep : reps) {
     const std::string frame = encode_reply(rep);
@@ -103,6 +111,13 @@ TEST(ServeProtocol, ReplyRoundTrips) {
       EXPECT_EQ(r->code, RejectCode::GridLimit);
       EXPECT_EQ(r->reason, "grid pool exhausted");
       EXPECT_EQ(r->retry_after_ms, 250);
+    }
+    if (const auto* m = std::get_if<MigrateOkReply>(&back)) {
+      EXPECT_EQ(m->events_seen, 123456);
+    }
+    if (const auto* rd = std::get_if<RedirectReply>(&back)) {
+      EXPECT_EQ(rd->address, "unix:/tmp/peer.sock");
+      EXPECT_EQ(rd->reason, "daemon draining to peer");
     }
   }
 }

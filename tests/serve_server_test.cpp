@@ -24,8 +24,10 @@
 #include "serve/net.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
 #include "serve/wire.h"
 #include "workload/extract.h"
+#include "workload/online_extract.h"
 
 namespace wlc::serve {
 namespace {
@@ -49,17 +51,22 @@ struct DaemonFixture {
   std::thread thread;
   int run_result = -1;
 
-  explicit DaemonFixture(const std::string& name, SessionConfig sessions = {}) {
+  std::string drain_to;  ///< peer address for the drain hand-off; "" = disk
+
+  explicit DaemonFixture(const std::string& name, SessionConfig sessions = {},
+                         std::string drain_peer = "") {
     dir = std::filesystem::temp_directory_path() / ("wlc_srv_" + name + "_" +
                                                     std::to_string(::getpid()));
     std::filesystem::create_directories(dir);
     sock = (dir / "s").string();
+    drain_to = std::move(drain_peer);
     start(std::move(sessions));
   }
 
   void start(SessionConfig sessions) {
     ServerConfig cfg;
     cfg.listen = "unix:" + sock;
+    cfg.drain_to = drain_to;
     cfg.sessions = std::move(sessions);
     cfg.poll_timeout_ms = 5;
     cfg.snapshot_interval = std::chrono::milliseconds(0);  // only drain/cadence snapshots
@@ -281,6 +288,108 @@ TEST(ServeServer, GracefulDrainSnapshotsAndRestartResumesBitIdentically) {
   daemon.stop_and_join();
   std::error_code ec;
   std::filesystem::remove_all(state_dir, ec);
+}
+
+// The failover story: a draining daemon configured with --drain-to hands
+// its live sessions to the peer over Migrate frames. The origin must (a)
+// delete its local snapshot only after the peer's MigrateOk (the peer owns
+// the session now — a leftover .wlcs would resurrect a stale duplicate),
+// (b) the peer must have persisted its copy before acking, and (c) a client
+// re-Opening the session on the peer resumes cursor-exact, finishing
+// bit-identical to an unmigrated run.
+TEST(ServeServer, DrainMigratesLiveSessionsToPeerBitIdentically) {
+  const auto demands = demo_demands(400, 31);
+  const std::vector<EventCount> ks = {1, 2, 4, 8, 16, 64, 400};
+  const std::size_t cut = 191;
+
+  SessionConfig peer_cfg;
+  peer_cfg.state_dir =
+      (std::filesystem::temp_directory_path() /
+       ("wlc_srv_mig_b_state_" + std::to_string(::getpid()))).string();
+  DaemonFixture peer("mig_b", peer_cfg);
+  SessionConfig origin_cfg;
+  origin_cfg.state_dir =
+      (std::filesystem::temp_directory_path() /
+       ("wlc_srv_mig_a_state_" + std::to_string(::getpid()))).string();
+  DaemonFixture origin("mig_a", origin_cfg, "unix:" + peer.sock);
+
+  {
+    Client client;
+    connect_client(origin, &client);
+    Reply reply;
+    ASSERT_TRUE(client.call(open_req("mig-s", ks), &reply)) << client.error();
+    ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+    PushRequest push;
+    push.session_id = "mig-s";
+    push.demands.assign(demands.begin(), demands.begin() + static_cast<std::ptrdiff_t>(cut));
+    ASSERT_TRUE(client.call(push, &reply)) << client.error();
+    EXPECT_EQ(std::get<PushReply>(reply).events_seen, static_cast<EventCount>(cut));
+  }
+
+  // Graceful stop of the origin: the drain offers the session to the peer.
+  origin.stop_and_join();
+  EXPECT_NE(origin.log.str().find("1 migrated to unix:" + peer.sock), std::string::npos)
+      << origin.log.str();
+  // Ownership moved: the origin dropped its snapshot, the peer persisted one.
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(origin_cfg.state_dir) / "mig-s.wlcs"));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(peer_cfg.state_dir) / "mig-s.wlcs"))
+      << peer.log.str();
+
+  // The client's follow-up lands on the peer and resumes cursor-exact.
+  Client client;
+  connect_client(peer, &client);
+  Reply reply;
+  ASSERT_TRUE(client.call(open_req("mig-s", ks), &reply)) << client.error();
+  const auto* resumed = std::get_if<OpenReply>(&reply);
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_TRUE(resumed->resumed);
+  ASSERT_EQ(resumed->events_seen, static_cast<EventCount>(cut));
+
+  PushRequest rest;
+  rest.session_id = "mig-s";
+  rest.demands.assign(demands.begin() + static_cast<std::ptrdiff_t>(cut), demands.end());
+  ASSERT_TRUE(client.call(rest, &reply)) << client.error();
+  ASSERT_TRUE(client.call(QueryRequest{"mig-s"}, &reply)) << client.error();
+  const auto* curves = std::get_if<CurveReply>(&reply);
+  ASSERT_NE(curves, nullptr);
+  ASSERT_TRUE(curves->ready);
+  EXPECT_EQ(curves->upper, workload::extract_upper(demands, ks).points());
+  EXPECT_EQ(curves->lower, workload::extract_lower(demands, ks).points());
+  peer.stop_and_join();
+
+  std::error_code ec;
+  std::filesystem::remove_all(origin_cfg.state_dir, ec);
+  std::filesystem::remove_all(peer_cfg.state_dir, ec);
+}
+
+// A corrupt Migrate blob must be refused with Err (counted), never
+// half-installed; a duplicate id with Rejected. The origin treats either as
+// "keep it local" and falls back to its disk snapshot.
+TEST(ServeServer, MigrateInRefusesCorruptBlobsAndDuplicates) {
+  DaemonFixture daemon("mig_refuse");
+  Client client;
+  connect_client(daemon, &client);
+  Reply reply;
+
+  ASSERT_TRUE(client.call(MigrateRequest{"definitely not a snapshot"}, &reply))
+      << client.error();
+  const auto* err = std::get_if<ErrReply>(&reply);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->message.find("migrate refused"), std::string::npos) << err->message;
+
+  // A live session with the same id blocks a migrate of that id.
+  ASSERT_TRUE(client.call(open_req("dup-s", {1, 2, 8}), &reply)) << client.error();
+  ASSERT_TRUE(std::holds_alternative<OpenReply>(reply));
+  workload::OnlineWorkloadExtractor ex({1, 2, 8});
+  for (Cycles d : demo_demands(50)) ex.try_push(d);
+  const std::string blob = encode_snapshot({"dup-s", "t", ex.export_state()});
+  ASSERT_TRUE(client.call(MigrateRequest{blob}, &reply)) << client.error();
+  const auto* rej = std::get_if<RejectReply>(&reply);
+  ASSERT_NE(rej, nullptr);
+  EXPECT_EQ(rej->code, RejectCode::BadRequest);
+  daemon.stop_and_join();
 }
 
 }  // namespace

@@ -9,11 +9,15 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "serve/session.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
 #include "workload/online_extract.h"
@@ -174,6 +178,51 @@ TEST(ServeSnapshot, FileRoundTripAndMissingFile) {
   EXPECT_EQ(back.extractor.events, snap.extractor.events);
   EXPECT_FALSE(read_snapshot_file((dir / "absent.wlcs").string(), &back, &err));
   EXPECT_FALSE(err.empty());
+  std::filesystem::remove_all(dir);
+}
+
+// The quarantine contract end to end: a corrupt *.wlcs present at startup
+// is (1) moved aside as *.corrupt with its bytes preserved for post-mortem,
+// (2) named in the daemon log, and (3) does not poison the id — a fresh
+// Open with the same session id is admitted as a brand-new session at
+// cursor 0, not resumed into half-loaded state.
+TEST(ServeSnapshot, CorruptSnapshotIsQuarantinedNamedInLogAndIdRestartsAtZero) {
+  const auto dir = std::filesystem::temp_directory_path() / "wlc_snap_quarantine";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string bytes = encode_snapshot(demo_snapshot(80));  // id "sess-1"
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const std::string path = (dir / "sess-1.wlcs").string();
+  std::string werr;
+  ASSERT_TRUE(common::atomic_write_file(path, bytes, &werr)) << werr;
+
+  std::ostringstream log;
+  SessionConfig cfg;
+  cfg.state_dir = dir.string();
+  cfg.log = &log;
+  SessionManager mgr(cfg);
+  EXPECT_EQ(mgr.recover(), 0u);
+
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const std::string quarantined = path + ".corrupt";
+  ASSERT_TRUE(std::filesystem::exists(quarantined)) << log.str();
+  std::ifstream in(quarantined, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), bytes);  // preserved byte-exact, not truncated/rewritten
+  EXPECT_NE(log.str().find("sess-1.wlcs"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("quarantined"), std::string::npos) << log.str();
+
+  OpenRequest open;
+  open.session_id = "sess-1";
+  open.tenant = "tenant.a";
+  open.ks = {1, 2, 5};
+  const auto out = mgr.open(open, SessionManager::Clock::now());
+  ASSERT_EQ(out.kind, SessionManager::OpenOutcome::Kind::Replied);
+  const auto* ok = std::get_if<OpenReply>(&out.reply);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->resumed);
+  EXPECT_EQ(ok->events_seen, 0);
   std::filesystem::remove_all(dir);
 }
 

@@ -157,13 +157,17 @@ TEST(ServeStats, RequestLogWritesOneRecordPerFrame) {
   ASSERT_TRUE(f.good());
   std::vector<std::string> lines;
   for (std::string line; std::getline(f, line);) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 3u);  // open, push, ping
+  // open, push, ping, plus the graceful-drain sentinel as the final record
+  // (tools/soak_serve.sh waits on it instead of sleeping).
+  ASSERT_EQ(lines.size(), 4u);
   EXPECT_NE(lines[0].find("\"opcode\":\"open\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"session\":\"log-sess\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"tenant\":\"t\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"outcome\":\"ok\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"opcode\":\"push\""), std::string::npos);
   EXPECT_NE(lines[2].find("\"opcode\":\"ping\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"opcode\":\"drain\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"outcome\":\"complete\""), std::string::npos);
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');

@@ -16,6 +16,13 @@ report-only — regressions are listed but the exit status stays 0 (pass
 --fail-on-host-mismatch to gate anyway). On a matching host the gate is
 blocking, which is what lets CI run this without continue-on-error.
 
+A missing or empty *baseline* is not an error: a fresh clone (or a CI cache
+miss) has no BENCH_*.json yet, and failing the pipeline for that would force
+every new checkout to hand-seed baselines. In that case the candidate is
+printed report-only with a warning and the exit status is 0. A broken
+*candidate* still exits 2 — that file was just produced by the run being
+gated, so it should never be missing or malformed.
+
 Usage: tools/compare_bench.py baseline.json candidate.json
            [--threshold 0.10] [--metric real_time|cpu_time] [--no-fail]
            [--fail-on-host-mismatch]
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -40,6 +48,20 @@ def load(path: str) -> dict:
         sys.exit(f"error: '{path}' has no 'benchmarks' array "
                  "(not a google-benchmark JSON file?)")
     return data
+
+
+def usable_baseline(path: str) -> bool:
+    """True when `path` exists, parses, and carries at least one benchmark.
+    Anything else (absent, empty file, truncated JSON, no 'benchmarks',
+    empty 'benchmarks' array) means there is nothing to gate against."""
+    if not os.path.exists(path):
+        return False
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return bool(data.get("benchmarks"))
 
 
 def times_ns(data: dict, metric: str) -> dict[str, float]:
@@ -95,6 +117,20 @@ def main() -> int:
     args = ap.parse_args()
     if args.threshold < 0:
         ap.error("--threshold must be >= 0")
+
+    if not usable_baseline(args.baseline):
+        cand_data = load(args.candidate)
+        cand = times_ns(cand_data, args.metric)
+        print(f"WARNING: no usable baseline at '{args.baseline}' "
+              "(missing, unparsable, or zero benchmarks); report-only, "
+              "nothing to gate against", file=sys.stderr)
+        width = max((len(n) for n in sorted(cand)), default=4)
+        print(f"{'benchmark':<{width}}  {'candidate':>10}")
+        for name in sorted(cand):
+            print(f"{name:<{width}}  {fmt_ns(cand[name]):>10}")
+        print(f"\n{len(cand)} benchmark(s), no baseline — exit 0 "
+              "(save this candidate as the next baseline)")
+        return 0
 
     base_data = load(args.baseline)
     cand_data = load(args.candidate)
