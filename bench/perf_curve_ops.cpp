@@ -5,11 +5,14 @@
 // fast path vs memo-cache hit, at n ∈ {256, 1024, 4096} on convex/concave
 // inputs (every rung is bit-identical; only the route differs — see
 // docs/architecture.md, "Curve algebra & dispatch"). tools/run_benchmarks.sh
-// records these as BENCH_curve_ops.json. The PWL and sup-diff benches cover
-// the remaining hot evaluation paths.
+// records these as BENCH_curve_ops.json. The PWL-compaction benches time the
+// bounded-error knot tier (10⁶-point fit/expand, knot kernels vs the dense
+// fast path on identical operands); the PWL and sup-diff benches cover the
+// remaining hot evaluation paths.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "curve/compact.h"
 #include "curve/discrete_curve.h"
 #include "curve/engine.h"
 #include "curve/op_cache.h"
@@ -193,6 +196,89 @@ void BM_SupDiffBacklog(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::sup_diff(f, g));
 }
 BENCHMARK(BM_SupDiffBacklog)->Range(1024, 65536);
+
+// ---- PWL compaction tier ---------------------------------------------------
+
+// Ramp + periodic tooth: the canonical "huge but regular" γ envelope. Under
+// a two-tooth absolute budget the greedy fit rides the ramp for many periods
+// per segment, so the 10⁶-point curve compacts ≥ 50× (the same construction
+// tests/pwl_compact_test.cpp pins as a hard floor).
+DiscreteCurve sawtooth(std::size_t n, double ramp, double amp, std::size_t period) {
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(ramp * static_cast<double>(i) +
+                amp * static_cast<double>(i % period) / static_cast<double>(period));
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+// Convex staircase-of-slopes: slope changes only every n/segs samples, so an
+// exact (eps = 0) compaction keeps ~segs knots out of n points. This is the
+// operand class where the knot kernels earn their keep: the dense fast path
+// is O(n) in samples, compact_conv_merge is O(k) in knots.
+DiscreteCurve blocky_convex(std::size_t n, std::size_t segs, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  double slope = 0.0;
+  const std::size_t per = n / segs;
+  for (std::size_t i = 1; i < n; ++i) {
+    // Dyadic slope steps keep every sample exactly representable, so the
+    // stored increments are *exactly* piecewise-constant — the shape
+    // classifier (tol = 0) sees Convex and the eps = 0 compaction keeps one
+    // knot per block instead of fragmenting on ulp drift.
+    if (i % per == 1) slope += 0.25 * static_cast<double>(rng.uniform_int(1, 4));
+    v.push_back(v.back() + slope);
+  }
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+void BM_CompactMillionPointSawtooth(benchmark::State& state) {
+  const DiscreteCurve dense = sawtooth(1'000'000, 0.875, 48.0, 128);
+  const curve::CompactBudget budget{96.0, 0.0};
+  double reduction = 0.0;
+  for (auto _ : state) {
+    const curve::CompactCurve c = curve::CompactCurve::compact_upper(dense, budget);
+    reduction = c.reduction();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["reduction_x"] = reduction;
+}
+BENCHMARK(BM_CompactMillionPointSawtooth)->Unit(benchmark::kMillisecond);
+
+void BM_CompactMillionPointExpand(benchmark::State& state) {
+  // The inverse trip: materializing the dense curve back out of the tier.
+  const curve::CompactCurve c = curve::CompactCurve::compact_upper(
+      sawtooth(1'000'000, 0.875, 48.0, 128), curve::CompactBudget{96.0, 0.0});
+  for (auto _ : state) benchmark::DoNotOptimize(c.expand());
+  state.counters["knots"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_CompactMillionPointExpand)->Unit(benchmark::kMillisecond);
+
+void BM_BlockyConvexMinPlusConv_DenseFastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DiscreteCurve f = blocky_convex(n, 64, 9);
+  const DiscreteCurve g = blocky_convex(n, 64, 10);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
+  for (auto _ : state) benchmark::DoNotOptimize(DiscreteCurve::min_plus_conv(f, g));
+}
+BENCHMARK(BM_BlockyConvexMinPlusConv_DenseFastPath)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_BlockyConvexMinPlusConv_CompactKnots(benchmark::State& state) {
+  // Same operands as the dense twin above, exactly (eps = 0) compacted; the
+  // knot-merge kernel runs on ~64 knots regardless of n.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const curve::CompactBudget exact{};
+  const curve::CompactCurve cf =
+      curve::CompactCurve::compact_upper(blocky_convex(n, 64, 9), exact);
+  const curve::CompactCurve cg =
+      curve::CompactCurve::compact_upper(blocky_convex(n, 64, 10), exact);
+  set_engine(/*fast_paths=*/true, /*use_cache=*/false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        engine::apply_compact(curve::CurveOp::MinPlusConv, cf, cg));
+  state.counters["knots_f"] = static_cast<double>(cf.size());
+}
+BENCHMARK(BM_BlockyConvexMinPlusConv_CompactKnots)->Arg(4096)->Arg(16384)->Arg(65536);
 
 void BM_PwlEvalPeriodic(benchmark::State& state) {
   const PwlCurve stairs = PwlCurve::staircase(1.0, 2.0, 3.0, 3.0);

@@ -399,6 +399,76 @@ int cmd_curves(const Options& o, const LoadedTrace& t, std::ostream& out) {
   return 0;
 }
 
+/// Shared by `compact` and `serve`: the PWL error budget from
+/// --compact-eps (absolute cycles) and --compact-rel (relative). Returns
+/// nullopt when neither flag is present.
+std::optional<curve::CompactBudget> compact_budget_flags(const Options& o) {
+  curve::CompactBudget budget;
+  bool any = false;
+  if (const auto v = o.number("compact-eps")) {
+    if (*v < 0) throw UsageError("--compact-eps must be >= 0, got " + o.flags.at("compact-eps"));
+    budget.eps_abs = *v;
+    any = true;
+  }
+  if (const auto v = o.number("compact-rel")) {
+    if (*v < 0) throw UsageError("--compact-rel must be >= 0, got " + o.flags.at("compact-rel"));
+    budget.eps_rel = *v;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return budget;
+}
+
+int cmd_compact(const Options& o, const LoadedTrace& t, std::ostream& out) {
+  // Default budget: exact (eps = 0) — the compact form re-encodes the curve
+  // bit-for-bit and the table shows the lossless reduction.
+  const curve::CompactBudget budget =
+      compact_budget_flags(o).value_or(curve::CompactBudget{});
+  // Compaction grid: one sample per breakpoint index (dt = 1), values in
+  // cycles — the same grid serve snapshots persist their tier on.
+  const auto index_curve = [](const std::vector<workload::WorkloadCurve::Point>& pts) {
+    std::vector<double> v;
+    v.reserve(pts.size());
+    for (const auto& p : pts) v.push_back(static_cast<double>(p.second));
+    return curve::DiscreteCurve(std::move(v), 1.0);
+  };
+  const curve::DiscreteCurve dense_u = index_curve(t.gamma_u.points());
+  const curve::DiscreteCurve dense_l = index_curve(t.gamma_l.points());
+  const curve::CompactCurve cu = curve::CompactCurve::compact_upper(dense_u, budget);
+  const curve::CompactCurve cl = curve::CompactCurve::compact_lower(dense_l, budget);
+
+  common::Table table({"curve", "points", "knots", "reduction", "max error [cycles]"});
+  const auto row = [&](const char* name, const curve::CompactCurve& c) {
+    table.add_row({name, common::fmt_i(static_cast<long long>(c.dense_size())),
+                   common::fmt_i(static_cast<long long>(c.size())),
+                   common::fmt_f(c.reduction(), 1) + "x", common::fmt_f(c.max_error(), 3)});
+  };
+  row("gamma_u (rounded up)", cu);
+  row("gamma_l (rounded down)", cl);
+  table.print(out);
+  out << "budget: eps_abs " << budget.eps_abs << ", eps_rel " << budget.eps_rel
+      << " (error <= eps_abs + eps_rel*|value| at every point; gamma_u never\n"
+         "under-approximated, gamma_l never over-approximated)\n";
+
+  if (o.flags.count("out") > 0) {
+    std::ostringstream csv;
+    csv << "curve,index,y,slope\n";
+    const auto dump = [&](const char* name, const curve::CompactCurve& c) {
+      for (const curve::CompactCurve::Knot& k : c.knots())
+        csv << name << ',' << k.i << ',' << common::fmt_f(k.y, 17) << ','
+            << common::fmt_f(k.slope, 17) << '\n';
+    };
+    dump("gamma_u", cu);
+    dump("gamma_l", cl);
+    const std::string path = o.text("out", "trace") + ".pwl.csv";
+    std::string werr;
+    if (!common::atomic_write_file(path, csv.str(), &werr))
+      throw DomainError("cannot write knot file '" + path + "': " + werr);
+    out << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
 int cmd_size_buffer(const Options& o, const LoadedTrace& t, const RuntimeControls& rc,
                     std::ostream& out, std::ostream& err) {
   const auto b = o.number("buffer");
@@ -682,6 +752,13 @@ int cmd_serve(const Options& o, RuntimeControls& rc, std::ostream& out, std::ost
   if (const auto v = o.integer("snapshot-every")) {
     if (*v < 0) throw UsageError("--snapshot-every must be >= 0, got " + std::to_string(*v));
     sc.snapshot_every = *v;
+  }
+  // PWL tiering: either flag (even 0 — an exact tier) turns the snapshot
+  // tier on; sessions then persist compact gamma curves alongside the
+  // extractor state.
+  if (const auto budget = compact_budget_flags(o)) {
+    sc.compact_tier = true;
+    sc.compact = *budget;
   }
   if (const auto it = o.flags.find("snapshot-interval"); it != o.flags.end())
     cfg.snapshot_interval = std::chrono::milliseconds(
@@ -1078,6 +1155,7 @@ int dispatch(const Options& opts, RuntimeControls& rc, std::ostream& out, std::o
   const auto loaded = load(opts, rc, err, opts.command == "simulate");
   if (!loaded) return 2;
   if (opts.command == "curves" || opts.command == "extract") return cmd_curves(opts, *loaded, out);
+  if (opts.command == "compact") return cmd_compact(opts, *loaded, out);
   if (opts.command == "report") return cmd_report(*loaded, out);
   if (opts.command == "size-buffer") return cmd_size_buffer(opts, *loaded, rc, out, err);
   if (opts.command == "size-delay") return cmd_size_delay(opts, *loaded, out, err);
@@ -1135,6 +1213,14 @@ std::string usage() {
          "               (default: hardware concurrency); output is\n"
          "               bit-identical at every thread count\n"
          "  curves       alias of extract (kept for compatibility)\n"
+         "  compact      <trace.csv> [--compact-eps E] [--compact-rel R] [--out prefix]\n"
+         "               [extract flags]\n"
+         "               fit bounded-error piecewise-linear forms of the\n"
+         "               workload curves (gamma_u rounded up, gamma_l down, so\n"
+         "               the compact curves stay conservative) and report knot\n"
+         "               counts, point reduction, and achieved max error.\n"
+         "               default budget is exact (eps = 0, bit-identical\n"
+         "               re-expansion); --out writes <prefix>.pwl.csv knots\n"
          "  report       <trace.csv | metrics.json> [extract flags]\n"
          "               run the extraction pipeline, then pretty-print the\n"
          "               run's metric snapshot (counters, gauges, latency\n"
@@ -1158,6 +1244,7 @@ std::string usage() {
          "               [--snapshot-every N] [--snapshot-interval D] [--timeout D]\n"
          "               [--request-log FILE] [--slow-ms N] [--request-log-max-bytes N]\n"
          "               [--watchdog-ms N] [--watchdog-abort] [--drain-to ADDR]\n"
+         "               [--compact-eps E] [--compact-rel R]\n"
          "               run the analysis daemon: concurrent streaming sessions\n"
          "               over TCP or a Unix socket, admission control on the\n"
          "               session/grid/byte pool (reject = explicit backpressure,\n"
@@ -1179,7 +1266,12 @@ std::string usage() {
          "               hands live sessions to it (Migrate frames, cursor-\n"
          "               exact) and parked Opens get a Redirect instead of a\n"
          "               queue-timeout rejection; a failed hand-off falls\n"
-         "               back to the disk snapshot\n"
+         "               back to the disk snapshot.\n"
+         "               --compact-eps/--compact-rel turn on the snapshot PWL\n"
+         "               tier: every persisted session also carries compact\n"
+         "               gamma curves within that error budget (upper rounded\n"
+         "               up, lower down); recovery re-verifies dominance and\n"
+         "               recomputes a tier that fails the check\n"
          "  stats        --connect <unix:/path | host:port> [--format table|json|prom]\n"
          "               ask a live daemon for its stats document: uptime,\n"
          "               pool occupancy, per-session and per-tenant state and\n"

@@ -1,0 +1,313 @@
+// Knot-level (min,+)/(max,+) kernels for the compact PWL tier.
+//
+// Soundness rests on grid-aligned knots (see compact.h): both operands are
+// linear between grid points, so the split objective of every operator is
+// itself PWL in the split position with breakpoints on the grid, the
+// continuous optimum is attained at a grid split, and the knot-level answer
+// agrees with the dense-grid semantics up to floating-point rounding. Each
+// kernel tags its result with the composed budget ε_f + ε_g and the
+// a-priori composed error bound max_error_f + max_error_g; the dominance
+// direction of f.rounding() is preserved (both conv kernels evaluate exact
+// split candidates at grid points, the deconv shortcuts shift f by a
+// constant, and the fallback recompacts exactly).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.h"
+#include "curve/engine.h"
+#include "obs/obs.h"
+
+namespace wlc::curve::engine {
+
+namespace {
+
+std::atomic<std::int64_t> g_compact_knot{0};
+std::atomic<std::int64_t> g_compact_expand{0};
+
+double grid_x(std::uint64_t i, double dt) { return static_cast<double>(i) * dt; }
+
+// The same expression CompactCurve::eval uses — kernels chain anchors
+// through it so result knots evaluate exactly where the construction put
+// them (and slope-merge results classify continuous).
+double eval_with(double y, double s, double xa, double x) { return y + s * (x - xa); }
+
+CompactBudget composed_budget(const CompactCurve& f, const CompactCurve& g) {
+  return CompactBudget{f.budget().eps_abs + g.budget().eps_abs,
+                       f.budget().eps_rel + g.budget().eps_rel};
+}
+
+double composed_error(const CompactCurve& f, const CompactCurve& g) {
+  return f.max_error() + g.max_error();
+}
+
+/// Segment list of a knot curve: (length in grid steps, slope), the last
+/// segment clipped to the dense horizon. Zero-length entries (a knot at the
+/// horizon) are dropped.
+struct Seg {
+  std::uint64_t len;
+  double slope;
+};
+
+std::vector<Seg> segments(const CompactCurve& c) {
+  const std::vector<CompactCurve::Knot>& ks = c.knots();
+  std::vector<Seg> out;
+  out.reserve(ks.size());
+  for (std::size_t k = 0; k < ks.size(); ++k) {
+    const std::uint64_t next = k + 1 < ks.size() ? ks[k + 1].i : c.dense_size() - 1;
+    if (next > ks[k].i) out.push_back(Seg{next - ks[k].i, ks[k].slope});
+  }
+  return out;
+}
+
+/// Index of the knot segment owning grid index i (last knot with i_k ≤ i).
+std::size_t seg_index(const std::vector<CompactCurve::Knot>& ks, std::uint64_t i) {
+  std::size_t lo = 0, hi = ks.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ks[mid].i <= i)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double eval_knots(const std::vector<CompactCurve::Knot>& ks, double dt, std::uint64_t i) {
+  const CompactCurve::Knot& k = ks[seg_index(ks, i)];
+  return eval_with(k.y, k.slope, grid_x(k.i, dt), grid_x(i, dt));
+}
+
+}  // namespace
+
+namespace detail {
+
+void compact_counts(std::int64_t& knot, std::int64_t& expand) {
+  knot = g_compact_knot.load(std::memory_order_relaxed);
+  expand = g_compact_expand.load(std::memory_order_relaxed);
+}
+
+void reset_compact_counts() {
+  g_compact_knot.store(0, std::memory_order_relaxed);
+  g_compact_expand.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+CompactCurve compact_conv_merge(CurveOp op, const CompactCurve& f, const CompactCurve& g) {
+  // Inf-convolution of convex PWL (resp. sup-convolution of concave PWL) is
+  // the slope profile of both operands merged in ascending (descending)
+  // order, started at f(0) + g(0) — the k = 0 split, which is optimal at
+  // x = 0. O(k_f + k_g).
+  const bool ascending = op == CurveOp::MinPlusConv;
+  const double dt = f.dt();
+  const std::uint64_t n_out = std::min(f.dense_size(), g.dense_size());
+  const std::vector<Seg> sf = segments(f);
+  const std::vector<Seg> sg = segments(g);
+
+  std::vector<Seg> merged;
+  merged.reserve(sf.size() + sg.size());
+  const auto push = [&](const Seg& s) {
+    if (!merged.empty() && merged.back().slope == s.slope)
+      merged.back().len += s.len;
+    else
+      merged.push_back(s);
+  };
+  std::size_t a = 0, b = 0;
+  while (a < sf.size() || b < sg.size()) {
+    const bool from_f =
+        b == sg.size() ||
+        (a < sf.size() &&
+         (ascending ? sf[a].slope <= sg[b].slope : sf[a].slope >= sg[b].slope));
+    push(from_f ? sf[a++] : sg[b++]);
+  }
+
+  std::vector<CompactCurve::Knot> out;
+  out.reserve(merged.size());
+  double y = f.knots().front().y + g.knots().front().y;
+  std::uint64_t cum = 0;
+  for (const Seg& s : merged) {
+    if (cum >= n_out - 1) break;
+    const std::uint64_t take = std::min<std::uint64_t>(s.len, n_out - 1 - cum);
+    out.push_back(CompactCurve::Knot{cum, y, s.slope});
+    // Eval-chain the next anchor so the result is exactly continuous and
+    // keeps its convex/concave classification for further knot dispatch.
+    y = eval_with(y, s.slope, grid_x(cum, dt), grid_x(cum + take, dt));
+    cum += take;
+  }
+  if (out.empty()) out.push_back(CompactCurve::Knot{0, y, 0.0});
+  return CompactCurve::from_knots(std::move(out), dt, n_out, f.rounding(),
+                                  composed_budget(f, g), composed_error(f, g));
+}
+
+CompactCurve compact_conv_endpoint(CurveOp op, const CompactCurve& f,
+                                   const CompactCurve& g) {
+  // Endpoint rule: for concave² (min,+) — resp. convex² (max,+) — the
+  // optimal split is always an endpoint, so the result is the pointwise
+  // min (max) of A = f + g(0) and B = g + f(0). The extremum of two PWL
+  // curves is PWL over the merged knot boundaries with at most one winner
+  // flip per interval (both pieces are linear there); a flip is bracketed
+  // between grid neighbours j, j+1 with exact extremum knots and a bridge
+  // chord, so every grid point evaluates to the true extremum.
+  const bool take_min = op == CurveOp::MinPlusConv;
+  const double dt = f.dt();
+  const std::uint64_t n_out = std::min(f.dense_size(), g.dense_size());
+  const double f0 = f.knots().front().y;
+  const double g0 = g.knots().front().y;
+  std::vector<CompactCurve::Knot> A = f.knots();
+  std::vector<CompactCurve::Knot> B = g.knots();
+  for (CompactCurve::Knot& k : A) k.y = k.y + g0;
+  for (CompactCurve::Knot& k : B) k.y = k.y + f0;
+
+  std::vector<std::uint64_t> bnd;
+  bnd.reserve(A.size() + B.size() + 1);
+  for (const CompactCurve::Knot& k : A)
+    if (k.i < n_out) bnd.push_back(k.i);
+  for (const CompactCurve::Knot& k : B)
+    if (k.i < n_out) bnd.push_back(k.i);
+  bnd.push_back(n_out - 1);
+  std::sort(bnd.begin(), bnd.end());
+  bnd.erase(std::unique(bnd.begin(), bnd.end()), bnd.end());
+
+  const auto ext = [&](double x, double y) { return take_min ? std::min(x, y) : std::max(x, y); };
+  std::vector<CompactCurve::Knot> out;
+  const auto emit = [&](std::uint64_t i, double y, double s) {
+    if (!out.empty() && out.back().i == i) {
+      out.back().y = y;
+      out.back().slope = s;
+    } else {
+      out.push_back(CompactCurve::Knot{i, y, s});
+    }
+  };
+
+  for (std::size_t t = 0; t + 1 < bnd.size(); ++t) {
+    const std::uint64_t p = bnd[t], q = bnd[t + 1];
+    const double ap = eval_knots(A, dt, p), bp = eval_knots(B, dt, p);
+    const double aq = eval_knots(A, dt, q), bq = eval_knots(B, dt, q);
+    const double dp = ap - bp, dq = aq - bq;
+    const double sa = A[seg_index(A, p)].slope, sb = B[seg_index(B, p)].slope;
+    const bool crossing = (dp > 0.0 && dq < 0.0) || (dp < 0.0 && dq > 0.0);
+    if (!crossing) {
+      // One curve stays on the winning side across the whole interval (the
+      // difference is linear and does not change sign).
+      const bool a_wins = take_min ? (dp < 0.0 || (dp == 0.0 && dq <= 0.0))
+                                   : (dp > 0.0 || (dp == 0.0 && dq >= 0.0));
+      emit(p, a_wins ? ap : bp, a_wins ? sa : sb);
+    } else {
+      const double xp = grid_x(p, dt), xq = grid_x(q, dt);
+      const double xs = xp + dp * (xq - xp) / (dp - dq);
+      std::uint64_t j = static_cast<std::uint64_t>(xs / dt);
+      if (j < p) j = p;
+      if (j > q - 1) j = q - 1;
+      const bool pre_a = take_min ? dp < 0.0 : dp > 0.0;
+      if (j > p) emit(p, pre_a ? ap : bp, pre_a ? sa : sb);
+      const double ej = ext(eval_knots(A, dt, j), eval_knots(B, dt, j));
+      const double ej1 = ext(eval_knots(A, dt, j + 1), eval_knots(B, dt, j + 1));
+      emit(j, ej, (ej1 - ej) / (grid_x(j + 1, dt) - grid_x(j, dt)));
+      const bool post_a = take_min ? dq < 0.0 : dq > 0.0;
+      emit(j + 1, ej1,
+           post_a ? A[seg_index(A, j + 1)].slope : B[seg_index(B, j + 1)].slope);
+    }
+  }
+  if (out.empty())
+    out.push_back(CompactCurve::Knot{0, ext(eval_knots(A, dt, 0), eval_knots(B, dt, 0)), 0.0});
+  return CompactCurve::from_knots(std::move(out), dt, n_out, f.rounding(),
+                                  composed_budget(f, g), composed_error(f, g));
+}
+
+CompactCurve compact_deconv_constant(CurveOp op, const CompactCurve& f,
+                                     const CompactCurve& g) {
+  // g constant c with g covering f's horizon: the split range at index i is
+  // k = 0..n−1−i, so for non-decreasing f the sup of f(i+k) − c is
+  // f(horizon) − c at every i (min,+ deconv) and the inf is f(i) − c
+  // (max,+ deconv).
+  const double c = g.knots().front().y;
+  const double dt = f.dt();
+  const std::uint64_t n = f.dense_size();
+  std::vector<CompactCurve::Knot> out;
+  if (op == CurveOp::MinPlusDeconv) {
+    out.push_back(CompactCurve::Knot{0, f.eval_index(n - 1) - c, 0.0});
+  } else {
+    out = f.knots();
+    for (CompactCurve::Knot& k : out) k.y = k.y - c;
+  }
+  return CompactCurve::from_knots(std::move(out), dt, n, f.rounding(),
+                                  composed_budget(f, g), composed_error(f, g));
+}
+
+CompactCurve compact_fallback(CurveOp op, const CompactCurve& f, const CompactCurve& g) {
+  const DiscreteCurve df = f.expand();
+  const DiscreteCurve dg = g.expand();
+  const DiscreteCurve r = apply(op, df, dg);
+  // The eps=0 recompaction is exact relative to op(f′, g′), which already
+  // sits within ε_f + ε_g of the op on the original dense curves; re-tag
+  // with the composed metadata so chained ops keep honest books.
+  const CompactCurve exact = CompactCurve::compact(r, CompactBudget{}, f.rounding());
+  std::vector<CompactCurve::Knot> ks = exact.knots();
+  return CompactCurve::from_knots(std::move(ks), f.dt(), exact.dense_size(),
+                                  f.rounding(), composed_budget(f, g),
+                                  composed_error(f, g));
+}
+
+namespace {
+
+std::optional<CompactCurve> try_fast_compact(CurveOp op, const CompactCurve& f,
+                                             const CompactCurve& g) {
+  const bool fcx = f.continuous() && shape_is_convex(f.knot_shape());
+  const bool fcc = f.continuous() && shape_is_concave(f.knot_shape());
+  const bool gcx = g.continuous() && shape_is_convex(g.knot_shape());
+  const bool gcc = g.continuous() && shape_is_concave(g.knot_shape());
+  switch (op) {
+    case CurveOp::MinPlusConv:
+      if (fcx && gcx) return compact_conv_merge(op, f, g);
+      if (fcc && gcc) return compact_conv_endpoint(op, f, g);
+      break;
+    case CurveOp::MaxPlusConv:
+      if (fcc && gcc) return compact_conv_merge(op, f, g);
+      if (fcx && gcx) return compact_conv_endpoint(op, f, g);
+      break;
+    case CurveOp::MinPlusDeconv:
+    case CurveOp::MaxPlusDeconv:
+      if (g.knot_shape() == DiscreteCurve::Shape::Constant &&
+          g.dense_size() >= f.dense_size() && f.non_decreasing())
+        return compact_deconv_constant(op, f, g);
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CompactCurve apply_compact(CurveOp op, const CompactCurve& f, const CompactCurve& g) {
+  WLC_REQUIRE(f.dt() == g.dt(), "compact operands must share the grid spacing");
+  const Config cfg = config();
+  OpCache& cache = OpCache::global();
+  const bool use_cache = cfg.use_cache && cache.enabled();
+  if (use_cache) {
+    if (std::optional<CompactCurve> hit = cache.lookup_compact(op, f, g)) {
+      WLC_COUNTER_ADD("curve.cache.hits", 1);
+      return *hit;
+    }
+    WLC_COUNTER_ADD("curve.cache.misses", 1);
+  }
+  std::optional<CompactCurve> result;
+  if (cfg.fast_paths) result = try_fast_compact(op, f, g);
+  if (result) {
+    g_compact_knot.fetch_add(1, std::memory_order_relaxed);
+    WLC_COUNTER_ADD("curve.compact.dispatch.knot", 1);
+  } else {
+    g_compact_expand.fetch_add(1, std::memory_order_relaxed);
+    WLC_COUNTER_ADD("curve.compact.dispatch.expand", 1);
+    result = compact_fallback(op, f, g);
+  }
+  if (use_cache) {
+    const std::size_t evicted = cache.insert_compact(op, f, g, *result);
+    if (evicted > 0)
+      WLC_COUNTER_ADD("curve.cache.evictions", static_cast<std::int64_t>(evicted));
+  }
+  return *result;
+}
+
+}  // namespace wlc::curve::engine

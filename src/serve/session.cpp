@@ -40,6 +40,40 @@ Reply reject(RejectCode code, std::string reason, std::int64_t retry_after_ms) {
   return RejectReply{code, std::move(reason), retry_after_ms};
 }
 
+/// Session curves on the compaction grid: one sample per workload-curve
+/// breakpoint (dt = 1, values in cycles — exact in double up to 2^53).
+curve::DiscreteCurve index_curve(const std::vector<workload::WorkloadCurve::Point>& pts) {
+  std::vector<double> v;
+  v.reserve(pts.size());
+  for (const auto& p : pts) v.push_back(static_cast<double>(p.second));
+  return curve::DiscreteCurve(std::move(v), 1.0);
+}
+
+/// Semantic tier validation: the persisted compact curves must dominate
+/// (γᵘ from above, γˡ from below) the curves rebuilt from the extractor
+/// state at every breakpoint, within their recorded budget. Exact
+/// comparisons — the tier writer recomputes deterministically, so a sound
+/// tier passes bit-for-bit.
+bool tier_sound(const PwlTier& tier, const workload::OnlineWorkloadExtractor& ex) {
+  if (!ex.ready()) return false;
+  const auto upts = ex.upper().points();
+  const auto lpts = ex.lower().points();
+  if (tier.upper.dense_size() != upts.size() || tier.lower.dense_size() != lpts.size())
+    return false;
+  if (tier.upper.dt() != 1.0 || tier.lower.dt() != 1.0) return false;
+  for (std::size_t j = 0; j < upts.size(); ++j) {
+    const double v = static_cast<double>(upts[j].second);
+    const double c = tier.upper.eval_index(j);
+    if (c < v || c - v > tier.upper.budget().at(v)) return false;
+  }
+  for (std::size_t j = 0; j < lpts.size(); ++j) {
+    const double v = static_cast<double>(lpts[j].second);
+    const double c = tier.lower.eval_index(j);
+    if (c > v || v - c > tier.lower.budget().at(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool valid_identifier(const std::string& s) {
@@ -373,6 +407,7 @@ Reply SessionManager::migrate_in(const MigrateRequest& req) {
   session->ks_used = snap.extractor.ks;
   session->grid_cost = static_cast<std::int64_t>(session->ks_used.size());
   session->bytes_cost = session_bytes_estimate(session->ks_used);
+  adopt_tier(*session, std::move(snap.tier));
   // Like recovery: the session was already admitted (by the origin daemon),
   // so it re-leases unconditionally rather than being re-subjected to this
   // pool's admission — dropping an accepted session's guarantees mid-flight
@@ -412,6 +447,7 @@ bool SessionManager::export_session_snapshot(const std::string& id, std::string*
   snap.session_id = s->id;
   snap.tenant = s->tenant;
   snap.extractor = s->extractor.export_state();
+  snap.tier = s->tier.has_value() ? s->tier : make_tier(*s);
   *bytes = encode_snapshot(snap);
   return true;
 }
@@ -468,12 +504,47 @@ void SessionManager::cancel_queued(std::uint64_t cookie) {
   }
 }
 
+std::optional<PwlTier> SessionManager::make_tier(const Session& s) const {
+  if (!cfg_.compact_tier || !s.extractor.ready()) return std::nullopt;
+  const curve::DiscreteCurve upper = index_curve(s.extractor.upper().points());
+  const curve::DiscreteCurve lower = index_curve(s.extractor.lower().points());
+  return PwlTier{curve::CompactCurve::compact_upper(upper, cfg_.compact),
+                 curve::CompactCurve::compact_lower(lower, cfg_.compact)};
+}
+
+void SessionManager::adopt_tier(Session& s, std::optional<PwlTier> tier) {
+  if (!cfg_.compact_tier) {
+    // Tiering is off in this daemon: a persisted tier is neither validated
+    // nor carried forward (the next snapshot would drop it anyway).
+    s.tier.reset();
+    return;
+  }
+  if (tier.has_value()) {
+    if (tier_sound(*tier, s.extractor)) {
+      WLC_COUNTER_ADD("serve.compact.tier_reused", 1);
+      s.tier = std::move(tier);
+      return;
+    }
+    WLC_COUNTER_ADD("serve.compact.tier_rejected", 1);
+    log_line("session '" + s.id +
+             "': persisted pwl tier failed the dominance re-check, recomputing");
+  }
+  s.tier = make_tier(s);
+  if (tier.has_value() && s.tier.has_value()) WLC_COUNTER_ADD("serve.compact.recomputes", 1);
+}
+
 void SessionManager::snapshot_session(Session& s) {
   const auto start = std::chrono::steady_clock::now();
+  // Recompute the tier from the live curves at every persist — the compact
+  // fit is deterministic, so two snapshots of the same stream position
+  // carry byte-identical tiers (what the kill -9 soak asserts).
+  s.tier = make_tier(s);
   SessionSnapshot snap;
   snap.session_id = s.id;
   snap.tenant = s.tenant;
   snap.extractor = s.extractor.export_state();
+  snap.tier = s.tier;
+  if (snap.tier.has_value()) WLC_COUNTER_ADD("serve.compact.tier_written", 1);
   std::string error;
   int write_errno = 0;
   if (!write_snapshot_file(snapshot_path(s.id), snap, &error, &write_errno)) {
@@ -556,6 +627,7 @@ std::size_t SessionManager::recover() {
       grid_leased_ += session->grid_cost;
       bytes_leased_ += session->bytes_cost;
       tenant_count(session->tenant, "recovered", 1);
+      adopt_tier(*session, std::move(snap.tier));
       sessions_[snap.session_id] = std::move(session);
       ++recovered_;
       ++loaded;

@@ -9,10 +9,21 @@
 //
 //   offset  size  field
 //        0     8  magic "WLCSNAP\0"
-//        8     4  format version (currently 1)
+//        8     4  format version (1 or 2; new files are written as 2)
 //       12     8  payload size in bytes
 //       20     4  CRC-32 of the payload bytes
 //       24     n  payload (wire.h encoding of SessionSnapshot)
+//
+// Version 2 appends an optional PWL tier to the payload: the session's
+// bounded-error compact γᵘ/γˡ curves (curve::CompactCurve over the grid of
+// workload-curve breakpoint indices, dt = 1). The tier block is itself
+// versioned, length-prefixed and CRC'd, so tier corruption is detected
+// independently of the outer checksum and a version-skewed tier is refused
+// rather than misread. Structural tier corruption throws ParseError like
+// any other payload damage; *semantic* tier validation (dominance against
+// the curves rebuilt from the extractor state) is the session layer's job —
+// an unsound-but-well-formed tier is dropped and recomputed there, never a
+// reason to lose the whole session.
 //
 // Validation on load is *strict by construction*: wrong magic, unknown
 // version, a size field disagreeing with the actual byte count, a checksum
@@ -28,22 +39,38 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "curve/compact.h"
 #include "workload/online_extract.h"
 
 namespace wlc::serve {
 
 inline constexpr std::string_view kSnapshotMagic{"WLCSNAP\0", 8};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Oldest format this build still decodes (v1 = no PWL tier).
+inline constexpr std::uint32_t kSnapshotMinVersion = 1;
+inline constexpr std::uint32_t kPwlTierVersion = 1;
 inline constexpr std::size_t kSnapshotHeaderBytes = 24;
+
+/// Compact PWL forms of a session's workload curves, over the grid of
+/// breakpoint indices (dt = 1, values in cycles). upper is rounded Up,
+/// lower Down — decode enforces the pairing.
+struct PwlTier {
+  curve::CompactCurve upper;
+  curve::CompactCurve lower;
+};
 
 /// One persisted session.
 struct SessionSnapshot {
   std::string session_id;
   std::string tenant;
   workload::OnlineExtractorState extractor;
+  /// Present when the daemon runs with a compaction budget and the session
+  /// had closed its smallest window at snapshot time.
+  std::optional<PwlTier> tier;
 };
 
 /// Serializes header + payload into one byte string.

@@ -1,0 +1,394 @@
+// Differential suite for the compact (knot-level) operator dispatch (CTest
+// label `pwl`): every (min,+)/(max,+) operator applied to compacted operands
+// must land within the *composed* error bound ε_f + ε_g of the dense oracle
+// on the original curves, preserve the dominance direction implied by the
+// operand roundings, and carry honest metadata (composed budget, a-priori
+// composed max_error). Dispatch is also pinned: shapes that admit a knot
+// kernel must take it (DispatchStats::compact_knot), everything else must
+// fall back to expansion (compact_expand) — silently running the wrong
+// kernel is itself a bug even when the values come out right.
+//
+// The golden half re-runs the §3.2 sizing verdict through the PWL tier: at
+// eps = 0 the compacted workload curve reproduces F^γ_min ≈ 364.4 MHz /
+// F^w_min ≈ 744.3 MHz bit-for-bit; at eps > 0 the clock can only move *up*
+// (an upper curve loosened upward demands more service, never less) and the
+// paper's >50 % savings claim must survive a realistic budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "curve/compact.h"
+#include "curve/discrete_curve.h"
+#include "curve/engine.h"
+#include "curve/op_cache.h"
+#include "mpeg/analyze.h"
+#include "mpeg/clip.h"
+#include "mpeg/trace_gen.h"
+#include "rtc/sizing.h"
+#include "trace/arrival_curve.h"
+#include "workload/workload_curve.h"
+
+namespace wlc::curve {
+namespace {
+
+using engine::apply_compact;
+
+// ---------------------------------------------------------------------------
+// Operand families (exactly representable increments, as in property_test's
+// shape sweeps, so shape classification is deterministic).
+// ---------------------------------------------------------------------------
+
+DiscreteCurve random_monotone(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  for (std::size_t i = 1; i < n; ++i)
+    v.push_back(v.back() + static_cast<double>(rng.uniform_int(0, 64)) * 0x1.0p-4);
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+DiscreteCurve random_convex(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> inc(n - 1);
+  for (auto& x : inc) x = static_cast<double>(rng.uniform_int(0, 64)) * 0x1.0p-4;
+  std::sort(inc.begin(), inc.end());
+  std::vector<double> v{0.0};
+  for (double x : inc) v.push_back(v.back() + x);
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+DiscreteCurve random_concave(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> inc(n - 1);
+  for (auto& x : inc) x = static_cast<double>(rng.uniform_int(0, 64)) * 0x1.0p-4;
+  std::sort(inc.begin(), inc.end(), std::greater<>());
+  std::vector<double> v{0.0};
+  for (double x : inc) v.push_back(v.back() + x);
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+DiscreteCurve random_bursty(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v{0.0};
+  for (std::size_t i = 1; i < n; ++i) {
+    const double inc = rng.bernoulli(0.08) ? static_cast<double>(rng.uniform_int(200, 900))
+                                           : static_cast<double>(rng.uniform_int(0, 6));
+    v.push_back(v.back() + inc);
+  }
+  return DiscreteCurve(std::move(v), 1.0);
+}
+
+DiscreteCurve oracle(CurveOp op, const DiscreteCurve& f, const DiscreteCurve& g) {
+  switch (op) {
+    case CurveOp::MinPlusConv: return DiscreteCurve::min_plus_conv_naive(f, g);
+    case CurveOp::MinPlusDeconv: return DiscreteCurve::min_plus_deconv_naive(f, g);
+    case CurveOp::MaxPlusConv: return DiscreteCurve::max_plus_conv_naive(f, g);
+    case CurveOp::MaxPlusDeconv: return DiscreteCurve::max_plus_deconv_naive(f, g);
+  }
+  WLC_ASSERT(false);
+  return f;
+}
+
+constexpr CurveOp kAllOps[] = {CurveOp::MinPlusConv, CurveOp::MinPlusDeconv,
+                               CurveOp::MaxPlusConv, CurveOp::MaxPlusDeconv};
+
+bool is_deconv(CurveOp op) {
+  return op == CurveOp::MinPlusDeconv || op == CurveOp::MaxPlusDeconv;
+}
+
+double rel_slack(double reference) {
+  return 1e-9 * (1.0 + std::abs(reference));
+}
+
+// Result-vs-oracle contract: every grid point within the composed bound, and
+// on the conservative side of the oracle (conv: both operands compacted the
+// same way; deconv: f Up with g Down, so the difference only grows).
+void expect_composed(CurveOp op, const CompactCurve& r, const DiscreteCurve& o,
+                     const CompactCurve& cf, const CompactCurve& cg) {
+  ASSERT_EQ(r.dense_size(), o.size());
+  const double bound = cf.max_error() + cg.max_error();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const double y = r.eval_index(i);
+    ASSERT_LE(std::abs(y - o[i]), bound + rel_slack(o[i]))
+        << "op " << static_cast<int>(op) << " index " << i;
+    ASSERT_GE(y, o[i] - rel_slack(o[i]))
+        << "op " << static_cast<int>(op) << " lost conservatism at " << i;
+  }
+  // Honest books: composed budget and a-priori composed error bound.
+  EXPECT_EQ(r.rounding(), cf.rounding());
+  EXPECT_DOUBLE_EQ(r.budget().eps_abs, cf.budget().eps_abs + cg.budget().eps_abs);
+  EXPECT_DOUBLE_EQ(r.budget().eps_rel, cf.budget().eps_rel + cg.budget().eps_rel);
+  EXPECT_DOUBLE_EQ(r.max_error(), cf.max_error() + cg.max_error());
+}
+
+class PwlOpsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PwlOpsFuzz, EveryOpOnCompactOperandsStaysWithinComposedBound) {
+  const std::uint64_t seed = GetParam();
+  const std::vector<DiscreteCurve> fs = {random_monotone(96, seed), random_convex(64, seed ^ 1),
+                                         random_concave(80, seed ^ 2),
+                                         random_bursty(96, seed ^ 3)};
+  const std::vector<DiscreteCurve> gs = {random_monotone(96, seed ^ 4),
+                                         random_convex(64, seed ^ 5),
+                                         random_concave(80, seed ^ 6)};
+  const std::vector<CompactBudget> budgets = {{0.0, 0.0}, {2.0, 0.0}, {0.0, 1e-3}};
+  for (const DiscreteCurve& f : fs) {
+    for (const DiscreteCurve& g : gs) {
+      for (const CompactBudget& budget : budgets) {
+        for (CurveOp op : kAllOps) {
+          // Conv: both operands rounded the same way keeps the result
+          // one-sided. Deconv is antitone in g, so g compacts Down.
+          const CompactCurve cf = CompactCurve::compact_upper(f, budget);
+          const CompactCurve cg = is_deconv(op) ? CompactCurve::compact_lower(g, budget)
+                                                : CompactCurve::compact_upper(g, budget);
+          const CompactCurve r = apply_compact(op, cf, cg);
+          expect_composed(op, r, oracle(op, f, g), cf, cg);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PwlOpsFuzz,
+                         ::testing::Values(0x3001, 0x3002, 0x3003, 0x3004));
+
+// ---------------------------------------------------------------------------
+// Dispatch pinning: the right kernel for the right shape.
+// ---------------------------------------------------------------------------
+
+struct DispatchGuard {
+  DispatchGuard() {
+    OpCache::global().clear();
+    engine::reset_stats_for_testing();
+  }
+};
+
+TEST(PwlOpsDispatch, ConvexConvTakesTheKnotKernel) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_convex(128, 0x71), g = random_convex(128, 0x72);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{});
+  ASSERT_TRUE(cf.continuous());
+  ASSERT_TRUE(shape_is_convex(cf.knot_shape()));
+  const CompactCurve r = apply_compact(CurveOp::MinPlusConv, cf, cg);
+  const auto stats = engine::dispatch_stats();
+  EXPECT_EQ(stats.compact_knot, 1);
+  EXPECT_EQ(stats.compact_expand, 0);
+  expect_composed(CurveOp::MinPlusConv, r, oracle(CurveOp::MinPlusConv, f, g), cf, cg);
+}
+
+TEST(PwlOpsDispatch, ConcaveMaxPlusConvTakesTheMergeKernel) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_concave(100, 0x73), g = random_concave(100, 0x74);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{});
+  const CompactCurve r = apply_compact(CurveOp::MaxPlusConv, cf, cg);
+  EXPECT_EQ(engine::dispatch_stats().compact_knot, 1);
+  expect_composed(CurveOp::MaxPlusConv, r, oracle(CurveOp::MaxPlusConv, f, g), cf, cg);
+}
+
+TEST(PwlOpsDispatch, ConcaveMinPlusConvTakesTheEndpointKernel) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_concave(90, 0x75), g = random_concave(90, 0x76);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{});
+  const CompactCurve r = apply_compact(CurveOp::MinPlusConv, cf, cg);
+  EXPECT_EQ(engine::dispatch_stats().compact_knot, 1);
+  EXPECT_EQ(engine::dispatch_stats().compact_expand, 0);
+  expect_composed(CurveOp::MinPlusConv, r, oracle(CurveOp::MinPlusConv, f, g), cf, cg);
+}
+
+TEST(PwlOpsDispatch, ConstantDeconvTakesTheKnotKernel) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_monotone(120, 0x77);
+  const DiscreteCurve g(std::vector<double>(120, 37.5), 1.0);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{});
+  const CompactCurve cg = CompactCurve::compact_lower(g, CompactBudget{});
+  ASSERT_EQ(cg.knot_shape(), DiscreteCurve::Shape::Constant);
+  ASSERT_TRUE(cf.non_decreasing());
+
+  const CompactCurve rmin = apply_compact(CurveOp::MinPlusDeconv, cf, cg);
+  const CompactCurve rmax = apply_compact(CurveOp::MaxPlusDeconv, cf, cg);
+  EXPECT_EQ(engine::dispatch_stats().compact_knot, 2);
+  EXPECT_EQ(engine::dispatch_stats().compact_expand, 0);
+  expect_composed(CurveOp::MinPlusDeconv, rmin, oracle(CurveOp::MinPlusDeconv, f, g), cf, cg);
+  expect_composed(CurveOp::MaxPlusDeconv, rmax, oracle(CurveOp::MaxPlusDeconv, f, g), cf, cg);
+  // The (min,+) deconvolution of a non-decreasing f by a constant is flat.
+  EXPECT_LE(rmin.size(), 2u);
+}
+
+TEST(PwlOpsDispatch, GeneralShapesFallBackToExpansion) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_bursty(64, 0x78), g = random_bursty(64, 0x79);
+  // A loose budget forces repair jumps / mixed slopes — General shape.
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{50.0, 0.0});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{50.0, 0.0});
+  const CompactCurve r = apply_compact(CurveOp::MinPlusConv, cf, cg);
+  const auto stats = engine::dispatch_stats();
+  EXPECT_EQ(stats.compact_knot + stats.compact_expand, 1);
+  // Bursty random walks are not convex: the dispatcher must not have
+  // claimed a knot kernel for them.
+  if (!(cf.continuous() && shape_is_convex(cf.knot_shape()) && cg.continuous() &&
+        shape_is_convex(cg.knot_shape()))) {
+    EXPECT_EQ(stats.compact_expand, 1);
+  }
+  expect_composed(CurveOp::MinPlusConv, r, oracle(CurveOp::MinPlusConv, f, g), cf, cg);
+}
+
+TEST(PwlOpsDispatch, MismatchedGridIsRefused) {
+  const CompactCurve a =
+      CompactCurve::compact_upper(DiscreteCurve({0.0, 1.0, 2.0}, 1.0), CompactBudget{});
+  const CompactCurve b =
+      CompactCurve::compact_upper(DiscreteCurve({0.0, 1.0, 2.0}, 0.5), CompactBudget{});
+  EXPECT_THROW(apply_compact(CurveOp::MinPlusConv, a, b), DomainError);
+}
+
+// ---------------------------------------------------------------------------
+// OpCache compact tier: hits, isolation from the dense tier.
+// ---------------------------------------------------------------------------
+
+TEST(PwlOpsCache, SecondIdenticalCallIsServedFromTheCache) {
+  DispatchGuard guard;
+  const DiscreteCurve f = random_convex(96, 0x7a), g = random_convex(96, 0x7b);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{1.0, 0.0});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{1.0, 0.0});
+
+  const CompactCurve first = apply_compact(CurveOp::MinPlusConv, cf, cg);
+  const auto after_first = engine::dispatch_stats();
+  const CompactCurve second = apply_compact(CurveOp::MinPlusConv, cf, cg);
+  const auto after_second = engine::dispatch_stats();
+
+  EXPECT_TRUE(first == second);
+  // A cache hit runs no kernel at all.
+  EXPECT_EQ(after_first.compact_knot + after_first.compact_expand,
+            after_second.compact_knot + after_second.compact_expand);
+  EXPECT_GE(OpCache::global().stats().hits, 1);
+}
+
+TEST(PwlOpsCache, CompactEntriesDoNotAliasDenseEntries) {
+  DispatchGuard guard;
+  OpCache& cache = OpCache::global();
+  const DiscreteCurve f = random_convex(64, 0x7c), g = random_convex(64, 0x7d);
+  const CompactCurve cf = CompactCurve::compact_upper(f, CompactBudget{});
+  const CompactCurve cg = CompactCurve::compact_upper(g, CompactBudget{});
+
+  // Populate the compact tier only.
+  (void)apply_compact(CurveOp::MinPlusConv, cf, cg);
+  // The dense lookup of the *expanded* operands must not see that entry:
+  // compact keys are domain-separated from dense keys by construction.
+  EXPECT_FALSE(
+      cache.lookup(CurveOp::MinPlusConv, cf.expand(), cg.expand()).has_value());
+  // And the compact lookup round-trips its own payload.
+  const auto hit = cache.lookup_compact(CurveOp::MinPlusConv, cf, cg);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit == apply_compact(CurveOp::MinPlusConv, cf, cg));
+}
+
+// ---------------------------------------------------------------------------
+// Golden §3.2: the sizing verdict through the PWL tier.
+// ---------------------------------------------------------------------------
+
+struct CombinedCurves {
+  workload::WorkloadCurve gamma_u;
+  trace::EmpiricalArrivalCurve arrivals;
+};
+
+/// Same combined 14-clip extraction as tests/golden_paper_test.cpp, cached
+/// once per process — the extraction dominates these tests' runtime.
+const CombinedCurves& combined_clips() {
+  static const CombinedCurves* combined = [] {
+    mpeg::TraceConfig cfg;
+    cfg.frames = 48;
+    cfg.pe1_frequency = 150e6;
+    mpeg::AnalyzeOptions opt;  // dense_limit 512 / growth 1.01, the paper grid
+    opt.min_max_k = 24 * cfg.stream.mb_per_frame();
+    common::ThreadPool pool;
+    const auto clips = mpeg::analyze_clips(cfg, mpeg::clip_library(), opt, pool);
+    auto gu = clips.front().gamma_u;
+    auto arr = clips.front().alpha_u;
+    for (std::size_t i = 1; i < clips.size(); ++i) {
+      gu = workload::WorkloadCurve::combine(gu, clips[i].gamma_u);
+      arr = trace::EmpiricalArrivalCurve::combine(arr, clips[i].alpha_u);
+    }
+    return new CombinedCurves{std::move(gu), std::move(arr)};
+  }();
+  return *combined;
+}
+
+/// γᵘ through the PWL tier: compact the breakpoint values (the serve tier's
+/// grid — one sample per breakpoint, dt = 1, cycles exact in double), then
+/// rebuild a WorkloadCurve whose breakpoints carry the compacted values
+/// rounded up to integral cycles. The origin stays pinned at (0, 0) —
+/// γᵘ(0) = 0 exactly, so that is still an upper bound.
+workload::WorkloadCurve tiered_gamma(const workload::WorkloadCurve& gu,
+                                     const CompactBudget& budget) {
+  const auto& pts = gu.points();
+  std::vector<double> v;
+  v.reserve(pts.size());
+  for (const auto& p : pts) v.push_back(static_cast<double>(p.second));
+  const CompactCurve c = CompactCurve::compact_upper(DiscreteCurve(std::move(v), 1.0), budget);
+
+  std::vector<workload::WorkloadCurve::Point> out;
+  out.reserve(pts.size());
+  out.push_back({0, 0});
+  Cycles prev = 0;
+  for (std::size_t j = 1; j < pts.size(); ++j) {
+    const auto cycles =
+        std::max(prev, static_cast<Cycles>(std::ceil(c.eval_index(j))));
+    out.push_back({pts[j].first, cycles});
+    prev = cycles;
+  }
+  return workload::WorkloadCurve(workload::Bound::Upper, std::move(out));
+}
+
+TEST(PwlGoldenPaper, ExactTierReproducesTheSizingVerdictBitForBit) {
+  const CombinedCurves& c = combined_clips();
+  const EventCount buffer = 1620;  // one 45×36-macroblock frame, as in §3.2
+
+  const Hertz f_gamma = rtc::min_frequency_workload(c.arrivals, c.gamma_u, buffer);
+  const Hertz f_wcet = rtc::min_frequency_wcet(c.arrivals, c.gamma_u.wcet(), buffer);
+  const workload::WorkloadCurve tiered = tiered_gamma(c.gamma_u, CompactBudget{});
+  const Hertz f_tiered = rtc::min_frequency_workload(c.arrivals, tiered, buffer);
+  const Hertz f_wcet_tiered = rtc::min_frequency_wcet(c.arrivals, tiered.wcet(), buffer);
+
+  // eps = 0 is an exact re-encoding: same breakpoints, same verdicts.
+  EXPECT_EQ(tiered.points(), c.gamma_u.points());
+  EXPECT_EQ(f_tiered, f_gamma);
+  EXPECT_EQ(f_wcet_tiered, f_wcet);
+  // And both still pin the captured §3.2 numbers.
+  EXPECT_NEAR(f_tiered / 1e6, 364.4, 0.1);
+  EXPECT_NEAR(f_wcet_tiered / 1e6, 744.3, 0.1);
+  EXPECT_NEAR(f_tiered / f_wcet_tiered, 0.4896, 0.002);
+}
+
+TEST(PwlGoldenPaper, LossyTierOnlyLoosensTheVerdictConservatively) {
+  const CombinedCurves& c = combined_clips();
+  const EventCount buffer = 1620;
+  const Hertz f_gamma = rtc::min_frequency_workload(c.arrivals, c.gamma_u, buffer);
+
+  for (const CompactBudget budget : {CompactBudget{0.0, 1e-4}, CompactBudget{0.0, 1e-3}}) {
+    const workload::WorkloadCurve tiered = tiered_gamma(c.gamma_u, budget);
+    // An upper curve loosened upward: every breakpoint dominates the
+    // original, so the required clock can only rise.
+    for (std::size_t j = 0; j < tiered.points().size(); ++j) {
+      ASSERT_EQ(tiered.points()[j].first, c.gamma_u.points()[j].first);
+      ASSERT_GE(tiered.points()[j].second, c.gamma_u.points()[j].second);
+    }
+    const Hertz f_tiered = rtc::min_frequency_workload(c.arrivals, tiered, buffer);
+    EXPECT_GE(f_tiered, f_gamma) << "lossy tier relaxed the clock requirement";
+    // A permille-scale budget moves the verdict by at most its own order:
+    // the savings claim survives.
+    EXPECT_NEAR(f_tiered / 1e6, 364.4, 1.5);
+    const Hertz f_wcet = rtc::min_frequency_wcet(c.arrivals, tiered.wcet(), buffer);
+    EXPECT_LT(f_tiered / f_wcet, 0.55);
+  }
+}
+
+}  // namespace
+}  // namespace wlc::curve

@@ -137,13 +137,16 @@ TEST(ServeSnapshot, RandomByteFuzzNeverCrashes) {
 
 TEST(ServeSnapshot, VersionSkewIsParseErrorNamingVersions) {
   std::string bytes = encode_snapshot(demo_snapshot(30));
-  bytes[8] = 2;  // version field (offset 8, little-endian u32)
+  bytes[8] = 99;  // version field (offset 8, little-endian u32) — above kSnapshotVersion
   try {
     decode_snapshot(bytes);
     FAIL() << "version skew accepted";
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
   }
+  // Below kSnapshotMinVersion is equally a skew.
+  bytes[8] = 0;
+  EXPECT_THROW(decode_snapshot(bytes), ParseError);
 }
 
 TEST(ServeSnapshot, TrailingBytesAreParseError) {

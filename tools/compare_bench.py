@@ -23,9 +23,19 @@ printed report-only with a warning and the exit status is 0. A broken
 *candidate* still exits 2 — that file was just produced by the run being
 gated, so it should never be missing or malformed.
 
+Regression *tracking* (as opposed to one-shot gating) lives in the history
+mode: `compare_bench.py history <bench.json> --record` appends one JSONL
+entry (commit, host, per-benchmark times) to a committed history file, and
+`compare_bench.py history <bench.json> --last N` renders the per-benchmark
+trajectory across the last N recorded commits, flagging consecutive-commit
+slowdowns beyond the threshold. History rendering is always report-only —
+gating stays with the pairwise mode CI already runs.
+
 Usage: tools/compare_bench.py baseline.json candidate.json
            [--threshold 0.10] [--metric real_time|cpu_time] [--no-fail]
            [--fail-on-host-mismatch]
+       tools/compare_bench.py history bench.json [--history-file F]
+           [--record] [--commit SHA] [--last N] [--threshold T] [--metric M]
 """
 
 from __future__ import annotations
@@ -33,9 +43,30 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# The host-mismatch warning prints at most once per run: history mode
+# compares N-1 consecutive snapshot pairs, and repeating the same warning
+# once per pair buries the actual numbers under boilerplate.
+_host_mismatch_warned = False
+
+
+def warn_host_mismatch(a: str, b: str) -> None:
+    global _host_mismatch_warned
+    if _host_mismatch_warned:
+        return
+    _host_mismatch_warned = True
+    print(f"WARNING: host mismatch — [{a}] vs [{b}]; "
+          "timing diffs may be noise", file=sys.stderr)
+
+
+def die(msg: str) -> None:
+    """Malformed input is exit 2, distinct from exit 1 = real regression."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
 
 
 def load(path: str) -> dict:
@@ -43,10 +74,10 @@ def load(path: str) -> dict:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read benchmark JSON '{path}': {e}")
+        die(f"error: cannot read benchmark JSON '{path}': {e}")
     if "benchmarks" not in data:
-        sys.exit(f"error: '{path}' has no 'benchmarks' array "
-                 "(not a google-benchmark JSON file?)")
+        die(f"error: '{path}' has no 'benchmarks' array "
+            "(not a google-benchmark JSON file?)")
     return data
 
 
@@ -79,8 +110,8 @@ def times_ns(data: dict, metric: str) -> dict[str, float]:
             continue
         unit = _UNIT_NS.get(b.get("time_unit", "ns"))
         if unit is None:
-            sys.exit(f"error: unknown time_unit '{b.get('time_unit')}' "
-                     f"in benchmark '{name}'")
+            die(f"error: unknown time_unit '{b.get('time_unit')}' "
+                f"in benchmark '{name}'")
         out[name] = float(b[metric]) * unit
     return out
 
@@ -100,7 +131,131 @@ def fmt_ns(ns: float) -> str:
     return f"{ns:.3g} ns"
 
 
+def current_commit() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_history(path: str, source: str) -> list[dict]:
+    """Entries for `source` (bench file basename), oldest first. Lines that
+    don't parse or belong to another bench file are skipped, so one history
+    file can interleave several BENCH_*.json streams."""
+    entries: list[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                e = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(e, dict) and e.get("source") == source \
+                    and isinstance(e.get("times_ns"), dict):
+                entries.append(e)
+    return entries
+
+
+def history_main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="compare_bench.py history",
+        description="Track benchmark times across commits in a JSONL file")
+    ap.add_argument("bench", help="google-benchmark JSON file for this run")
+    ap.add_argument("--history-file", default="BENCH_history.jsonl",
+                    help="committed JSONL trajectory (default "
+                         "BENCH_history.jsonl next to the bench file's cwd)")
+    ap.add_argument("--record", action="store_true",
+                    help="append this run to the history file")
+    ap.add_argument("--commit", default=None,
+                    help="commit id to record (default: git rev-parse HEAD)")
+    ap.add_argument("--last", type=int, default=10,
+                    help="render the last N recorded runs (default 10)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="consecutive-commit slowdown flagged as REGRESSION")
+    ap.add_argument("--metric", choices=("real_time", "cpu_time"),
+                    default="real_time")
+    args = ap.parse_args(argv)
+    if args.threshold < 0:
+        ap.error("--threshold must be >= 0")
+    if args.last < 1:
+        ap.error("--last must be >= 1")
+
+    source = os.path.basename(args.bench)
+    bench_data = load(args.bench)
+
+    if args.record:
+        entry = {
+            "commit": args.commit or current_commit(),
+            "host": host_id(bench_data),
+            "metric": args.metric,
+            "source": source,
+            "times_ns": times_ns(bench_data, args.metric),
+        }
+        with open(args.history_file, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"recorded {len(entry['times_ns'])} benchmark(s) from "
+              f"'{source}' at commit {entry['commit']} into "
+              f"'{args.history_file}'")
+
+    entries = load_history(args.history_file, source)[-args.last:]
+    if not entries:
+        print(f"WARNING: no history for '{source}' in "
+              f"'{args.history_file}'; record runs with --record",
+              file=sys.stderr)
+        return 0
+
+    # One warning per distinct host pair, however many snapshots disagree.
+    for prev, cur in zip(entries, entries[1:]):
+        if prev.get("host") != cur.get("host"):
+            warn_host_mismatch(str(prev.get("host")), str(cur.get("host")))
+
+    names = sorted({n for e in entries for n in e["times_ns"]})
+    commits = [str(e.get("commit", "?"))[:16] for e in entries]
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  " + "  ".join(f"{c:>16}" for c in commits))
+
+    flagged = 0
+    for name in names:
+        cells, prev_ns = [], None
+        for e in entries:
+            ns = e["times_ns"].get(name)
+            if ns is None:
+                cell = "—"
+            elif prev_ns is None:
+                cell = fmt_ns(ns)
+            else:
+                delta = (ns - prev_ns) / prev_ns if prev_ns > 0 else 0.0
+                mark = ""
+                if delta > args.threshold:
+                    mark = "!"
+                    flagged += 1
+                elif delta < -args.threshold:
+                    mark = "+"
+                cell = f"{fmt_ns(ns)} {delta:+.0%}{mark}"
+            cells.append(f"{cell:>16}")
+            if ns is not None:
+                prev_ns = ns
+        print(f"{name:<{width}}  " + "  ".join(cells))
+
+    print(f"\n{len(entries)} run(s), {len(names)} benchmark(s); "
+          f"{flagged} consecutive-run REGRESSION(s) beyond "
+          f"{args.threshold:.0%} on {args.metric} (history is report-only; "
+          "gating happens in the pairwise mode)")
+    if flagged:
+        print(f"REGRESSION: {flagged} consecutive-run slowdown(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "history":
+        return history_main(sys.argv[2:])
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("candidate")
@@ -140,9 +295,7 @@ def main() -> int:
     base_host, cand_host = host_id(base_data), host_id(cand_data)
     same_host = base_host == cand_host
     if not same_host:
-        print(f"WARNING: host mismatch — baseline [{base_host}] vs "
-              f"candidate [{cand_host}]; timing diffs may be noise",
-              file=sys.stderr)
+        warn_host_mismatch(base_host, cand_host)
 
     common = sorted(set(base) & set(cand))
     added = sorted(set(cand) - set(base))
@@ -179,7 +332,7 @@ def main() -> int:
         if args.no_fail:
             return 0
         if not same_host and not args.fail_on_host_mismatch:
-            print("host mismatch: reporting only, not failing "
+            print("cross-host timings: reporting only, not failing "
                   "(use --fail-on-host-mismatch to gate)", file=sys.stderr)
             return 0
         return 1
